@@ -1,0 +1,146 @@
+"""Extension benchmark: constraint-model ablations of the global formulation.
+
+Two modelling choices flagged in DESIGN.md are quantified here on a board
+whose on-chip type has **three ports** (the regime the paper's Figure 3
+estimate handles conservatively):
+
+* **Port-estimation refinement** (``port_estimation="refined"``, the paper's
+  future-work item): on a port-bound workload of half-instance structures
+  the refined charge admits denser packings and strictly improves the
+  objective, while it can never make it worse.
+* **Conflict-aware capacity** (``capacity_mode="clique"``): the measured
+  effect on the optimum is zero — and the benchmark asserts that this is
+  not an accident.  Because the paper's ``CP`` charge is proportional to
+  the (power-of-two rounded) space a structure occupies, the port
+  constraint already implies the strict capacity constraint
+  (``CP >= P_t * CW*CD / capacity``), so relaxing capacity alone cannot
+  change the optimum; storage sharing only pays off once ports can be
+  shared too, which the paper defers to its "arbitration" future work.
+  This redundancy is a reproduction finding documented in EXPERIMENTS.md
+  and pinned down by a property test in ``tests/core/test_preprocess.py``.
+"""
+
+from __future__ import annotations
+
+from conftest import save_and_print
+
+from repro.arch import BankType, Board, offchip_sram
+from repro.bench import ascii_table
+from repro.core import MemoryMapper
+from repro.design import ConflictSet, DataStructure, Design
+
+
+
+def three_port_board() -> Board:
+    """8 on-chip 3-port banks (2048 bits each) plus 4 off-chip SRAM ports."""
+    onchip = BankType(
+        name="onchip-3port",
+        num_instances=8,
+        num_ports=3,
+        configurations=[(2048, 1), (1024, 2), (512, 4), (256, 8), (128, 16)],
+    )
+    return Board(name="three-port", bank_types=(onchip, offchip_sram(num_instances=4)))
+
+
+def port_bound_design(count: int = 12, name: str = "port-bound") -> Design:
+    """``count`` half-instance structures: port-bound under the paper charge.
+
+    Each 128x8 structure occupies half of a 2048-bit instance, so Figure 3
+    charges it two of the three ports and the packing places only one per
+    instance; with twelve structures and eight instances, four of them end
+    up on the (distant) off-chip SRAM.  The refined charge needs one port
+    each, so everything fits on chip.
+    """
+    structures = tuple(
+        DataStructure(f"buf{i:02d}", 128, 8, lifetime=(i % 2, i % 2))
+        for i in range(count)
+    )
+    return Design(
+        name=name,
+        data_structures=structures,
+        conflicts=ConflictSet.from_lifetimes(structures),
+    )
+
+
+def mixed_design() -> Design:
+    """A mix of quarter-, half- and whole-instance structures with lifetimes."""
+    structures = []
+    for i in range(4):
+        structures.append(DataStructure(f"table{i}", 64, 8, lifetime=(i, i + 1)))
+    for i in range(6):
+        structures.append(DataStructure(f"line{i}", 128, 8, lifetime=(i, i + 2)))
+    for i in range(2):
+        structures.append(DataStructure(f"frame{i}", 256, 8, lifetime=(0, 10)))
+    return Design(
+        name="mixed",
+        data_structures=tuple(structures),
+        conflicts=ConflictSet.from_lifetimes(structures),
+    )
+
+
+def run_ablation():
+    board = three_port_board()
+    workloads = [
+        port_bound_design(8, name="relaxed (8 buffers)"),
+        port_bound_design(12, name="port-bound (12 buffers)"),
+        mixed_design(),
+    ]
+    rows = []
+    for design in workloads:
+        results = {}
+        for label, options in (
+            ("baseline", {}),
+            ("clique capacity", {"capacity_mode": "clique"}),
+            ("refined ports", {"port_estimation": "refined"}),
+            ("both", {"capacity_mode": "clique", "port_estimation": "refined"}),
+        ):
+            mapper = MemoryMapper(board, max_retries=6, **options)
+            results[label] = mapper.map(design).cost.weighted_total
+        rows.append({"design": design.name, **results})
+    return rows
+
+
+def render(rows) -> str:
+    table_rows = []
+    for row in rows:
+        baseline = row["baseline"]
+        gain = 100.0 * (baseline - row["both"]) / baseline if baseline else 0.0
+        table_rows.append(
+            [
+                row["design"],
+                f"{baseline:.4f}",
+                f"{row['clique capacity']:.4f}",
+                f"{row['refined ports']:.4f}",
+                f"{row['both']:.4f}",
+                f"{gain:.1f}%",
+            ]
+        )
+    return ascii_table(
+        ["design", "baseline", "clique capacity", "refined ports", "both", "gain (both)"],
+        table_rows,
+        title="Constraint-model ablation on a 3-port on-chip board",
+    )
+
+
+def test_constraint_ablation(benchmark, results_dir):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    by_design = {row["design"]: row for row in rows}
+    for row in rows:
+        # Each relaxation can only preserve or improve the optimum.
+        assert row["clique capacity"] <= row["baseline"] + 1e-9
+        assert row["refined ports"] <= row["baseline"] + 1e-9
+        assert row["both"] <= min(row["clique capacity"], row["refined ports"]) + 1e-9
+        # Reproduction finding: relaxing capacity alone never changes the
+        # optimum because the paper's port charge already implies the strict
+        # capacity constraint.
+        assert abs(row["clique capacity"] - row["baseline"]) <= 1e-9
+
+    # The refined port charge pays off on the port-bound workload and is a
+    # no-op on the workload that was never port-bound to begin with.
+    port_bound = by_design["port-bound (12 buffers)"]
+    assert port_bound["refined ports"] < port_bound["baseline"] - 1e-9
+    relaxed = by_design["relaxed (8 buffers)"]
+    assert abs(relaxed["refined ports"] - relaxed["baseline"]) <= 1e-9
+
+    save_and_print(results_dir, "constraint_ablation.txt", render(rows))

@@ -1,0 +1,98 @@
+"""Regenerates Figure 2: the space/port allocation worked example.
+
+Section 4.1.1 walks a 55x17 data structure through the pre-processing for a
+3-port bank type with configurations 128x1 / 64x2 / 32x4 / 16x8: the
+structure decomposes into fully used instances (FP), a leftover-width
+column (WP), a leftover-depth row (DP) and a corner instance (WDP).  The
+figure annotates each instance with its used/wasted/available ports and the
+unused bits left for other structures.
+
+This benchmark recomputes the decomposition, renders the same annotations,
+checks every number the paper quotes (18+3+4+1 consumed ports, 112/64/120
+left-over bits), and times the pre-processing of the full example bank.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from conftest import save_and_print
+
+from repro.arch import BankType
+from repro.bench import ascii_table
+from repro.core import compute_pair_metrics, decompose_structure
+from repro.design import DataStructure
+
+
+def example_bank() -> BankType:
+    return BankType(
+        name="example-3port",
+        num_instances=20,
+        num_ports=3,
+        configurations=[(128, 1), (64, 2), (32, 4), (16, 8)],
+    )
+
+
+def render_figure2() -> str:
+    bank = example_bank()
+    ds = DataStructure("example", 55, 17)
+    metrics = compute_pair_metrics(ds, bank)
+    fragments = decompose_structure(metrics, bank)
+
+    region_order = {"full": 0, "width": 1, "depth": 2, "corner": 3}
+    rows = []
+    totals = defaultdict(int)
+    for fragment in sorted(fragments, key=lambda f: (region_order[f.region], f.row, f.col)):
+        free_bits = bank.capacity_bits - fragment.allocated_bits
+        available_ports = bank.num_ports - fragment.port_demand
+        rows.append(
+            [
+                fragment.region,
+                f"r{fragment.row} c{fragment.col}",
+                str(fragment.config),
+                fragment.words,
+                fragment.port_demand,
+                available_ports,
+                free_bits,
+            ]
+        )
+        totals[fragment.region] += fragment.port_demand
+
+    summary = (
+        f"FP={metrics.fp} WP={metrics.wp} DP={metrics.dp} WDP={metrics.wdp} "
+        f"=> CP={metrics.consumed_ports}, CW={metrics.ceiling_width}, "
+        f"CD={metrics.ceiling_depth}, instances={metrics.instances_touched}"
+    )
+    table = ascii_table(
+        ["Region", "Grid", "Config", "Words", "Ports used", "Ports free", "Bits free"],
+        rows,
+        title="Figure 2: 55x17 structure on a 3-port 128-bit bank (128x1/64x2/32x4/16x8)",
+    )
+    return table + "\n" + summary
+
+
+def test_figure2_allocation_example(benchmark, results_dir):
+    bank = example_bank()
+    ds = DataStructure("example", 55, 17)
+
+    metrics = benchmark(compute_pair_metrics, ds, bank)
+
+    # Every number quoted in the paper's walk-through.
+    assert (metrics.fp, metrics.wp, metrics.dp, metrics.wdp) == (18, 3, 4, 1)
+    assert metrics.consumed_ports == 26
+    assert metrics.ceiling_width == 17
+    assert metrics.ceiling_depth == 56
+    assert str(metrics.alpha) == "16x8"
+    assert str(metrics.beta) == "128x1"
+
+    fragments = decompose_structure(metrics, bank)
+    free_bits_by_region = {
+        fragment.region: bank.capacity_bits - fragment.allocated_bits
+        for fragment in fragments
+    }
+    # The "(112)", "(64)" and "(120)" annotations of the figure.
+    assert free_bits_by_region["width"] == 112
+    assert free_bits_by_region["depth"] == 64
+    assert free_bits_by_region["corner"] == 120
+
+    save_and_print(results_dir, "figure2_allocation.txt", render_figure2())

@@ -1,0 +1,43 @@
+"""Regenerates Figure 4: execution time vs. design index, both approaches.
+
+Figure 4 plots the two columns of Table 3 against the design index (ordered
+by increasing problem size).  This benchmark re-measures the two series on
+the default design points and renders them as a text bar chart, asserting
+the qualitative shape of the figure: the complete-formulation curve rises
+much faster than the global/detailed curve and lies above it for the large
+designs, while for the smallest designs the two are close (the paper notes
+that set-up time dominates there).
+"""
+
+from __future__ import annotations
+
+from conftest import save_and_print
+
+from repro.bench import Table3Harness, ascii_series, default_design_points
+
+
+def test_figure4_scaling_curve(benchmark, results_dir):
+    points = default_design_points()
+    harness = Table3Harness(points=points)
+
+    rows = benchmark.pedantic(harness.run, rounds=1, iterations=1)
+
+    complete_series = [row.complete_seconds for row in rows]
+    global_series = [row.global_detailed_seconds for row in rows]
+    labels = [f"point {row.point.index}" for row in rows]
+
+    # Shape: the complete curve ends far above the global/detailed curve ...
+    assert complete_series[-1] > 2 * global_series[-1]
+    # ... and grows faster across the sweep (compare end-to-start ratios,
+    # guarding against ~0 denominators on very fast small points).
+    complete_growth = complete_series[-1] / max(complete_series[0], 1e-6)
+    global_growth = global_series[-1] / max(global_series[0], 1e-6)
+    assert complete_growth > global_growth
+
+    text = ascii_series(
+        labels,
+        [complete_series, global_series],
+        ["complete", "global/detailed"],
+        title="Figure 4: complete vs. global/detailed execution times",
+    )
+    save_and_print(results_dir, "figure4_scaling_curve.txt", text)

@@ -1,0 +1,72 @@
+"""Regenerates Table 1: FPGA on-chip RAM resources per device family.
+
+The table lists, for the Xilinx Virtex BlockRAM, the Altera FLEX 10K EAB
+and the Altera APEX E ESB, the per-device bank-count range, the bank size
+in bits and the five selectable depth/width configurations.  The benchmark
+also times the construction of on-chip bank types across the whole device
+catalog (a trivial operation — the point of this module is the regenerated
+table, which must match the paper's values exactly).
+"""
+
+from __future__ import annotations
+
+from conftest import save_and_print
+
+from repro.arch import (
+    APEXE_ESB_COUNTS,
+    FLEX10K_EAB_COUNTS,
+    VIRTEX_BLOCKRAM_COUNTS,
+    apexe_esb,
+    flex10k_eab,
+    onchip_ram_table_rows,
+    virtex_blockram,
+)
+from repro.bench import ascii_table
+
+
+def render_table1() -> str:
+    rows = []
+    for entry in onchip_ram_table_rows():
+        rows.append(
+            [
+                entry["device"],
+                entry["ram_name"],
+                entry["banks"],
+                entry["size_bits"],
+                " ".join(entry["configurations"]),
+            ]
+        )
+    return ascii_table(
+        ["Device", "RAM", "RAMs (# banks)", "Size (# bits)", "Configurations"],
+        rows,
+        title="Table 1: FPGA on-chip RAMs",
+    )
+
+
+def build_full_catalog() -> int:
+    """Instantiate a bank type for every catalogued device."""
+    built = 0
+    for device in VIRTEX_BLOCKRAM_COUNTS:
+        virtex_blockram(device)
+        built += 1
+    for device in FLEX10K_EAB_COUNTS:
+        flex10k_eab(device)
+        built += 1
+    for device in APEXE_ESB_COUNTS:
+        apexe_esb(device)
+        built += 1
+    return built
+
+
+def test_table1_devices(benchmark, results_dir):
+    built = benchmark(build_full_catalog)
+    assert built == (
+        len(VIRTEX_BLOCKRAM_COUNTS) + len(FLEX10K_EAB_COUNTS) + len(APEXE_ESB_COUNTS)
+    )
+    text = render_table1()
+    # The range endpoints quoted in the paper must appear verbatim.
+    assert "8 - 208" in text
+    assert "9 - 20" in text
+    assert "12 - 216" in text
+    assert "4096x1" in text and "256x16" in text
+    save_and_print(results_dir, "table1_devices.txt", text)

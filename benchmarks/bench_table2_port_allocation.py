@@ -1,0 +1,56 @@
+"""Regenerates Table 2: allocation options of a 3-port, 16-word bank.
+
+The table enumerates every way the words of a 16-deep instance can be split
+across its three ports (each split entry a power of two or zero, in
+non-increasing order, summing to at most the depth).  The paper notes that
+the ``consumed_ports`` estimator of Figure 3 rejects the (8, 8, 0) split
+because each 8-word fraction is charged two ports.  The benchmark times the
+enumeration and renders the grouped table exactly as in the paper, with an
+extra column showing which completions the estimator accepts.
+"""
+
+from __future__ import annotations
+
+from conftest import save_and_print
+
+from repro.bench import ascii_table
+from repro.core import (
+    accepted_allocation_options,
+    is_split_accepted,
+    space_allocation_options,
+    table2_rows,
+)
+
+DEPTH = 16
+PORTS = 3
+
+
+def render_table2() -> str:
+    rows = []
+    for row in table2_rows(DEPTH, PORTS):
+        prefix = row["prefix"]
+        options = ",".join(str(v) for v in row["last_port_options"])
+        accepted = ",".join(str(v) for v in row["accepted_last_port_options"]) or "-"
+        rows.append([prefix[0], prefix[1], options, accepted])
+    return ascii_table(
+        ["Port 1 (# words)", "Port 2 (# words)", "Port 3 (# words)", "Accepted by Fig.3"],
+        rows,
+        title="Table 2: allocation options of a 3-port 16-word bank",
+    )
+
+
+def test_table2_port_allocation(benchmark, results_dir):
+    options = benchmark(space_allocation_options, DEPTH, PORTS)
+
+    # 16 grouped rows / 32 concrete splits, exactly as the paper's table.
+    assert len(options) == 32
+    assert len(table2_rows(DEPTH, PORTS)) == 16
+    # The (8, 8, 0) rejection called out in the text.
+    assert (8, 8, 0) in options
+    assert not is_split_accepted((8, 8, 0), DEPTH, PORTS)
+    assert (8, 8, 0) not in accepted_allocation_options(DEPTH, PORTS)
+    # Dual-ported banks never lose an option to the estimate.
+    dual = space_allocation_options(DEPTH, 2)
+    assert accepted_allocation_options(DEPTH, 2) == dual
+
+    save_and_print(results_dir, "table2_port_allocation.txt", render_table2())

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Mapping a set of DSP kernels across different FPGA families.
+
+The paper's Table 1 catalogues the on-chip RAM of three FPGA families
+(Xilinx Virtex, Altera FLEX 10K, Altera APEX E).  This example maps the
+same four DSP kernels — FIR filter, FFT, blocked matrix multiply and
+block-matching motion estimation — onto boards built around each family
+and compares:
+
+* how much of each design fits into on-chip memory on each device,
+* the resulting objective cost, and
+* the exact-ILP mapping against the greedy baseline.
+
+Run it with::
+
+    python examples/dsp_kernels.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    GreedyMapper,
+    MappingError,
+    MemoryMapper,
+    apex_board,
+    fft_design,
+    fir_filter_design,
+    flex10k_board,
+    matrix_multiply_design,
+    motion_estimation_design,
+    virtex_board,
+)
+from repro.bench import ascii_table
+
+
+def main() -> None:
+    boards = [
+        virtex_board(device="XCV1000", num_srams=4),
+        apex_board(device="EP20K400E", num_srams=4),
+        flex10k_board(device="EPF10K100", num_srams=4),
+    ]
+    designs = [
+        fir_filter_design(),
+        fft_design(),
+        matrix_multiply_design(),
+        motion_estimation_design(),
+    ]
+
+    rows = []
+    for board in boards:
+        onchip_type = board.on_chip_types[0].name
+        mapper = MemoryMapper(board)
+        greedy = GreedyMapper(board)
+        for design in designs:
+            try:
+                result = mapper.map(design)
+            except MappingError:
+                # A small device genuinely cannot host the kernel: there are
+                # not enough off-chip ports/capacity for what spills out of
+                # the on-chip RAM.  Report it rather than hiding it — this is
+                # precisely the resource pressure the mapper is built around.
+                rows.append(
+                    [board.name, design.name, "-", "-", "does not fit", "-", "-"]
+                )
+                continue
+            try:
+                greedy_objective = f"{greedy.solve(design).objective:.3f}"
+            except MappingError:
+                greedy_objective = "greedy fails"
+            onchip_structures = result.global_mapping.structures_on(onchip_type)
+            onchip_bits = sum(
+                design.by_name(name).size_bits for name in onchip_structures
+            )
+            rows.append(
+                [
+                    board.name,
+                    design.name,
+                    f"{len(onchip_structures)}/{design.num_segments}",
+                    f"{100.0 * onchip_bits / design.total_bits:.0f}%",
+                    f"{result.cost.weighted_total:.3f}",
+                    greedy_objective,
+                    result.retries,
+                ]
+            )
+
+    print(
+        ascii_table(
+            [
+                "board",
+                "design",
+                "structures on chip",
+                "bits on chip",
+                "ILP objective",
+                "greedy objective",
+                "retries",
+            ],
+            rows,
+            title="DSP kernels across FPGA families",
+        )
+    )
+    print()
+    print(
+        "Reading the table: larger devices keep more of each kernel in on-chip\n"
+        "RAM; wherever the greedy objective exceeds the ILP objective the exact\n"
+        "formulation found a strictly better trade-off between the memory levels."
+    )
+
+
+if __name__ == "__main__":
+    main()

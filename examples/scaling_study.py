@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Scaling study: global/detailed vs. complete formulation solve times.
+
+A runnable, smaller version of the paper's evaluation (Table 3 / Figure 4):
+for a sweep of synthetic design points of growing size the script measures
+the execution time of the two approaches on the *same* solver backend and
+prints the resulting table and a text plot.  It also demonstrates how the
+harness is parameterised, so it can be used as a template for custom
+scaling experiments (different boards, occupancies or solver backends).
+
+Run it with::
+
+    python examples/scaling_study.py            # scaled design points, quick
+    REPRO_FULL_TABLE3=1 python examples/scaling_study.py   # the paper's sizes
+"""
+
+from __future__ import annotations
+
+from repro.bench import (
+    Table3Harness,
+    ascii_series,
+    ascii_table,
+    default_design_points,
+    default_solver_backend,
+    format_seconds,
+)
+
+
+def main() -> None:
+    points = default_design_points()
+    harness = Table3Harness(points=points)
+    print(
+        f"Running {len(points)} design points with solver backend "
+        f"{default_solver_backend()!r} (time limit {harness.time_limit:.0f}s per solve)."
+    )
+    print()
+
+    rows = []
+    for point in points:
+        row = harness.run_point(point)
+        rows.append(row)
+        print(
+            f"  {point.label():45s} global/detailed {format_seconds(row.global_detailed_seconds):>9s}"
+            f"   complete {format_seconds(row.complete_seconds):>9s}"
+            f"   same optimum: {'yes' if row.objectives_match else 'no'}"
+        )
+    print()
+
+    table_rows = [
+        [
+            row.point.index,
+            row.point.segments,
+            row.point.banks,
+            row.point.ports,
+            row.point.configs,
+            format_seconds(row.global_detailed_seconds),
+            format_seconds(row.complete_seconds),
+            f"{row.speedup:.1f}x",
+        ]
+        for row in rows
+    ]
+    print(
+        ascii_table(
+            ["#", "segs", "banks", "ports", "configs",
+             "global/detailed", "complete", "ratio"],
+            table_rows,
+            title="Execution times (this machine)",
+        )
+    )
+    print()
+    print(
+        ascii_series(
+            [f"point {row.point.index}" for row in rows],
+            [[row.complete_seconds for row in rows],
+             [row.global_detailed_seconds for row in rows]],
+            ["complete", "global/detailed"],
+            title="Figure 4 (reproduced): execution time vs. design size",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setuptools entry point.
+
+The project is fully described by ``pyproject.toml``; this shim exists only
+so that ``python setup.py develop`` works in offline environments where the
+``wheel`` package (required by pip's PEP 660 editable-install path) is not
+available.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,232 @@
+"""Generic physical memory-bank model (Figure 1 of the paper).
+
+A reconfigurable-computing board is described to the mapper as a collection
+of *bank types*.  All physical instances of a type share the same storage
+size, port count, depth/width configurations, access latencies and distance
+(pins traversed) from the processing unit; only the instance identity
+differs.  This is exactly the abstraction of Section 3.1 / Figure 1:
+
+* ``num_instances``  — :math:`I_t`, how many physical banks of the type exist,
+* ``num_ports``      — :math:`P_t`, ports per bank (1 = single-ported, 2 = dual-ported, ...),
+* ``configurations`` — the :math:`C_t` selectable depth/width ratios
+  (:math:`D_t`, :math:`W_t` lists), all with the same bit capacity,
+* ``read_latency`` / ``write_latency`` — :math:`RL_t`, :math:`WL_t` in clock cycles,
+* ``pins_traversed`` — :math:`T_t`; 0 for on-chip banks, 2 for directly
+  connected off-chip banks, more for indirectly connected banks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Tuple
+
+__all__ = ["MemoryConfig", "BankType", "ArchitectureError"]
+
+
+class ArchitectureError(ValueError):
+    """Raised when an architecture description is internally inconsistent."""
+
+
+@dataclass(frozen=True, order=True)
+class MemoryConfig:
+    """One selectable depth/width ratio of a memory bank.
+
+    ``depth`` is the number of addressable words and ``width`` the number of
+    bits per word.  The paper assumes every configuration of a bank has the
+    same total capacity (``depth * width``); :class:`BankType` enforces this.
+    """
+
+    depth: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.depth <= 0 or self.width <= 0:
+            raise ArchitectureError(
+                f"memory configuration must be positive, got {self.depth}x{self.width}"
+            )
+
+    @property
+    def capacity_bits(self) -> int:
+        """Total number of bits addressable in this configuration."""
+        return self.depth * self.width
+
+    def __str__(self) -> str:
+        return f"{self.depth}x{self.width}"
+
+    @classmethod
+    def parse(cls, text: str) -> "MemoryConfig":
+        """Parse a ``"<depth>x<width>"`` string (as written in Table 1)."""
+        try:
+            depth_text, width_text = text.lower().split("x")
+            return cls(int(depth_text), int(width_text))
+        except (ValueError, AttributeError) as exc:
+            raise ArchitectureError(f"cannot parse memory configuration {text!r}") from exc
+
+
+@dataclass(frozen=True)
+class BankType:
+    """A class of identical physical memory banks on the RC board."""
+
+    name: str
+    num_instances: int
+    num_ports: int
+    configurations: Tuple[MemoryConfig, ...]
+    read_latency: int = 1
+    write_latency: int = 1
+    pins_traversed: int = 0
+    #: Free-form vendor/family tag (e.g. "Xilinx Virtex BlockRAM"); not used
+    #: by the mapper, only for reporting.
+    family: str = ""
+    #: Set to True to allow configurations with unequal capacities (departs
+    #: from the paper's assumption; the pre-processing then uses the largest).
+    allow_unequal_capacity: bool = field(default=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ArchitectureError("bank type requires a non-empty name")
+        if self.num_instances <= 0:
+            raise ArchitectureError(f"{self.name}: num_instances must be positive")
+        if self.num_ports <= 0:
+            raise ArchitectureError(f"{self.name}: num_ports must be positive")
+        if not self.configurations:
+            raise ArchitectureError(f"{self.name}: at least one configuration is required")
+        if self.read_latency < 0 or self.write_latency < 0:
+            raise ArchitectureError(f"{self.name}: latencies must be non-negative")
+        if self.pins_traversed < 0:
+            raise ArchitectureError(f"{self.name}: pins_traversed must be non-negative")
+        configs = tuple(
+            c if isinstance(c, MemoryConfig) else MemoryConfig(*c)
+            for c in self.configurations
+        )
+        object.__setattr__(self, "configurations", configs)
+        capacities = {c.capacity_bits for c in configs}
+        if len(capacities) > 1 and not self.allow_unequal_capacity:
+            raise ArchitectureError(
+                f"{self.name}: configurations must share one capacity, got "
+                f"{sorted(capacities)} bits (set allow_unequal_capacity to override)"
+            )
+        widths = [c.width for c in configs]
+        if len(set(widths)) != len(widths):
+            raise ArchitectureError(f"{self.name}: duplicate configuration widths {widths}")
+
+    # ------------------------------------------------------------ geometry
+    @property
+    def num_configs(self) -> int:
+        """:math:`C_t` — number of selectable depth/width ratios."""
+        return len(self.configurations)
+
+    @property
+    def is_multi_config(self) -> bool:
+        return self.num_configs > 1
+
+    @property
+    def capacity_bits(self) -> int:
+        """Bit capacity of a single instance (maximum over configurations)."""
+        return max(c.capacity_bits for c in self.configurations)
+
+    @property
+    def total_capacity_bits(self) -> int:
+        """Bit capacity summed over all instances of the type."""
+        return self.capacity_bits * self.num_instances
+
+    @property
+    def total_ports(self) -> int:
+        """Ports summed over all instances (:math:`P_t \\cdot I_t`)."""
+        return self.num_ports * self.num_instances
+
+    @property
+    def total_config_settings(self) -> int:
+        """Configuration settings summed over all multi-configuration ports.
+
+        This is the third physical-memory complexity parameter of Table 3:
+        zero for single-configuration types, ``I_t * P_t * C_t`` otherwise.
+        """
+        if not self.is_multi_config:
+            return 0
+        return self.num_instances * self.num_ports * self.num_configs
+
+    @property
+    def depths(self) -> Tuple[int, ...]:
+        """:math:`D_t` — the depth list, ordered as the configurations."""
+        return tuple(c.depth for c in self.configurations)
+
+    @property
+    def widths(self) -> Tuple[int, ...]:
+        """:math:`W_t` — the width list, ordered as the configurations."""
+        return tuple(c.width for c in self.configurations)
+
+    @property
+    def is_on_chip(self) -> bool:
+        """On-chip banks traverse zero pins to reach the processing unit."""
+        return self.pins_traversed == 0
+
+    @property
+    def is_dual_ported(self) -> bool:
+        return self.num_ports == 2
+
+    @property
+    def round_trip_latency(self) -> int:
+        """Read plus write latency (:math:`RL_t + WL_t`)."""
+        return self.read_latency + self.write_latency
+
+    # ------------------------------------------------------------- lookups
+    def configs_by_width(self) -> Tuple[MemoryConfig, ...]:
+        """Configurations sorted by increasing word width."""
+        return tuple(sorted(self.configurations, key=lambda c: c.width))
+
+    def widest_config(self) -> MemoryConfig:
+        """The configuration with the widest words (and smallest depth)."""
+        return max(self.configurations, key=lambda c: c.width)
+
+    def narrowest_config(self) -> MemoryConfig:
+        """The configuration with the narrowest words (and largest depth)."""
+        return min(self.configurations, key=lambda c: c.width)
+
+    def config_index(self, config: MemoryConfig) -> int:
+        """Index of ``config`` in the declared configuration order."""
+        try:
+            return self.configurations.index(config)
+        except ValueError:
+            raise ArchitectureError(f"{config} is not a configuration of {self.name}")
+
+    def scaled(self, num_instances: Optional[int] = None, name: Optional[str] = None) -> "BankType":
+        """Return a copy with a different instance count (board builders)."""
+        return BankType(
+            name=name or self.name,
+            num_instances=num_instances if num_instances is not None else self.num_instances,
+            num_ports=self.num_ports,
+            configurations=self.configurations,
+            read_latency=self.read_latency,
+            write_latency=self.write_latency,
+            pins_traversed=self.pins_traversed,
+            family=self.family,
+            allow_unequal_capacity=self.allow_unequal_capacity,
+        )
+
+    def describe(self) -> str:
+        """Human-readable one-line summary used by reports and examples."""
+        configs = "/".join(str(c) for c in self.configurations)
+        location = "on-chip" if self.is_on_chip else f"off-chip ({self.pins_traversed} pins)"
+        return (
+            f"{self.name}: {self.num_instances} x {self.num_ports}-port, "
+            f"{self.capacity_bits} bits, configs {configs}, "
+            f"RL={self.read_latency} WL={self.write_latency}, {location}"
+        )
+
+
+def make_configurations(specs: Iterable) -> Tuple[MemoryConfig, ...]:
+    """Normalise a mixed list of config specs into :class:`MemoryConfig` tuples.
+
+    Accepts ``MemoryConfig`` instances, ``(depth, width)`` pairs and
+    ``"DxW"`` strings, in any combination.
+    """
+    configs = []
+    for spec in specs:
+        if isinstance(spec, MemoryConfig):
+            configs.append(spec)
+        elif isinstance(spec, str):
+            configs.append(MemoryConfig.parse(spec))
+        else:
+            depth, width = spec
+            configs.append(MemoryConfig(int(depth), int(width)))
+    return tuple(configs)

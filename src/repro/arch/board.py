@@ -1,0 +1,120 @@
+"""Reconfigurable-computing board description consumed by the mappers.
+
+A :class:`Board` is simply a named collection of :class:`~repro.arch.bank.BankType`
+objects plus the single processing unit assumed by the paper (Section 3:
+"it is assumed that the RC board contains only one processing unit").  The
+class also exposes the three physical-memory complexity parameters used to
+characterise design points in Table 3: total banks, total ports and total
+configuration settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .bank import ArchitectureError, BankType
+
+__all__ = ["Board"]
+
+
+@dataclass(frozen=True)
+class Board:
+    """A fixed memory architecture: bank types plus one processing unit."""
+
+    name: str
+    bank_types: Tuple[BankType, ...]
+    #: Clock period of the processing unit in nanoseconds; only used by the
+    #: access simulator to convert cycle counts into time.
+    clock_ns: float = 20.0
+
+    def __post_init__(self) -> None:
+        if not self.bank_types:
+            raise ArchitectureError(f"board {self.name!r} has no memory bank types")
+        types = tuple(self.bank_types)
+        object.__setattr__(self, "bank_types", types)
+        names = [t.name for t in types]
+        if len(set(names)) != len(names):
+            raise ArchitectureError(f"board {self.name!r} has duplicate bank-type names")
+        if self.clock_ns <= 0:
+            raise ArchitectureError(f"board {self.name!r}: clock period must be positive")
+
+    # ------------------------------------------------------------- lookups
+    def __iter__(self):
+        return iter(self.bank_types)
+
+    def __len__(self) -> int:
+        return len(self.bank_types)
+
+    @property
+    def type_names(self) -> Tuple[str, ...]:
+        return tuple(t.name for t in self.bank_types)
+
+    def type_by_name(self, name: str) -> BankType:
+        for bank_type in self.bank_types:
+            if bank_type.name == name:
+                return bank_type
+        raise ArchitectureError(f"board {self.name!r} has no bank type named {name!r}")
+
+    def type_index(self, name: str) -> int:
+        for index, bank_type in enumerate(self.bank_types):
+            if bank_type.name == name:
+                return index
+        raise ArchitectureError(f"board {self.name!r} has no bank type named {name!r}")
+
+    @property
+    def on_chip_types(self) -> Tuple[BankType, ...]:
+        return tuple(t for t in self.bank_types if t.is_on_chip)
+
+    @property
+    def off_chip_types(self) -> Tuple[BankType, ...]:
+        return tuple(t for t in self.bank_types if not t.is_on_chip)
+
+    # -------------------------------------------------- complexity parameters
+    @property
+    def total_banks(self) -> int:
+        """Total physical banks (Table 3 "Total #banks" column)."""
+        return sum(t.num_instances for t in self.bank_types)
+
+    @property
+    def total_ports(self) -> int:
+        """Ports summed over all instances of all types (Table 3 "#ports")."""
+        return sum(t.total_ports for t in self.bank_types)
+
+    @property
+    def total_config_settings(self) -> int:
+        """Configuration settings over all multi-config ports (Table 3 "#configs")."""
+        return sum(t.total_config_settings for t in self.bank_types)
+
+    @property
+    def total_capacity_bits(self) -> int:
+        return sum(t.total_capacity_bits for t in self.bank_types)
+
+    @property
+    def num_types(self) -> int:
+        return len(self.bank_types)
+
+    def complexity(self) -> Dict[str, int]:
+        """The Table 3 physical-memory complexity triple plus type count."""
+        return {
+            "types": self.num_types,
+            "banks": self.total_banks,
+            "ports": self.total_ports,
+            "configs": self.total_config_settings,
+        }
+
+    # ------------------------------------------------------------ reporting
+    def describe(self) -> str:
+        """Multi-line human readable description (used by examples)."""
+        lines = [
+            f"Board {self.name!r}: {self.num_types} bank types, "
+            f"{self.total_banks} banks, {self.total_ports} ports, "
+            f"{self.total_capacity_bits} bits total"
+        ]
+        for bank_type in self.bank_types:
+            lines.append("  " + bank_type.describe())
+        return "\n".join(lines)
+
+    def with_types(self, bank_types: Sequence[BankType], name: Optional[str] = None) -> "Board":
+        """Return a copy of the board with a different set of bank types."""
+        return Board(name=name or self.name, bank_types=tuple(bank_types), clock_ns=self.clock_ns)

@@ -1,0 +1,29 @@
+"""Benchmark harness: Table 3 design points, experiment runner, reporting."""
+
+from .designpoints import (
+    PAPER_DESIGN_POINTS,
+    SCALED_DESIGN_POINTS,
+    DesignPoint,
+    default_design_points,
+)
+from .harness import (
+    ExperimentRow,
+    Table3Harness,
+    default_solver_backend,
+    run_table3,
+)
+from .reporting import ascii_series, ascii_table, format_seconds
+
+__all__ = [
+    "DesignPoint",
+    "PAPER_DESIGN_POINTS",
+    "SCALED_DESIGN_POINTS",
+    "default_design_points",
+    "ExperimentRow",
+    "Table3Harness",
+    "run_table3",
+    "default_solver_backend",
+    "ascii_table",
+    "ascii_series",
+    "format_seconds",
+]

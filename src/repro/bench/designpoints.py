@@ -1,0 +1,133 @@
+"""Benchmark design points reproducing the rows of Table 3.
+
+Table 3 of the paper characterises nine benchmark designs by four
+complexity parameters — the number of logical segments, and the total
+numbers of physical banks, ports and configuration settings — and reports
+the ILP execution time of the complete and of the global/detailed
+approaches on each.  The designs themselves are unnamed, so this module
+regenerates design points with exactly those complexity parameters using
+the seeded synthetic board and design generators.
+
+Two sets are provided:
+
+* :data:`PAPER_DESIGN_POINTS` — the exact nine rows of Table 3, including
+  the execution times the paper reports on its SUN Ultra-30 / CPLEX setup
+  (kept for the paper-vs-measured comparison in EXPERIMENTS.md), and
+* :data:`SCALED_DESIGN_POINTS` — nine proportionally smaller rows with the
+  same growth shape, used as the default benchmark workload so the full
+  sweep finishes in minutes on a laptop with the pure-Python solver stack.
+
+Set the environment variable ``REPRO_FULL_TABLE3=1`` to make the harness
+use the full-size rows.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..arch.board import Board
+from ..arch.builder import board_with_complexity
+from ..design.design import Design
+from ..design.generator import DesignGenerator
+
+__all__ = [
+    "DesignPoint",
+    "PAPER_DESIGN_POINTS",
+    "SCALED_DESIGN_POINTS",
+    "default_design_points",
+]
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One row of Table 3: a design/board complexity combination."""
+
+    index: int
+    segments: int
+    banks: int
+    ports: int
+    configs: int
+    #: execution times reported by the paper (seconds on a SUN Ultra-30),
+    #: ``None`` for scaled points that have no direct counterpart.
+    paper_complete_seconds: Optional[float] = None
+    paper_global_seconds: Optional[float] = None
+
+    def label(self) -> str:
+        return (
+            f"point{self.index}"
+            f"[{self.segments}seg/{self.banks}banks/{self.ports}ports/{self.configs}cfg]"
+        )
+
+    # ------------------------------------------------------------- builders
+    def build_board(self, seed: int = 0) -> Board:
+        """Board with exactly this point's bank/port/config totals."""
+        return board_with_complexity(
+            total_banks=self.banks,
+            total_ports=self.ports,
+            total_configs=self.configs,
+            seed=seed + self.index,
+            name=f"board-{self.label()}",
+        )
+
+    def build_design(
+        self, board: Optional[Board] = None, seed: int = 0, occupancy: float = 0.45
+    ) -> Design:
+        """Design with this point's segment count, sized to fit the board."""
+        board = board or self.build_board(seed=seed)
+        generator = DesignGenerator(seed=seed + 101 * self.index)
+        return generator.generate(
+            self.segments,
+            name=f"design-{self.label()}",
+            board=board,
+            target_occupancy=occupancy,
+        )
+
+    def build(self, seed: int = 0, occupancy: float = 0.45) -> Tuple[Design, Board]:
+        board = self.build_board(seed=seed)
+        design = self.build_design(board=board, seed=seed, occupancy=occupancy)
+        return design, board
+
+
+#: The nine rows of Table 3, with the paper's reported execution times.
+PAPER_DESIGN_POINTS: Tuple[DesignPoint, ...] = (
+    DesignPoint(1, 22, 13, 25, 50, 8.1, 7.8),
+    DesignPoint(2, 32, 23, 45, 100, 29.4, 25.3),
+    DesignPoint(3, 32, 45, 77, 150, 99.3, 50.7),
+    DesignPoint(4, 42, 45, 77, 150, 130.4, 59.2),
+    DesignPoint(5, 32, 65, 105, 150, 172.7, 105.1),
+    DesignPoint(6, 62, 65, 105, 150, 411.0, 140.4),
+    DesignPoint(7, 32, 180, 265, 375, 518.3, 216.4),
+    DesignPoint(8, 62, 180, 265, 375, 1225.0, 309.0),
+    DesignPoint(9, 132, 180, 265, 375, 2989.0, 489.0),
+)
+
+#: Proportionally smaller rows (roughly one quarter of the paper's sizes)
+#: preserving the growth pattern: the physical side grows across points
+#: 1-3, the design side grows at fixed physical size (3-4, 5-6, 7-9), and
+#: the last three points share the largest board.
+SCALED_DESIGN_POINTS: Tuple[DesignPoint, ...] = (
+    DesignPoint(1, 6, 4, 7, 10),
+    DesignPoint(2, 8, 6, 11, 25),
+    DesignPoint(3, 8, 11, 19, 35),
+    DesignPoint(4, 11, 11, 19, 35),
+    DesignPoint(5, 8, 16, 26, 40),
+    DesignPoint(6, 16, 16, 26, 40),
+    DesignPoint(7, 8, 45, 66, 95),
+    DesignPoint(8, 16, 45, 66, 95),
+    DesignPoint(9, 33, 45, 66, 95),
+)
+
+
+def default_design_points(full: Optional[bool] = None) -> Tuple[DesignPoint, ...]:
+    """Return the design points the benchmarks should run.
+
+    ``full=None`` (default) consults the ``REPRO_FULL_TABLE3`` environment
+    variable; any non-empty value other than ``"0"`` selects the full-size
+    paper rows.
+    """
+    if full is None:
+        flag = os.environ.get("REPRO_FULL_TABLE3", "")
+        full = flag not in ("", "0", "false", "False")
+    return PAPER_DESIGN_POINTS if full else SCALED_DESIGN_POINTS

@@ -1,0 +1,196 @@
+"""Experiment harness regenerating the paper's evaluation.
+
+The harness measures, for each design point, the end-to-end execution time
+of the two approaches the paper compares:
+
+* **global/detailed** — pre-processing + global ILP + detailed mapping
+  (:class:`repro.core.MemoryMapper`), and
+* **complete** — the single-step flat ILP (:class:`repro.core.CompleteMapper`).
+
+Besides wall-clock time it records model sizes, solver statistics and the
+objective values, so the quality claim (both approaches reach the same
+optimum) is checked in the same run that produces the timing table.
+
+Environment knobs honoured by :func:`run_table3`:
+
+``REPRO_FULL_TABLE3=1``
+    run the full-size Table 3 rows instead of the scaled ones.
+``REPRO_SOLVER=<backend>``
+    ILP backend for both approaches (default ``scipy-milp`` when SciPy is
+    available, else the built-in branch-and-bound); both formulations always
+    use the *same* backend so the comparison isolates the formulation.
+``REPRO_TIME_LIMIT=<seconds>``
+    per-solve time limit (default 120 s); a complete-formulation solve that
+    hits the limit is reported with the limit as a lower bound on its time,
+    which is how the "explodes for large problems" behaviour shows up
+    without stalling the benchmark run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.complete_mapper import CompleteMapper
+from ..core.mapping import MappingError
+from ..core.objective import CostWeights
+from ..core.pipeline import MemoryMapper
+from ..ilp import highs_available
+from .designpoints import DesignPoint, default_design_points
+
+__all__ = ["ExperimentRow", "Table3Harness", "run_table3", "default_solver_backend"]
+
+
+def default_solver_backend() -> str:
+    """Backend used by the benchmarks unless ``REPRO_SOLVER`` overrides it."""
+    backend = os.environ.get("REPRO_SOLVER", "").strip()
+    if backend:
+        return backend
+    return "scipy-milp" if highs_available() else "auto"
+
+
+def default_time_limit() -> float:
+    value = os.environ.get("REPRO_TIME_LIMIT", "").strip()
+    if value:
+        return float(value)
+    return 120.0
+
+
+@dataclass
+class ExperimentRow:
+    """Measured results of one design point (one row of Table 3)."""
+
+    point: DesignPoint
+    global_detailed_seconds: float
+    complete_seconds: float
+    global_objective: float
+    complete_objective: Optional[float]
+    global_status: str
+    complete_status: str
+    global_model_size: Dict[str, int] = field(default_factory=dict)
+    complete_model_size: Dict[str, int] = field(default_factory=dict)
+    complete_timed_out: bool = False
+
+    @property
+    def speedup(self) -> float:
+        """Complete time divided by global/detailed time (>1 favours the paper)."""
+        if self.global_detailed_seconds <= 0:
+            return float("inf")
+        return self.complete_seconds / self.global_detailed_seconds
+
+    @property
+    def objectives_match(self) -> bool:
+        """Whether both approaches reached the same optimum (within 0.1%)."""
+        if self.complete_objective is None:
+            return False
+        scale = max(1e-9, abs(self.global_objective))
+        return abs(self.complete_objective - self.global_objective) / scale <= 1e-3
+
+
+class Table3Harness:
+    """Runs the complete vs. global/detailed comparison over design points."""
+
+    def __init__(
+        self,
+        points: Optional[Sequence[DesignPoint]] = None,
+        solver: Optional[str] = None,
+        time_limit: Optional[float] = None,
+        seed: int = 0,
+        occupancy: float = 0.45,
+        weights: Optional[CostWeights] = None,
+        run_complete: bool = True,
+    ) -> None:
+        self.points = tuple(points) if points is not None else default_design_points()
+        self.solver = solver or default_solver_backend()
+        self.time_limit = default_time_limit() if time_limit is None else time_limit
+        self.seed = seed
+        self.occupancy = occupancy
+        self.weights = weights or CostWeights()
+        self.run_complete = run_complete
+
+    # ------------------------------------------------------------------ api
+    def run_point(self, point: DesignPoint) -> ExperimentRow:
+        """Measure one design point."""
+        design, board = point.build(seed=self.seed, occupancy=self.occupancy)
+        solver_options = {"time_limit": self.time_limit}
+
+        # Global/detailed approach (pre-processing is included in the timing,
+        # as the paper notes it is for its own measurements).
+        mapper = MemoryMapper(
+            board,
+            weights=self.weights,
+            solver=self.solver,
+            solver_options=solver_options,
+            warm_start=False,
+        )
+        start = time.perf_counter()
+        result = mapper.map(design)
+        global_seconds = time.perf_counter() - start
+        global_artifacts = mapper.global_mapper.build_model(design)
+        global_model_size = {
+            "variables": global_artifacts.model.num_variables,
+            "constraints": global_artifacts.model.num_constraints,
+        }
+
+        complete_seconds = 0.0
+        complete_objective: Optional[float] = None
+        complete_status = "skipped"
+        complete_model_size: Dict[str, int] = {}
+        timed_out = False
+        if self.run_complete:
+            complete = CompleteMapper(
+                board,
+                weights=self.weights,
+                solver=self.solver,
+                solver_options=solver_options,
+            )
+            start = time.perf_counter()
+            try:
+                outcome = complete.solve(design)
+                complete_seconds = time.perf_counter() - start
+                complete_objective = outcome.global_mapping.objective
+                complete_status = outcome.solver_status
+                complete_model_size = outcome.model_size
+                timed_out = outcome.solver_status in ("timeout", "node_limit")
+            except MappingError:
+                # The solver hit its limit without an incumbent: report the
+                # limit as a (censored) lower bound on the solve time.
+                complete_seconds = time.perf_counter() - start
+                complete_status = "timeout"
+                timed_out = True
+
+        return ExperimentRow(
+            point=point,
+            global_detailed_seconds=global_seconds,
+            complete_seconds=complete_seconds,
+            global_objective=result.global_mapping.objective,
+            complete_objective=complete_objective,
+            global_status=result.global_mapping.solver_status,
+            complete_status=complete_status,
+            global_model_size=global_model_size,
+            complete_model_size=complete_model_size,
+            complete_timed_out=timed_out,
+        )
+
+    def run(self) -> List[ExperimentRow]:
+        return [self.run_point(point) for point in self.points]
+
+
+def run_table3(
+    points: Optional[Sequence[DesignPoint]] = None,
+    solver: Optional[str] = None,
+    time_limit: Optional[float] = None,
+    seed: int = 0,
+    run_complete: bool = True,
+) -> List[ExperimentRow]:
+    """One-call version of the Table 3 experiment (used by the benchmarks)."""
+    harness = Table3Harness(
+        points=points,
+        solver=solver,
+        time_limit=time_limit,
+        seed=seed,
+        run_complete=run_complete,
+    )
+    return harness.run()

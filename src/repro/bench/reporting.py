@@ -1,0 +1,86 @@
+"""Plain-text rendering of benchmark tables and series.
+
+The benchmark modules print the regenerated tables/figures to stdout in a
+format close to the paper's layout, so a reader can place the reproduction
+next to the original.  Everything here is purely presentational.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["ascii_table", "ascii_series", "format_seconds"]
+
+
+def format_seconds(value: Optional[float]) -> str:
+    """Render a duration with sensible precision (or a dash for missing)."""
+    if value is None:
+        return "-"
+    if value < 0.01:
+        return f"{value * 1000:.2f}ms"
+    if value < 10:
+        return f"{value:.3f}s"
+    return f"{value:.1f}s"
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a fixed-width table with a header rule, GitHub-markdown style."""
+    rendered_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            if index >= len(widths):
+                widths.append(len(cell))
+            else:
+                widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        padded = [cell.ljust(widths[i]) for i, cell in enumerate(cells)]
+        return "| " + " | ".join(padded) + " |"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    for row in rendered_rows:
+        # Pad short rows so ragged input still renders.
+        cells = row + [""] * (len(widths) - len(row))
+        lines.append(render_row(cells))
+    return "\n".join(lines)
+
+
+def ascii_series(
+    x_values: Sequence[object],
+    series: Sequence[Sequence[float]],
+    labels: Sequence[str],
+    title: str = "",
+    width: int = 60,
+) -> str:
+    """Render one or more numeric series as a crude horizontal bar chart.
+
+    Used to regenerate Figure 4 in text form: each x value gets one bar per
+    series, scaled to the global maximum.
+    """
+    if len(series) != len(labels):
+        raise ValueError("series and labels must have the same length")
+    peak = max((max(s) for s in series if len(s)), default=0.0)
+    scale = (width / peak) if peak > 0 else 0.0
+    lines = []
+    if title:
+        lines.append(title)
+    marks = "#*o+x"
+    for index, x in enumerate(x_values):
+        for series_index, values in enumerate(series):
+            value = values[index]
+            bar = marks[series_index % len(marks)] * max(1, int(round(value * scale)))
+            lines.append(
+                f"{str(x):>8} {labels[series_index]:<18} "
+                f"{bar} {format_seconds(value)}"
+            )
+        lines.append("")
+    return "\n".join(lines)

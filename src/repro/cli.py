@@ -1,0 +1,301 @@
+"""Command-line interface of the memory mapper.
+
+The CLI makes the library usable as a standalone tool in a synthesis flow::
+
+    python -m repro boards                       # list built-in boards
+    python -m repro designs                      # list built-in example designs
+    python -m repro describe --board virtex-xcv1000
+    python -m repro map --board hierarchical --design image-pipeline
+    python -m repro map --board my_board.json --design my_design.json \\
+        --output mapping.json --weights latency
+    python -m repro table3 --points 4            # scaling experiment (Table 3)
+
+Boards and designs can be given either as the name of a built-in (see
+``boards`` / ``designs``) or as the path of a JSON file following the schema
+of :mod:`repro.io`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .arch import (
+    Board,
+    apex_board,
+    flex10k_board,
+    hierarchical_board,
+    virtex_board,
+)
+from .bench import (
+    Table3Harness,
+    ascii_table,
+    default_design_points,
+    default_solver_backend,
+    format_seconds,
+)
+from .core import CostWeights, MappingError, MemoryMapper
+from .core.report import render_full_report
+from .design import (
+    Design,
+    fft_design,
+    fir_filter_design,
+    image_pipeline_design,
+    matrix_multiply_design,
+    motion_estimation_design,
+    random_design,
+)
+from .io import (
+    SerializationError,
+    load_board,
+    load_design,
+    mapping_result_to_dict,
+    save_json,
+)
+
+__all__ = ["main", "BUILTIN_BOARDS", "BUILTIN_DESIGNS"]
+
+#: Built-in boards selectable by name on the command line.
+BUILTIN_BOARDS: Dict[str, Callable[[], Board]] = {
+    "hierarchical": hierarchical_board,
+    "virtex-xcv1000": lambda: virtex_board("XCV1000"),
+    "virtex-xcv300": lambda: virtex_board("XCV300"),
+    "apex-ep20k400e": lambda: apex_board("EP20K400E"),
+    "flex10k-epf10k100": lambda: flex10k_board("EPF10K100"),
+}
+
+#: Built-in example designs selectable by name on the command line.
+BUILTIN_DESIGNS: Dict[str, Callable[[], Design]] = {
+    "image-pipeline": image_pipeline_design,
+    "fir-filter": fir_filter_design,
+    "fft": fft_design,
+    "matrix-multiply": matrix_multiply_design,
+    "motion-estimation": motion_estimation_design,
+}
+
+_WEIGHT_PRESETS: Dict[str, Callable[[], CostWeights]] = {
+    "balanced": CostWeights,
+    "latency": CostWeights.latency_only,
+    "interconnect": CostWeights.interconnect_only,
+}
+
+
+class CliError(Exception):
+    """User-facing CLI error (bad arguments, missing files, ...)."""
+
+
+def _resolve_board(spec: str) -> Board:
+    if spec in BUILTIN_BOARDS:
+        return BUILTIN_BOARDS[spec]()
+    path = Path(spec)
+    if path.exists():
+        try:
+            return load_board(path)
+        except SerializationError as exc:
+            raise CliError(f"cannot load board from {path}: {exc}") from exc
+    raise CliError(
+        f"unknown board {spec!r}; use one of {', '.join(sorted(BUILTIN_BOARDS))} "
+        "or the path of a board JSON file"
+    )
+
+
+def _resolve_design(spec: str, seed: int = 0) -> Design:
+    if spec in BUILTIN_DESIGNS:
+        return BUILTIN_DESIGNS[spec]()
+    if spec.startswith("random:"):
+        try:
+            segments = int(spec.split(":", 1)[1])
+        except ValueError as exc:
+            raise CliError(f"bad random design spec {spec!r}; use random:<segments>") from exc
+        return random_design(segments, seed=seed)
+    path = Path(spec)
+    if path.exists():
+        try:
+            return load_design(path)
+        except SerializationError as exc:
+            raise CliError(f"cannot load design from {path}: {exc}") from exc
+    raise CliError(
+        f"unknown design {spec!r}; use one of {', '.join(sorted(BUILTIN_DESIGNS))}, "
+        "random:<segments>, or the path of a design JSON file"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Sub-command implementations
+# ---------------------------------------------------------------------------
+
+def _cmd_boards(_: argparse.Namespace) -> int:
+    rows = []
+    for name in sorted(BUILTIN_BOARDS):
+        board = BUILTIN_BOARDS[name]()
+        complexity = board.complexity()
+        rows.append(
+            [name, complexity["types"], complexity["banks"], complexity["ports"],
+             complexity["configs"], board.total_capacity_bits]
+        )
+    print(ascii_table(
+        ["name", "types", "banks", "ports", "configs", "capacity (bits)"],
+        rows,
+        title="Built-in boards",
+    ))
+    return 0
+
+
+def _cmd_designs(_: argparse.Namespace) -> int:
+    rows = []
+    for name in sorted(BUILTIN_DESIGNS):
+        design = BUILTIN_DESIGNS[name]()
+        rows.append(
+            [name, design.num_segments, design.total_bits, len(design.conflicts)]
+        )
+    print(ascii_table(
+        ["name", "segments", "bits", "conflict pairs"],
+        rows,
+        title="Built-in example designs",
+    ))
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    if args.board:
+        print(_resolve_board(args.board).describe())
+    if args.design:
+        if args.board:
+            print()
+        print(_resolve_design(args.design).describe())
+    if not args.board and not args.design:
+        raise CliError("describe needs --board and/or --design")
+    return 0
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    board = _resolve_board(args.board)
+    design = _resolve_design(args.design, seed=args.seed)
+    weights = _WEIGHT_PRESETS[args.weights]()
+    mapper = MemoryMapper(
+        board,
+        weights=weights,
+        solver=args.solver,
+        solver_options={"time_limit": args.time_limit} if args.time_limit else None,
+        capacity_mode=args.capacity_mode,
+        port_estimation=args.port_estimation,
+    )
+    try:
+        result = mapper.map(design)
+    except MappingError as exc:
+        raise CliError(f"mapping failed: {exc}") from exc
+
+    print(render_full_report(result))
+    if args.output:
+        path = save_json(mapping_result_to_dict(result), args.output)
+        print(f"\n[mapping written to {path}]")
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    points = default_design_points(full=args.full)
+    if args.points is not None:
+        points = points[: args.points]
+    harness = Table3Harness(
+        points=points,
+        solver=args.solver,
+        time_limit=args.time_limit,
+        run_complete=not args.skip_complete,
+    )
+    print(
+        f"Running {len(points)} design points with backend "
+        f"{harness.solver!r} (time limit {harness.time_limit:.0f}s)..."
+    )
+    rows = []
+    for point in points:
+        row = harness.run_point(point)
+        rows.append(
+            [
+                point.index, point.segments, point.banks, point.ports, point.configs,
+                format_seconds(row.global_detailed_seconds),
+                format_seconds(row.complete_seconds) if not args.skip_complete else "-",
+                "yes" if row.objectives_match else "-",
+            ]
+        )
+        print(f"  finished {point.label()}")
+    print()
+    print(ascii_table(
+        ["#", "segs", "banks", "ports", "configs",
+         "global/detailed", "complete", "same optimum"],
+        rows,
+        title="Table 3 (reproduced on this machine)",
+    ))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Argument parsing
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Global/detailed memory mapping for FPGA-based reconfigurable systems",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("boards", help="list built-in boards").set_defaults(func=_cmd_boards)
+    sub.add_parser("designs", help="list built-in example designs").set_defaults(
+        func=_cmd_designs
+    )
+
+    describe = sub.add_parser("describe", help="describe a board and/or design")
+    describe.add_argument("--board", help="board name or JSON file")
+    describe.add_argument("--design", help="design name or JSON file")
+    describe.set_defaults(func=_cmd_describe)
+
+    map_cmd = sub.add_parser("map", help="map a design onto a board")
+    map_cmd.add_argument("--board", required=True, help="board name or JSON file")
+    map_cmd.add_argument("--design", required=True,
+                         help="design name, random:<n>, or JSON file")
+    map_cmd.add_argument("--weights", choices=sorted(_WEIGHT_PRESETS), default="balanced",
+                         help="objective weighting preset")
+    map_cmd.add_argument("--solver", default="auto",
+                         help="ILP backend (auto, bnb-pure, scipy-milp)")
+    map_cmd.add_argument("--capacity-mode", choices=["strict", "clique"],
+                         default="strict", help="capacity constraint mode")
+    map_cmd.add_argument("--port-estimation", choices=["paper", "refined"],
+                         default="paper", help="port charge model")
+    map_cmd.add_argument("--time-limit", type=float, default=None,
+                         help="per-solve time limit in seconds")
+    map_cmd.add_argument("--seed", type=int, default=0,
+                         help="seed for random:<n> designs")
+    map_cmd.add_argument("--output", help="write the mapping result to this JSON file")
+    map_cmd.set_defaults(func=_cmd_map)
+
+    table3 = sub.add_parser("table3", help="run the Table 3 scaling experiment")
+    table3.add_argument("--full", action="store_true",
+                        help="use the paper's full-size design points")
+    table3.add_argument("--points", type=int, default=None,
+                        help="only run the first N design points")
+    table3.add_argument("--solver", default=None,
+                        help=f"ILP backend (default: {default_solver_backend()})")
+    table3.add_argument("--time-limit", type=float, default=None,
+                        help="per-solve time limit in seconds")
+    table3.add_argument("--skip-complete", action="store_true",
+                        help="measure only the global/detailed flow")
+    table3.set_defaults(func=_cmd_table3)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,330 @@
+"""Detailed memory mapping: the per-type post-pass of Section 4.2.
+
+Once global mapping has decided which bank *type* every data structure
+lives on, detailed mapping legalises the assignment one type at a time:
+
+1. every structure assigned to the type is decomposed into the FP/WP/DP/WDP
+   fragment grid of Figure 2 (full-width/full-depth blocks, the leftover
+   width column, the leftover depth row and the corner), using the α/β
+   configurations chosen by the pre-processing,
+2. fragments that occupy a whole instance (all ports / all words) receive
+   dedicated instances, and
+3. the remaining partial fragments are packed onto instances with a
+   first-fit-decreasing policy on their Figure 3 port demand; inside an
+   instance fragments are laid out in decreasing size order at
+   power-of-two aligned base addresses, so no base-address adders are
+   needed (the property the paper's rounding rule is designed to ensure).
+
+Because all instances of a type are identical, none of these decisions can
+change the global objective; the detailed mapper's own (secondary)
+optimisation goal is to minimise fragmentation and the number of instances
+touched.  If the packing of some type fails — possible only for types with
+more than two ports, where the paper's port estimator is conservative —
+:class:`DetailedMappingFailure` reports the offending type and structures
+so that the pipeline can re-run global mapping with that combination
+forbidden (the retry loop the paper describes in Section 4.1).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..arch.bank import BankType
+from ..arch.board import Board
+from ..design.design import Design
+from .mapping import (
+    DetailedMapping,
+    Fragment,
+    GlobalMapping,
+    MappingError,
+    PlacedFragment,
+)
+from .preprocess import (
+    PairMetrics,
+    Preprocessor,
+    consumed_ports,
+    next_power_of_two,
+)
+
+__all__ = ["DetailedMapper", "DetailedMappingFailure", "decompose_structure"]
+
+
+class DetailedMappingFailure(MappingError):
+    """Raised when the fragments of one bank type cannot be packed.
+
+    Carries enough context for the pipeline to forbid the failing
+    (structure, type) pairs and retry global mapping.
+    """
+
+    def __init__(self, bank_type: str, structures: Sequence[str], reason: str) -> None:
+        super().__init__(
+            f"detailed mapping failed for bank type {bank_type!r}: {reason} "
+            f"(structures: {', '.join(sorted(structures))})"
+        )
+        self.bank_type = bank_type
+        self.structures = tuple(structures)
+        self.reason = reason
+
+
+def decompose_structure(
+    metrics: PairMetrics,
+    bank: BankType,
+    port_estimation: str = "paper",
+) -> List[Fragment]:
+    """Decompose one structure into the Figure 2 fragment grid for ``bank``.
+
+    ``port_estimation`` mirrors the :class:`Preprocessor` parameter: with
+    ``"paper"`` each fragment's port demand follows Figure 3's estimate;
+    with ``"refined"`` a partial fragment demands a single port (a whole-
+    instance fragment still takes every port), matching the refined CP
+    charge so that packing stays consistent with the global constraints.
+    """
+    alpha = metrics.alpha
+    beta = metrics.beta
+    pt = bank.num_ports
+    refined = port_estimation == "refined"
+    capacity = bank.capacity_bits
+
+    def demand(words: int, config_depth: int, config_width: int) -> int:
+        if refined:
+            filled = next_power_of_two(words) * config_width >= capacity
+            return pt if filled else 1
+        return consumed_ports(words, config_depth, pt)
+
+    fragments: List[Fragment] = []
+
+    # Full blocks (FP): whole instances in configuration alpha.
+    for row in range(metrics.full_rows):
+        for col in range(metrics.full_cols):
+            fragments.append(
+                Fragment(
+                    structure=metrics.structure,
+                    region="full",
+                    row=row,
+                    col=col,
+                    config=alpha,
+                    words=alpha.depth,
+                    allocated_words=alpha.depth,
+                    width_bits=alpha.width,
+                    port_demand=pt,
+                    word_offset=row * alpha.depth,
+                    bit_offset=col * alpha.width,
+                )
+            )
+
+    # Leftover-width column (WP): full depth, narrow words, configuration beta.
+    if metrics.leftover_width > 0:
+        assert beta is not None
+        wp_demand = demand(alpha.depth, beta.depth, beta.width)
+        for row in range(metrics.full_rows):
+            fragments.append(
+                Fragment(
+                    structure=metrics.structure,
+                    region="width",
+                    row=row,
+                    col=metrics.full_cols,
+                    config=beta,
+                    words=alpha.depth,
+                    allocated_words=next_power_of_two(alpha.depth),
+                    width_bits=metrics.leftover_width,
+                    port_demand=wp_demand,
+                    word_offset=row * alpha.depth,
+                    bit_offset=metrics.full_cols * alpha.width,
+                )
+            )
+
+    # Leftover-depth row (DP): short blocks in configuration alpha.
+    if metrics.leftover_words > 0:
+        dp_demand = demand(metrics.leftover_words, alpha.depth, alpha.width)
+        for col in range(metrics.full_cols):
+            fragments.append(
+                Fragment(
+                    structure=metrics.structure,
+                    region="depth",
+                    row=metrics.full_rows,
+                    col=col,
+                    config=alpha,
+                    words=metrics.leftover_words,
+                    allocated_words=next_power_of_two(metrics.leftover_words),
+                    width_bits=alpha.width,
+                    port_demand=dp_demand,
+                    word_offset=metrics.full_rows * alpha.depth,
+                    bit_offset=col * alpha.width,
+                )
+            )
+
+    # Corner (WDP): leftover depth and leftover width, configuration beta.
+    if metrics.leftover_width > 0 and metrics.leftover_words > 0:
+        assert beta is not None
+        wdp_demand = demand(metrics.leftover_words, beta.depth, beta.width)
+        fragments.append(
+            Fragment(
+                structure=metrics.structure,
+                region="corner",
+                row=metrics.full_rows,
+                col=metrics.full_cols,
+                config=beta,
+                words=metrics.leftover_words,
+                allocated_words=next_power_of_two(metrics.leftover_words),
+                width_bits=metrics.leftover_width,
+                port_demand=wdp_demand,
+                word_offset=metrics.full_rows * alpha.depth,
+                bit_offset=metrics.full_cols * alpha.width,
+            )
+        )
+
+    return fragments
+
+
+@dataclass
+class _InstanceState:
+    """Mutable packing state of one physical bank instance."""
+
+    index: int
+    free_ports: List[int]
+    used_bits: int
+
+    def aligned_offset(self, fragment: Fragment) -> int:
+        """Start bit of ``fragment``, aligned to its configuration's width.
+
+        Because fragments are packed in decreasing (power-of-two) size order
+        the offset is already aligned in practice; the explicit rounding
+        keeps the invariant even for hand-built fragment lists.
+        """
+        width = fragment.config.width
+        return ((self.used_bits + width - 1) // width) * width
+
+    def can_host(self, fragment: Fragment, capacity_bits: int) -> bool:
+        return (
+            len(self.free_ports) >= fragment.port_demand
+            and self.aligned_offset(fragment) + fragment.allocated_bits <= capacity_bits
+        )
+
+
+class DetailedMapper:
+    """Per-type fragment packing producing a physical placement."""
+
+    def __init__(self, board: Board) -> None:
+        self.board = board
+
+    # ------------------------------------------------------------------ api
+    def map(
+        self,
+        design: Design,
+        global_mapping: GlobalMapping,
+        preprocessor: Optional[Preprocessor] = None,
+    ) -> DetailedMapping:
+        """Produce a :class:`DetailedMapping` for a global assignment."""
+        preprocessor = preprocessor or Preprocessor(design, self.board)
+        placements: List[PlacedFragment] = []
+        for bank in self.board.bank_types:
+            members = global_mapping.structures_on(bank.name)
+            if not members:
+                continue
+            placements.extend(
+                self._map_bank_type(bank, members, preprocessor)
+            )
+        return DetailedMapping(
+            design_name=design.name,
+            board_name=self.board.name,
+            placements=tuple(placements),
+        )
+
+    # ------------------------------------------------------------- internals
+    def _map_bank_type(
+        self,
+        bank: BankType,
+        structures: Sequence[str],
+        preprocessor: Preprocessor,
+    ) -> List[PlacedFragment]:
+        """Pack all fragments destined for one bank type onto its instances."""
+        fragments: List[Fragment] = []
+        for name in structures:
+            metrics = preprocessor.metrics(name, bank.name)
+            fragments.extend(
+                decompose_structure(
+                    metrics, bank, port_estimation=preprocessor.port_estimation
+                )
+            )
+
+        capacity = bank.capacity_bits
+        num_ports = bank.num_ports
+
+        # Whole-instance fragments first (they admit no sharing), then the
+        # partial fragments in decreasing port-demand / size order, which is
+        # both the classic first-fit-decreasing packing order and the
+        # "decreasing fraction sizes" port-assignment rule of the paper.
+        full = [f for f in fragments if f.port_demand >= num_ports]
+        partial = [f for f in fragments if f.port_demand < num_ports]
+        # Decreasing size order: since all allocated sizes are powers of two,
+        # every later fragment's width divides the space already used, which
+        # keeps base addresses power-of-two aligned (the paper's "no base
+        # address adders" property).  Port demand is monotone in size, so
+        # this is simultaneously decreasing-port-demand first-fit.
+        partial.sort(key=lambda f: (f.allocated_bits, f.port_demand), reverse=True)
+
+        placements: List[PlacedFragment] = []
+        instances: List[_InstanceState] = []
+        next_instance = 0
+
+        def open_instance() -> Optional[_InstanceState]:
+            nonlocal next_instance
+            if next_instance >= bank.num_instances:
+                return None
+            state = _InstanceState(
+                index=next_instance,
+                free_ports=list(range(num_ports)),
+                used_bits=0,
+            )
+            next_instance += 1
+            instances.append(state)
+            return state
+
+        def place(fragment: Fragment, state: _InstanceState) -> None:
+            ports = tuple(state.free_ports[: fragment.port_demand])
+            del state.free_ports[: fragment.port_demand]
+            start_bit = state.aligned_offset(fragment)
+            base_word = start_bit // fragment.config.width
+            state.used_bits = start_bit + fragment.allocated_bits
+            placements.append(
+                PlacedFragment(
+                    fragment=fragment,
+                    bank_type=bank.name,
+                    instance=state.index,
+                    ports=ports,
+                    base_word=base_word,
+                )
+            )
+
+        for fragment in full:
+            state = open_instance()
+            if state is None:
+                raise DetailedMappingFailure(
+                    bank.name,
+                    structures,
+                    f"ran out of instances while placing whole-instance fragments "
+                    f"({bank.num_instances} available)",
+                )
+            place(fragment, state)
+
+        for fragment in partial:
+            target = None
+            for state in instances:
+                if state.can_host(fragment, capacity):
+                    target = state
+                    break
+            if target is None:
+                target = open_instance()
+            if target is None or not target.can_host(fragment, capacity):
+                raise DetailedMappingFailure(
+                    bank.name,
+                    structures,
+                    "first-fit-decreasing packing could not place a fragment of "
+                    f"{fragment.structure!r} (port demand {fragment.port_demand}, "
+                    f"{fragment.allocated_bits} bits)",
+                )
+            place(fragment, target)
+
+        return placements

@@ -1,0 +1,292 @@
+"""Global memory mapping: the ILP of Section 4.1.
+
+Global mapping assigns every data structure to exactly one bank *type*
+using only the ``Z[d][t]`` 0/1 variables.  The pre-processing of
+:mod:`repro.core.preprocess` turns the architecture's instance/port/
+configuration details into per-pair port and capacity loads, so three
+families of linear constraints suffice:
+
+Uniqueness
+    :math:`\\sum_t Z_{dt} = 1` for every data structure *d* (each row is
+    also declared as an SOS-1 group, which the branch-and-bound solver
+    branches on).
+
+Ports
+    :math:`\\sum_d Z_{dt} \\cdot CP_{dt} \\le P_t \\cdot I_t` for every type *t*.
+
+Capacity
+    :math:`\\sum_d Z_{dt} \\cdot CW_{dt} \\cdot CD_{dt} \\le I_t \\cdot W_t[1] \\cdot D_t[1]`
+    for every type *t*.  When conflict information shows that some
+    structures can never be live simultaneously, the constraint can be
+    applied per conflict clique instead of over all structures
+    (``capacity_mode="clique"``), allowing storage overlap as described at
+    the end of Section 4.1.2.
+
+The objective is the weighted latency / pin-delay / pin-I/O cost of
+:class:`repro.core.objective.CostModel`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+import numpy as np
+
+from ..arch.board import Board
+from ..design.design import Design
+from ..ilp import Model, Solution, Variable, create_solver, quicksum
+from .mapping import GlobalMapping, MappingError
+from .objective import CostModel, CostWeights
+from .preprocess import Preprocessor
+
+__all__ = ["GlobalMapper", "GlobalModelArtifacts"]
+
+Pair = Tuple[str, str]
+
+
+class GlobalModelArtifacts:
+    """The ILP model of a global-mapping instance plus its variable map.
+
+    Exposed separately from :meth:`GlobalMapper.solve` so that tests,
+    benchmarks and the solver-ablation study can inspect or re-solve the
+    same model with different backends.
+    """
+
+    def __init__(
+        self,
+        model: Model,
+        z_vars: Dict[Pair, Variable],
+        preprocessor: Preprocessor,
+        cost_model: CostModel,
+    ) -> None:
+        self.model = model
+        self.z_vars = z_vars
+        self.preprocessor = preprocessor
+        self.cost_model = cost_model
+
+    def assignment_from_solution(self, solution: Solution) -> Dict[str, str]:
+        """Read the ``structure -> type`` assignment out of a solve result."""
+        if not solution.is_success:
+            raise MappingError(
+                f"global mapping solve failed with status {solution.status!r}"
+            )
+        assignment: Dict[str, str] = {}
+        for (structure, type_name), var in self.z_vars.items():
+            if solution.rounded(var) == 1:
+                if structure in assignment:
+                    raise MappingError(
+                        f"structure {structure!r} selected for two types "
+                        f"({assignment[structure]!r} and {type_name!r})"
+                    )
+                assignment[structure] = type_name
+        design = self.preprocessor.design
+        missing = [ds.name for ds in design.data_structures if ds.name not in assignment]
+        if missing:
+            raise MappingError(f"structures left unassigned by the solver: {missing}")
+        return assignment
+
+    def warm_start_vector(self, assignment: Mapping[str, str]) -> Optional[np.ndarray]:
+        """Translate an assignment into a warm-start vector for the solver."""
+        values = np.zeros(self.model.num_variables)
+        for (structure, type_name), var in self.z_vars.items():
+            if assignment.get(structure) == type_name:
+                values[var.index] = 1.0
+        # Every structure must be covered, otherwise the vector is useless.
+        covered = {s for (s, t) in self.z_vars if assignment.get(s) == t}
+        if len(covered) != self.preprocessor.design.num_segments:
+            return None
+        return values
+
+
+class GlobalMapper:
+    """Builds and solves the global-mapping ILP for one board.
+
+    Parameters
+    ----------
+    board:
+        The target architecture.
+    weights:
+        Objective weights; defaults to normalised equal weighting.
+    solver:
+        Solver backend name (see :func:`repro.ilp.create_solver`) or a
+        solver instance.
+    solver_options:
+        Keyword options forwarded to the solver factory (time limits etc.).
+    capacity_mode:
+        ``"strict"`` (default) charges every assigned structure its full
+        footprint; ``"clique"`` applies the capacity constraint per
+        conflict clique, allowing non-conflicting structures to overlap in
+        storage (the relaxation mentioned at the end of Section 4.1.2).
+    port_estimation:
+        ``"paper"`` (default) uses the Figure 3 port estimate; ``"refined"``
+        uses the tighter future-work charge for banks with more than two
+        ports (see :class:`repro.core.Preprocessor`).
+    """
+
+    def __init__(
+        self,
+        board: Board,
+        weights: Optional[CostWeights] = None,
+        solver: object = "auto",
+        solver_options: Optional[Dict[str, object]] = None,
+        capacity_mode: str = "strict",
+        port_estimation: str = "paper",
+    ) -> None:
+        if capacity_mode not in ("strict", "clique"):
+            raise ValueError(f"unknown capacity_mode {capacity_mode!r}")
+        self.board = board
+        self.weights = weights or CostWeights()
+        self.solver = solver
+        self.solver_options = dict(solver_options or {})
+        self.capacity_mode = capacity_mode
+        self.port_estimation = port_estimation
+
+    # -------------------------------------------------------------- building
+    def build_model(
+        self,
+        design: Design,
+        preprocessor: Optional[Preprocessor] = None,
+        cost_model: Optional[CostModel] = None,
+        forbidden_pairs: Iterable[Pair] = (),
+    ) -> GlobalModelArtifacts:
+        """Construct the ILP for ``design`` (without solving it).
+
+        ``forbidden_pairs`` lists (structure, type) combinations that must
+        not be used; the mapping pipeline adds entries here when a detailed
+        mapping attempt fails and the global step must be repeated.
+        """
+        preprocessor = preprocessor or Preprocessor(
+            design, self.board, port_estimation=self.port_estimation
+        )
+        cost_model = cost_model or CostModel(
+            design, self.board, self.weights, preprocessor=preprocessor
+        )
+        forbidden: Set[Pair] = set(forbidden_pairs)
+
+        feasible = preprocessor.feasible_pairs()
+        unmappable = preprocessor.unmappable_structures()
+        if unmappable:
+            raise MappingError(
+                "the following data structures fit on no bank type of board "
+                f"{self.board.name!r}: {unmappable}"
+            )
+
+        model = Model(name=f"global[{design.name}@{self.board.name}]")
+        coefficients = cost_model.coefficient_matrix()
+        z_vars: Dict[Pair, Variable] = {}
+
+        # Variables and uniqueness constraints (one SOS-1 group per segment).
+        for d_index, ds in enumerate(design.data_structures):
+            row_vars: List[Variable] = []
+            for t_index, bank in enumerate(self.board.bank_types):
+                if not feasible[d_index, t_index]:
+                    continue
+                if (ds.name, bank.name) in forbidden:
+                    continue
+                var = model.add_binary(f"Z[{ds.name}|{bank.name}]")
+                z_vars[(ds.name, bank.name)] = var
+                row_vars.append(var)
+            if not row_vars:
+                raise MappingError(
+                    f"structure {ds.name!r} has no admissible bank type left "
+                    "(all candidates are infeasible or forbidden)"
+                )
+            model.add_constraint(quicksum(row_vars) == 1, name=f"uniq[{ds.name}]")
+            if len(row_vars) > 1:
+                model.add_sos1(row_vars, name=f"sos[{ds.name}]")
+
+        # Port constraints.
+        for t_index, bank in enumerate(self.board.bank_types):
+            terms = []
+            for d_index, ds in enumerate(design.data_structures):
+                var = z_vars.get((ds.name, bank.name))
+                if var is None:
+                    continue
+                terms.append(int(preprocessor.cp[d_index, t_index]) * var)
+            if terms:
+                model.add_constraint(
+                    quicksum(terms) <= bank.total_ports, name=f"ports[{bank.name}]"
+                )
+
+        # Capacity constraints.
+        footprint = preprocessor.consumed_bits_table()
+        if self.capacity_mode == "strict":
+            group_sets = [("all", [ds.name for ds in design.data_structures])]
+        else:
+            cliques = design.conflicts.conflict_cliques(design.data_structures)
+            group_sets = [(f"clique{i}", clique) for i, clique in enumerate(cliques)]
+
+        for t_index, bank in enumerate(self.board.bank_types):
+            for group_name, members in group_sets:
+                terms = []
+                for name in members:
+                    var = z_vars.get((name, bank.name))
+                    if var is None:
+                        continue
+                    d_index = design.index_of(name)
+                    terms.append(int(footprint[d_index, t_index]) * var)
+                if terms:
+                    suffix = "" if group_name == "all" else f":{group_name}"
+                    model.add_constraint(
+                        quicksum(terms) <= bank.total_capacity_bits,
+                        name=f"capacity[{bank.name}{suffix}]",
+                    )
+
+        # Objective.
+        objective_terms = []
+        for (structure, type_name), var in z_vars.items():
+            d_index = design.index_of(structure)
+            t_index = self.board.type_index(type_name)
+            objective_terms.append(float(coefficients[d_index, t_index]) * var)
+        model.set_objective(quicksum(objective_terms))
+
+        return GlobalModelArtifacts(model, z_vars, preprocessor, cost_model)
+
+    # ---------------------------------------------------------------- solving
+    def solve(
+        self,
+        design: Design,
+        warm_start: Optional[Mapping[str, str]] = None,
+        forbidden_pairs: Iterable[Pair] = (),
+        preprocessor: Optional[Preprocessor] = None,
+        cost_model: Optional[CostModel] = None,
+    ) -> GlobalMapping:
+        """Solve the global-mapping ILP and return the type assignment."""
+        artifacts = self.build_model(
+            design,
+            preprocessor=preprocessor,
+            cost_model=cost_model,
+            forbidden_pairs=forbidden_pairs,
+        )
+        solver_options = dict(self.solver_options)
+        if warm_start is not None:
+            vector = artifacts.warm_start_vector(warm_start)
+            if vector is not None:
+                solver_options.setdefault("warm_start", vector)
+
+        start = time.perf_counter()
+        if isinstance(self.solver, str) or self.solver is None:
+            solver = create_solver(self.solver, **solver_options)
+        else:
+            solver = self.solver
+        solution = solver.solve(artifacts.model)
+        elapsed = time.perf_counter() - start
+
+        if not solution.is_success:
+            raise MappingError(
+                f"global mapping of design {design.name!r} failed: "
+                f"solver status {solution.status!r}"
+            )
+        assignment = artifacts.assignment_from_solution(solution)
+        breakdown = artifacts.cost_model.evaluate_assignment(assignment)
+        return GlobalMapping(
+            design_name=design.name,
+            board_name=self.board.name,
+            assignment=assignment,
+            objective=solution.objective,
+            cost=breakdown,
+            solver_status=solution.status,
+            solve_time=elapsed,
+            solver_stats=solution.stats.as_dict(),
+        )

@@ -1,0 +1,247 @@
+"""Heuristic global mappers: greedy best-fit and simulated annealing.
+
+The paper solves global mapping exactly with an ILP.  Two heuristics are
+provided alongside the exact mapper for three purposes:
+
+* a **warm start** for the branch-and-bound solver (a feasible incumbent
+  makes the tree search on the complete formulation dramatically faster),
+* **baselines** for the quality-ablation benchmark (how much does the ILP
+  actually buy over a sensible greedy on realistic designs?), and
+* a fallback when a user wants an instant answer on very large designs.
+
+Both heuristics respect exactly the constraints of the global ILP (the
+pre-processed port and capacity budgets per type), so their output always
+survives detailed mapping under the same guarantee as the exact mapper.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..arch.board import Board
+from ..design.design import Design
+from .mapping import GlobalMapping, MappingError
+from .objective import CostModel, CostWeights
+from .preprocess import Preprocessor
+
+__all__ = ["GreedyMapper", "SimulatedAnnealingMapper"]
+
+
+class _BudgetTracker:
+    """Remaining port and capacity budget per bank type during construction."""
+
+    def __init__(self, board: Board) -> None:
+        self.ports = {bank.name: bank.total_ports for bank in board.bank_types}
+        self.bits = {bank.name: bank.total_capacity_bits for bank in board.bank_types}
+
+    def fits(self, type_name: str, ports: int, bits: int) -> bool:
+        return self.ports[type_name] >= ports and self.bits[type_name] >= bits
+
+    def commit(self, type_name: str, ports: int, bits: int) -> None:
+        self.ports[type_name] -= ports
+        self.bits[type_name] -= bits
+
+    def release(self, type_name: str, ports: int, bits: int) -> None:
+        self.ports[type_name] += ports
+        self.bits[type_name] += bits
+
+
+class GreedyMapper:
+    """Best-fit greedy assignment in decreasing structure-size order.
+
+    Structures are processed from largest to smallest footprint; each is
+    assigned to the cheapest (by the weighted objective coefficient) bank
+    type that still has enough ports and capacity left.  Runs in
+    O(segments x types) after pre-processing.
+    """
+
+    def __init__(
+        self,
+        board: Board,
+        weights: Optional[CostWeights] = None,
+    ) -> None:
+        self.board = board
+        self.weights = weights or CostWeights()
+
+    def solve(
+        self,
+        design: Design,
+        preprocessor: Optional[Preprocessor] = None,
+        cost_model: Optional[CostModel] = None,
+    ) -> GlobalMapping:
+        start = time.perf_counter()
+        preprocessor = preprocessor or Preprocessor(design, self.board)
+        cost_model = cost_model or CostModel(
+            design, self.board, self.weights, preprocessor=preprocessor
+        )
+        coefficients = cost_model.coefficient_matrix()
+        feasible = preprocessor.feasible_pairs()
+        budget = _BudgetTracker(self.board)
+
+        order = sorted(
+            range(design.num_segments),
+            key=lambda d: design.data_structures[d].size_bits,
+            reverse=True,
+        )
+        assignment: Dict[str, str] = {}
+        for d_index in order:
+            ds = design.data_structures[d_index]
+            best: Optional[Tuple[float, str, int, int]] = None
+            for t_index, bank in enumerate(self.board.bank_types):
+                if not feasible[d_index, t_index]:
+                    continue
+                ports = int(preprocessor.cp[d_index, t_index])
+                bits = int(
+                    preprocessor.cw[d_index, t_index] * preprocessor.cd[d_index, t_index]
+                )
+                if not budget.fits(bank.name, ports, bits):
+                    continue
+                cost = float(coefficients[d_index, t_index])
+                if best is None or cost < best[0]:
+                    best = (cost, bank.name, ports, bits)
+            if best is None:
+                raise MappingError(
+                    f"greedy mapping failed: no bank type can still hold "
+                    f"structure {ds.name!r}"
+                )
+            _, type_name, ports, bits = best
+            budget.commit(type_name, ports, bits)
+            assignment[ds.name] = type_name
+
+        breakdown = cost_model.evaluate_assignment(assignment)
+        return GlobalMapping(
+            design_name=design.name,
+            board_name=self.board.name,
+            assignment=assignment,
+            objective=breakdown.weighted_total,
+            cost=breakdown,
+            solver_status="heuristic-greedy",
+            solve_time=time.perf_counter() - start,
+        )
+
+
+class SimulatedAnnealingMapper:
+    """Simulated-annealing refinement of the greedy assignment.
+
+    Moves reassign one structure to another feasible type; only moves that
+    keep the port and capacity budgets satisfied are considered, so every
+    visited state is a legal global mapping.  The cooling schedule is a
+    plain geometric one — the point of this mapper is to serve as an
+    informed baseline, not to compete with the exact ILP.
+    """
+
+    def __init__(
+        self,
+        board: Board,
+        weights: Optional[CostWeights] = None,
+        iterations: int = 2000,
+        initial_temperature: float = 1.0,
+        cooling: float = 0.995,
+        seed: int = 0,
+    ) -> None:
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        if not 0.0 < cooling < 1.0:
+            raise ValueError("cooling must lie in (0, 1)")
+        self.board = board
+        self.weights = weights or CostWeights()
+        self.iterations = iterations
+        self.initial_temperature = initial_temperature
+        self.cooling = cooling
+        self.seed = seed
+
+    def solve(
+        self,
+        design: Design,
+        preprocessor: Optional[Preprocessor] = None,
+        cost_model: Optional[CostModel] = None,
+        initial: Optional[GlobalMapping] = None,
+    ) -> GlobalMapping:
+        start = time.perf_counter()
+        preprocessor = preprocessor or Preprocessor(design, self.board)
+        cost_model = cost_model or CostModel(
+            design, self.board, self.weights, preprocessor=preprocessor
+        )
+        coefficients = cost_model.coefficient_matrix()
+        feasible = preprocessor.feasible_pairs()
+
+        if initial is None:
+            initial = GreedyMapper(self.board, self.weights).solve(
+                design, preprocessor=preprocessor, cost_model=cost_model
+            )
+
+        rng = np.random.default_rng(self.seed)
+        type_names = list(self.board.type_names)
+        current = dict(initial.assignment)
+        budget = _BudgetTracker(self.board)
+        loads: Dict[str, Tuple[int, int]] = {}
+        for name, type_name in current.items():
+            d_index = design.index_of(name)
+            t_index = self.board.type_index(type_name)
+            ports = int(preprocessor.cp[d_index, t_index])
+            bits = int(preprocessor.cw[d_index, t_index] * preprocessor.cd[d_index, t_index])
+            budget.commit(type_name, ports, bits)
+            loads[name] = (ports, bits)
+
+        def pair_cost(name: str, type_name: str) -> float:
+            d_index = design.index_of(name)
+            t_index = self.board.type_index(type_name)
+            return float(coefficients[d_index, t_index])
+
+        current_cost = sum(pair_cost(n, t) for n, t in current.items())
+        best = dict(current)
+        best_cost = current_cost
+        temperature = self.initial_temperature
+        segment_names = list(current)
+
+        for _ in range(self.iterations):
+            name = segment_names[int(rng.integers(len(segment_names)))]
+            d_index = design.index_of(name)
+            old_type = current[name]
+            candidates = [
+                t for t_index, t in enumerate(type_names)
+                if t != old_type and feasible[d_index, t_index]
+            ]
+            if not candidates:
+                temperature *= self.cooling
+                continue
+            new_type = candidates[int(rng.integers(len(candidates)))]
+            t_index = self.board.type_index(new_type)
+            new_ports = int(preprocessor.cp[d_index, t_index])
+            new_bits = int(
+                preprocessor.cw[d_index, t_index] * preprocessor.cd[d_index, t_index]
+            )
+            old_ports, old_bits = loads[name]
+            budget.release(old_type, old_ports, old_bits)
+            if not budget.fits(new_type, new_ports, new_bits):
+                budget.commit(old_type, old_ports, old_bits)
+                temperature *= self.cooling
+                continue
+            delta = pair_cost(name, new_type) - pair_cost(name, old_type)
+            accept = delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-12))
+            if accept:
+                budget.commit(new_type, new_ports, new_bits)
+                current[name] = new_type
+                loads[name] = (new_ports, new_bits)
+                current_cost += delta
+                if current_cost < best_cost:
+                    best_cost = current_cost
+                    best = dict(current)
+            else:
+                budget.commit(old_type, old_ports, old_bits)
+            temperature *= self.cooling
+
+        breakdown = cost_model.evaluate_assignment(best)
+        return GlobalMapping(
+            design_name=design.name,
+            board_name=self.board.name,
+            assignment=best,
+            objective=breakdown.weighted_total,
+            cost=breakdown,
+            solver_status="heuristic-annealing",
+            solve_time=time.perf_counter() - start,
+        )

@@ -1,0 +1,246 @@
+"""Result containers: global assignments, fragments, placements, mappings.
+
+The two stages of the paper produce different artefacts:
+
+* **Global mapping** produces an assignment of every data structure to one
+  bank *type* (:class:`GlobalMapping`), together with the objective value
+  and solver statistics.
+* **Detailed mapping** refines this into a physical placement: every data
+  structure becomes one or more :class:`Fragment` objects, each bound to a
+  concrete bank instance, a port of that instance, a depth/width
+  configuration and a word/bit region (:class:`PlacedFragment`).  The full
+  result is a :class:`DetailedMapping`, and :class:`MappingResult` bundles
+  both stages plus the cost breakdown for reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..arch.bank import BankType, MemoryConfig
+from ..arch.board import Board
+from ..design.design import Design
+from .objective import CostBreakdown
+
+__all__ = [
+    "MappingError",
+    "GlobalMapping",
+    "Fragment",
+    "PlacedFragment",
+    "DetailedMapping",
+    "MappingResult",
+]
+
+
+class MappingError(RuntimeError):
+    """Raised when a mapping stage cannot produce a legal result."""
+
+
+@dataclass(frozen=True)
+class GlobalMapping:
+    """Assignment of every data structure to exactly one bank type."""
+
+    design_name: str
+    board_name: str
+    #: ``data structure name -> bank type name``
+    assignment: Mapping[str, str]
+    objective: float
+    cost: Optional[CostBreakdown] = None
+    solver_status: str = "optimal"
+    solve_time: float = 0.0
+    solver_stats: Dict[str, object] = field(default_factory=dict)
+
+    def type_of(self, structure: str) -> str:
+        try:
+            return self.assignment[structure]
+        except KeyError:
+            raise MappingError(f"no assignment recorded for structure {structure!r}")
+
+    def structures_on(self, bank_type: str) -> List[str]:
+        """Names of structures assigned to ``bank_type`` (stable order)."""
+        return [name for name, t in self.assignment.items() if t == bank_type]
+
+    def grouped_by_type(self) -> Dict[str, List[str]]:
+        groups: Dict[str, List[str]] = {}
+        for name, type_name in self.assignment.items():
+            groups.setdefault(type_name, []).append(name)
+        return groups
+
+    @property
+    def num_structures(self) -> int:
+        return len(self.assignment)
+
+    def describe(self) -> str:
+        lines = [
+            f"Global mapping of {self.design_name!r} onto {self.board_name!r} "
+            f"(objective {self.objective:.4f}, status {self.solver_status})"
+        ]
+        for type_name, members in sorted(self.grouped_by_type().items()):
+            lines.append(f"  {type_name}: {', '.join(sorted(members))}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """A piece of a data structure destined for a single bank instance.
+
+    Produced by the detailed mapper's decomposition (the FP/WP/DP/WDP grid
+    of Figure 2) *before* instances are chosen.  ``words`` is the real word
+    count of the piece, ``allocated_words`` the power-of-two rounded count
+    that the piece occupies, and ``port_demand`` the number of ports the
+    Figure 3 estimator charges for it.
+    """
+
+    structure: str
+    region: str                 # "full", "width", "depth", "corner"
+    row: int                    # row index in the Figure 2 grid
+    col: int                    # column index in the Figure 2 grid
+    config: MemoryConfig
+    words: int
+    allocated_words: int
+    width_bits: int
+    port_demand: int
+    #: word offset of this fragment within the structure (first word covered)
+    word_offset: int
+    #: bit offset of this fragment within a word of the structure
+    bit_offset: int
+
+    def __post_init__(self) -> None:
+        if self.words <= 0:
+            raise MappingError(f"fragment of {self.structure!r} has no words")
+        if self.allocated_words < self.words:
+            raise MappingError(
+                f"fragment of {self.structure!r} allocates fewer words than it holds"
+            )
+        if self.port_demand <= 0:
+            raise MappingError(f"fragment of {self.structure!r} demands no ports")
+
+    @property
+    def allocated_bits(self) -> int:
+        """Bits of the instance the fragment occupies (rounded footprint)."""
+        return self.allocated_words * self.config.width
+
+    @property
+    def stored_bits(self) -> int:
+        """Bits of actual payload data held by the fragment."""
+        return self.words * self.width_bits
+
+
+@dataclass(frozen=True)
+class PlacedFragment:
+    """A fragment bound to a concrete instance, ports and address range."""
+
+    fragment: Fragment
+    bank_type: str
+    instance: int
+    ports: Tuple[int, ...]
+    base_word: int
+
+    def __post_init__(self) -> None:
+        if self.instance < 0:
+            raise MappingError("instance index must be non-negative")
+        if len(self.ports) != self.fragment.port_demand:
+            raise MappingError(
+                f"fragment of {self.fragment.structure!r} was given "
+                f"{len(self.ports)} ports but demands {self.fragment.port_demand}"
+            )
+        if self.base_word < 0:
+            raise MappingError("base word must be non-negative")
+
+    @property
+    def structure(self) -> str:
+        return self.fragment.structure
+
+    @property
+    def end_word(self) -> int:
+        """One past the last word (in the fragment's configuration) occupied."""
+        return self.base_word + self.fragment.allocated_words
+
+    def describe(self) -> str:
+        ports = ",".join(str(p) for p in self.ports)
+        return (
+            f"{self.structure}[{self.fragment.region} r{self.fragment.row} "
+            f"c{self.fragment.col}] -> {self.bank_type}#{self.instance} "
+            f"ports[{ports}] cfg {self.fragment.config} words "
+            f"{self.base_word}..{self.end_word - 1}"
+        )
+
+
+@dataclass(frozen=True)
+class DetailedMapping:
+    """Physical placement of every data structure of a design."""
+
+    design_name: str
+    board_name: str
+    placements: Tuple[PlacedFragment, ...]
+
+    def fragments_of(self, structure: str) -> List[PlacedFragment]:
+        return [p for p in self.placements if p.structure == structure]
+
+    def on_instance(self, bank_type: str, instance: int) -> List[PlacedFragment]:
+        return [
+            p
+            for p in self.placements
+            if p.bank_type == bank_type and p.instance == instance
+        ]
+
+    def instances_used(self, bank_type: Optional[str] = None) -> int:
+        """Number of distinct instances carrying at least one fragment."""
+        keys = {
+            (p.bank_type, p.instance)
+            for p in self.placements
+            if bank_type is None or p.bank_type == bank_type
+        }
+        return len(keys)
+
+    @property
+    def num_fragments(self) -> int:
+        return len(self.placements)
+
+    def fragmentation(self) -> Dict[str, int]:
+        """Fragments per data structure (the detailed mapper minimises this)."""
+        counts: Dict[str, int] = {}
+        for placement in self.placements:
+            counts[placement.structure] = counts.get(placement.structure, 0) + 1
+        return counts
+
+    def describe(self) -> str:
+        lines = [
+            f"Detailed mapping of {self.design_name!r} onto {self.board_name!r}: "
+            f"{self.num_fragments} fragments on {self.instances_used()} instances"
+        ]
+        for placement in self.placements:
+            lines.append("  " + placement.describe())
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class MappingResult:
+    """Bundle of both mapping stages for one design/board pair."""
+
+    design: Design
+    board: Board
+    global_mapping: GlobalMapping
+    detailed_mapping: DetailedMapping
+    cost: CostBreakdown
+    global_time: float = 0.0
+    detailed_time: float = 0.0
+    retries: int = 0
+
+    @property
+    def total_time(self) -> float:
+        return self.global_time + self.detailed_time
+
+    def describe(self) -> str:
+        lines = [
+            f"Mapping of {self.design.name!r} onto {self.board.name!r}",
+            f"  objective (weighted): {self.cost.weighted_total:.4f}",
+            f"  latency cost: {self.cost.latency:.1f}",
+            f"  pin-delay cost: {self.cost.pin_delay:.1f}",
+            f"  pin-I/O cost: {self.cost.pin_io:.1f}",
+            f"  global solve: {self.global_time:.3f}s, detailed: {self.detailed_time:.3f}s"
+            + (f", retries: {self.retries}" if self.retries else ""),
+        ]
+        lines.append(self.global_mapping.describe())
+        return "\n".join(lines)

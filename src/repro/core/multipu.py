@@ -1,0 +1,212 @@
+"""Multiple-processing-unit extension (the paper's main future-work item).
+
+The paper assumes a single processing unit: "in the case of a single
+processing unit, all design logic is mapped onto one hardware area, and all
+logic areas are assumed equidistant from each physical bank.  The model
+needs to be enhanced to support multiple processing units." (Section 6).
+
+This module provides that enhancement in the form the global formulation
+can absorb without changing its structure:
+
+* a :class:`ProcessingUnit` carries a per-bank-type pin distance (how many
+  pins an access from this unit traverses to reach a bank of that type),
+  overriding the board-level ``pins_traversed`` default;
+* a :class:`MultiPuSystem` combines a board, its processing units and an
+  *affinity* map assigning every data structure to the unit that accesses
+  it (the single-owner assumption keeps the cost linear in ``Z[d][t]`` —
+  shared structures can be modelled by assigning them to the unit that
+  accesses them most); and
+* :class:`MultiPuCostModel` recomputes the pin-delay and pin-I/O cost
+  components with the owner unit's distances, so that
+  :class:`~repro.core.global_mapper.GlobalMapper` (and therefore
+  :class:`~repro.core.pipeline.MemoryMapper`) optimises placements per
+  processing unit simply by being handed this cost model.
+
+Placement of the *logic* onto the units and routing/pin constraints — the
+other half of the future-work paragraph — remain out of scope, exactly as
+they are in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..arch.bank import ArchitectureError, BankType
+from ..arch.board import Board
+from ..design.design import Design
+from ..design.datastruct import DesignError
+from .global_mapper import GlobalMapper
+from .mapping import GlobalMapping
+from .objective import CostModel, CostWeights
+from .preprocess import Preprocessor
+
+__all__ = ["ProcessingUnit", "MultiPuSystem", "MultiPuCostModel", "MultiPuMapper"]
+
+
+@dataclass(frozen=True)
+class ProcessingUnit:
+    """A processing unit and its distance to each memory bank type.
+
+    ``pin_distances`` maps bank-type names to the number of pins an access
+    from this unit traverses; types not listed fall back to the bank type's
+    own ``pins_traversed`` (the single-unit model of the paper).
+    """
+
+    name: str
+    pin_distances: Mapping[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ArchitectureError("processing unit requires a non-empty name")
+        for type_name, pins in self.pin_distances.items():
+            if pins < 0:
+                raise ArchitectureError(
+                    f"processing unit {self.name!r}: negative pin distance to "
+                    f"{type_name!r}"
+                )
+
+    def distance_to(self, bank: BankType) -> int:
+        """Pins traversed from this unit to a bank of ``bank``'s type."""
+        return int(self.pin_distances.get(bank.name, bank.pins_traversed))
+
+
+@dataclass(frozen=True)
+class MultiPuSystem:
+    """A board plus its processing units and the structure→unit affinity."""
+
+    board: Board
+    processing_units: Tuple[ProcessingUnit, ...]
+    #: ``data structure name -> processing unit name`` (the unit that
+    #: accesses the structure).
+    affinity: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.processing_units:
+            raise ArchitectureError("a MultiPuSystem needs at least one processing unit")
+        names = [pu.name for pu in self.processing_units]
+        if len(set(names)) != len(names):
+            raise ArchitectureError("duplicate processing unit names")
+        known_types = set(self.board.type_names)
+        for pu in self.processing_units:
+            unknown = set(pu.pin_distances) - known_types
+            if unknown:
+                raise ArchitectureError(
+                    f"processing unit {pu.name!r} references unknown bank types "
+                    f"{sorted(unknown)}"
+                )
+        known_pus = set(names)
+        for structure, pu_name in self.affinity.items():
+            if pu_name not in known_pus:
+                raise ArchitectureError(
+                    f"structure {structure!r} is assigned to unknown processing "
+                    f"unit {pu_name!r}"
+                )
+
+    def unit_by_name(self, name: str) -> ProcessingUnit:
+        for pu in self.processing_units:
+            if pu.name == name:
+                return pu
+        raise ArchitectureError(f"no processing unit named {name!r}")
+
+    def owner_of(self, structure: str) -> ProcessingUnit:
+        """The unit accessing ``structure`` (defaults to the first unit)."""
+        name = self.affinity.get(structure)
+        if name is None:
+            return self.processing_units[0]
+        return self.unit_by_name(name)
+
+    def validate_against(self, design: Design) -> None:
+        unknown = set(self.affinity) - set(design.segment_names)
+        if unknown:
+            raise DesignError(
+                f"affinity references structures not in the design: {sorted(unknown)}"
+            )
+
+
+class MultiPuCostModel(CostModel):
+    """Cost model whose pin terms use the owner unit's distances.
+
+    The latency term is unchanged (bank latencies do not depend on which
+    unit issues the access); the pin-delay and pin-I/O terms replace the
+    bank type's global ``pins_traversed`` with the distance from the
+    structure's owner unit to that type.
+    """
+
+    def __init__(
+        self,
+        design: Design,
+        system: MultiPuSystem,
+        weights: Optional[CostWeights] = None,
+        preprocessor: Optional[Preprocessor] = None,
+    ) -> None:
+        system.validate_against(design)
+        self.system = system
+        super().__init__(design, system.board, weights, preprocessor=preprocessor)
+        # Recompute the pin-dependent components with per-owner distances and
+        # refresh the normalisation scales (the parent computed them with the
+        # single-unit distances).
+        import math
+
+        for d_index, ds in enumerate(design.data_structures):
+            owner = system.owner_of(ds.name)
+            for t_index, bank in enumerate(system.board.bank_types):
+                pins = owner.distance_to(bank)
+                accesses = 0.5 * (ds.effective_reads + ds.effective_writes)
+                self.pin_delay_cost[d_index, t_index] = accesses * pins
+                cd = int(self.preprocessor.cd[d_index, t_index])
+                cw = int(self.preprocessor.cw[d_index, t_index])
+                address_pins = math.ceil(math.log2(cd)) if cd > 1 else 1
+                self.pin_io_cost[d_index, t_index] = (address_pins + cw) * pins
+        self._scales = self._component_scales()
+
+
+class MultiPuMapper:
+    """Global/detailed mapping for a multi-processing-unit system.
+
+    A thin orchestration layer: it builds the :class:`MultiPuCostModel` and
+    delegates to the standard :class:`GlobalMapper`, whose constraint set is
+    unaffected by the number of units (ports and capacity are properties of
+    the banks, not of the units).
+    """
+
+    def __init__(
+        self,
+        system: MultiPuSystem,
+        weights: Optional[CostWeights] = None,
+        solver: object = "auto",
+        solver_options: Optional[Dict[str, object]] = None,
+        capacity_mode: str = "strict",
+        port_estimation: str = "paper",
+    ) -> None:
+        self.system = system
+        self.weights = weights or CostWeights()
+        self.port_estimation = port_estimation
+        self.global_mapper = GlobalMapper(
+            system.board,
+            weights=self.weights,
+            solver=solver,
+            solver_options=solver_options,
+            capacity_mode=capacity_mode,
+            port_estimation=port_estimation,
+        )
+
+    def solve(self, design: Design) -> GlobalMapping:
+        """Solve the global mapping with per-unit pin costs."""
+        preprocessor = Preprocessor(
+            design, self.system.board, port_estimation=self.port_estimation
+        )
+        cost_model = MultiPuCostModel(
+            design, self.system, self.weights, preprocessor=preprocessor
+        )
+        return self.global_mapper.solve(
+            design, preprocessor=preprocessor, cost_model=cost_model
+        )
+
+    def map(self, design: Design):
+        """Full two-stage mapping (global with multi-PU costs, then detailed)."""
+        from .detailed_mapper import DetailedMapper
+
+        global_mapping = self.solve(design)
+        detailed = DetailedMapper(self.system.board).map(design, global_mapping)
+        return global_mapping, detailed

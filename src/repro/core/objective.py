@@ -1,0 +1,197 @@
+"""Cost model of the global-mapping objective (Section 4.1.3).
+
+The ILP minimises a weighted sum of three per-assignment cost components,
+each a linear function of the ``Z[d][t]`` assignment variables:
+
+Latency cost
+    :math:`\\sum_d \\sum_t Z_{dt} \\cdot D_d \\cdot (RL_t + WL_t)` — assuming one
+    read and one write per word of the structure (the paper's stated
+    assumption).  When footprint information (read/write counts) is
+    attached to a data structure it is used instead of the depth, which is
+    a strict generalisation that reduces to the paper's cost when absent.
+
+Pin-delay cost
+    :math:`\\sum_d \\sum_t Z_{dt} \\cdot D_d \\cdot T_t` — accesses to banks that are
+    further away (more pins traversed) run at a lower effective clock.
+
+Pin-I/O cost
+    :math:`\\sum_d \\sum_t Z_{dt} \\cdot (\\lceil\\log_2 CD_{dt}\\rceil + CW_{dt}) \\cdot T_t`
+    — a wide/deep structure placed off-chip needs address and data pins.
+
+Each component is multiplied by a weight :math:`\\alpha_i`; weights may be
+given explicitly or derived automatically so that every component is
+normalised by its largest value over all (d, t) pairs, which is the
+"normalize with respect to all other cost components" reading of the
+paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..arch.bank import BankType
+from ..arch.board import Board
+from ..design.datastruct import DataStructure
+from ..design.design import Design
+from .preprocess import Preprocessor
+
+__all__ = ["CostWeights", "CostModel", "CostBreakdown"]
+
+
+@dataclass(frozen=True)
+class CostWeights:
+    """Weights :math:`\\alpha_i` of the three objective components.
+
+    ``normalize=True`` rescales each component by its maximum value over
+    all (structure, type) pairs before applying the weights, so that the
+    three terms are commensurable regardless of the design's absolute
+    sizes.
+    """
+
+    latency: float = 1.0
+    pin_delay: float = 1.0
+    pin_io: float = 1.0
+    normalize: bool = True
+
+    def __post_init__(self) -> None:
+        if self.latency < 0 or self.pin_delay < 0 or self.pin_io < 0:
+            raise ValueError("cost weights must be non-negative")
+        if self.latency == self.pin_delay == self.pin_io == 0:
+            raise ValueError("at least one cost weight must be positive")
+
+    @classmethod
+    def latency_only(cls) -> "CostWeights":
+        """Optimise purely for access latency (used in ablations)."""
+        return cls(latency=1.0, pin_delay=0.0, pin_io=0.0, normalize=False)
+
+    @classmethod
+    def interconnect_only(cls) -> "CostWeights":
+        """Optimise purely for interconnection cost (pins)."""
+        return cls(latency=0.0, pin_delay=1.0, pin_io=1.0)
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Objective value of a concrete assignment, split by component."""
+
+    latency: float
+    pin_delay: float
+    pin_io: float
+    weighted_total: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "latency": self.latency,
+            "pin_delay": self.pin_delay,
+            "pin_io": self.pin_io,
+            "weighted_total": self.weighted_total,
+        }
+
+
+class CostModel:
+    """Per-pair cost coefficients for a (design, board) instance.
+
+    The model exposes a dense ``[segment, type]`` coefficient matrix that
+    the global and complete mappers attach to their ``Z`` variables, plus
+    evaluation helpers used by the heuristic mappers, the pipeline report
+    and the quality benchmarks.
+    """
+
+    def __init__(
+        self,
+        design: Design,
+        board: Board,
+        weights: Optional[CostWeights] = None,
+        preprocessor: Optional[Preprocessor] = None,
+    ) -> None:
+        self.design = design
+        self.board = board
+        self.weights = weights or CostWeights()
+        self.preprocessor = preprocessor or Preprocessor(design, board)
+
+        num_segments = design.num_segments
+        num_types = board.num_types
+
+        self.latency_cost = np.zeros((num_segments, num_types), dtype=np.float64)
+        self.pin_delay_cost = np.zeros((num_segments, num_types), dtype=np.float64)
+        self.pin_io_cost = np.zeros((num_segments, num_types), dtype=np.float64)
+
+        for d_index, ds in enumerate(design.data_structures):
+            for t_index, bank in enumerate(board.bank_types):
+                self.latency_cost[d_index, t_index] = self._latency(ds, bank)
+                self.pin_delay_cost[d_index, t_index] = self._pin_delay(ds, bank)
+                self.pin_io_cost[d_index, t_index] = self._pin_io(d_index, t_index, bank)
+
+        self._scales = self._component_scales()
+
+    # ------------------------------------------------------------ components
+    @staticmethod
+    def _latency(ds: DataStructure, bank: BankType) -> float:
+        """Latency term: accesses weighted by the type's read/write latency."""
+        return float(
+            ds.effective_reads * bank.read_latency
+            + ds.effective_writes * bank.write_latency
+        )
+
+    @staticmethod
+    def _pin_delay(ds: DataStructure, bank: BankType) -> float:
+        """Pin-delay term: every access pays for the pins it traverses."""
+        accesses = 0.5 * (ds.effective_reads + ds.effective_writes)
+        return float(accesses * bank.pins_traversed)
+
+    def _pin_io(self, d_index: int, t_index: int, bank: BankType) -> float:
+        """Pin-I/O term: address + data pins needed if placed off-chip."""
+        cd = int(self.preprocessor.cd[d_index, t_index])
+        cw = int(self.preprocessor.cw[d_index, t_index])
+        address_pins = math.ceil(math.log2(cd)) if cd > 1 else 1
+        return float((address_pins + cw) * bank.pins_traversed)
+
+    def _component_scales(self) -> Tuple[float, float, float]:
+        if not self.weights.normalize:
+            return (1.0, 1.0, 1.0)
+
+        def scale(matrix: np.ndarray) -> float:
+            peak = float(matrix.max()) if matrix.size else 0.0
+            return peak if peak > 0 else 1.0
+
+        return (
+            scale(self.latency_cost),
+            scale(self.pin_delay_cost),
+            scale(self.pin_io_cost),
+        )
+
+    # -------------------------------------------------------------- queries
+    def coefficient_matrix(self) -> np.ndarray:
+        """Weighted per-pair objective coefficients (``[segment, type]``)."""
+        s_lat, s_pin, s_io = self._scales
+        return (
+            self.weights.latency * self.latency_cost / s_lat
+            + self.weights.pin_delay * self.pin_delay_cost / s_pin
+            + self.weights.pin_io * self.pin_io_cost / s_io
+        )
+
+    def coefficient(self, d_index: int, t_index: int) -> float:
+        return float(self.coefficient_matrix()[d_index, t_index])
+
+    def evaluate_assignment(self, assignment: Dict[str, str]) -> CostBreakdown:
+        """Cost of a complete ``structure name -> bank type name`` assignment."""
+        s_lat, s_pin, s_io = self._scales
+        latency = pin_delay = pin_io = weighted = 0.0
+        coefficients = self.coefficient_matrix()
+        for name, type_name in assignment.items():
+            d_index = self.design.index_of(name)
+            t_index = self.board.type_index(type_name)
+            latency += self.latency_cost[d_index, t_index]
+            pin_delay += self.pin_delay_cost[d_index, t_index]
+            pin_io += self.pin_io_cost[d_index, t_index]
+            weighted += coefficients[d_index, t_index]
+        return CostBreakdown(
+            latency=latency,
+            pin_delay=pin_delay,
+            pin_io=pin_io,
+            weighted_total=weighted,
+        )

@@ -1,0 +1,178 @@
+"""The end-to-end mapping pipeline: global mapping, then detailed mapping.
+
+This is the public entry point most users of the library want:
+:class:`MemoryMapper` runs the global ILP, hands the type assignment to the
+detailed mapper, validates the resulting placement, and — in the rare case
+a type's packing fails (possible only for banks with more than two ports,
+where the paper's port estimator is conservative) — re-runs global mapping
+with the failing (structure, type) combinations forbidden, exactly the
+retry loop Section 4.1 describes ("the global and detailed mappers need to
+execute multiple times until a solution is found").
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..arch.board import Board
+from ..design.design import Design
+from .detailed_mapper import DetailedMapper, DetailedMappingFailure
+from .global_mapper import GlobalMapper
+from .heuristic_mapper import GreedyMapper
+from .mapping import GlobalMapping, MappingError, MappingResult
+from .objective import CostModel, CostWeights
+from .preprocess import Preprocessor
+from .validate import ensure_valid, validate_detailed_mapping, validate_global_mapping
+
+__all__ = ["MemoryMapper"]
+
+
+class MemoryMapper:
+    """Two-stage memory mapper (the paper's proposed flow).
+
+    Parameters
+    ----------
+    board:
+        Target architecture description.
+    weights:
+        Objective weights (latency / pin-delay / pin-I/O).
+    solver:
+        ILP backend name or instance (see :func:`repro.ilp.create_solver`).
+    solver_options:
+        Extra keyword options for the solver factory (e.g. ``time_limit``).
+    capacity_mode:
+        ``"strict"`` or ``"clique"`` — see :class:`repro.core.GlobalMapper`.
+    max_retries:
+        How many times the global stage may be re-run with forbidden pairs
+        after a detailed-mapping failure before giving up.
+    warm_start:
+        When true (default) a greedy assignment seeds the ILP solver's
+        incumbent, which speeds up branch-and-bound without affecting the
+        optimum.
+    validate:
+        When true (default) both stages are checked by the validators and a
+        :class:`repro.core.mapping.MappingError` is raised on any violation.
+    """
+
+    def __init__(
+        self,
+        board: Board,
+        weights: Optional[CostWeights] = None,
+        solver: object = "auto",
+        solver_options: Optional[Dict[str, object]] = None,
+        capacity_mode: str = "strict",
+        port_estimation: str = "paper",
+        max_retries: int = 3,
+        warm_start: bool = True,
+        validate: bool = True,
+    ) -> None:
+        self.board = board
+        self.weights = weights or CostWeights()
+        self.solver = solver
+        self.solver_options = dict(solver_options or {})
+        self.capacity_mode = capacity_mode
+        self.port_estimation = port_estimation
+        self.max_retries = max_retries
+        self.warm_start = warm_start
+        self.validate = validate
+        self.global_mapper = GlobalMapper(
+            board,
+            weights=self.weights,
+            solver=solver,
+            solver_options=self.solver_options,
+            capacity_mode=capacity_mode,
+            port_estimation=port_estimation,
+        )
+        self.detailed_mapper = DetailedMapper(board)
+
+    # ------------------------------------------------------------------ api
+    def map(self, design: Design) -> MappingResult:
+        """Map ``design`` onto the board and return the combined result."""
+        preprocessor = Preprocessor(
+            design, self.board, port_estimation=self.port_estimation
+        )
+        cost_model = CostModel(
+            design, self.board, self.weights, preprocessor=preprocessor
+        )
+
+        warm_assignment = None
+        if self.warm_start:
+            try:
+                warm_assignment = GreedyMapper(self.board, self.weights).solve(
+                    design, preprocessor=preprocessor, cost_model=cost_model
+                ).assignment
+            except MappingError:
+                warm_assignment = None  # greedy failure only loses the warm start
+
+        forbidden: Set[Tuple[str, str]] = set()
+        retries = 0
+        global_time = 0.0
+        detailed_time = 0.0
+
+        while True:
+            start = time.perf_counter()
+            global_mapping = self.global_mapper.solve(
+                design,
+                warm_start=warm_assignment,
+                forbidden_pairs=forbidden,
+                preprocessor=preprocessor,
+                cost_model=cost_model,
+            )
+            global_time += time.perf_counter() - start
+
+            if self.validate:
+                ensure_valid(
+                    validate_global_mapping(
+                        design, self.board, global_mapping, preprocessor=preprocessor
+                    ),
+                    context="global mapping",
+                )
+
+            start = time.perf_counter()
+            try:
+                detailed = self.detailed_mapper.map(
+                    design, global_mapping, preprocessor=preprocessor
+                )
+            except DetailedMappingFailure as failure:
+                detailed_time += time.perf_counter() - start
+                retries += 1
+                if retries > self.max_retries:
+                    raise MappingError(
+                        f"detailed mapping kept failing after {self.max_retries} "
+                        f"retries (last failure: {failure})"
+                    ) from failure
+                # Forbid the heaviest offender on the failing type and retry;
+                # removing one structure from the over-subscribed type is the
+                # smallest perturbation that changes the global solution.
+                offenders = sorted(
+                    failure.structures,
+                    key=lambda name: design.by_name(name).size_bits,
+                    reverse=True,
+                )
+                forbidden.add((offenders[0], failure.bank_type))
+                warm_assignment = None
+                continue
+            detailed_time += time.perf_counter() - start
+
+            if self.validate:
+                ensure_valid(
+                    validate_detailed_mapping(design, self.board, global_mapping, detailed),
+                    context="detailed mapping",
+                )
+
+            cost = cost_model.evaluate_assignment(dict(global_mapping.assignment))
+            return MappingResult(
+                design=design,
+                board=self.board,
+                global_mapping=global_mapping,
+                detailed_mapping=detailed,
+                cost=cost,
+                global_time=global_time,
+                detailed_time=detailed_time,
+                retries=retries,
+            )
+
+    def map_global_only(self, design: Design) -> GlobalMapping:
+        """Run only the global stage (used by benchmarks and ablations)."""
+        return self.global_mapper.solve(design)

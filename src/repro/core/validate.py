@@ -1,0 +1,218 @@
+"""Legality checking of global and detailed mappings.
+
+The paper's central claim about the two-stage decomposition is that the
+global stage's pre-processed port and capacity constraints *guarantee* a
+successful detailed mapping, and that detailed mapping cannot change the
+mapping cost.  The validators in this module check the artefacts produced
+by both stages so that the property can be asserted in tests (including
+hypothesis-based randomized tests) rather than assumed:
+
+* :func:`validate_global_mapping` — every structure assigned exactly once,
+  only to types it fits on, with the per-type port and capacity budgets
+  respected.
+* :func:`validate_detailed_mapping` — every structure fully stored, on the
+  bank type chosen by global mapping, with no port used twice, no instance
+  over capacity, no overlapping regions, and base addresses aligned to the
+  fragment's configuration (the "no address adders" property).
+
+Validators return a list of human-readable violation strings;
+:func:`ensure_valid` raises :class:`repro.core.mapping.MappingError` when
+the list is non-empty.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..arch.board import Board
+from ..design.design import Design
+from .mapping import DetailedMapping, GlobalMapping, MappingError, PlacedFragment
+from .preprocess import Preprocessor
+
+__all__ = [
+    "validate_global_mapping",
+    "validate_detailed_mapping",
+    "ensure_valid",
+]
+
+
+def validate_global_mapping(
+    design: Design,
+    board: Board,
+    mapping: GlobalMapping,
+    preprocessor: Optional[Preprocessor] = None,
+) -> List[str]:
+    """Check a global (type-level) assignment against the paper's constraints."""
+    violations: List[str] = []
+    preprocessor = preprocessor or Preprocessor(design, board)
+
+    names = set(design.segment_names)
+    assigned = set(mapping.assignment)
+    for missing in sorted(names - assigned):
+        violations.append(f"structure {missing!r} has no type assignment")
+    for extra in sorted(assigned - names):
+        violations.append(f"assignment references unknown structure {extra!r}")
+
+    type_names = set(board.type_names)
+    for structure, type_name in mapping.assignment.items():
+        if type_name not in type_names:
+            violations.append(
+                f"structure {structure!r} assigned to unknown type {type_name!r}"
+            )
+
+    # Per-type port and capacity budgets.
+    port_load: Dict[str, int] = defaultdict(int)
+    bits_load: Dict[str, int] = defaultdict(int)
+    for structure, type_name in mapping.assignment.items():
+        if structure not in names or type_name not in type_names:
+            continue
+        d_index = design.index_of(structure)
+        t_index = board.type_index(type_name)
+        port_load[type_name] += int(preprocessor.cp[d_index, t_index])
+        bits_load[type_name] += int(
+            preprocessor.cw[d_index, t_index] * preprocessor.cd[d_index, t_index]
+        )
+    for bank in board.bank_types:
+        if port_load[bank.name] > bank.total_ports:
+            violations.append(
+                f"type {bank.name!r} port budget exceeded: "
+                f"{port_load[bank.name]} > {bank.total_ports}"
+            )
+        if bits_load[bank.name] > bank.total_capacity_bits:
+            violations.append(
+                f"type {bank.name!r} capacity exceeded: "
+                f"{bits_load[bank.name]} > {bank.total_capacity_bits} bits"
+            )
+    return violations
+
+
+def _regions_overlap(a: PlacedFragment, b: PlacedFragment) -> bool:
+    """Whether two placed fragments overlap physically on the same instance."""
+    a_start = a.base_word * a.fragment.config.width
+    a_end = a_start + a.fragment.allocated_bits
+    b_start = b.base_word * b.fragment.config.width
+    b_end = b_start + b.fragment.allocated_bits
+    return not (a_end <= b_start or b_end <= a_start)
+
+
+def validate_detailed_mapping(
+    design: Design,
+    board: Board,
+    global_mapping: GlobalMapping,
+    detailed: DetailedMapping,
+) -> List[str]:
+    """Check a physical placement for coverage, capacity, ports and alignment."""
+    violations: List[str] = []
+    type_names = set(board.type_names)
+
+    # ---------------------------------------------------------- per fragment
+    for placement in detailed.placements:
+        fragment = placement.fragment
+        if placement.bank_type not in type_names:
+            violations.append(
+                f"fragment of {fragment.structure!r} placed on unknown type "
+                f"{placement.bank_type!r}"
+            )
+            continue
+        bank = board.type_by_name(placement.bank_type)
+        expected_type = global_mapping.assignment.get(fragment.structure)
+        if expected_type is not None and expected_type != placement.bank_type:
+            violations.append(
+                f"fragment of {fragment.structure!r} placed on {placement.bank_type!r} "
+                f"but global mapping chose {expected_type!r}"
+            )
+        if placement.instance >= bank.num_instances:
+            violations.append(
+                f"fragment of {fragment.structure!r} uses instance "
+                f"{placement.instance} of {placement.bank_type!r} which has only "
+                f"{bank.num_instances} instances"
+            )
+        if fragment.config not in bank.configurations:
+            violations.append(
+                f"fragment of {fragment.structure!r} uses configuration "
+                f"{fragment.config} not offered by {placement.bank_type!r}"
+            )
+        for port in placement.ports:
+            if port < 0 or port >= bank.num_ports:
+                violations.append(
+                    f"fragment of {fragment.structure!r} uses port {port} of "
+                    f"{placement.bank_type!r} which has {bank.num_ports} ports"
+                )
+        end_bits = (placement.base_word + fragment.allocated_words) * fragment.config.width
+        if end_bits > bank.capacity_bits:
+            violations.append(
+                f"fragment of {fragment.structure!r} spills past the end of "
+                f"{placement.bank_type!r}#{placement.instance} "
+                f"({end_bits} > {bank.capacity_bits} bits)"
+            )
+        if fragment.width_bits > fragment.config.width:
+            violations.append(
+                f"fragment of {fragment.structure!r} stores {fragment.width_bits}-bit "
+                f"words in a {fragment.config.width}-bit wide configuration"
+            )
+        # Power-of-two alignment of the base address.
+        if fragment.allocated_words and placement.base_word % fragment.allocated_words != 0:
+            violations.append(
+                f"fragment of {fragment.structure!r} at base word "
+                f"{placement.base_word} is not aligned to its allocated size "
+                f"{fragment.allocated_words}"
+            )
+
+    # ----------------------------------------------------------- per instance
+    by_instance: Dict[Tuple[str, int], List[PlacedFragment]] = defaultdict(list)
+    for placement in detailed.placements:
+        by_instance[(placement.bank_type, placement.instance)].append(placement)
+
+    for (type_name, instance), placements in by_instance.items():
+        if type_name not in type_names:
+            continue
+        bank = board.type_by_name(type_name)
+        used_ports: Dict[int, str] = {}
+        total_bits = 0
+        for placement in placements:
+            total_bits += placement.fragment.allocated_bits
+            for port in placement.ports:
+                if port in used_ports:
+                    violations.append(
+                        f"port {port} of {type_name!r}#{instance} assigned to both "
+                        f"{used_ports[port]!r} and {placement.structure!r}"
+                    )
+                else:
+                    used_ports[port] = placement.structure
+        if total_bits > bank.capacity_bits:
+            violations.append(
+                f"instance {type_name!r}#{instance} over capacity: "
+                f"{total_bits} > {bank.capacity_bits} bits"
+            )
+        if len(used_ports) > bank.num_ports:
+            violations.append(
+                f"instance {type_name!r}#{instance} uses {len(used_ports)} ports "
+                f"but the type has {bank.num_ports}"
+            )
+        for i, a in enumerate(placements):
+            for b in placements[i + 1 :]:
+                if _regions_overlap(a, b):
+                    violations.append(
+                        f"fragments of {a.structure!r} and {b.structure!r} overlap on "
+                        f"{type_name!r}#{instance}"
+                    )
+
+    # ---------------------------------------------------------- per structure
+    stored: Dict[str, int] = defaultdict(int)
+    for placement in detailed.placements:
+        stored[placement.structure] += placement.fragment.stored_bits
+    for ds in design.data_structures:
+        if stored[ds.name] != ds.size_bits:
+            violations.append(
+                f"structure {ds.name!r} stores {stored[ds.name]} bits "
+                f"but requires {ds.size_bits}"
+            )
+    return violations
+
+
+def ensure_valid(violations: Sequence[str], context: str = "mapping") -> None:
+    """Raise :class:`MappingError` when ``violations`` is non-empty."""
+    if violations:
+        summary = "\n  - ".join(violations)
+        raise MappingError(f"{context} is invalid:\n  - {summary}")

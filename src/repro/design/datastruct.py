@@ -1,0 +1,121 @@
+"""Logical data structures (the design-side input of the mapping problem).
+
+Section 3.2 of the paper: the mapper receives, for every data segment of
+the application, its number of words (*depth*, :math:`D_d`) and bits per
+word (*width*, :math:`W_d`).  A footprint analysis of memory accesses can
+additionally guide the mapping; the paper's objective approximates the
+access count of a structure by its depth ("assuming the number of reads is
+equal to the number of writes for every data structure"), so read/write
+counts are optional here and default to the depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["DataStructure", "DesignError"]
+
+
+class DesignError(ValueError):
+    """Raised when a design description is internally inconsistent."""
+
+
+@dataclass(frozen=True)
+class DataStructure:
+    """A logical memory segment to be mapped onto physical banks.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within the design (e.g. ``"frame_buffer"``).
+    depth:
+        Number of words, :math:`D_d`.
+    width:
+        Bits per word, :math:`W_d`.
+    reads, writes:
+        Optional access counts from a footprint analysis.  When omitted the
+        paper's assumption (one read and one write per word, i.e. ``depth``
+        of each) is used by the cost model.
+    lifetime:
+        Optional ``(start, end)`` control steps from scheduling; used by the
+        conflict analysis (structures with overlapping lifetimes may not
+        share storage).
+    """
+
+    name: str
+    depth: int
+    width: int
+    reads: Optional[int] = None
+    writes: Optional[int] = None
+    lifetime: Optional[tuple] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DesignError("data structure requires a non-empty name")
+        if self.depth <= 0:
+            raise DesignError(f"{self.name}: depth must be positive, got {self.depth}")
+        if self.width <= 0:
+            raise DesignError(f"{self.name}: width must be positive, got {self.width}")
+        if self.reads is not None and self.reads < 0:
+            raise DesignError(f"{self.name}: reads must be non-negative")
+        if self.writes is not None and self.writes < 0:
+            raise DesignError(f"{self.name}: writes must be non-negative")
+        if self.lifetime is not None:
+            start, end = self.lifetime
+            if end < start:
+                raise DesignError(
+                    f"{self.name}: lifetime end {end} precedes start {start}"
+                )
+
+    # ------------------------------------------------------------ geometry
+    @property
+    def size_bits(self) -> int:
+        """Total storage requirement in bits (:math:`D_d \\cdot W_d`)."""
+        return self.depth * self.width
+
+    @property
+    def effective_reads(self) -> int:
+        """Read count used by the cost model (paper default: the depth)."""
+        return self.reads if self.reads is not None else self.depth
+
+    @property
+    def effective_writes(self) -> int:
+        """Write count used by the cost model (paper default: the depth)."""
+        return self.writes if self.writes is not None else self.depth
+
+    @property
+    def total_accesses(self) -> int:
+        return self.effective_reads + self.effective_writes
+
+    def overlaps_lifetime(self, other: "DataStructure") -> bool:
+        """Whether the two structures' lifetimes overlap.
+
+        Structures without lifetime information are conservatively treated
+        as always live, hence overlapping everything.
+        """
+        if self.lifetime is None or other.lifetime is None:
+            return True
+        a_start, a_end = self.lifetime
+        b_start, b_end = other.lifetime
+        return not (a_end < b_start or b_end < a_start)
+
+    def describe(self) -> str:
+        """One-line human readable summary."""
+        extra = ""
+        if self.reads is not None or self.writes is not None:
+            extra = f", R={self.effective_reads} W={self.effective_writes}"
+        if self.lifetime is not None:
+            extra += f", live {self.lifetime[0]}..{self.lifetime[1]}"
+        return f"{self.name}: {self.depth}x{self.width} ({self.size_bits} bits{extra})"
+
+    def with_lifetime(self, start: int, end: int) -> "DataStructure":
+        """Return a copy of the structure annotated with a lifetime."""
+        return DataStructure(
+            name=self.name,
+            depth=self.depth,
+            width=self.width,
+            reads=self.reads,
+            writes=self.writes,
+            lifetime=(start, end),
+        )

@@ -1,0 +1,132 @@
+"""The :class:`Design` container: data structures plus conflict information.
+
+A design is what the memory mapper receives from high-level synthesis: a
+set of already-formed data segments (Section 3.2, "it is assumed that the
+structures are already formed") together with the conflict pairs produced
+by lifetime analysis (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .conflicts import ConflictSet
+from .datastruct import DataStructure, DesignError
+
+__all__ = ["Design"]
+
+
+@dataclass(frozen=True)
+class Design:
+    """An application's memory view: segments and their conflicts."""
+
+    name: str
+    data_structures: Tuple[DataStructure, ...]
+    conflicts: ConflictSet = field(default_factory=ConflictSet.empty)
+
+    def __post_init__(self) -> None:
+        structures = tuple(self.data_structures)
+        if not structures:
+            raise DesignError(f"design {self.name!r} has no data structures")
+        object.__setattr__(self, "data_structures", structures)
+        names = [ds.name for ds in structures]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise DesignError(f"design {self.name!r} has duplicate segments: {duplicates}")
+        known = set(names)
+        for a, b in self.conflicts.pairs:
+            if a not in known or b not in known:
+                raise DesignError(
+                    f"conflict pair ({a!r}, {b!r}) references unknown data structures"
+                )
+
+    # ------------------------------------------------------------ builders
+    @classmethod
+    def from_segments(
+        cls,
+        name: str,
+        segments: Iterable[Tuple[str, int, int]],
+        conflicts: Optional[Iterable[Tuple[str, str]]] = None,
+    ) -> "Design":
+        """Build a design from ``(name, depth, width)`` triples."""
+        structures = tuple(DataStructure(n, d, w) for n, d, w in segments)
+        conflict_set = (
+            ConflictSet.from_pairs(conflicts) if conflicts else ConflictSet.empty()
+        )
+        return cls(name=name, data_structures=structures, conflicts=conflict_set)
+
+    def with_conflicts(self, conflicts: ConflictSet) -> "Design":
+        """Return a copy of the design with a replaced conflict set."""
+        return Design(name=self.name, data_structures=self.data_structures,
+                      conflicts=conflicts)
+
+    def with_all_conflicts(self) -> "Design":
+        """Return a copy where no storage sharing is allowed at all."""
+        return self.with_conflicts(ConflictSet.all_pairs(self.data_structures))
+
+    # ------------------------------------------------------------- queries
+    def __iter__(self):
+        return iter(self.data_structures)
+
+    def __len__(self) -> int:
+        return len(self.data_structures)
+
+    @property
+    def num_segments(self) -> int:
+        """Number of data structures (Table 3's design complexity parameter)."""
+        return len(self.data_structures)
+
+    @property
+    def segment_names(self) -> Tuple[str, ...]:
+        return tuple(ds.name for ds in self.data_structures)
+
+    @property
+    def total_bits(self) -> int:
+        """Sum of all segment sizes in bits."""
+        return sum(ds.size_bits for ds in self.data_structures)
+
+    @property
+    def total_words(self) -> int:
+        return sum(ds.depth for ds in self.data_structures)
+
+    @property
+    def max_width(self) -> int:
+        return max(ds.width for ds in self.data_structures)
+
+    def by_name(self, name: str) -> DataStructure:
+        for ds in self.data_structures:
+            if ds.name == name:
+                return ds
+        raise DesignError(f"design {self.name!r} has no data structure named {name!r}")
+
+    def index_of(self, name: str) -> int:
+        for index, ds in enumerate(self.data_structures):
+            if ds.name == name:
+                return index
+        raise DesignError(f"design {self.name!r} has no data structure named {name!r}")
+
+    def subset(self, names: Sequence[str], name: Optional[str] = None) -> "Design":
+        """Return the sub-design containing only ``names`` (order preserved)."""
+        keep = set(names)
+        structures = tuple(ds for ds in self.data_structures if ds.name in keep)
+        return Design(
+            name=name or f"{self.name}-subset",
+            data_structures=structures,
+            conflicts=self.conflicts.restricted_to(keep),
+        )
+
+    def complexity(self) -> Dict[str, int]:
+        """Design-side complexity (Table 3 "#segments" column)."""
+        return {"segments": self.num_segments, "bits": self.total_bits,
+                "conflicts": len(self.conflicts)}
+
+    def describe(self) -> str:
+        """Multi-line human readable summary used by the examples."""
+        lines = [
+            f"Design {self.name!r}: {self.num_segments} data structures, "
+            f"{self.total_bits} bits, {len(self.conflicts)} conflict pairs"
+        ]
+        for ds in self.data_structures:
+            lines.append("  " + ds.describe())
+        return "\n".join(lines)

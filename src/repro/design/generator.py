@@ -1,0 +1,166 @@
+"""Seeded synthetic design generation.
+
+The evaluation in the paper (Table 3) characterises each benchmark design
+only by its complexity parameters — the number of logical segments on the
+design side and the number of banks / ports / configuration settings on the
+physical side.  The actual designs are unnamed signal/image-processing
+applications.  This module produces *reproducible* synthetic designs with a
+requested number of segments whose size distribution resembles such
+applications (many small coefficient tables and line buffers, a few large
+frame-sized buffers), optionally scaled so they fit a given board with a
+target occupancy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..arch.board import Board
+from .conflicts import ConflictSet
+from .datastruct import DataStructure, DesignError
+from .design import Design
+
+__all__ = ["DesignGenerator", "random_design"]
+
+#: Word widths commonly produced by synthesis of DSP/image applications.
+_TYPICAL_WIDTHS: Tuple[int, ...] = (1, 2, 4, 8, 8, 12, 16, 16, 24, 32)
+
+
+@dataclass
+class DesignGenerator:
+    """Reproducible generator of synthetic designs.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the underlying :class:`numpy.random.Generator`; identical
+        parameters and seed always produce the identical design.
+    min_depth, max_depth:
+        Range of segment depths (words); depths are drawn log-uniformly so
+        small tables dominate, as in real designs.
+    widths:
+        Candidate word widths.
+    conflict_density:
+        Fraction of segment pairs marked as conflicting (lifetime overlap).
+        The default of 1.0 reproduces the paper's conservative setting in
+        which no storage sharing is assumed unless stated otherwise.
+    large_segment_fraction:
+        Fraction of segments drawn from the "large buffer" regime (frame or
+        block sized) rather than the "small table" regime.
+    """
+
+    seed: int = 0
+    min_depth: int = 16
+    max_depth: int = 4096
+    widths: Sequence[int] = _TYPICAL_WIDTHS
+    conflict_density: float = 1.0
+    large_segment_fraction: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.min_depth <= 0 or self.max_depth < self.min_depth:
+            raise DesignError("invalid depth range for DesignGenerator")
+        if not 0.0 <= self.conflict_density <= 1.0:
+            raise DesignError("conflict_density must lie in [0, 1]")
+        if not 0.0 <= self.large_segment_fraction <= 1.0:
+            raise DesignError("large_segment_fraction must lie in [0, 1]")
+        self._rng = np.random.default_rng(self.seed)
+
+    # ------------------------------------------------------------------ api
+    def generate(
+        self,
+        num_segments: int,
+        name: Optional[str] = None,
+        board: Optional[Board] = None,
+        target_occupancy: float = 0.5,
+    ) -> Design:
+        """Generate a design with ``num_segments`` data structures.
+
+        When ``board`` is given the segment sizes are rescaled so the total
+        footprint is roughly ``target_occupancy`` of the board capacity (the
+        mapping problem is then feasible but not trivially so).
+        """
+        if num_segments <= 0:
+            raise DesignError("num_segments must be positive")
+        rng = self._rng
+        structures: List[DataStructure] = []
+        log_lo, log_hi = math.log2(self.min_depth), math.log2(self.max_depth)
+        for index in range(num_segments):
+            if rng.random() < self.large_segment_fraction:
+                depth = int(2 ** rng.uniform(log_hi - 1.5, log_hi))
+            else:
+                depth = int(2 ** rng.uniform(log_lo, log_hi - 2.0))
+            depth = max(self.min_depth, depth)
+            width = int(rng.choice(self.widths))
+            structures.append(DataStructure(f"seg{index:03d}", depth, width))
+
+        if board is not None:
+            structures = self._fit_to_board(structures, board, target_occupancy)
+
+        conflicts = self._random_conflicts(structures)
+        return Design(
+            name=name or f"synthetic-{num_segments}seg-seed{self.seed}",
+            data_structures=tuple(structures),
+            conflicts=conflicts,
+        )
+
+    # ------------------------------------------------------------ internals
+    def _fit_to_board(
+        self,
+        structures: List[DataStructure],
+        board: Board,
+        target_occupancy: float,
+    ) -> List[DataStructure]:
+        """Scale depths so the design occupies ~``target_occupancy`` of the board.
+
+        Only depths are scaled (widths are architectural properties of the
+        data); scaling never pushes a depth below the generator minimum.
+        The segment widths are additionally clamped to the widest word any
+        bank type offers so that every segment is individually mappable.
+        """
+        if not 0.0 < target_occupancy <= 1.0:
+            raise DesignError("target_occupancy must lie in (0, 1]")
+        capacity = board.total_capacity_bits
+        max_bank_width = max(
+            max(config.width for config in bank.configurations) for bank in board
+        )
+        total = sum(ds.size_bits for ds in structures)
+        scale = (target_occupancy * capacity) / max(1, total)
+        scaled: List[DataStructure] = []
+        for ds in structures:
+            width = min(ds.width, max_bank_width * 4)
+            depth = max(self.min_depth, int(ds.depth * min(scale, 1.0)))
+            scaled.append(DataStructure(ds.name, depth, width))
+        return scaled
+
+    def _random_conflicts(self, structures: Sequence[DataStructure]) -> ConflictSet:
+        if self.conflict_density >= 1.0:
+            return ConflictSet.all_pairs(structures)
+        if self.conflict_density <= 0.0:
+            return ConflictSet.empty()
+        rng = self._rng
+        pairs = []
+        names = [ds.name for ds in structures]
+        for i in range(len(names)):
+            for j in range(i + 1, len(names)):
+                if rng.random() < self.conflict_density:
+                    pairs.append((names[i], names[j]))
+        return ConflictSet.from_pairs(pairs)
+
+
+def random_design(
+    num_segments: int,
+    seed: int = 0,
+    board: Optional[Board] = None,
+    conflict_density: float = 1.0,
+    name: Optional[str] = None,
+    target_occupancy: float = 0.5,
+) -> Design:
+    """Convenience wrapper around :class:`DesignGenerator` for one design."""
+    generator = DesignGenerator(seed=seed, conflict_density=conflict_density)
+    return generator.generate(
+        num_segments, name=name, board=board, target_occupancy=target_occupancy
+    )

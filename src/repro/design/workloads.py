@@ -1,0 +1,214 @@
+"""Realistic signal/image-processing workloads for examples and tests.
+
+The paper motivates memory mapping with "signal and image processing
+applications" whose performance is dominated by memory behaviour (Section
+1).  The designs below are hand-built models of the kernels such
+applications are made of — 2-D convolution over line buffers, FIR filtering,
+an in-place FFT, blocked matrix multiplication and block-matching motion
+estimation — each expressed as the set of data structures the synthesised
+datapath would need, plus (where it is natural) a task graph from which
+lifetimes and conflict pairs are derived.
+
+These designs are used by the example scripts, the integration tests and
+the quality-ablation benchmark; the Table 3 benchmark uses the synthetic
+generator instead because the paper characterises its designs only by
+complexity counts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .conflicts import ConflictSet
+from .datastruct import DataStructure
+from .design import Design
+from .taskgraph import Task, TaskGraph
+
+__all__ = [
+    "image_pipeline_design",
+    "fir_filter_design",
+    "fft_design",
+    "matrix_multiply_design",
+    "motion_estimation_design",
+    "all_example_designs",
+]
+
+
+def image_pipeline_design(
+    image_width: int = 512,
+    pixel_bits: int = 8,
+    kernel_size: int = 3,
+    with_schedule: bool = True,
+) -> Design:
+    """A 2-D convolution + histogram + gamma-correction pipeline.
+
+    Data structures: one line buffer per kernel row, the coefficient
+    kernel, an output tile, a 256-bin histogram, a gamma look-up table and
+    a small control/status block.  When ``with_schedule`` is true the
+    stages are placed in a task graph and scheduled so that lifetime-based
+    conflicts are derived (e.g. the histogram and the gamma LUT never
+    conflict because histogram equalisation finishes before gamma mapping
+    starts reading the LUT-corrected stream).
+    """
+    structures: List[DataStructure] = []
+    for row in range(kernel_size):
+        structures.append(DataStructure(f"line_buf{row}", image_width, pixel_bits))
+    structures.append(DataStructure("kernel", kernel_size * kernel_size, 8))
+    structures.append(DataStructure("conv_out", image_width, pixel_bits + 4))
+    structures.append(DataStructure("histogram", 256, 16))
+    structures.append(DataStructure("cdf_table", 256, 16))
+    structures.append(DataStructure("gamma_lut", 256, pixel_bits))
+    structures.append(DataStructure("out_tile", image_width, pixel_bits))
+    structures.append(DataStructure("ctrl_regs", 16, 32))
+
+    if not with_schedule:
+        return Design(
+            name="image-pipeline",
+            data_structures=tuple(structures),
+            conflicts=ConflictSet.all_pairs(structures),
+        )
+
+    graph = TaskGraph("image-pipeline")
+    line_bufs = tuple(f"line_buf{row}" for row in range(kernel_size))
+    graph.add_task(Task("fetch_lines", writes=line_bufs, latency=4))
+    graph.add_task(
+        Task("convolve", reads=line_bufs + ("kernel", "ctrl_regs"),
+             writes=("conv_out",), latency=6),
+        depends_on=["fetch_lines"],
+    )
+    graph.add_task(
+        Task("histogram_build", reads=("conv_out",), writes=("histogram",), latency=3),
+        depends_on=["convolve"],
+    )
+    graph.add_task(
+        Task("cdf_scan", reads=("histogram",), writes=("cdf_table",), latency=2),
+        depends_on=["histogram_build"],
+    )
+    graph.add_task(
+        Task("gamma_map", reads=("conv_out", "cdf_table", "gamma_lut"),
+             writes=("out_tile",), latency=4),
+        depends_on=["cdf_scan"],
+    )
+    graph.add_task(
+        Task("writeback", reads=("out_tile", "ctrl_regs"), latency=2),
+        depends_on=["gamma_map"],
+    )
+    return graph.to_design("image-pipeline", structures)
+
+
+def fir_filter_design(
+    taps: int = 64,
+    block_size: int = 1024,
+    sample_bits: int = 16,
+) -> Design:
+    """A block-processing FIR filter: sample blocks, delay line, coefficients."""
+    structures = [
+        DataStructure("input_block", block_size, sample_bits),
+        DataStructure("output_block", block_size, sample_bits),
+        DataStructure("coefficients", taps, sample_bits),
+        DataStructure("delay_line", taps, sample_bits),
+        DataStructure("accumulators", 8, 2 * sample_bits + 8),
+    ]
+    graph = TaskGraph("fir")
+    graph.add_task(Task("load_block", writes=("input_block",), latency=3))
+    graph.add_task(
+        Task("filter", reads=("input_block", "coefficients", "delay_line"),
+             writes=("output_block", "delay_line", "accumulators"), latency=8),
+        depends_on=["load_block"],
+    )
+    graph.add_task(
+        Task("store_block", reads=("output_block",), latency=3),
+        depends_on=["filter"],
+    )
+    return graph.to_design("fir-filter", structures)
+
+
+def fft_design(points: int = 1024, sample_bits: int = 16) -> Design:
+    """An iterative radix-2 FFT with ping-pong buffers and a twiddle ROM."""
+    structures = [
+        DataStructure("real_ping", points, sample_bits),
+        DataStructure("imag_ping", points, sample_bits),
+        DataStructure("real_pong", points, sample_bits),
+        DataStructure("imag_pong", points, sample_bits),
+        DataStructure("twiddle_rom", points // 2, 2 * sample_bits),
+        DataStructure("bitrev_lut", points, 16),
+        DataStructure("stage_ctrl", 16, 16),
+    ]
+    graph = TaskGraph("fft")
+    graph.add_task(Task("load", writes=("real_ping", "imag_ping"), latency=4))
+    graph.add_task(
+        Task("bit_reverse", reads=("real_ping", "imag_ping", "bitrev_lut"),
+             writes=("real_pong", "imag_pong"), latency=3),
+        depends_on=["load"],
+    )
+    graph.add_task(
+        Task("butterflies", reads=("real_pong", "imag_pong", "twiddle_rom", "stage_ctrl"),
+             writes=("real_ping", "imag_ping"), latency=10),
+        depends_on=["bit_reverse"],
+    )
+    graph.add_task(
+        Task("store", reads=("real_ping", "imag_ping"), latency=4),
+        depends_on=["butterflies"],
+    )
+    return graph.to_design("fft", structures)
+
+
+def matrix_multiply_design(tile: int = 64, element_bits: int = 16) -> Design:
+    """Blocked matrix multiply: A/B tiles, C accumulator tile, index tables."""
+    structures = [
+        DataStructure("tile_a", tile * tile, element_bits),
+        DataStructure("tile_b", tile * tile, element_bits),
+        DataStructure("tile_c", tile * tile, 2 * element_bits + 8),
+        DataStructure("row_index", tile, 16),
+        DataStructure("col_index", tile, 16),
+    ]
+    graph = TaskGraph("matmul")
+    graph.add_task(Task("load_a", writes=("tile_a", "row_index"), latency=4))
+    graph.add_task(Task("load_b", writes=("tile_b", "col_index"), latency=4))
+    graph.add_task(
+        Task("multiply", reads=("tile_a", "tile_b", "row_index", "col_index"),
+             writes=("tile_c",), latency=12),
+        depends_on=["load_a", "load_b"],
+    )
+    graph.add_task(Task("store_c", reads=("tile_c",), latency=4), depends_on=["multiply"])
+    return graph.to_design("matrix-multiply", structures)
+
+
+def motion_estimation_design(
+    block: int = 16,
+    search_range: int = 16,
+    pixel_bits: int = 8,
+) -> Design:
+    """Full-search block matching: current block, search window, SAD arrays."""
+    window = block + 2 * search_range
+    structures = [
+        DataStructure("current_block", block * block, pixel_bits),
+        DataStructure("search_window", window * window, pixel_bits),
+        DataStructure("sad_scores", (2 * search_range + 1) ** 2, 16),
+        DataStructure("best_vectors", 64, 24),
+        DataStructure("ref_cache", 4 * window, pixel_bits),
+    ]
+    graph = TaskGraph("motion-estimation")
+    graph.add_task(Task("load_current", writes=("current_block",), latency=2))
+    graph.add_task(Task("load_window", writes=("search_window", "ref_cache"), latency=6))
+    graph.add_task(
+        Task("sad_search", reads=("current_block", "search_window"),
+             writes=("sad_scores",), latency=16),
+        depends_on=["load_current", "load_window"],
+    )
+    graph.add_task(
+        Task("pick_best", reads=("sad_scores",), writes=("best_vectors",), latency=2),
+        depends_on=["sad_search"],
+    )
+    return graph.to_design("motion-estimation", structures)
+
+
+def all_example_designs() -> List[Design]:
+    """Every named workload, as used by integration tests and ablations."""
+    return [
+        image_pipeline_design(),
+        fir_filter_design(),
+        fft_design(),
+        matrix_multiply_design(),
+        motion_estimation_design(),
+    ]

@@ -1,0 +1,92 @@
+"""Integer linear programming substrate (the reproduction's CPLEX stand-in).
+
+The package provides a small modelling layer (:class:`Model`,
+:class:`~repro.ilp.expr.LinExpr`, :func:`~repro.ilp.expr.quicksum`), a dense
+two-phase simplex LP solver, a best-first branch-and-bound MILP solver with
+SOS-1 branching and primal heuristics, and optional SciPy/HiGHS backends for
+cross-checking.
+
+Typical usage::
+
+    from repro.ilp import Model, quicksum
+
+    m = Model("toy")
+    x = [m.add_binary(f"x{i}") for i in range(4)]
+    m.add_constraint(quicksum(x) <= 2)
+    m.set_objective(-(x[0] + 2 * x[1] + 3 * x[2] + 4 * x[3]))
+    solution = m.solve()
+"""
+
+from .errors import (
+    IlpError,
+    InfeasibleError,
+    ModelError,
+    NonLinearError,
+    SolverError,
+    TimeLimitExceeded,
+    UnboundedError,
+)
+from .expr import EQ, GE, LE, Constraint, LinExpr, Variable, quicksum
+from .model import MAXIMIZE, MINIMIZE, Model, SosGroup
+from .branch_bound import BnBOptions, BranchAndBoundSolver, create_solver
+from .scipy_backend import ScipyMilpSolver, highs_available, solve_lp_highs
+from .simplex import SimplexOptions, solve_lp_simplex
+from .solution import (
+    ERROR,
+    FEASIBLE,
+    INFEASIBLE,
+    NODE_LIMIT,
+    OPTIMAL,
+    TIMEOUT,
+    UNBOUNDED,
+    LpResult,
+    Solution,
+    SolveStats,
+)
+from .standard_form import StandardForm, to_standard_form
+
+__all__ = [
+    # modelling
+    "Model",
+    "SosGroup",
+    "Variable",
+    "LinExpr",
+    "Constraint",
+    "quicksum",
+    "MINIMIZE",
+    "MAXIMIZE",
+    "LE",
+    "GE",
+    "EQ",
+    # solving
+    "BranchAndBoundSolver",
+    "BnBOptions",
+    "create_solver",
+    "ScipyMilpSolver",
+    "highs_available",
+    "solve_lp_highs",
+    "solve_lp_simplex",
+    "SimplexOptions",
+    # results
+    "Solution",
+    "SolveStats",
+    "LpResult",
+    "OPTIMAL",
+    "FEASIBLE",
+    "INFEASIBLE",
+    "UNBOUNDED",
+    "TIMEOUT",
+    "NODE_LIMIT",
+    "ERROR",
+    # standard form
+    "StandardForm",
+    "to_standard_form",
+    # errors
+    "IlpError",
+    "ModelError",
+    "NonLinearError",
+    "InfeasibleError",
+    "UnboundedError",
+    "SolverError",
+    "TimeLimitExceeded",
+]

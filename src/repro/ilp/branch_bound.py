@@ -1,0 +1,354 @@
+"""Best-first branch-and-bound solver for mixed 0/1 linear programs.
+
+This is the reproduction's stand-in for CPLEX's MIP engine.  It implements
+the classic LP-relaxation branch-and-bound loop:
+
+1. solve the LP relaxation of the node (HiGHS when available, otherwise the
+   built-in dense simplex of :mod:`repro.ilp.simplex`),
+2. prune when the relaxation is infeasible or its bound cannot beat the
+   incumbent,
+3. accept the node as a new incumbent when the relaxation is integral,
+4. otherwise branch and push the children onto a best-bound priority queue.
+
+Two branching strategies are implemented:
+
+* **SOS-1 branching** (default when the model declares SOS-1 groups): pick
+  the group with the most fractional LP mass and create one child per
+  member, fixing that member to one and its siblings to zero.  The mapping
+  formulations declare one group per data structure (its ``Z[d][t]`` row),
+  so a single branching decision settles an entire data-structure
+  assignment — this is the main reason the built-in solver handles the
+  global formulation comfortably.
+* **Most-fractional variable branching**: the textbook two-way split, used
+  for models without SOS annotations and as a fallback.
+
+Primal heuristics from :mod:`repro.ilp.heuristics` seed the incumbent at the
+root and try to round every node relaxation, mirroring (in miniature) what
+commercial solvers do.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .errors import ModelError, SolverError
+from .heuristics import round_with_sos, sos_greedy_assignment
+from .model import Model
+from .scipy_backend import ScipyMilpSolver, highs_available, solve_lp_highs
+from .simplex import SimplexOptions, solve_lp_simplex
+from .solution import (
+    ERROR,
+    FEASIBLE,
+    INFEASIBLE,
+    NODE_LIMIT,
+    OPTIMAL,
+    TIMEOUT,
+    UNBOUNDED,
+    LpResult,
+    Solution,
+    SolveStats,
+)
+from .standard_form import StandardForm, to_standard_form
+
+__all__ = ["BranchAndBoundSolver", "BnBOptions", "create_solver"]
+
+
+@dataclass
+class BnBOptions:
+    """Tuning parameters for :class:`BranchAndBoundSolver`."""
+
+    #: "auto" picks HiGHS when SciPy is importable, otherwise the built-in
+    #: simplex; "highs" and "simplex" force a specific LP kernel.
+    lp_backend: str = "auto"
+    #: "auto" uses SOS-1 branching when groups exist; "sos1" requires them;
+    #: "variable" always branches on a single fractional variable.
+    branching: str = "auto"
+    time_limit: Optional[float] = None
+    node_limit: Optional[int] = None
+    rel_gap: float = 1e-6
+    abs_gap: float = 1e-9
+    integrality_tol: float = 1e-6
+    #: run the greedy SOS heuristic at the root to obtain an incumbent.
+    root_heuristic: bool = True
+    #: try rounding the relaxation of every node into an incumbent.
+    node_rounding: bool = True
+    #: optional warm-start assignment (indexed by variable index).
+    warm_start: Optional[np.ndarray] = None
+    log: bool = False
+
+
+@dataclass(order=True)
+class _Node:
+    """A subproblem in the search tree, ordered by its relaxation bound."""
+
+    bound: float
+    sequence: int = field(compare=True)
+    lb: np.ndarray = field(compare=False, default=None)
+    ub: np.ndarray = field(compare=False, default=None)
+    depth: int = field(compare=False, default=0)
+
+
+class BranchAndBoundSolver:
+    """LP-based branch-and-bound for the models built by :mod:`repro.core`."""
+
+    def __init__(self, **options) -> None:
+        self.options = BnBOptions(**options)
+
+    # ------------------------------------------------------------------ LP
+    def _solve_relaxation(self, form: StandardForm, stats: SolveStats) -> LpResult:
+        stats.lp_solves += 1
+        if self._lp_backend == "highs":
+            result = solve_lp_highs(form)
+        else:
+            result = solve_lp_simplex(form, SimplexOptions())
+        stats.simplex_iterations += result.iterations
+        return result
+
+    # ------------------------------------------------------------ branching
+    def _select_sos_group(
+        self, model: Model, x: np.ndarray, lb: np.ndarray, ub: np.ndarray
+    ) -> Optional[Tuple[Tuple[int, ...], np.ndarray]]:
+        """Pick the SOS-1 group whose LP values are the most fractional."""
+        tol = self.options.integrality_tol
+        best_group = None
+        best_score = tol
+        for group in model.sos1_groups:
+            members = np.asarray(group.members, dtype=int)
+            if np.all(ub[members] - lb[members] < tol):
+                continue  # already fully decided on this branch
+            values = x[members]
+            frac = np.minimum(values, 1.0 - values)
+            score = float(frac.sum())
+            if score > best_score:
+                best_score = score
+                best_group = (tuple(members.tolist()), values)
+        return best_group
+
+    def _branch_sos(
+        self,
+        members: Tuple[int, ...],
+        values: np.ndarray,
+        node: _Node,
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Create one child per selectable group member (fix it to one)."""
+        children: List[Tuple[np.ndarray, np.ndarray]] = []
+        order = np.argsort(-values)  # most promising member first
+        for position in order:
+            idx = members[int(position)]
+            if node.ub[idx] < 0.5:  # member already excluded on this branch
+                continue
+            lb = node.lb.copy()
+            ub = node.ub.copy()
+            lb[idx] = 1.0
+            ub[idx] = 1.0
+            for other in members:
+                if other != idx:
+                    lb[other] = 0.0
+                    ub[other] = 0.0
+            children.append((lb, ub))
+        return children
+
+    def _branch_variable(
+        self, form: StandardForm, x: np.ndarray, node: _Node
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Classic two-way branch on the most fractional integer variable."""
+        frac = np.abs(x - np.round(x))
+        frac[~form.integrality] = 0.0
+        # Only consider variables not yet fixed on this branch.
+        frac[node.ub - node.lb < self.options.integrality_tol] = 0.0
+        idx = int(np.argmax(frac))
+        if frac[idx] <= self.options.integrality_tol:
+            return []
+        value = x[idx]
+        low_lb, low_ub = node.lb.copy(), node.ub.copy()
+        low_ub[idx] = math.floor(value)
+        high_lb, high_ub = node.lb.copy(), node.ub.copy()
+        high_lb[idx] = math.ceil(value)
+        return [(low_lb, low_ub), (high_lb, high_ub)]
+
+    # ---------------------------------------------------------------- solve
+    def solve(self, model: Model) -> Solution:
+        options = self.options
+        start = time.perf_counter()
+        stats = SolveStats()
+
+        if options.lp_backend == "auto":
+            self._lp_backend = "highs" if highs_available() else "simplex"
+        elif options.lp_backend in ("highs", "simplex"):
+            if options.lp_backend == "highs" and not highs_available():
+                raise SolverError("HiGHS LP backend requested but SciPy is missing")
+            self._lp_backend = options.lp_backend
+        else:
+            raise ModelError(f"unknown lp_backend {options.lp_backend!r}")
+        stats.backend = f"bnb+{self._lp_backend}"
+
+        branching = options.branching
+        if branching == "auto":
+            branching = "sos1" if model.sos1_groups else "variable"
+        if branching == "sos1" and not model.sos1_groups:
+            raise ModelError("SOS-1 branching requested but the model has no groups")
+
+        form = to_standard_form(model)
+        names = {i: n for i, n in enumerate(form.variable_names)}
+
+        def finish(status: str, incumbent, incumbent_obj, best_bound) -> Solution:
+            stats.wall_time = time.perf_counter() - start
+            stats.best_bound = (
+                form.objective_scale * best_bound if math.isfinite(best_bound) else best_bound
+            )
+            if incumbent is not None and math.isfinite(incumbent_obj):
+                user_obj = form.objective_scale * incumbent_obj
+                denom = max(1.0, abs(incumbent_obj))
+                stats.gap = abs(incumbent_obj - best_bound) / denom
+                return Solution(
+                    status=status,
+                    objective=user_obj,
+                    values=incumbent,
+                    stats=stats,
+                    variable_names=names,
+                )
+            return Solution(status=status, stats=stats, variable_names=names)
+
+        # ------------------------------------------------------------ warm start
+        incumbent: Optional[np.ndarray] = None
+        incumbent_obj = math.inf
+        if options.warm_start is not None:
+            candidate = np.asarray(options.warm_start, dtype=float)
+            if candidate.shape[0] != form.num_variables:
+                raise ModelError("warm_start length does not match the model")
+            if model.is_feasible(candidate):
+                incumbent = candidate
+                incumbent_obj = float(form.c @ candidate) + form.objective_offset
+                stats.incumbent_updates += 1
+        if incumbent is None and options.root_heuristic and model.sos1_groups:
+            candidate = sos_greedy_assignment(model, form)
+            if candidate is not None:
+                incumbent = candidate
+                incumbent_obj = float(form.c @ candidate) + form.objective_offset
+                stats.incumbent_updates += 1
+
+        # ------------------------------------------------------------ root node
+        root = _Node(bound=-math.inf, sequence=0, lb=form.lb.copy(), ub=form.ub.copy())
+        counter = itertools.count(1)
+        queue: List[_Node] = [root]
+        best_bound = -math.inf
+
+        integrality_tol = options.integrality_tol
+
+        while queue:
+            if options.time_limit is not None and time.perf_counter() - start > options.time_limit:
+                return finish(TIMEOUT if incumbent is None else TIMEOUT,
+                              incumbent, incumbent_obj, best_bound)
+            if options.node_limit is not None and stats.nodes_explored >= options.node_limit:
+                return finish(NODE_LIMIT, incumbent, incumbent_obj, best_bound)
+
+            node = heapq.heappop(queue)
+            # Best-first: the node bound is a global lower bound once popped.
+            if math.isfinite(node.bound):
+                best_bound = node.bound
+            if node.bound >= incumbent_obj - options.abs_gap:
+                stats.nodes_pruned += 1
+                continue
+
+            stats.nodes_explored += 1
+            node_form = form.with_bounds(node.lb, node.ub)
+            relaxation = self._solve_relaxation(node_form, stats)
+
+            if relaxation.status == INFEASIBLE:
+                stats.nodes_pruned += 1
+                continue
+            if relaxation.status == UNBOUNDED:
+                if node.depth == 0:
+                    return finish(UNBOUNDED, None, math.inf, -math.inf)
+                stats.nodes_pruned += 1
+                continue
+            if relaxation.status != OPTIMAL:
+                return finish(ERROR, incumbent, incumbent_obj, best_bound)
+
+            x = relaxation.x
+            bound = relaxation.objective + form.objective_offset
+            if node.depth == 0:
+                best_bound = bound
+            if bound >= incumbent_obj - options.abs_gap:
+                stats.nodes_pruned += 1
+                continue
+
+            frac = np.abs(x - np.round(x))
+            is_integral = bool(np.all(frac[form.integrality] <= integrality_tol))
+            if is_integral:
+                candidate = x.copy()
+                candidate[form.integrality] = np.round(candidate[form.integrality])
+                candidate_obj = float(form.c @ candidate) + form.objective_offset
+                if candidate_obj < incumbent_obj - options.abs_gap and model.is_feasible(candidate):
+                    incumbent = candidate
+                    incumbent_obj = candidate_obj
+                    stats.incumbent_updates += 1
+                continue
+
+            if options.node_rounding:
+                rounded = round_with_sos(model, form, x)
+                if rounded is not None:
+                    rounded_obj = float(form.c @ rounded) + form.objective_offset
+                    if rounded_obj < incumbent_obj - options.abs_gap:
+                        incumbent = rounded
+                        incumbent_obj = rounded_obj
+                        stats.incumbent_updates += 1
+
+            # Check the optimality gap against the best open bound.
+            if incumbent is not None and math.isfinite(bound):
+                denom = max(1.0, abs(incumbent_obj))
+                if (incumbent_obj - bound) / denom <= options.rel_gap:
+                    continue
+
+            children: List[Tuple[np.ndarray, np.ndarray]] = []
+            if branching == "sos1":
+                selection = self._select_sos_group(model, x, node.lb, node.ub)
+                if selection is not None:
+                    members, values = selection
+                    children = self._branch_sos(members, values, node)
+            if not children:
+                children = self._branch_variable(form, x, node)
+            if not children:
+                # Numerically integral but missed by the tolerance test above.
+                continue
+            for child_lb, child_ub in children:
+                heapq.heappush(
+                    queue,
+                    _Node(
+                        bound=bound,
+                        sequence=next(counter),
+                        lb=child_lb,
+                        ub=child_ub,
+                        depth=node.depth + 1,
+                    ),
+                )
+
+        if incumbent is None:
+            return finish(INFEASIBLE, None, math.inf, best_bound)
+        # The queue is exhausted: the incumbent is optimal.
+        return finish(OPTIMAL, incumbent, incumbent_obj, incumbent_obj)
+
+
+def create_solver(name: Optional[str] = None, **kwargs):
+    """Factory mapping a backend name to a solver instance.
+
+    ``None`` and ``"auto"`` return the built-in branch-and-bound solver with
+    default options; ``"bnb-pure"`` forces the pure-Python simplex LP kernel;
+    ``"scipy-milp"`` returns the HiGHS MILP wrapper.
+    """
+    if name is None or name in ("auto", "bnb", "branch-and-bound"):
+        return BranchAndBoundSolver(**kwargs)
+    if name in ("bnb-pure", "pure", "simplex"):
+        kwargs.setdefault("lp_backend", "simplex")
+        return BranchAndBoundSolver(**kwargs)
+    if name in ("scipy-milp", "scipy", "highs-milp"):
+        allowed = {k: v for k, v in kwargs.items() if k in ("time_limit", "rel_gap")}
+        return ScipyMilpSolver(**allowed)
+    raise ModelError(f"unknown solver backend {name!r}")

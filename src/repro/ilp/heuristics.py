@@ -1,0 +1,136 @@
+"""Primal heuristics used to seed and accelerate branch-and-bound.
+
+CPLEX relies heavily on primal heuristics to find incumbents early so that
+the tree can be pruned aggressively; without an incumbent the complete
+formulation of the paper essentially never finishes on a pure-Python tree
+search.  Two lightweight heuristics are provided:
+
+* :func:`round_with_sos` — round an LP-relaxation point to a candidate 0/1
+  assignment, respecting SOS-1 groups by picking each group's largest
+  fractional member.
+* :func:`sos_greedy_assignment` — a constructive greedy that walks the SOS-1
+  groups (the ``Z[d][t]`` rows of the mapping formulations) and picks, for
+  each group, the cheapest member that keeps every ``<=`` constraint
+  satisfiable.  This is solver-agnostic: it only looks at the model's
+  matrix data, so it doubles as the "greedy mapper" baseline's engine.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .model import Model
+from .standard_form import StandardForm
+
+__all__ = ["round_with_sos", "sos_greedy_assignment"]
+
+
+def round_with_sos(
+    model: Model,
+    form: StandardForm,
+    x_frac: np.ndarray,
+    tol: float = 1e-6,
+) -> Optional[np.ndarray]:
+    """Round a fractional LP point to a feasible integer point, if possible.
+
+    SOS-1 groups are rounded to their largest-value member (ties broken by
+    lowest objective coefficient); remaining integer variables are rounded
+    to the nearest integer within bounds.  Returns ``None`` when the rounded
+    point violates any constraint.
+    """
+    x = np.asarray(x_frac, dtype=float).copy()
+    in_group = np.zeros(form.num_variables, dtype=bool)
+
+    for group in model.sos1_groups:
+        members = np.asarray(group.members, dtype=int)
+        in_group[members] = True
+        values = x[members]
+        # Prefer the largest fractional value; break ties toward the member
+        # with the smallest objective coefficient so the incumbent is cheap.
+        order = np.lexsort((form.c[members], -values))
+        winner = members[order[0]]
+        x[members] = 0.0
+        if values.max() > tol:
+            x[winner] = 1.0
+
+    integer_mask = form.integrality & ~in_group
+    x[integer_mask] = np.clip(
+        np.round(x[integer_mask]), form.lb[integer_mask], form.ub[integer_mask]
+    )
+
+    if model.is_feasible(x, tol=1e-6):
+        return x
+    return None
+
+
+def sos_greedy_assignment(
+    model: Model,
+    form: StandardForm,
+    rng: Optional[np.random.Generator] = None,
+) -> Optional[np.ndarray]:
+    """Constructive greedy incumbent for assignment-structured 0/1 models.
+
+    The heuristic assumes (and checks) that every binary variable belongs to
+    at most one SOS-1 group and that groups must select exactly one member
+    (which is how the mapping formulations are written).  Groups are
+    processed in decreasing order of their tightest resource demand so that
+    "large" data structures are placed while there is still room; members
+    are tried in increasing objective-coefficient order.
+
+    Returns a feasible 0/1 vector or ``None`` when the greedy gets stuck
+    (which simply means branch-and-bound starts without an incumbent).
+    """
+    if not model.sos1_groups:
+        return None
+
+    n = form.num_variables
+    x = np.zeros(n, dtype=float)
+
+    # Remaining slack of every <= row; equality rows other than the group
+    # uniqueness rows are not supported by the greedy and cause a bail-out.
+    slack = form.b_ub - (form.A_ub @ x if form.A_ub.size else 0.0)
+    group_member_set = set()
+    for group in model.sos1_groups:
+        group_member_set.update(group.members)
+    for row, rhs in zip(form.A_eq, form.b_eq):
+        support = np.nonzero(row)[0]
+        if not set(support.tolist()) <= group_member_set:
+            return None
+
+    # Order groups: largest maximum column demand first (place big items early).
+    def group_pressure(group) -> float:
+        members = np.asarray(group.members, dtype=int)
+        if form.A_ub.size == 0:
+            return 0.0
+        return float(np.max(np.abs(form.A_ub[:, members])))
+
+    groups = sorted(model.sos1_groups, key=group_pressure, reverse=True)
+    if rng is not None:
+        # Optional tie-breaking noise for randomised restarts.
+        groups = sorted(
+            groups, key=lambda g: group_pressure(g) + rng.uniform(0.0, 1e-6), reverse=True
+        )
+
+    for group in groups:
+        members = sorted(group.members, key=lambda idx: form.c[idx])
+        placed = False
+        for idx in members:
+            if form.A_ub.size:
+                column = form.A_ub[:, idx]
+                if np.all(column <= slack + 1e-9):
+                    slack = slack - column
+                    x[idx] = 1.0
+                    placed = True
+                    break
+            else:
+                x[idx] = 1.0
+                placed = True
+                break
+        if not placed:
+            return None
+
+    if model.is_feasible(x, tol=1e-6):
+        return x
+    return None

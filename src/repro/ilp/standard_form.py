@@ -1,0 +1,169 @@
+"""Conversion of a :class:`repro.ilp.model.Model` into matrix standard form.
+
+Solvers (the built-in simplex, the branch-and-bound relaxation loop and the
+SciPy backends) all consume the same dense/structured representation built
+here::
+
+    minimise      c @ x  (+ offset)
+    subject to    A_ub @ x <= b_ub
+                  A_eq @ x == b_eq
+                  lb <= x <= ub
+
+Maximisation models are converted by negating the objective; the recorded
+``objective_scale`` restores the sign when reporting results.  ``>=`` rows
+are flipped into ``<=`` rows.
+
+The arrays are plain ``numpy.ndarray`` objects.  The mapping formulations
+produced by :mod:`repro.core` have at most a few thousand variables and a
+few hundred constraints, for which dense storage is both simpler and faster
+than any sparse structure in pure Python; the SciPy backend converts to
+sparse internally when it benefits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .errors import ModelError
+from .expr import EQ, GE, LE
+from .model import MAXIMIZE, Model
+
+__all__ = ["StandardForm", "to_standard_form"]
+
+
+@dataclass
+class StandardForm:
+    """Matrix view of a model, plus the metadata needed to interpret it."""
+
+    c: np.ndarray
+    A_ub: np.ndarray
+    b_ub: np.ndarray
+    A_eq: np.ndarray
+    b_eq: np.ndarray
+    lb: np.ndarray
+    ub: np.ndarray
+    integrality: np.ndarray  # bool mask: True where variable must be integer
+    objective_offset: float = 0.0
+    #: +1 for minimisation models, -1 for maximisation (objective was negated).
+    objective_scale: float = 1.0
+    variable_names: Tuple[str, ...] = field(default_factory=tuple)
+    row_names_ub: Tuple[str, ...] = field(default_factory=tuple)
+    row_names_eq: Tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def num_variables(self) -> int:
+        return int(self.c.shape[0])
+
+    @property
+    def num_ub_rows(self) -> int:
+        return int(self.b_ub.shape[0])
+
+    @property
+    def num_eq_rows(self) -> int:
+        return int(self.b_eq.shape[0])
+
+    def user_objective(self, x: np.ndarray) -> float:
+        """Objective value in the *user's* sense (undo min/max conversion)."""
+        internal = float(self.c @ x) + self.objective_offset
+        return self.objective_scale * internal
+
+    def with_bounds(self, lb: np.ndarray, ub: np.ndarray) -> "StandardForm":
+        """Return a copy of the form with replaced variable bounds.
+
+        Used by branch-and-bound to create child subproblems cheaply: the
+        matrices are shared (they never change between nodes), only the
+        bound vectors differ.
+        """
+        return StandardForm(
+            c=self.c,
+            A_ub=self.A_ub,
+            b_ub=self.b_ub,
+            A_eq=self.A_eq,
+            b_eq=self.b_eq,
+            lb=lb,
+            ub=ub,
+            integrality=self.integrality,
+            objective_offset=self.objective_offset,
+            objective_scale=self.objective_scale,
+            variable_names=self.variable_names,
+            row_names_ub=self.row_names_ub,
+            row_names_eq=self.row_names_eq,
+        )
+
+
+def to_standard_form(model: Model) -> StandardForm:
+    """Build the :class:`StandardForm` arrays for ``model``."""
+    n = model.num_variables
+    if n == 0:
+        raise ModelError("cannot convert an empty model to standard form")
+
+    c = np.zeros(n, dtype=np.float64)
+    for idx, coeff in model.objective.coeffs.items():
+        c[idx] = coeff
+    offset = model.objective.constant
+
+    scale = 1.0
+    if model.sense == MAXIMIZE:
+        # Internally everything minimises; negate and remember.
+        c = -c
+        offset = -offset
+        scale = -1.0
+
+    ub_rows: List[np.ndarray] = []
+    ub_rhs: List[float] = []
+    ub_names: List[str] = []
+    eq_rows: List[np.ndarray] = []
+    eq_rhs: List[float] = []
+    eq_names: List[str] = []
+
+    for constraint in model.constraints:
+        row = np.zeros(n, dtype=np.float64)
+        for idx, coeff in constraint.expr.coeffs.items():
+            if idx >= n:
+                raise ModelError(
+                    f"constraint {constraint.name!r} references variable index "
+                    f"{idx} outside the model"
+                )
+            row[idx] = coeff
+        if constraint.sense == LE:
+            ub_rows.append(row)
+            ub_rhs.append(constraint.rhs)
+            ub_names.append(constraint.name)
+        elif constraint.sense == GE:
+            ub_rows.append(-row)
+            ub_rhs.append(-constraint.rhs)
+            ub_names.append(constraint.name)
+        elif constraint.sense == EQ:
+            eq_rows.append(row)
+            eq_rhs.append(constraint.rhs)
+            eq_names.append(constraint.name)
+        else:  # pragma: no cover - Constraint already validates the sense
+            raise ModelError(f"unknown sense {constraint.sense!r}")
+
+    A_ub = np.vstack(ub_rows) if ub_rows else np.zeros((0, n), dtype=np.float64)
+    b_ub = np.asarray(ub_rhs, dtype=np.float64)
+    A_eq = np.vstack(eq_rows) if eq_rows else np.zeros((0, n), dtype=np.float64)
+    b_eq = np.asarray(eq_rhs, dtype=np.float64)
+
+    lb = np.array([v.lb for v in model.variables], dtype=np.float64)
+    ub = np.array([v.ub for v in model.variables], dtype=np.float64)
+    integrality = np.array([v.is_integer for v in model.variables], dtype=bool)
+
+    return StandardForm(
+        c=c,
+        A_ub=A_ub,
+        b_ub=b_ub,
+        A_eq=A_eq,
+        b_eq=b_eq,
+        lb=lb,
+        ub=ub,
+        integrality=integrality,
+        objective_offset=offset,
+        objective_scale=scale,
+        variable_names=tuple(v.name for v in model.variables),
+        row_names_ub=tuple(ub_names),
+        row_names_eq=tuple(eq_names),
+    )

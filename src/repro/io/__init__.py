@@ -1,0 +1,33 @@
+"""Input/output: JSON serialisation of boards, designs and mapping results."""
+
+from .serialize import (
+    SCHEMA_VERSION,
+    SerializationError,
+    board_from_dict,
+    board_to_dict,
+    design_from_dict,
+    design_to_dict,
+    detailed_mapping_to_dict,
+    global_mapping_to_dict,
+    load_board,
+    load_design,
+    load_json,
+    mapping_result_to_dict,
+    save_json,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SerializationError",
+    "board_to_dict",
+    "board_from_dict",
+    "design_to_dict",
+    "design_from_dict",
+    "global_mapping_to_dict",
+    "detailed_mapping_to_dict",
+    "mapping_result_to_dict",
+    "save_json",
+    "load_json",
+    "load_board",
+    "load_design",
+]

@@ -1,0 +1,23 @@
+"""Memory-access simulation substrate.
+
+The paper evaluates mappings analytically; this package adds a small
+trace-driven simulator so that mapping quality can also be *measured*:
+synthetic access traces (:class:`TraceGenerator`) are replayed against a
+mapping (:class:`MemorySimulator`) and charged latency, pin-traversal and
+port-serialisation cycles.  The totals decompose along the same components
+as the ILP objective, which the tests and the quality benchmark exploit.
+"""
+
+from .metrics import SimulationReport, StructureStats
+from .simulator import MemorySimulator, simulate_mapping
+from .trace import TRACE_DTYPE, AccessTrace, TraceGenerator
+
+__all__ = [
+    "AccessTrace",
+    "TraceGenerator",
+    "TRACE_DTYPE",
+    "MemorySimulator",
+    "simulate_mapping",
+    "SimulationReport",
+    "StructureStats",
+]

@@ -1,0 +1,74 @@
+"""Result containers of the memory-access simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+__all__ = ["StructureStats", "SimulationReport"]
+
+
+@dataclass(frozen=True)
+class StructureStats:
+    """Per-data-structure simulation totals."""
+
+    structure: str
+    bank_type: str
+    reads: int
+    writes: int
+    read_cycles: int
+    write_cycles: int
+    pin_cycles: int
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def total_cycles(self) -> int:
+        return self.read_cycles + self.write_cycles + self.pin_cycles
+
+    @property
+    def average_latency(self) -> float:
+        return self.total_cycles / self.accesses if self.accesses else 0.0
+
+
+@dataclass(frozen=True)
+class SimulationReport:
+    """Aggregate outcome of replaying one trace against one mapping."""
+
+    design_name: str
+    board_name: str
+    total_accesses: int
+    total_cycles: int
+    latency_cycles: int
+    pin_cycles: int
+    port_conflict_cycles: int
+    per_structure: Tuple[StructureStats, ...] = ()
+    per_type_cycles: Dict[str, int] = field(default_factory=dict)
+    wall_clock_ns: float = 0.0
+
+    @property
+    def average_access_latency(self) -> float:
+        return self.total_cycles / self.total_accesses if self.total_accesses else 0.0
+
+    @property
+    def offchip_fraction(self) -> float:
+        """Fraction of cycles spent on off-chip (pin-traversing) accesses."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.pin_cycles / self.total_cycles
+
+    def describe(self) -> str:
+        lines = [
+            f"Simulation of {self.design_name!r} on {self.board_name!r}:",
+            f"  accesses: {self.total_accesses}",
+            f"  total cycles: {self.total_cycles}"
+            f" (latency {self.latency_cycles}, pins {self.pin_cycles},"
+            f" port conflicts {self.port_conflict_cycles})",
+            f"  average access latency: {self.average_access_latency:.3f} cycles",
+            f"  estimated wall clock: {self.wall_clock_ns / 1e3:.2f} us",
+        ]
+        for type_name, cycles in sorted(self.per_type_cycles.items()):
+            lines.append(f"  {type_name}: {cycles} cycles")
+        return "\n".join(lines)

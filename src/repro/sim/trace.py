@@ -1,0 +1,162 @@
+"""Synthetic memory-access trace generation.
+
+The paper evaluates mapping quality analytically (the ILP objective), but
+its motivation is the run-time behaviour of data-intensive designs.  To be
+able to *measure* the effect of a mapping rather than only predict it, the
+simulator package replays access traces against a detailed mapping.  Since
+the paper's designs are not available, traces are generated synthetically
+from the design description:
+
+* every data structure receives ``effective_reads`` read accesses and
+  ``effective_writes`` write accesses (the paper's one-read-one-write-per-
+  word assumption by default, or the footprint counts when present),
+* addresses follow either a sequential sweep (streaming kernels) or a
+  seeded uniform-random pattern (lookup tables), and
+* accesses of different structures are interleaved to mimic a pipelined
+  datapath issuing one access per cycle per port.
+
+Traces are stored as NumPy structured arrays so that the simulator can
+process them with vectorised operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..design.design import Design
+
+__all__ = ["AccessTrace", "TraceGenerator"]
+
+#: dtype of one trace record: structure index, 0=read / 1=write, word address.
+TRACE_DTYPE = np.dtype(
+    [("structure", np.int32), ("is_write", np.int8), ("address", np.int64)]
+)
+
+
+@dataclass(frozen=True)
+class AccessTrace:
+    """An ordered sequence of memory accesses against a design's structures."""
+
+    design_name: str
+    structure_names: Tuple[str, ...]
+    records: np.ndarray  # structured array with TRACE_DTYPE
+
+    def __post_init__(self) -> None:
+        if self.records.dtype != TRACE_DTYPE:
+            raise ValueError("trace records must use TRACE_DTYPE")
+
+    def __len__(self) -> int:
+        return int(self.records.shape[0])
+
+    @property
+    def num_reads(self) -> int:
+        return int(np.sum(self.records["is_write"] == 0))
+
+    @property
+    def num_writes(self) -> int:
+        return int(np.sum(self.records["is_write"] == 1))
+
+    def accesses_of(self, structure: str) -> np.ndarray:
+        """All records touching ``structure`` (by name)."""
+        index = self.structure_names.index(structure)
+        return self.records[self.records["structure"] == index]
+
+    def counts_per_structure(self) -> Dict[str, Tuple[int, int]]:
+        """``name -> (reads, writes)`` totals of the trace."""
+        result: Dict[str, Tuple[int, int]] = {}
+        for index, name in enumerate(self.structure_names):
+            mask = self.records["structure"] == index
+            writes = int(np.sum(self.records["is_write"][mask]))
+            result[name] = (int(np.sum(mask)) - writes, writes)
+        return result
+
+
+@dataclass
+class TraceGenerator:
+    """Reproducible access-trace generator for a design.
+
+    Parameters
+    ----------
+    seed:
+        RNG seed; identical seeds and parameters give identical traces.
+    pattern:
+        ``"sequential"`` sweeps every structure's addresses in order (the
+        streaming behaviour of filters and convolutions); ``"random"`` draws
+        uniform addresses (table lookups); ``"mixed"`` uses sequential
+        addresses for writes and random ones for reads.
+    interleave:
+        When true (default) the per-structure access streams are interleaved
+        round-robin, mimicking a pipelined datapath; otherwise structures
+        are accessed one after the other.
+    scale:
+        Multiplier on the per-structure access counts (use < 1.0 to produce
+        short smoke-test traces for large designs).
+    """
+
+    seed: int = 0
+    pattern: str = "sequential"
+    interleave: bool = True
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.pattern not in ("sequential", "random", "mixed"):
+            raise ValueError(f"unknown access pattern {self.pattern!r}")
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+
+    def generate(self, design: Design) -> AccessTrace:
+        """Build the trace for ``design``."""
+        rng = np.random.default_rng(self.seed)
+        names = design.segment_names
+        streams: List[np.ndarray] = []
+        for index, ds in enumerate(design.data_structures):
+            reads = max(1, int(round(ds.effective_reads * self.scale)))
+            writes = max(1, int(round(ds.effective_writes * self.scale)))
+            total = reads + writes
+            stream = np.zeros(total, dtype=TRACE_DTYPE)
+            stream["structure"] = index
+            # Writes first (producer), then reads (consumer), interleaved by
+            # a stable shuffle so the two directions mix like a pipeline.
+            stream["is_write"][:writes] = 1
+            write_addr = self._addresses(rng, writes, ds.depth, for_write=True)
+            read_addr = self._addresses(rng, reads, ds.depth, for_write=False)
+            stream["address"][:writes] = write_addr
+            stream["address"][writes:] = read_addr
+            order = rng.permutation(total)
+            streams.append(stream[order])
+
+        if not self.interleave:
+            records = np.concatenate(streams)
+        else:
+            records = self._round_robin(streams)
+        return AccessTrace(design_name=design.name, structure_names=names,
+                           records=records)
+
+    # ------------------------------------------------------------ internals
+    def _addresses(
+        self, rng: np.random.Generator, count: int, depth: int, for_write: bool
+    ) -> np.ndarray:
+        if self.pattern == "sequential" or (self.pattern == "mixed" and for_write):
+            return np.arange(count, dtype=np.int64) % depth
+        return rng.integers(0, depth, size=count, dtype=np.int64)
+
+    @staticmethod
+    def _round_robin(streams: Sequence[np.ndarray]) -> np.ndarray:
+        """Interleave streams round-robin without Python-level per-record loops."""
+        total = sum(len(s) for s in streams)
+        result = np.zeros(total, dtype=TRACE_DTYPE)
+        # Assign each record a (position within stream, stream index) sort key;
+        # sorting by that key realises the round-robin order vectorised.
+        keys = np.concatenate(
+            [
+                np.arange(len(stream), dtype=np.int64) * len(streams) + stream_index
+                for stream_index, stream in enumerate(streams)
+            ]
+        )
+        merged = np.concatenate(streams)
+        order = np.argsort(keys, kind="stable")
+        result[:] = merged[order]
+        return result

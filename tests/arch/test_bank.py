@@ -1,0 +1,137 @@
+"""Unit tests for memory configurations and bank types (Figure 1 model)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import ArchitectureError, BankType, MemoryConfig, make_configurations
+
+
+class TestMemoryConfig:
+    def test_capacity(self):
+        assert MemoryConfig(512, 8).capacity_bits == 4096
+
+    def test_parse_table1_notation(self):
+        config = MemoryConfig.parse("2048x2")
+        assert (config.depth, config.width) == (2048, 2)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ArchitectureError):
+            MemoryConfig.parse("not-a-config")
+
+    def test_non_positive_dimensions_rejected(self):
+        with pytest.raises(ArchitectureError):
+            MemoryConfig(0, 8)
+        with pytest.raises(ArchitectureError):
+            MemoryConfig(16, -1)
+
+    def test_str_roundtrip(self):
+        assert str(MemoryConfig(256, 16)) == "256x16"
+
+    def test_make_configurations_mixed_inputs(self):
+        configs = make_configurations([MemoryConfig(16, 8), (32, 4), "64x2"])
+        assert [str(c) for c in configs] == ["16x8", "32x4", "64x2"]
+
+
+class TestBankTypeValidation:
+    def test_requires_positive_counts(self):
+        with pytest.raises(ArchitectureError):
+            BankType(name="bad", num_instances=0, num_ports=1,
+                     configurations=[(16, 8)])
+        with pytest.raises(ArchitectureError):
+            BankType(name="bad", num_instances=1, num_ports=0,
+                     configurations=[(16, 8)])
+
+    def test_requires_configurations(self):
+        with pytest.raises(ArchitectureError):
+            BankType(name="bad", num_instances=1, num_ports=1, configurations=[])
+
+    def test_unequal_capacities_rejected_by_default(self):
+        with pytest.raises(ArchitectureError):
+            BankType(name="bad", num_instances=1, num_ports=1,
+                     configurations=[(16, 8), (16, 4)])
+
+    def test_unequal_capacities_allowed_with_flag(self):
+        bank = BankType(name="ok", num_instances=1, num_ports=1,
+                        configurations=[(16, 8), (16, 4)],
+                        allow_unequal_capacity=True)
+        assert bank.capacity_bits == 128
+
+    def test_duplicate_widths_rejected(self):
+        with pytest.raises(ArchitectureError):
+            BankType(name="bad", num_instances=1, num_ports=1,
+                     configurations=[(16, 8), (32, 8)], allow_unequal_capacity=True)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ArchitectureError):
+            BankType(name="bad", num_instances=1, num_ports=1,
+                     configurations=[(16, 8)], read_latency=-1)
+
+    def test_tuple_configs_normalised(self):
+        bank = BankType(name="ok", num_instances=1, num_ports=1,
+                        configurations=[(16, 8)])
+        assert isinstance(bank.configurations[0], MemoryConfig)
+
+
+class TestBankTypeProperties:
+    @pytest.fixture
+    def bank(self) -> BankType:
+        return BankType(
+            name="t",
+            num_instances=4,
+            num_ports=2,
+            configurations=[(4096, 1), (2048, 2), (1024, 4), (512, 8), (256, 16)],
+            read_latency=1,
+            write_latency=2,
+            pins_traversed=0,
+        )
+
+    def test_counts(self, bank):
+        assert bank.num_configs == 5
+        assert bank.is_multi_config
+        assert bank.total_ports == 8
+        assert bank.capacity_bits == 4096
+        assert bank.total_capacity_bits == 4 * 4096
+
+    def test_config_settings_total(self, bank):
+        # 4 instances x 2 ports x 5 configurations.
+        assert bank.total_config_settings == 40
+
+    def test_single_config_has_no_settings(self):
+        bank = BankType(name="sram", num_instances=3, num_ports=1,
+                        configurations=[(1024, 32)], pins_traversed=2)
+        assert bank.total_config_settings == 0
+        assert not bank.is_multi_config
+
+    def test_depth_width_lists_match_paper_notation(self, bank):
+        assert bank.depths == (4096, 2048, 1024, 512, 256)
+        assert bank.widths == (1, 2, 4, 8, 16)
+
+    def test_on_chip_detection(self, bank):
+        assert bank.is_on_chip
+        off = BankType(name="off", num_instances=1, num_ports=1,
+                       configurations=[(16, 8)], pins_traversed=2)
+        assert not off.is_on_chip
+
+    def test_round_trip_latency(self, bank):
+        assert bank.round_trip_latency == 3
+
+    def test_config_lookups(self, bank):
+        assert bank.widest_config() == MemoryConfig(256, 16)
+        assert bank.narrowest_config() == MemoryConfig(4096, 1)
+        by_width = bank.configs_by_width()
+        assert [c.width for c in by_width] == [1, 2, 4, 8, 16]
+        assert bank.config_index(MemoryConfig(1024, 4)) == 2
+        with pytest.raises(ArchitectureError):
+            bank.config_index(MemoryConfig(2, 2))
+
+    def test_scaled_copy(self, bank):
+        clone = bank.scaled(num_instances=10, name="clone")
+        assert clone.num_instances == 10
+        assert clone.name == "clone"
+        assert clone.configurations == bank.configurations
+        assert bank.num_instances == 4  # original untouched
+
+    def test_describe_mentions_key_facts(self, bank):
+        text = bank.describe()
+        assert "4 x 2-port" in text and "on-chip" in text

@@ -1,0 +1,80 @@
+"""Unit tests for the Board container and its complexity parameters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import ArchitectureError, BankType, Board
+
+
+def make_board():
+    onchip = BankType(name="onchip", num_instances=8, num_ports=2,
+                      configurations=[(2048, 1), (1024, 2), (512, 4), (256, 8), (128, 16)])
+    offchip = BankType(name="offchip", num_instances=2, num_ports=1,
+                       configurations=[(65536, 32)], read_latency=2, write_latency=2,
+                       pins_traversed=2)
+    return Board(name="demo", bank_types=(onchip, offchip))
+
+
+class TestConstruction:
+    def test_requires_at_least_one_type(self):
+        with pytest.raises(ArchitectureError):
+            Board(name="empty", bank_types=())
+
+    def test_duplicate_type_names_rejected(self):
+        bank = BankType(name="dup", num_instances=1, num_ports=1,
+                        configurations=[(16, 8)])
+        with pytest.raises(ArchitectureError):
+            Board(name="bad", bank_types=(bank, bank.scaled(2)))
+
+    def test_positive_clock_required(self):
+        bank = BankType(name="b", num_instances=1, num_ports=1,
+                        configurations=[(16, 8)])
+        with pytest.raises(ArchitectureError):
+            Board(name="bad", bank_types=(bank,), clock_ns=0)
+
+
+class TestQueries:
+    def test_iteration_and_len(self):
+        board = make_board()
+        assert len(board) == 2
+        assert [t.name for t in board] == ["onchip", "offchip"]
+
+    def test_lookup_by_name_and_index(self):
+        board = make_board()
+        assert board.type_by_name("offchip").num_ports == 1
+        assert board.type_index("onchip") == 0
+        with pytest.raises(ArchitectureError):
+            board.type_by_name("missing")
+        with pytest.raises(ArchitectureError):
+            board.type_index("missing")
+
+    def test_on_and_off_chip_partitions(self):
+        board = make_board()
+        assert [t.name for t in board.on_chip_types] == ["onchip"]
+        assert [t.name for t in board.off_chip_types] == ["offchip"]
+
+    def test_with_types_replaces_set(self):
+        board = make_board()
+        only_onchip = board.with_types([board.type_by_name("onchip")], name="onchip-only")
+        assert len(only_onchip) == 1
+        assert only_onchip.name == "onchip-only"
+
+
+class TestComplexityParameters:
+    def test_totals_match_hand_computation(self):
+        board = make_board()
+        assert board.total_banks == 10
+        assert board.total_ports == 8 * 2 + 2 * 1
+        # only the on-chip type is multi-configuration: 8 x 2 ports x 5 configs
+        assert board.total_config_settings == 80
+        assert board.total_capacity_bits == 8 * 2048 + 2 * 65536 * 32
+
+    def test_complexity_dict(self):
+        board = make_board()
+        complexity = board.complexity()
+        assert complexity == {"types": 2, "banks": 10, "ports": 18, "configs": 80}
+
+    def test_describe_contains_all_types(self):
+        text = make_board().describe()
+        assert "onchip" in text and "offchip" in text and "2 bank types" in text

@@ -1,0 +1,114 @@
+"""Unit and property tests for the named and synthetic board builders."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arch import (
+    ArchitectureError,
+    apex_board,
+    board_with_complexity,
+    flex10k_board,
+    hierarchical_board,
+    synthetic_board,
+    virtex_board,
+)
+
+
+class TestNamedBoards:
+    def test_virtex_board_composition(self):
+        board = virtex_board("XCV300", num_srams=3)
+        assert board.num_types == 2
+        assert board.type_by_name("XCV300-BlockRAM").num_instances == 16
+        assert board.type_by_name("SRAM-direct").num_instances == 3
+
+    def test_apex_and_flex_boards(self):
+        assert apex_board("EP20K200E").total_banks == 52 + 4
+        assert flex10k_board("EPF10K70", num_srams=1).total_banks == 10
+
+    def test_hierarchical_board_has_four_levels(self):
+        board = hierarchical_board()
+        assert board.num_types == 4
+        assert len(board.on_chip_types) == 1
+        assert len(board.off_chip_types) == 3
+        # Distances must be monotonically non-decreasing across the hierarchy.
+        pins = [t.pins_traversed for t in board.bank_types]
+        assert pins == sorted(pins)
+
+
+class TestSyntheticBoard:
+    def test_requested_shape(self):
+        board = synthetic_board(4, [8, 2, 6, 1], seed=3)
+        assert board.num_types == 4
+        assert board.total_banks == 17
+
+    def test_mismatched_instance_list_rejected(self):
+        with pytest.raises(ArchitectureError):
+            synthetic_board(3, [1, 2])
+
+    def test_deterministic_for_seed(self):
+        a = synthetic_board(4, [4, 4, 4, 4], seed=11)
+        b = synthetic_board(4, [4, 4, 4, 4], seed=11)
+        assert a.describe() == b.describe()
+
+    def test_alternates_onchip_and_offchip(self):
+        board = synthetic_board(4, [2, 2, 2, 2], seed=0)
+        assert board.bank_types[0].is_on_chip
+        assert not board.bank_types[1].is_on_chip
+
+
+class TestBoardWithComplexity:
+    @pytest.mark.parametrize(
+        "banks,ports,configs",
+        [
+            (13, 25, 50),
+            (23, 45, 100),
+            (45, 77, 150),
+            (65, 105, 150),
+            (180, 265, 375),
+        ],
+    )
+    def test_reproduces_table3_complexities(self, banks, ports, configs):
+        board = board_with_complexity(banks, ports, configs, seed=1)
+        assert board.total_banks == banks
+        assert board.total_ports == ports
+        assert board.total_config_settings == configs
+
+    def test_deterministic_for_seed(self):
+        a = board_with_complexity(45, 77, 150, seed=5)
+        b = board_with_complexity(45, 77, 150, seed=5)
+        assert a.describe() == b.describe()
+
+    def test_rejects_inconsistent_port_totals(self):
+        with pytest.raises(ArchitectureError):
+            board_with_complexity(10, 9, 25)     # fewer ports than banks
+        with pytest.raises(ArchitectureError):
+            board_with_complexity(10, 25, 25)    # more than two ports per bank
+
+    def test_rejects_non_multiple_of_five_configs(self):
+        with pytest.raises(ArchitectureError):
+            board_with_complexity(10, 15, 23)
+
+    def test_rejects_configs_exceeding_ports(self):
+        with pytest.raises(ArchitectureError):
+            board_with_complexity(4, 5, 50)
+
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.data())
+    def test_property_exact_complexity_for_consistent_triples(self, data):
+        banks = data.draw(st.integers(min_value=2, max_value=120))
+        ports = data.draw(st.integers(min_value=banks, max_value=2 * banks))
+        multi_ports = data.draw(st.integers(min_value=0, max_value=ports))
+        configs = 5 * multi_ports
+        try:
+            board = board_with_complexity(banks, ports, configs, seed=banks)
+        except ArchitectureError:
+            # A handful of extreme corner triples are declared unrealisable;
+            # that is acceptable as long as realised boards are exact.
+            return
+        assert board.total_banks == banks
+        assert board.total_ports == ports
+        assert board.total_config_settings == configs

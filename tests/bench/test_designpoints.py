@@ -1,0 +1,89 @@
+"""Unit tests for the Table 3 design points."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    PAPER_DESIGN_POINTS,
+    SCALED_DESIGN_POINTS,
+    DesignPoint,
+    default_design_points,
+)
+
+
+class TestPaperRows:
+    def test_nine_rows(self):
+        assert len(PAPER_DESIGN_POINTS) == 9
+        assert len(SCALED_DESIGN_POINTS) == 9
+
+    def test_table3_values_recorded_exactly(self):
+        first = PAPER_DESIGN_POINTS[0]
+        last = PAPER_DESIGN_POINTS[-1]
+        assert (first.segments, first.banks, first.ports, first.configs) == (22, 13, 25, 50)
+        assert first.paper_complete_seconds == pytest.approx(8.1)
+        assert first.paper_global_seconds == pytest.approx(7.8)
+        assert (last.segments, last.banks, last.ports, last.configs) == (132, 180, 265, 375)
+        assert last.paper_complete_seconds == pytest.approx(2989.0)
+        assert last.paper_global_seconds == pytest.approx(489.0)
+
+    def test_rows_ordered_by_growing_problem_size(self):
+        sizes = [p.segments * p.ports for p in PAPER_DESIGN_POINTS]
+        assert sizes == sorted(sizes)
+
+    def test_paper_reports_global_always_faster(self):
+        for point in PAPER_DESIGN_POINTS:
+            assert point.paper_global_seconds <= point.paper_complete_seconds
+
+    def test_scaled_rows_mirror_growth_pattern(self):
+        # The physical complexity never shrinks from one point to the next,
+        # mirroring the paper's ordering "in the increasing size of the problem".
+        for a, b in zip(SCALED_DESIGN_POINTS, SCALED_DESIGN_POINTS[1:]):
+            assert b.ports >= a.ports
+            assert b.banks >= a.banks
+            # When the board stays the same the design side grows instead.
+            if b.ports == a.ports and b.banks == a.banks:
+                assert b.segments > a.segments
+
+
+class TestBuilders:
+    @pytest.mark.parametrize("point", SCALED_DESIGN_POINTS, ids=lambda p: p.label())
+    def test_scaled_points_build_exact_boards(self, point: DesignPoint):
+        board = point.build_board(seed=0)
+        assert board.total_banks == point.banks
+        assert board.total_ports == point.ports
+        assert board.total_config_settings == point.configs
+
+    def test_design_matches_segment_count_and_fits(self):
+        point = SCALED_DESIGN_POINTS[3]
+        design, board = point.build(seed=1)
+        assert design.num_segments == point.segments
+        assert design.total_bits <= board.total_capacity_bits
+
+    def test_build_is_deterministic(self):
+        point = SCALED_DESIGN_POINTS[2]
+        d1, b1 = point.build(seed=7)
+        d2, b2 = point.build(seed=7)
+        assert [ (ds.depth, ds.width) for ds in d1 ] == [ (ds.depth, ds.width) for ds in d2 ]
+        assert b1.describe() == b2.describe()
+
+    def test_paper_point_board_complexity(self):
+        board = PAPER_DESIGN_POINTS[0].build_board(seed=0)
+        assert board.total_banks == 13
+        assert board.total_ports == 25
+        assert board.total_config_settings == 50
+
+
+class TestDefaultSelection:
+    def test_env_variable_switches_to_full_rows(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL_TABLE3", raising=False)
+        assert default_design_points() == SCALED_DESIGN_POINTS
+        monkeypatch.setenv("REPRO_FULL_TABLE3", "1")
+        assert default_design_points() == PAPER_DESIGN_POINTS
+        monkeypatch.setenv("REPRO_FULL_TABLE3", "0")
+        assert default_design_points() == SCALED_DESIGN_POINTS
+
+    def test_explicit_argument_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL_TABLE3", "1")
+        assert default_design_points(full=False) == SCALED_DESIGN_POINTS
+        assert default_design_points(full=True) == PAPER_DESIGN_POINTS

@@ -1,0 +1,57 @@
+"""Integration tests for the Table 3 experiment harness (tiny points only)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    SCALED_DESIGN_POINTS,
+    ExperimentRow,
+    Table3Harness,
+    default_solver_backend,
+    run_table3,
+)
+
+
+class TestHarness:
+    def test_default_backend_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SOLVER", raising=False)
+        assert default_solver_backend() in ("scipy-milp", "auto")
+        monkeypatch.setenv("REPRO_SOLVER", "bnb-pure")
+        assert default_solver_backend() == "bnb-pure"
+
+    def test_run_point_produces_comparable_row(self):
+        harness = Table3Harness(points=SCALED_DESIGN_POINTS[:1], time_limit=60)
+        row = harness.run_point(SCALED_DESIGN_POINTS[0])
+        assert isinstance(row, ExperimentRow)
+        assert row.global_detailed_seconds > 0
+        assert row.complete_seconds > 0
+        assert row.global_status == "optimal"
+        assert row.objectives_match
+        assert row.speedup > 0
+        # The flat formulation is always the (much) larger model.
+        assert row.complete_model_size["variables"] > row.global_model_size["variables"]
+
+    def test_run_without_complete_baseline(self):
+        harness = Table3Harness(
+            points=SCALED_DESIGN_POINTS[:1], time_limit=60, run_complete=False
+        )
+        row = harness.run_point(SCALED_DESIGN_POINTS[0])
+        assert row.complete_status == "skipped"
+        assert row.complete_objective is None
+        assert not row.objectives_match
+
+    def test_run_table3_over_two_points(self):
+        rows = run_table3(points=SCALED_DESIGN_POINTS[:2], time_limit=60)
+        assert len(rows) == 2
+        assert all(r.global_status == "optimal" for r in rows)
+        assert all(r.objectives_match for r in rows)
+
+    def test_builtin_solver_backend_agrees_with_default(self):
+        point = SCALED_DESIGN_POINTS[0]
+        default_row = Table3Harness(points=[point], time_limit=60).run_point(point)
+        builtin_row = Table3Harness(points=[point], solver="auto",
+                                    time_limit=60).run_point(point)
+        assert builtin_row.global_objective == pytest.approx(
+            default_row.global_objective, rel=1e-6
+        )

@@ -1,0 +1,57 @@
+"""Unit tests for the plain-text table/series rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ascii_series, ascii_table, format_seconds
+
+
+class TestFormatSeconds:
+    def test_ranges(self):
+        assert format_seconds(None) == "-"
+        assert format_seconds(0.004).endswith("ms")
+        assert format_seconds(1.2345) == "1.234s"
+        assert format_seconds(125.0) == "125.0s"
+
+
+class TestAsciiTable:
+    def test_contains_headers_and_cells(self):
+        text = ascii_table(["a", "long-header"], [[1, 2], [30, "forty"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "long-header" in lines[1]
+        assert "forty" in text
+        # header separator row present
+        assert set(lines[2]) <= {"|", "-"}
+
+    def test_column_widths_align(self):
+        text = ascii_table(["x"], [["short"], ["a-much-longer-cell"]])
+        rows = text.splitlines()
+        assert len(rows[1]) == len(rows[2]) == len(rows[3])
+
+    def test_ragged_rows_padded(self):
+        text = ascii_table(["a", "b"], [[1], [1, 2]])
+        assert text.count("|")  # renders without raising
+
+
+class TestAsciiSeries:
+    def test_renders_one_bar_per_series_per_point(self):
+        text = ascii_series(
+            ["p1", "p2"], [[1.0, 2.0], [2.0, 4.0]], ["complete", "global"], title="fig"
+        )
+        assert text.count("complete") == 2
+        assert text.count("global") == 2
+        assert text.splitlines()[0] == "fig"
+
+    def test_bars_scale_with_values(self):
+        text = ascii_series(["x"], [[1.0, ], ], ["only"], width=10)
+        assert "#" in text
+
+    def test_mismatched_labels_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_series(["x"], [[1.0]], ["a", "b"])
+
+    def test_zero_values_render(self):
+        text = ascii_series(["x"], [[0.0]], ["flat"])
+        assert "flat" in text

@@ -1,0 +1,104 @@
+"""Unit tests for the Table 2 port/space allocation enumeration."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    accepted_allocation_options,
+    estimated_ports_for_split,
+    is_split_accepted,
+    powers_of_two_up_to,
+    space_allocation_options,
+    table2_rows,
+)
+
+
+class TestPowersOfTwo:
+    def test_basic_ranges(self):
+        assert powers_of_two_up_to(16) == [1, 2, 4, 8, 16]
+        assert powers_of_two_up_to(20) == [1, 2, 4, 8, 16]
+        assert powers_of_two_up_to(1) == [1]
+        assert powers_of_two_up_to(0) == []
+
+
+class TestTable2Enumeration:
+    def test_full_option_count_for_3port_16word_bank(self):
+        # Table 2 lists 16 grouped rows; expanding the grouped third-port
+        # column yields 32 concrete splits.
+        options = space_allocation_options(16, 3)
+        assert len(options) == 32
+
+    def test_grouped_rows_match_paper_table(self):
+        rows = table2_rows(16, 3)
+        prefixes = [row["prefix"] for row in rows]
+        assert prefixes == [
+            (16, 0), (8, 8), (8, 4), (8, 2), (8, 1), (8, 0),
+            (4, 4), (4, 2), (4, 1), (4, 0),
+            (2, 2), (2, 1), (2, 0),
+            (1, 1), (1, 0),
+            (0, 0),
+        ]
+        by_prefix = {row["prefix"]: row for row in rows}
+        assert by_prefix[(8, 4)]["last_port_options"] == [4, 2, 1, 0]
+        assert by_prefix[(8, 2)]["last_port_options"] == [2, 1, 0]
+        assert by_prefix[(1, 1)]["last_port_options"] == [1, 0]
+        assert by_prefix[(16, 0)]["last_port_options"] == [0]
+
+    def test_all_options_are_valid_splits(self):
+        for split in space_allocation_options(16, 3):
+            assert len(split) == 3
+            assert sum(split) <= 16
+            assert all(w == 0 or (w & (w - 1)) == 0 for w in split)
+            assert list(split) == sorted(split, reverse=True)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            space_allocation_options(0, 3)
+        with pytest.raises(ValueError):
+            space_allocation_options(16, 0)
+
+
+class TestAcceptance:
+    def test_paper_notes_8_8_0_rejected(self):
+        # "The algorithm in Figure 3 rejects the (8, 8, 0) configuration
+        # since it estimates that 8 words require two ports each."
+        assert estimated_ports_for_split((8, 8, 0), 16, 3) == 4
+        assert not is_split_accepted((8, 8, 0), 16, 3)
+
+    def test_whole_instance_split_accepted(self):
+        assert is_split_accepted((16, 0, 0), 16, 3)
+
+    def test_small_splits_accepted(self):
+        assert is_split_accepted((4, 4, 4), 16, 3)
+        assert is_split_accepted((2, 2, 2), 16, 3)
+
+    def test_accepted_subset_relation(self):
+        accepted = set(accepted_allocation_options(16, 3))
+        everything = set(space_allocation_options(16, 3))
+        assert accepted <= everything
+        assert (8, 8, 0) in everything and (8, 8, 0) not in accepted
+
+    def test_dual_port_banks_have_no_rejections(self):
+        # The paper: the over-estimation "does not occur when a bank type
+        # has only two ports."
+        options = space_allocation_options(16, 2)
+        assert accepted_allocation_options(16, 2) == options
+
+    def test_single_port_banks_trivially_accepted(self):
+        options = space_allocation_options(32, 1)
+        assert accepted_allocation_options(32, 1) == options
+
+    @settings(max_examples=50, deadline=None)
+    @given(depth=st.sampled_from([8, 16, 32, 64]), ports=st.integers(1, 2))
+    def test_property_no_rejections_up_to_two_ports(self, depth, ports):
+        options = space_allocation_options(depth, ports)
+        assert accepted_allocation_options(depth, ports) == options
+
+    @settings(max_examples=30, deadline=None)
+    @given(depth=st.sampled_from([8, 16, 32]), ports=st.integers(3, 4))
+    def test_property_accepted_splits_fit_port_budget(self, depth, ports):
+        for split in accepted_allocation_options(depth, ports):
+            assert estimated_ports_for_split(split, depth, ports) <= ports

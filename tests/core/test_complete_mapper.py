@@ -1,0 +1,117 @@
+"""Unit tests for the complete (flat) baseline formulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import BankType, Board
+from repro.core import CompleteMapper, GlobalMapper, MappingError
+from repro.design import Design, random_design
+
+
+@pytest.fixture
+def small_board():
+    onchip = BankType(name="fast", num_instances=8, num_ports=2,
+                      configurations=[(2048, 1), (1024, 2), (512, 4), (256, 8), (128, 16)])
+    offchip = BankType(name="slow", num_instances=4, num_ports=1,
+                       configurations=[(16384, 32)], read_latency=3, write_latency=3,
+                       pins_traversed=2)
+    return Board(name="small", bank_types=(onchip, offchip))
+
+
+class TestModelStructure:
+    def test_variable_families_present(self, small_board, small_design):
+        artifacts = CompleteMapper(small_board).build_model(small_design)
+        assert len(artifacts.z_vars) > 0
+        assert len(artifacts.x_vars) > 0
+        assert len(artifacts.y_vars) > 0
+        # X variables exist for every feasible pair times that type's ports.
+        for (ds_name, type_name), _ in artifacts.z_vars.items():
+            bank = small_board.type_by_name(type_name)
+            count = sum(
+                1 for key in artifacts.x_vars
+                if key[0] == ds_name and key[1] == type_name
+            )
+            assert count == bank.total_ports
+
+    def test_y_variables_only_for_multi_config_types(self, small_board, small_design):
+        artifacts = CompleteMapper(small_board).build_model(small_design)
+        types_with_y = {key[0] for key in artifacts.y_vars}
+        assert types_with_y == {"fast"}
+
+    def test_complete_model_grows_with_board(self, small_design):
+        small = Board(name="s", bank_types=(
+            BankType(name="fast", num_instances=4, num_ports=2,
+                     configurations=[(2048, 1), (1024, 2), (512, 4), (256, 8), (128, 16)]),
+            BankType(name="slow", num_instances=2, num_ports=1,
+                     configurations=[(16384, 32)], pins_traversed=2),
+        ))
+        big = Board(name="b", bank_types=(
+            BankType(name="fast", num_instances=16, num_ports=2,
+                     configurations=[(2048, 1), (1024, 2), (512, 4), (256, 8), (128, 16)]),
+            BankType(name="slow", num_instances=8, num_ports=1,
+                     configurations=[(16384, 32)], pins_traversed=2),
+        ))
+        small_vars = CompleteMapper(small).build_model(small_design).num_variables
+        big_vars = CompleteMapper(big).build_model(small_design).num_variables
+        assert big_vars > 2 * small_vars
+
+    def test_unmappable_design_rejected(self, small_board):
+        design = Design.from_segments("huge", [("blob", 10**6, 64)])
+        with pytest.raises(MappingError):
+            CompleteMapper(small_board).build_model(design)
+
+
+class TestSolving:
+    def test_outcome_fields(self, small_board, small_design):
+        outcome = CompleteMapper(small_board).solve(small_design)
+        assert outcome.solver_status == "optimal"
+        assert outcome.solve_time > 0
+        assert outcome.model_size["x"] == len(
+            CompleteMapper(small_board).build_model(small_design).x_vars
+        )
+        assert set(outcome.global_mapping.assignment) == set(small_design.segment_names)
+
+    def test_port_grants_match_preprocessed_demand(self, small_board, small_design):
+        from repro.core import Preprocessor
+
+        outcome = CompleteMapper(small_board).solve(small_design)
+        pre = Preprocessor(small_design, small_board)
+        for name, grants in outcome.port_grants.items():
+            type_name = outcome.global_mapping.type_of(name)
+            d_index = small_design.index_of(name)
+            t_index = small_board.type_index(type_name)
+            assert len(grants) == int(pre.cp[d_index, t_index])
+            assert all(grant[0] == type_name for grant in grants)
+
+    def test_no_port_serves_two_structures(self, small_board, small_design):
+        outcome = CompleteMapper(small_board).solve(small_design)
+        seen = {}
+        for name, grants in outcome.port_grants.items():
+            for grant in grants:
+                assert grant not in seen, f"port {grant} granted twice"
+                seen[grant] = name
+
+    def test_used_multiconfig_ports_have_a_configuration(self, small_board, small_design):
+        outcome = CompleteMapper(small_board).solve(small_design)
+        for name, grants in outcome.port_grants.items():
+            for type_name, instance, port in grants:
+                bank = small_board.type_by_name(type_name)
+                if bank.is_multi_config:
+                    assert (type_name, instance, port) in outcome.config_selection
+
+    def test_objective_matches_global_formulation(self, small_board, small_design):
+        complete = CompleteMapper(small_board).solve(small_design)
+        global_mapping = GlobalMapper(small_board).solve(small_design)
+        assert complete.global_mapping.objective == pytest.approx(
+            global_mapping.objective, rel=1e-6
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_objective_matches_global_on_random_designs(self, small_board, seed):
+        design = random_design(8, seed=seed, board=small_board, target_occupancy=0.35)
+        complete = CompleteMapper(small_board).solve(design)
+        global_mapping = GlobalMapper(small_board).solve(design)
+        assert complete.global_mapping.objective == pytest.approx(
+            global_mapping.objective, rel=1e-6
+        )

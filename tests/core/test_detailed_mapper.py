@@ -1,0 +1,143 @@
+"""Unit tests for the detailed mapper (fragment decomposition and packing)."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import pytest
+
+from repro.arch import BankType, Board, MemoryConfig
+from repro.core import (
+    DetailedMapper,
+    DetailedMappingFailure,
+    GlobalMapper,
+    GlobalMapping,
+    Preprocessor,
+    compute_pair_metrics,
+    decompose_structure,
+    validate_detailed_mapping,
+)
+from repro.design import ConflictSet, DataStructure, Design
+
+
+class TestDecomposition:
+    def test_figure2_example_fragment_grid(self, paper_example_bank):
+        ds = DataStructure("ex", 55, 17)
+        metrics = compute_pair_metrics(ds, paper_example_bank)
+        fragments = decompose_structure(metrics, paper_example_bank)
+        by_region = defaultdict(list)
+        for fragment in fragments:
+            by_region[fragment.region].append(fragment)
+        assert len(by_region["full"]) == 6       # 3 rows x 2 columns
+        assert len(by_region["width"]) == 3      # leftover-width column
+        assert len(by_region["depth"]) == 2      # leftover-depth row
+        assert len(by_region["corner"]) == 1
+        # Total port demand equals CP[d][t].
+        assert sum(f.port_demand for f in fragments) == metrics.consumed_ports == 26
+        # Total stored payload equals the structure size.
+        assert sum(f.stored_bits for f in fragments) == ds.size_bits
+
+    def test_fragments_use_alpha_and_beta_configs(self, paper_example_bank):
+        ds = DataStructure("ex", 55, 17)
+        metrics = compute_pair_metrics(ds, paper_example_bank)
+        fragments = decompose_structure(metrics, paper_example_bank)
+        full_configs = {f.config for f in fragments if f.region == "full"}
+        width_configs = {f.config for f in fragments if f.region in ("width", "corner")}
+        assert full_configs == {MemoryConfig(16, 8)}
+        assert width_configs == {MemoryConfig(128, 1)}
+
+    def test_exact_fit_single_fragment(self, blockram_like):
+        ds = DataStructure("fit", 512, 8)
+        metrics = compute_pair_metrics(ds, blockram_like)
+        fragments = decompose_structure(metrics, blockram_like)
+        assert len(fragments) == 1
+        assert fragments[0].region == "full"
+        assert fragments[0].port_demand == blockram_like.num_ports
+
+    def test_word_and_bit_offsets_tile_structure(self, paper_example_bank):
+        ds = DataStructure("ex", 55, 17)
+        metrics = compute_pair_metrics(ds, paper_example_bank)
+        fragments = decompose_structure(metrics, paper_example_bank)
+        covered = set()
+        for fragment in fragments:
+            for word in range(fragment.word_offset, fragment.word_offset + fragment.words):
+                for bit in range(fragment.bit_offset, fragment.bit_offset + fragment.width_bits):
+                    key = (word, bit)
+                    assert key not in covered, "fragments overlap inside the structure"
+                    covered.add(key)
+        assert len(covered) == ds.size_bits
+        assert covered == {(w, b) for w in range(55) for b in range(17)}
+
+
+class TestPacking:
+    def make_mapping(self, board, design):
+        mapper = GlobalMapper(board)
+        global_mapping = mapper.solve(design)
+        detailed = DetailedMapper(board).map(design, global_mapping)
+        return global_mapping, detailed
+
+    def test_small_design_is_packed_and_valid(self, two_type_board, small_design):
+        global_mapping, detailed = self.make_mapping(two_type_board, small_design)
+        violations = validate_detailed_mapping(
+            small_design, two_type_board, global_mapping, detailed
+        )
+        assert violations == []
+
+    def test_partial_fragments_share_instances(self):
+        bank = BankType(name="dual", num_instances=4, num_ports=2,
+                        configurations=[(128, 1), (64, 2), (32, 4), (16, 8)])
+        board = Board(name="share", bank_types=(bank,))
+        # Two half-instance structures: each needs one port, so a single
+        # instance should host both.
+        design = Design.from_segments("pair", [("a", 8, 8), ("b", 8, 8)])
+        global_mapping, detailed = self.make_mapping(board, design)
+        assert detailed.instances_used("dual") == 1
+        instance_fragments = detailed.on_instance("dual", 0)
+        assert {p.structure for p in instance_fragments} == {"a", "b"}
+        # They occupy disjoint halves with distinct ports.
+        ports = [port for placement in instance_fragments for port in placement.ports]
+        assert sorted(ports) == [0, 1]
+
+    def test_base_addresses_power_of_two_aligned(self, two_type_board, small_design):
+        _, detailed = self.make_mapping(two_type_board, small_design)
+        for placement in detailed.placements:
+            size = placement.fragment.allocated_words
+            assert placement.base_word % size == 0
+
+    def test_fragmentation_report(self, two_type_board, small_design):
+        _, detailed = self.make_mapping(two_type_board, small_design)
+        counts = detailed.fragmentation()
+        assert set(counts) == set(small_design.segment_names)
+        assert all(count >= 1 for count in counts.values())
+
+    def test_structures_never_share_a_port(self, two_type_board, small_design):
+        _, detailed = self.make_mapping(two_type_board, small_design)
+        seen = {}
+        for placement in detailed.placements:
+            for port in placement.ports:
+                key = (placement.bank_type, placement.instance, port)
+                assert key not in seen or seen[key] == placement.structure
+                seen[key] = placement.structure
+
+    def test_failure_reports_bank_and_structures(self):
+        bank = BankType(name="mini", num_instances=1, num_ports=2,
+                        configurations=[(16, 8)])
+        board = Board(name="mini-board", bank_types=(bank,))
+        design = Design.from_segments("overflow", [("a", 16, 8), ("b", 16, 8)])
+        # Hand the detailed mapper an (invalid) global mapping that
+        # over-subscribes the only instance.
+        forced = GlobalMapping(
+            design_name=design.name,
+            board_name=board.name,
+            assignment={"a": "mini", "b": "mini"},
+            objective=0.0,
+        )
+        with pytest.raises(DetailedMappingFailure) as excinfo:
+            DetailedMapper(board).map(design, forced)
+        assert excinfo.value.bank_type == "mini"
+        assert set(excinfo.value.structures) == {"a", "b"}
+
+    def test_unassigned_types_are_skipped(self, two_type_board, small_design):
+        global_mapping, detailed = self.make_mapping(two_type_board, small_design)
+        used_types = {p.bank_type for p in detailed.placements}
+        assert used_types == set(global_mapping.assignment.values())

@@ -1,0 +1,94 @@
+"""Unit tests for the greedy and simulated-annealing baseline mappers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import BankType, Board
+from repro.core import (
+    GlobalMapper,
+    GreedyMapper,
+    MappingError,
+    SimulatedAnnealingMapper,
+    validate_global_mapping,
+)
+from repro.design import ConflictSet, DataStructure, Design, random_design
+
+
+class TestGreedyMapper:
+    def test_produces_valid_mapping(self, two_type_board, small_design):
+        mapping = GreedyMapper(two_type_board).solve(small_design)
+        assert mapping.solver_status == "heuristic-greedy"
+        assert validate_global_mapping(small_design, two_type_board, mapping) == []
+
+    def test_large_structures_placed_first(self, two_type_board, small_design):
+        # The frame is too big for the on-chip type and must land on the SRAM
+        # even though the SRAM is more expensive.
+        mapping = GreedyMapper(two_type_board).solve(small_design)
+        assert mapping.type_of("frame") == "sram"
+
+    def test_never_better_than_ilp(self, two_type_board):
+        # The greedy is a heuristic: on port-tight instances it may fail where
+        # the ILP succeeds, which is acceptable — but whenever it does produce
+        # an answer that answer must not beat the exact optimum.
+        compared = 0
+        for seed in range(6):
+            design = random_design(12, seed=seed, board=two_type_board,
+                                   target_occupancy=0.4)
+            try:
+                greedy = GreedyMapper(two_type_board).solve(design)
+            except MappingError:
+                continue
+            exact = GlobalMapper(two_type_board).solve(design)
+            assert greedy.objective >= exact.objective - 1e-9
+            compared += 1
+        assert compared >= 2
+
+    def test_failure_when_nothing_fits(self):
+        bank = BankType(name="one", num_instances=1, num_ports=1,
+                        configurations=[(64, 8)])
+        board = Board(name="tiny", bank_types=(bank,))
+        design = Design.from_segments("too-much", [("a", 64, 8), ("b", 64, 8)])
+        with pytest.raises(MappingError):
+            GreedyMapper(board).solve(design)
+
+    def test_objective_matches_breakdown(self, two_type_board, small_design):
+        mapping = GreedyMapper(two_type_board).solve(small_design)
+        assert mapping.objective == pytest.approx(mapping.cost.weighted_total)
+
+
+class TestSimulatedAnnealing:
+    def test_parameter_validation(self, two_type_board):
+        with pytest.raises(ValueError):
+            SimulatedAnnealingMapper(two_type_board, iterations=0)
+        with pytest.raises(ValueError):
+            SimulatedAnnealingMapper(two_type_board, cooling=1.5)
+
+    def test_result_is_valid_and_no_worse_than_greedy(self, two_type_board):
+        design = random_design(10, seed=3, board=two_type_board, target_occupancy=0.35)
+        greedy = GreedyMapper(two_type_board).solve(design)
+        annealed = SimulatedAnnealingMapper(two_type_board, iterations=500,
+                                            seed=7).solve(design)
+        assert validate_global_mapping(design, two_type_board, annealed) == []
+        assert annealed.objective <= greedy.objective + 1e-9
+
+    def test_deterministic_for_seed(self, two_type_board):
+        design = random_design(10, seed=9, board=two_type_board, target_occupancy=0.4)
+        a = SimulatedAnnealingMapper(two_type_board, iterations=300, seed=1).solve(design)
+        b = SimulatedAnnealingMapper(two_type_board, iterations=300, seed=1).solve(design)
+        assert a.assignment == b.assignment
+
+    def test_accepts_explicit_initial_mapping(self, two_type_board, small_design):
+        greedy = GreedyMapper(two_type_board).solve(small_design)
+        annealed = SimulatedAnnealingMapper(two_type_board, iterations=200).solve(
+            small_design, initial=greedy
+        )
+        assert annealed.solver_status == "heuristic-annealing"
+        assert validate_global_mapping(small_design, two_type_board, annealed) == []
+
+    def test_never_better_than_ilp(self, two_type_board):
+        design = random_design(10, seed=5, board=two_type_board, target_occupancy=0.35)
+        exact = GlobalMapper(two_type_board).solve(design)
+        annealed = SimulatedAnnealingMapper(two_type_board, iterations=800,
+                                            seed=3).solve(design)
+        assert annealed.objective >= exact.objective - 1e-9

@@ -1,0 +1,118 @@
+"""Unit tests for the mapping result containers (GlobalMapping, fragments, ...)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import MemoryConfig
+from repro.core import (
+    DetailedMapper,
+    GlobalMapper,
+    GlobalMapping,
+    MappingError,
+    MemoryMapper,
+)
+from repro.core.mapping import Fragment, PlacedFragment
+
+
+class TestGlobalMappingContainer:
+    @pytest.fixture
+    def mapping(self, two_type_board, small_design):
+        return GlobalMapper(two_type_board).solve(small_design)
+
+    def test_type_of_and_grouping(self, mapping, small_design):
+        groups = mapping.grouped_by_type()
+        regrouped = {
+            name for members in groups.values() for name in members
+        }
+        assert regrouped == set(small_design.segment_names)
+        for type_name, members in groups.items():
+            assert set(mapping.structures_on(type_name)) == set(members)
+            for name in members:
+                assert mapping.type_of(name) == type_name
+
+    def test_unknown_structure_raises(self, mapping):
+        with pytest.raises(MappingError):
+            mapping.type_of("ghost")
+
+    def test_num_structures_and_describe(self, mapping, small_design):
+        assert mapping.num_structures == small_design.num_segments
+        text = mapping.describe()
+        assert small_design.name in text and "objective" in text
+
+
+class TestFragmentValidation:
+    def make_fragment(self, **overrides):
+        defaults = dict(
+            structure="s", region="full", row=0, col=0,
+            config=MemoryConfig(16, 8), words=16, allocated_words=16,
+            width_bits=8, port_demand=2, word_offset=0, bit_offset=0,
+        )
+        defaults.update(overrides)
+        return Fragment(**defaults)
+
+    def test_valid_fragment_properties(self):
+        fragment = self.make_fragment()
+        assert fragment.allocated_bits == 128
+        assert fragment.stored_bits == 128
+
+    def test_empty_fragment_rejected(self):
+        with pytest.raises(MappingError):
+            self.make_fragment(words=0)
+
+    def test_under_allocation_rejected(self):
+        with pytest.raises(MappingError):
+            self.make_fragment(words=16, allocated_words=8)
+
+    def test_zero_port_demand_rejected(self):
+        with pytest.raises(MappingError):
+            self.make_fragment(port_demand=0)
+
+    def test_placed_fragment_port_count_checked(self):
+        fragment = self.make_fragment(port_demand=2)
+        with pytest.raises(MappingError):
+            PlacedFragment(fragment=fragment, bank_type="t", instance=0,
+                           ports=(0,), base_word=0)
+        placement = PlacedFragment(fragment=fragment, bank_type="t", instance=0,
+                                   ports=(0, 1), base_word=0)
+        assert placement.end_word == 16
+        assert "ports[0,1]" in placement.describe()
+
+    def test_negative_instance_rejected(self):
+        fragment = self.make_fragment(port_demand=1)
+        with pytest.raises(MappingError):
+            PlacedFragment(fragment=fragment, bank_type="t", instance=-1,
+                           ports=(0,), base_word=0)
+
+
+class TestDetailedMappingContainer:
+    @pytest.fixture
+    def result(self, two_type_board, small_design):
+        return MemoryMapper(two_type_board).map(small_design)
+
+    def test_fragments_of_covers_all_structures(self, result, small_design):
+        detailed = result.detailed_mapping
+        for name in small_design.segment_names:
+            assert detailed.fragments_of(name), f"no fragments for {name}"
+
+    def test_on_instance_consistent_with_placements(self, result):
+        detailed = result.detailed_mapping
+        sample = detailed.placements[0]
+        assert sample in detailed.on_instance(sample.bank_type, sample.instance)
+
+    def test_instances_used_filters_by_type(self, result, two_type_board):
+        detailed = result.detailed_mapping
+        per_type = sum(
+            detailed.instances_used(bank.name) for bank in two_type_board
+        )
+        assert per_type == detailed.instances_used()
+
+    def test_describe_mentions_every_fragment(self, result):
+        detailed = result.detailed_mapping
+        text = detailed.describe()
+        assert str(detailed.num_fragments) in text
+
+    def test_total_time_is_sum_of_stages(self, result):
+        assert result.total_time == pytest.approx(
+            result.global_time + result.detailed_time
+        )

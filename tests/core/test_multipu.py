@@ -1,0 +1,151 @@
+"""Tests for the multiple-processing-unit extension (paper future work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import ArchitectureError, BankType, Board
+from repro.core import (
+    CostWeights,
+    MultiPuCostModel,
+    MultiPuMapper,
+    MultiPuSystem,
+    ProcessingUnit,
+    validate_detailed_mapping,
+)
+from repro.design import DataStructure, Design, DesignError
+
+
+@pytest.fixture
+def two_sided_board():
+    """Two off-chip SRAM banks sitting on opposite sides of the device.
+
+    Bank ``sram_left`` is close to processing unit ``pu_left`` and far from
+    ``pu_right``; ``sram_right`` is the mirror image.  The on-chip type is
+    equally close to both.
+    """
+    onchip = BankType(name="onchip", num_instances=2, num_ports=2,
+                      configurations=[(2048, 1), (1024, 2), (512, 4), (256, 8), (128, 16)])
+    left = BankType(name="sram_left", num_instances=2, num_ports=1,
+                    configurations=[(16384, 32)], read_latency=2, write_latency=2,
+                    pins_traversed=2)
+    right = BankType(name="sram_right", num_instances=2, num_ports=1,
+                     configurations=[(16384, 32)], read_latency=2, write_latency=2,
+                     pins_traversed=2)
+    return Board(name="two-sided", bank_types=(onchip, left, right))
+
+
+@pytest.fixture
+def system(two_sided_board):
+    pu_left = ProcessingUnit("pu_left", {"sram_left": 2, "sram_right": 6, "onchip": 0})
+    pu_right = ProcessingUnit("pu_right", {"sram_left": 6, "sram_right": 2, "onchip": 0})
+    return MultiPuSystem(
+        board=two_sided_board,
+        processing_units=(pu_left, pu_right),
+        affinity={"left_buf": "pu_left", "right_buf": "pu_right"},
+    )
+
+
+@pytest.fixture
+def design():
+    # Two large buffers that cannot fit on chip, owned by different units.
+    return Design(
+        name="two-owners",
+        data_structures=(
+            DataStructure("left_buf", 8192, 16),
+            DataStructure("right_buf", 8192, 16),
+        ),
+    )
+
+
+class TestValidation:
+    def test_processing_unit_validation(self):
+        with pytest.raises(ArchitectureError):
+            ProcessingUnit("")
+        with pytest.raises(ArchitectureError):
+            ProcessingUnit("pu", {"x": -1})
+
+    def test_system_requires_units(self, two_sided_board):
+        with pytest.raises(ArchitectureError):
+            MultiPuSystem(board=two_sided_board, processing_units=())
+
+    def test_duplicate_unit_names_rejected(self, two_sided_board):
+        pu = ProcessingUnit("pu")
+        with pytest.raises(ArchitectureError):
+            MultiPuSystem(board=two_sided_board, processing_units=(pu, pu))
+
+    def test_unknown_bank_type_in_distances_rejected(self, two_sided_board):
+        pu = ProcessingUnit("pu", {"no-such-type": 2})
+        with pytest.raises(ArchitectureError):
+            MultiPuSystem(board=two_sided_board, processing_units=(pu,))
+
+    def test_unknown_unit_in_affinity_rejected(self, two_sided_board):
+        pu = ProcessingUnit("pu")
+        with pytest.raises(ArchitectureError):
+            MultiPuSystem(board=two_sided_board, processing_units=(pu,),
+                          affinity={"a": "ghost"})
+
+    def test_affinity_must_reference_design_structures(self, system):
+        design = Design.from_segments("other", [("something_else", 16, 8)])
+        with pytest.raises(DesignError):
+            MultiPuCostModel(design, system)
+
+    def test_distance_falls_back_to_board_default(self, two_sided_board):
+        pu = ProcessingUnit("pu")  # no overrides at all
+        bank = two_sided_board.type_by_name("sram_left")
+        assert pu.distance_to(bank) == bank.pins_traversed
+
+    def test_owner_defaults_to_first_unit(self, system):
+        assert system.owner_of("unlisted").name == "pu_left"
+
+
+class TestCostModel:
+    def test_pin_costs_depend_on_owner(self, system, design):
+        model = MultiPuCostModel(design, system, CostWeights(normalize=False))
+        left_index = design.index_of("left_buf")
+        right_index = design.index_of("right_buf")
+        t_left = system.board.type_index("sram_left")
+        t_right = system.board.type_index("sram_right")
+        # left_buf is cheap on the left SRAM and expensive on the right one.
+        assert model.pin_delay_cost[left_index, t_left] < model.pin_delay_cost[left_index, t_right]
+        # right_buf is the mirror image.
+        assert model.pin_delay_cost[right_index, t_right] < model.pin_delay_cost[right_index, t_left]
+        # latency does not depend on the owner.
+        assert model.latency_cost[left_index, t_left] == model.latency_cost[right_index, t_left]
+
+
+class TestMapping:
+    def test_structures_follow_their_processing_unit(self, system, design):
+        mapper = MultiPuMapper(system)
+        mapping = mapper.solve(design)
+        assert mapping.type_of("left_buf") == "sram_left"
+        assert mapping.type_of("right_buf") == "sram_right"
+
+    def test_single_unit_system_matches_paper_model(self, two_sided_board, design):
+        # With one unit and no distance overrides the multi-PU mapper must
+        # reduce to the ordinary GlobalMapper.
+        from repro.core import GlobalMapper
+
+        single = MultiPuSystem(
+            board=two_sided_board,
+            processing_units=(ProcessingUnit("only"),),
+        )
+        multi = MultiPuMapper(single).solve(design)
+        plain = GlobalMapper(two_sided_board).solve(design)
+        assert multi.objective == pytest.approx(plain.objective)
+
+    def test_full_two_stage_map_is_valid(self, system, design):
+        mapping, detailed = MultiPuMapper(system).map(design)
+        assert validate_detailed_mapping(design, system.board, mapping, detailed) == []
+
+    def test_swapping_affinity_swaps_the_assignment(self, two_sided_board, design):
+        pu_left = ProcessingUnit("pu_left", {"sram_left": 2, "sram_right": 6})
+        pu_right = ProcessingUnit("pu_right", {"sram_left": 6, "sram_right": 2})
+        swapped = MultiPuSystem(
+            board=two_sided_board,
+            processing_units=(pu_left, pu_right),
+            affinity={"left_buf": "pu_right", "right_buf": "pu_left"},
+        )
+        mapping = MultiPuMapper(swapped).solve(design)
+        assert mapping.type_of("left_buf") == "sram_right"
+        assert mapping.type_of("right_buf") == "sram_left"

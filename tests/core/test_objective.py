@@ -1,0 +1,125 @@
+"""Unit tests for the Section 4.1.3 cost model."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.arch import BankType, Board
+from repro.core import CostModel, CostWeights, Preprocessor
+from repro.design import DataStructure, Design
+
+
+@pytest.fixture
+def board():
+    onchip = BankType(name="onchip", num_instances=8, num_ports=2,
+                      configurations=[(2048, 1), (1024, 2), (512, 4), (256, 8), (128, 16)],
+                      read_latency=1, write_latency=1, pins_traversed=0)
+    offchip = BankType(name="offchip", num_instances=2, num_ports=1,
+                       configurations=[(65536, 32)], read_latency=3, write_latency=2,
+                       pins_traversed=2)
+    return Board(name="cost-board", bank_types=(onchip, offchip))
+
+
+@pytest.fixture
+def design():
+    return Design.from_segments("cost-design", [("a", 100, 8), ("b", 500, 16)])
+
+
+class TestWeights:
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            CostWeights(latency=-1.0)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            CostWeights(latency=0, pin_delay=0, pin_io=0)
+
+    def test_presets(self):
+        assert CostWeights.latency_only().pin_delay == 0.0
+        assert CostWeights.interconnect_only().latency == 0.0
+
+
+class TestComponents:
+    def test_latency_cost_follows_paper_formula(self, board, design):
+        model = CostModel(design, board, CostWeights(normalize=False))
+        a_index = design.index_of("a")
+        onchip = board.type_index("onchip")
+        offchip = board.type_index("offchip")
+        # Dd * (RL + WL) with reads = writes = depth.
+        assert model.latency_cost[a_index, onchip] == pytest.approx(100 * (1 + 1))
+        assert model.latency_cost[a_index, offchip] == pytest.approx(100 * (3 + 2))
+
+    def test_latency_cost_uses_footprint_when_available(self, board):
+        design = Design.from_segments("fp", [("rom", 256, 8)])
+        rom = DataStructure("rom", 256, 8, reads=10000, writes=0)
+        design = Design(name="fp", data_structures=(rom,))
+        model = CostModel(design, board, CostWeights(normalize=False))
+        onchip = board.type_index("onchip")
+        assert model.latency_cost[0, onchip] == pytest.approx(10000 * 1 + 0)
+
+    def test_pin_delay_cost_zero_on_chip(self, board, design):
+        model = CostModel(design, board, CostWeights(normalize=False))
+        onchip = board.type_index("onchip")
+        offchip = board.type_index("offchip")
+        assert np.all(model.pin_delay_cost[:, onchip] == 0.0)
+        a_index = design.index_of("a")
+        # Dd * Tt with the default one-read-one-write-per-word assumption.
+        assert model.pin_delay_cost[a_index, offchip] == pytest.approx(100 * 2)
+
+    def test_pin_io_cost_counts_address_and_data_pins(self, board, design):
+        pre = Preprocessor(design, board)
+        model = CostModel(design, board, CostWeights(normalize=False), preprocessor=pre)
+        offchip = board.type_index("offchip")
+        a_index = design.index_of("a")
+        cd = pre.cd[a_index, offchip]
+        cw = pre.cw[a_index, offchip]
+        expected = (math.ceil(math.log2(cd)) + cw) * 2
+        assert model.pin_io_cost[a_index, offchip] == pytest.approx(expected)
+
+    def test_pin_io_cost_zero_on_chip(self, board, design):
+        model = CostModel(design, board, CostWeights(normalize=False))
+        assert np.all(model.pin_io_cost[:, board.type_index("onchip")] == 0.0)
+
+
+class TestAggregation:
+    def test_normalisation_bounds_each_component_by_weight(self, board, design):
+        model = CostModel(design, board, CostWeights(latency=2.0, pin_delay=1.0,
+                                                     pin_io=1.0, normalize=True))
+        matrix = model.coefficient_matrix()
+        assert matrix.max() <= 2.0 + 1.0 + 1.0 + 1e-9
+
+    def test_unnormalised_matrix_is_weighted_sum(self, board, design):
+        weights = CostWeights(latency=1.0, pin_delay=0.5, pin_io=0.25, normalize=False)
+        model = CostModel(design, board, weights)
+        expected = (
+            model.latency_cost + 0.5 * model.pin_delay_cost + 0.25 * model.pin_io_cost
+        )
+        assert np.allclose(model.coefficient_matrix(), expected)
+
+    def test_onchip_dominates_offchip_for_latency(self, board, design):
+        model = CostModel(design, board)
+        matrix = model.coefficient_matrix()
+        onchip = board.type_index("onchip")
+        offchip = board.type_index("offchip")
+        assert np.all(matrix[:, onchip] < matrix[:, offchip])
+
+    def test_evaluate_assignment_sums_selected_pairs(self, board, design):
+        model = CostModel(design, board, CostWeights(normalize=False))
+        breakdown = model.evaluate_assignment({"a": "onchip", "b": "offchip"})
+        a_index, b_index = design.index_of("a"), design.index_of("b")
+        onchip, offchip = board.type_index("onchip"), board.type_index("offchip")
+        assert breakdown.latency == pytest.approx(
+            model.latency_cost[a_index, onchip] + model.latency_cost[b_index, offchip]
+        )
+        assert breakdown.weighted_total == pytest.approx(
+            model.coefficient_matrix()[a_index, onchip]
+            + model.coefficient_matrix()[b_index, offchip]
+        )
+        assert breakdown.as_dict()["pin_io"] == pytest.approx(breakdown.pin_io)
+
+    def test_coefficient_scalar_accessor(self, board, design):
+        model = CostModel(design, board)
+        assert model.coefficient(0, 0) == pytest.approx(model.coefficient_matrix()[0, 0])

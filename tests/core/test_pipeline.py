@@ -1,0 +1,126 @@
+"""Integration tests for the end-to-end MemoryMapper pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import BankType, Board, hierarchical_board, virtex_board
+from repro.core import (
+    CostWeights,
+    MappingError,
+    MemoryMapper,
+    validate_detailed_mapping,
+    validate_global_mapping,
+)
+from repro.design import (
+    Design,
+    all_example_designs,
+    fir_filter_design,
+    image_pipeline_design,
+    random_design,
+)
+
+
+class TestEndToEnd:
+    def test_image_pipeline_on_hierarchical_board(self):
+        board = hierarchical_board()
+        design = image_pipeline_design()
+        result = MemoryMapper(board).map(design)
+        assert result.global_mapping.solver_status == "optimal"
+        assert validate_global_mapping(design, board, result.global_mapping) == []
+        assert validate_detailed_mapping(
+            design, board, result.global_mapping, result.detailed_mapping
+        ) == []
+        assert result.total_time > 0
+
+    @pytest.mark.parametrize("design_factory", [image_pipeline_design, fir_filter_design])
+    def test_small_workloads_prefer_onchip(self, design_factory):
+        board = virtex_board("XCV1000", num_srams=2)
+        result = MemoryMapper(board).map(design_factory())
+        onchip_name = board.on_chip_types[0].name
+        onchip_count = sum(
+            1 for t in result.global_mapping.assignment.values() if t == onchip_name
+        )
+        # Small DSP designs fit on chip; most structures should end up there.
+        assert onchip_count >= len(result.global_mapping.assignment) // 2
+
+    def test_all_example_designs_map_on_default_board(self, default_board):
+        mapper = MemoryMapper(default_board)
+        for design in all_example_designs():
+            result = mapper.map(design)
+            assert result.retries == 0
+            assert result.detailed_mapping.num_fragments >= design.num_segments
+
+    def test_detailed_cost_equals_global_cost(self, default_board):
+        """The paper's key claim: detailed mapping cannot change the cost."""
+        mapper = MemoryMapper(default_board)
+        for design in all_example_designs():
+            result = mapper.map(design)
+            assert result.cost.weighted_total == pytest.approx(
+                result.global_mapping.objective, rel=1e-6
+            )
+
+    def test_random_designs_round_trip(self, two_type_board):
+        for seed in range(4):
+            design = random_design(14, seed=seed, board=two_type_board,
+                                   target_occupancy=0.4)
+            result = MemoryMapper(two_type_board).map(design)
+            assert set(result.global_mapping.assignment) == set(design.segment_names)
+
+    def test_map_global_only_shortcut(self, two_type_board, small_design):
+        mapping = MemoryMapper(two_type_board).map_global_only(small_design)
+        assert set(mapping.assignment) == set(small_design.segment_names)
+
+    def test_describe_produces_readable_report(self, two_type_board, small_design):
+        result = MemoryMapper(two_type_board).map(small_design)
+        text = result.describe()
+        assert "objective" in text and "latency cost" in text
+        assert small_design.name in text
+
+
+class TestConfigurationOptions:
+    def test_weights_change_the_chosen_mapping_cost(self, default_board):
+        design = image_pipeline_design()
+        latency = MemoryMapper(default_board, weights=CostWeights.latency_only()).map(design)
+        balanced = MemoryMapper(default_board).map(design)
+        assert latency.cost.latency <= balanced.cost.latency + 1e-9
+
+    def test_warm_start_off_still_optimal(self, two_type_board, small_design):
+        warm = MemoryMapper(two_type_board, warm_start=True).map(small_design)
+        cold = MemoryMapper(two_type_board, warm_start=False).map(small_design)
+        assert warm.global_mapping.objective == pytest.approx(
+            cold.global_mapping.objective
+        )
+
+    def test_validation_can_be_disabled(self, two_type_board, small_design):
+        result = MemoryMapper(two_type_board, validate=False).map(small_design)
+        assert result.detailed_mapping.num_fragments > 0
+
+    def test_unmappable_design_raises_mapping_error(self, two_type_board):
+        design = Design.from_segments("huge", [("blob", 10**6, 64)])
+        with pytest.raises(MappingError):
+            MemoryMapper(two_type_board).map(design)
+
+
+class TestRetryLoop:
+    def test_three_port_bank_with_conservative_estimate_still_maps(self):
+        """Packing on >2-port types may need the retry loop; it must succeed."""
+        tri = BankType(name="tri", num_instances=3, num_ports=3,
+                       configurations=[(128, 1), (64, 2), (32, 4), (16, 8)])
+        slow = BankType(name="slow", num_instances=2, num_ports=1,
+                        configurations=[(16384, 32)], read_latency=3, write_latency=3,
+                        pins_traversed=2)
+        board = Board(name="tri-board", bank_types=(tri, slow))
+        # Five 8x8 structures: the global port budget admits four of them on
+        # the 3-port type, but the conservative per-instance estimate allows
+        # only one per instance, so the first detailed attempt fails and the
+        # pipeline must fall back via the retry loop.
+        design = Design.from_segments(
+            "threeport",
+            [("a", 8, 8), ("b", 8, 8), ("c", 8, 8), ("d", 8, 8), ("e", 8, 8)],
+        )
+        result = MemoryMapper(board, max_retries=5).map(design)
+        assert result.retries >= 1
+        assert validate_detailed_mapping(
+            design, board, result.global_mapping, result.detailed_mapping
+        ) == []

@@ -1,0 +1,251 @@
+"""Unit and property tests for the Section 4.1.1 pre-processing.
+
+The worked example of the paper (a 55x17 structure on a 3-port bank with
+configurations 128x1/64x2/32x4/16x8) pins down the exact expected values of
+every quantity; the property tests then check the invariants that make the
+global constraints safe on arbitrary structures and bank types.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arch import BankType, MemoryConfig
+from repro.core import (
+    PairMetrics,
+    Preprocessor,
+    compute_pair_metrics,
+    consumed_ports,
+    next_power_of_two,
+    select_alpha,
+    select_beta,
+)
+from repro.design import DataStructure, Design
+
+
+class TestNextPowerOfTwo:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(0, 0), (1, 1), (2, 2), (3, 4), (4, 4), (5, 8), (7, 8), (8, 8), (9, 16),
+         (1000, 1024), (1024, 1024), (1025, 2048)],
+    )
+    def test_values(self, value, expected):
+        assert next_power_of_two(value) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(-1)
+
+    @given(st.integers(1, 10**6))
+    @settings(max_examples=100, deadline=None)
+    def test_is_smallest_power_not_below(self, value):
+        result = next_power_of_two(value)
+        assert result >= value
+        assert result & (result - 1) == 0        # power of two
+        assert result // 2 < value               # smallest such power
+
+
+class TestConsumedPorts:
+    def test_figure3_worked_values(self):
+        # 16 words in a 128-deep configuration of a 3-port bank: 16/128 of
+        # the instance, charged ceil(0.125 * 3) = 1 port.
+        assert consumed_ports(16, 128, 3) == 1
+        # 7 words round to 8; 8/16 of the instance on 3 ports -> 2 ports.
+        assert consumed_ports(7, 16, 3) == 2
+        # 8 words of a 16-word dual-ported bank -> exactly one port.
+        assert consumed_ports(8, 16, 2) == 1
+
+    def test_full_instance_consumes_all_ports(self):
+        assert consumed_ports(128, 128, 3) == 3
+        assert consumed_ports(100, 128, 1) == 1
+
+    def test_zero_words_consume_nothing(self):
+        assert consumed_ports(0, 128, 3) == 0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            consumed_ports(4, 0, 2)
+        with pytest.raises(ValueError):
+            consumed_ports(4, 16, 0)
+
+    @given(st.integers(1, 4096), st.sampled_from([16, 64, 128, 1024, 4096]),
+           st.integers(1, 4))
+    @settings(max_examples=100, deadline=None)
+    def test_bounds(self, words, depth, ports):
+        value = consumed_ports(words, depth, ports)
+        assert 1 <= value
+        # Never more than the port count per instance touched.
+        instances_needed = math.ceil(next_power_of_two(words) / depth)
+        assert value <= ports * instances_needed
+
+    @given(st.integers(1, 2048), st.sampled_from([64, 128, 512]), st.integers(1, 2))
+    @settings(max_examples=80, deadline=None)
+    def test_exact_for_one_and_two_ports(self, words, depth, ports):
+        """For P<=2 the estimate equals ceil(fraction * P) with no waste."""
+        value = consumed_ports(words, depth, ports)
+        fraction = next_power_of_two(words) / depth
+        assert value == math.ceil(fraction * ports)
+
+
+class TestConfigurationSelection:
+    @pytest.fixture
+    def bank(self) -> BankType:
+        return BankType(name="b", num_instances=4, num_ports=2,
+                        configurations=[(128, 1), (64, 2), (32, 4), (16, 8)])
+
+    def test_alpha_smallest_adequate_width(self, bank):
+        assert select_alpha(bank, 3).width == 4
+        assert select_alpha(bank, 4).width == 4
+        assert select_alpha(bank, 5).width == 8
+        assert select_alpha(bank, 1).width == 1
+
+    def test_alpha_falls_back_to_widest(self, bank):
+        assert select_alpha(bank, 17).width == 8
+
+    def test_beta_for_leftover(self, bank):
+        assert select_beta(bank, 0) is None
+        assert select_beta(bank, 1).width == 1
+        assert select_beta(bank, 6).width == 8
+
+
+class TestPaperWorkedExample:
+    """The 55x17 example of Section 4.1.1 / Figure 2."""
+
+    @pytest.fixture
+    def metrics(self, paper_example_bank) -> PairMetrics:
+        return compute_pair_metrics(DataStructure("ex", 55, 17), paper_example_bank)
+
+    def test_configuration_choices(self, metrics):
+        assert metrics.alpha == MemoryConfig(16, 8)
+        assert metrics.beta == MemoryConfig(128, 1)
+
+    def test_grid_decomposition(self, metrics):
+        assert metrics.full_rows == 3
+        assert metrics.full_cols == 2
+        assert metrics.leftover_words == 7
+        assert metrics.leftover_width == 1
+
+    def test_port_components(self, metrics):
+        assert metrics.fp == 18
+        assert metrics.wp == 3
+        assert metrics.dp == 4
+        assert metrics.wdp == 1
+        assert metrics.consumed_ports == 26
+
+    def test_ceiling_sizes(self, metrics):
+        assert metrics.ceiling_width == 17
+        assert metrics.ceiling_depth == 56
+        assert metrics.consumed_bits == 17 * 56
+
+    def test_instances_touched_matches_figure(self, metrics):
+        # The figure shows a 4x3 grid of instances: 6 full, 3 width-column,
+        # 2 depth-row and 1 corner.
+        assert metrics.instances_touched == 12
+
+
+class TestPairMetricsGeneral:
+    def test_structure_narrower_than_all_widths(self, paper_example_bank):
+        metrics = compute_pair_metrics(DataStructure("n", 100, 3), paper_example_bank)
+        # alpha is the 32x4 configuration; the whole width is "leftover".
+        assert metrics.alpha.width == 4
+        assert metrics.full_cols == 0
+        assert metrics.leftover_width == 3
+        assert metrics.beta.width == 4
+        assert metrics.ceiling_width == 4
+        assert metrics.ceiling_depth == 100  # 3 * 32 + pow2(4) = 100
+        assert metrics.consumed_ports == 3 * 3 + 1
+
+    def test_exact_fit_consumes_whole_instances(self, blockram_like):
+        metrics = compute_pair_metrics(DataStructure("fit", 512, 8), blockram_like)
+        assert metrics.full_rows == 1 and metrics.full_cols == 1
+        assert metrics.leftover_words == 0 and metrics.leftover_width == 0
+        assert metrics.consumed_ports == blockram_like.num_ports
+        assert metrics.consumed_bits == 4096
+
+    def test_tiny_structure_on_wide_bank(self, sram_like):
+        metrics = compute_pair_metrics(DataStructure("tiny", 4, 4), sram_like)
+        assert metrics.consumed_ports == 1
+        assert metrics.ceiling_width == 32
+        assert metrics.ceiling_depth == 4
+
+    def test_structure_wider_than_bank_splits_columns(self, blockram_like):
+        metrics = compute_pair_metrics(DataStructure("wide", 256, 40), blockram_like)
+        assert metrics.alpha.width == 16
+        assert metrics.full_cols == 2
+        assert metrics.leftover_width == 8
+        assert metrics.beta.width == 8
+
+    @settings(max_examples=150, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        depth=st.integers(1, 5000),
+        width=st.integers(1, 64),
+        ports=st.integers(1, 3),
+        config_set=st.sampled_from([
+            ((4096, 1), (2048, 2), (1024, 4), (512, 8), (256, 16)),
+            ((2048, 1), (1024, 2), (512, 4), (256, 8), (128, 16)),
+            ((128, 1), (64, 2), (32, 4), (16, 8)),
+            ((16384, 32),),
+        ]),
+    )
+    def test_property_ceilings_cover_structure(self, depth, width, ports, config_set):
+        """CW/CD always cover the structure and the footprint bounds its size."""
+        bank = BankType(name="p", num_instances=8, num_ports=ports,
+                        configurations=config_set)
+        ds = DataStructure("s", depth, width)
+        metrics = compute_pair_metrics(ds, bank)
+        # The ceiling sizes always cover the structure, so the charged
+        # footprint is never smaller than the true one.
+        assert metrics.ceiling_width >= width
+        assert metrics.ceiling_depth >= depth
+        assert metrics.consumed_bits >= ds.size_bits
+        # Port demand is at least one and never exceeds all ports of every
+        # instance the decomposition touches.
+        assert metrics.consumed_ports >= 1
+        assert metrics.consumed_ports <= ports * metrics.instances_touched
+        # Reproduction finding used by the constraint-ablation benchmark: the
+        # Figure 3 port charge is proportional to the occupied space, so the
+        # port constraint implies the strict capacity constraint
+        # (CP * capacity >= P_t * CW * CD for every pair).
+        assert metrics.consumed_ports * bank.capacity_bits >= ports * metrics.consumed_bits
+
+
+class TestPreprocessor:
+    def test_tables_match_pair_metrics(self, two_type_board, small_design):
+        pre = Preprocessor(small_design, two_type_board)
+        for d_index, ds in enumerate(small_design.data_structures):
+            for t_index, bank in enumerate(two_type_board.bank_types):
+                metrics = pre.metrics(ds.name, bank.name)
+                assert pre.cp[d_index, t_index] == metrics.consumed_ports
+                assert pre.cw[d_index, t_index] == metrics.ceiling_width
+                assert pre.cd[d_index, t_index] == metrics.ceiling_depth
+
+    def test_unknown_pair_lookup_raises(self, two_type_board, small_design):
+        pre = Preprocessor(small_design, two_type_board)
+        with pytest.raises(KeyError):
+            pre.metrics("ghost", "blockram")
+
+    def test_feasible_pairs_mask(self, two_type_board, small_design):
+        pre = Preprocessor(small_design, two_type_board)
+        mask = pre.feasible_pairs()
+        # The frame (8192x16 = 131072 bits) exceeds the blockram type's total
+        # capacity (16 * 4096 = 65536), so that pair must be infeasible.
+        frame_index = small_design.index_of("frame")
+        blockram_index = two_type_board.type_index("blockram")
+        sram_index = two_type_board.type_index("sram")
+        assert not mask[frame_index, blockram_index]
+        assert mask[frame_index, sram_index]
+        assert pre.unmappable_structures() == []
+
+    def test_unmappable_structure_detected(self, two_type_board):
+        huge = Design.from_segments("huge", [("blob", 10**6, 64)])
+        pre = Preprocessor(huge, two_type_board)
+        assert pre.unmappable_structures() == ["blob"]
+
+    def test_consumed_bits_table_is_product(self, two_type_board, small_design):
+        pre = Preprocessor(small_design, two_type_board)
+        assert (pre.consumed_bits_table() == pre.cw * pre.cd).all()

@@ -1,0 +1,129 @@
+"""Property-based tests of the paper's central guarantee.
+
+Section 4.1 argues that the pre-processed port and capacity constraints of
+the *global* formulation are sufficient for the *detailed* mapping to
+always succeed without affecting the cost.  These hypothesis tests exercise
+that guarantee over randomly generated designs and boards (restricted to
+single- and dual-ported types, where the paper states the port estimate is
+exact):
+
+* whenever the global ILP finds an assignment, the detailed mapper places
+  every fragment legally (validators report no violations), and
+* the greedy mapper — which respects the same constraints — also always
+  survives detailed mapping.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arch import BankType, Board
+from repro.core import (
+    DetailedMapper,
+    GlobalMapper,
+    GreedyMapper,
+    MappingError,
+    validate_detailed_mapping,
+    validate_global_mapping,
+)
+from repro.design import DataStructure, Design, ConflictSet
+
+_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def boards(draw):
+    """Small random boards with 1-2 ported types (the paper's exact regime)."""
+    num_onchip = draw(st.integers(1, 2))
+    types = []
+    onchip_configs = [
+        ((2048, 1), (1024, 2), (512, 4), (256, 8), (128, 16)),
+        ((128, 1), (64, 2), (32, 4), (16, 8)),
+    ]
+    for index in range(num_onchip):
+        types.append(
+            BankType(
+                name=f"onchip{index}",
+                num_instances=draw(st.integers(2, 10)),
+                num_ports=draw(st.integers(1, 2)),
+                configurations=onchip_configs[index % len(onchip_configs)],
+                read_latency=1,
+                write_latency=1,
+                pins_traversed=0,
+            )
+        )
+    types.append(
+        BankType(
+            name="offchip",
+            num_instances=draw(st.integers(1, 3)),
+            num_ports=1,
+            configurations=((draw(st.sampled_from([8192, 16384, 65536])), 32),),
+            read_latency=draw(st.integers(2, 4)),
+            write_latency=draw(st.integers(2, 4)),
+            pins_traversed=draw(st.sampled_from([2, 4])),
+        )
+    )
+    return Board(name="hyp-board", bank_types=tuple(types))
+
+
+@st.composite
+def designs(draw):
+    count = draw(st.integers(2, 10))
+    structures = []
+    for index in range(count):
+        depth = draw(st.integers(4, 1500))
+        width = draw(st.integers(1, 40))
+        structures.append(DataStructure(f"s{index}", depth, width))
+    return Design(
+        name="hyp-design",
+        data_structures=tuple(structures),
+        conflicts=ConflictSet.all_pairs(structures),
+    )
+
+
+class TestGlobalImpliesDetailed:
+    @_settings
+    @given(board=boards(), design=designs())
+    def test_ilp_assignment_always_survives_detailed_mapping(self, board, design):
+        mapper = GlobalMapper(board)
+        try:
+            global_mapping = mapper.solve(design)
+        except MappingError:
+            # The random design simply does not fit this random board; that
+            # is a legitimate outcome, not a failure of the guarantee.
+            return
+        assert validate_global_mapping(design, board, global_mapping) == []
+        detailed = DetailedMapper(board).map(design, global_mapping)
+        assert validate_detailed_mapping(design, board, global_mapping, detailed) == []
+
+    @_settings
+    @given(board=boards(), design=designs())
+    def test_greedy_assignment_always_survives_detailed_mapping(self, board, design):
+        try:
+            mapping = GreedyMapper(board).solve(design)
+        except MappingError:
+            return
+        detailed = DetailedMapper(board).map(design, mapping)
+        assert validate_detailed_mapping(design, board, mapping, detailed) == []
+
+    @_settings
+    @given(board=boards(), design=designs())
+    def test_detailed_mapping_preserves_structure_payload(self, board, design):
+        try:
+            mapping = GlobalMapper(board).solve(design)
+        except MappingError:
+            return
+        detailed = DetailedMapper(board).map(design, mapping)
+        stored = {}
+        for placement in detailed.placements:
+            stored[placement.structure] = (
+                stored.get(placement.structure, 0) + placement.fragment.stored_bits
+            )
+        for ds in design.data_structures:
+            assert stored[ds.name] == ds.size_bits

@@ -1,0 +1,70 @@
+"""Unit tests for the plain-text mapping reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MemoryMapper
+from repro.core.report import render_assignment, render_full_report, render_memory_map
+from repro.design import fir_filter_design
+
+
+@pytest.fixture(scope="module")
+def mapped(request):
+    # Build one mapping shared by all report tests (module scope keeps it cheap).
+    from repro.arch import hierarchical_board
+
+    board = hierarchical_board()
+    design = fir_filter_design()
+    result = MemoryMapper(board).map(design)
+    return board, design, result
+
+
+class TestRenderAssignment:
+    def test_lists_every_structure_under_its_type(self, mapped):
+        board, design, result = mapped
+        text = render_assignment(design, board, result.global_mapping)
+        for name in design.segment_names:
+            assert f"- {name} " in text
+        for type_name in set(result.global_mapping.assignment.values()):
+            assert type_name in text
+
+    def test_shows_utilisation_percentages(self, mapped):
+        board, design, result = mapped
+        text = render_assignment(design, board, result.global_mapping)
+        assert "ports" in text and "capacity" in text and "%" in text
+
+
+class TestRenderMemoryMap:
+    def test_every_used_instance_appears(self, mapped):
+        board, design, result = mapped
+        text = render_memory_map(board, result.detailed_mapping)
+        used = {
+            (p.bank_type, p.instance) for p in result.detailed_mapping.placements
+        }
+        for bank_type, instance in used:
+            assert f"#{instance}" in text
+            assert bank_type in text
+        assert f"{result.detailed_mapping.num_fragments} fragments" in text
+
+    def test_occupancy_bars_present(self, mapped):
+        board, design, result = mapped
+        text = render_memory_map(board, result.detailed_mapping)
+        assert "[#" in text  # at least one partially/fully filled bar
+
+    def test_instance_cap_truncates_output(self, mapped):
+        board, design, result = mapped
+        text = render_memory_map(board, result.detailed_mapping,
+                                 max_instances_per_type=1)
+        assert "more instances not shown" in text
+
+
+class TestFullReport:
+    def test_contains_costs_assignment_and_map(self, mapped):
+        board, design, result = mapped
+        text = render_full_report(result)
+        assert "weighted objective" in text
+        assert "latency cost" in text
+        assert "Global assignment" in text
+        assert "Memory map" in text
+        assert design.name in text and board.name in text

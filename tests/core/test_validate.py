@@ -1,0 +1,137 @@
+"""Unit tests for the mapping validators (they must catch induced faults)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core import (
+    DetailedMapper,
+    GlobalMapper,
+    GlobalMapping,
+    MappingError,
+    ensure_valid,
+    validate_detailed_mapping,
+    validate_global_mapping,
+)
+from repro.core.mapping import DetailedMapping, PlacedFragment
+from repro.design import Design
+
+
+@pytest.fixture
+def mapped(two_type_board, small_design):
+    global_mapping = GlobalMapper(two_type_board).solve(small_design)
+    detailed = DetailedMapper(two_type_board).map(small_design, global_mapping)
+    return global_mapping, detailed
+
+
+class TestGlobalValidator:
+    def test_clean_mapping_has_no_violations(self, two_type_board, small_design, mapped):
+        global_mapping, _ = mapped
+        assert validate_global_mapping(small_design, two_type_board, global_mapping) == []
+
+    def test_missing_assignment_detected(self, two_type_board, small_design, mapped):
+        global_mapping, _ = mapped
+        broken = dataclasses.replace(
+            global_mapping,
+            assignment={k: v for k, v in global_mapping.assignment.items()
+                        if k != "coeffs"},
+        )
+        violations = validate_global_mapping(small_design, two_type_board, broken)
+        assert any("coeffs" in v for v in violations)
+
+    def test_unknown_structure_detected(self, two_type_board, small_design, mapped):
+        global_mapping, _ = mapped
+        assignment = dict(global_mapping.assignment)
+        assignment["ghost"] = "blockram"
+        broken = dataclasses.replace(global_mapping, assignment=assignment)
+        violations = validate_global_mapping(small_design, two_type_board, broken)
+        assert any("ghost" in v for v in violations)
+
+    def test_unknown_type_detected(self, two_type_board, small_design, mapped):
+        global_mapping, _ = mapped
+        assignment = dict(global_mapping.assignment)
+        assignment["coeffs"] = "no-such-type"
+        broken = dataclasses.replace(global_mapping, assignment=assignment)
+        violations = validate_global_mapping(small_design, two_type_board, broken)
+        assert any("unknown type" in v for v in violations)
+
+    def test_capacity_overflow_detected(self, two_type_board, small_design):
+        # Forcing the oversized frame onto the small on-chip type must trip
+        # the capacity check.
+        assignment = {name: "blockram" for name in small_design.segment_names}
+        forced = GlobalMapping(
+            design_name=small_design.name,
+            board_name=two_type_board.name,
+            assignment=assignment,
+            objective=0.0,
+        )
+        violations = validate_global_mapping(small_design, two_type_board, forced)
+        assert any("capacity" in v for v in violations)
+
+    def test_ensure_valid_raises_with_context(self):
+        with pytest.raises(MappingError) as excinfo:
+            ensure_valid(["something broke"], context="unit-test mapping")
+        assert "unit-test mapping" in str(excinfo.value)
+        ensure_valid([], context="ok")  # no exception
+
+
+class TestDetailedValidator:
+    def test_clean_placement_has_no_violations(self, two_type_board, small_design, mapped):
+        global_mapping, detailed = mapped
+        assert validate_detailed_mapping(
+            small_design, two_type_board, global_mapping, detailed
+        ) == []
+
+    def _replace_placement(self, detailed: DetailedMapping, index: int, **changes):
+        placements = list(detailed.placements)
+        placements[index] = dataclasses.replace(placements[index], **changes)
+        return dataclasses.replace(detailed, placements=tuple(placements))
+
+    def test_wrong_type_detected(self, two_type_board, small_design, mapped):
+        global_mapping, detailed = mapped
+        target = next(
+            i for i, p in enumerate(detailed.placements) if p.bank_type == "blockram"
+        )
+        broken = self._replace_placement(detailed, target, bank_type="sram")
+        violations = validate_detailed_mapping(
+            small_design, two_type_board, global_mapping, broken
+        )
+        assert violations  # wrong type and/or missing bits must be reported
+
+    def test_out_of_range_instance_detected(self, two_type_board, small_design, mapped):
+        global_mapping, detailed = mapped
+        broken = self._replace_placement(detailed, 0, instance=999)
+        violations = validate_detailed_mapping(
+            small_design, two_type_board, global_mapping, broken
+        )
+        assert any("instance" in v for v in violations)
+
+    def test_duplicate_port_use_detected(self, two_type_board, small_design, mapped):
+        global_mapping, detailed = mapped
+        placements = list(detailed.placements)
+        # Duplicate the first placement so its ports are claimed twice.
+        placements.append(placements[0])
+        broken = dataclasses.replace(detailed, placements=tuple(placements))
+        violations = validate_detailed_mapping(
+            small_design, two_type_board, global_mapping, broken
+        )
+        assert any("assigned to both" in v or "overlap" in v for v in violations)
+
+    def test_missing_fragment_detected(self, two_type_board, small_design, mapped):
+        global_mapping, detailed = mapped
+        broken = dataclasses.replace(detailed, placements=detailed.placements[:-1])
+        violations = validate_detailed_mapping(
+            small_design, two_type_board, global_mapping, broken
+        )
+        assert any("requires" in v for v in violations)
+
+    def test_capacity_spill_detected(self, two_type_board, small_design, mapped):
+        global_mapping, detailed = mapped
+        # Push a fragment's base address past the end of its instance.
+        broken = self._replace_placement(detailed, 0, base_word=10**7)
+        violations = validate_detailed_mapping(
+            small_design, two_type_board, global_mapping, broken
+        )
+        assert any("spills" in v or "capacity" in v for v in violations)

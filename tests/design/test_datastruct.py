@@ -1,0 +1,77 @@
+"""Unit tests for the DataStructure model (Section 3.2 inputs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.design import DataStructure, DesignError
+
+
+class TestValidation:
+    def test_requires_name(self):
+        with pytest.raises(DesignError):
+            DataStructure("", 16, 8)
+
+    def test_requires_positive_dimensions(self):
+        with pytest.raises(DesignError):
+            DataStructure("a", 0, 8)
+        with pytest.raises(DesignError):
+            DataStructure("a", 16, 0)
+
+    def test_negative_access_counts_rejected(self):
+        with pytest.raises(DesignError):
+            DataStructure("a", 16, 8, reads=-1)
+        with pytest.raises(DesignError):
+            DataStructure("a", 16, 8, writes=-5)
+
+    def test_reversed_lifetime_rejected(self):
+        with pytest.raises(DesignError):
+            DataStructure("a", 16, 8, lifetime=(5, 2))
+
+
+class TestDerivedQuantities:
+    def test_size_bits(self):
+        assert DataStructure("a", 55, 17).size_bits == 935
+
+    def test_default_access_counts_follow_paper_assumption(self):
+        ds = DataStructure("a", 128, 8)
+        assert ds.effective_reads == 128
+        assert ds.effective_writes == 128
+        assert ds.total_accesses == 256
+
+    def test_explicit_footprint_counts_override(self):
+        ds = DataStructure("a", 128, 8, reads=1000, writes=10)
+        assert ds.effective_reads == 1000
+        assert ds.effective_writes == 10
+
+    def test_zero_footprint_counts_are_respected(self):
+        ds = DataStructure("rom", 128, 8, writes=0)
+        assert ds.effective_writes == 0
+        assert ds.effective_reads == 128
+
+
+class TestLifetimes:
+    def test_overlap_detection(self):
+        a = DataStructure("a", 4, 4, lifetime=(0, 5))
+        b = DataStructure("b", 4, 4, lifetime=(5, 9))
+        c = DataStructure("c", 4, 4, lifetime=(6, 9))
+        assert a.overlaps_lifetime(b)       # touching endpoints overlap
+        assert not a.overlaps_lifetime(c)
+        assert c.overlaps_lifetime(b)
+
+    def test_missing_lifetime_is_conservative(self):
+        a = DataStructure("a", 4, 4)
+        b = DataStructure("b", 4, 4, lifetime=(0, 1))
+        assert a.overlaps_lifetime(b)
+        assert b.overlaps_lifetime(a)
+
+    def test_with_lifetime_returns_annotated_copy(self):
+        a = DataStructure("a", 4, 4, reads=7)
+        annotated = a.with_lifetime(2, 8)
+        assert annotated.lifetime == (2, 8)
+        assert annotated.reads == 7
+        assert a.lifetime is None
+
+    def test_describe_mentions_shape(self):
+        text = DataStructure("buf", 64, 8, lifetime=(1, 3)).describe()
+        assert "64x8" in text and "live 1..3" in text

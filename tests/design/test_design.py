@@ -1,0 +1,89 @@
+"""Unit tests for the Design container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.design import ConflictSet, DataStructure, Design, DesignError
+
+
+def make_design():
+    structures = (
+        DataStructure("a", 64, 8),
+        DataStructure("b", 128, 16),
+        DataStructure("c", 32, 4),
+    )
+    return Design(
+        name="d",
+        data_structures=structures,
+        conflicts=ConflictSet.from_pairs([("a", "b")]),
+    )
+
+
+class TestConstruction:
+    def test_requires_structures(self):
+        with pytest.raises(DesignError):
+            Design(name="empty", data_structures=())
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(DesignError):
+            Design(
+                name="dup",
+                data_structures=(DataStructure("a", 4, 4), DataStructure("a", 8, 8)),
+            )
+
+    def test_conflicts_must_reference_known_structures(self):
+        with pytest.raises(DesignError):
+            Design(
+                name="bad",
+                data_structures=(DataStructure("a", 4, 4),),
+                conflicts=ConflictSet.from_pairs([("a", "ghost")]),
+            )
+
+    def test_from_segments_builder(self):
+        design = Design.from_segments(
+            "quick", [("x", 16, 8), ("y", 32, 4)], conflicts=[("x", "y")]
+        )
+        assert design.num_segments == 2
+        assert design.conflicts.conflicts("x", "y")
+
+
+class TestQueries:
+    def test_totals(self):
+        design = make_design()
+        assert design.num_segments == 3
+        assert design.total_bits == 64 * 8 + 128 * 16 + 32 * 4
+        assert design.total_words == 224
+        assert design.max_width == 16
+
+    def test_lookup_and_index(self):
+        design = make_design()
+        assert design.by_name("b").depth == 128
+        assert design.index_of("c") == 2
+        with pytest.raises(DesignError):
+            design.by_name("missing")
+        with pytest.raises(DesignError):
+            design.index_of("missing")
+
+    def test_iteration_preserves_order(self):
+        design = make_design()
+        assert [ds.name for ds in design] == ["a", "b", "c"]
+        assert design.segment_names == ("a", "b", "c")
+
+    def test_subset_keeps_conflicts(self):
+        design = make_design()
+        sub = design.subset(["a", "b"])
+        assert sub.num_segments == 2
+        assert sub.conflicts.conflicts("a", "b")
+        sub2 = design.subset(["a", "c"])
+        assert len(sub2.conflicts) == 0
+
+    def test_with_all_conflicts(self):
+        design = make_design().with_all_conflicts()
+        assert len(design.conflicts) == 3
+
+    def test_complexity_and_describe(self):
+        design = make_design()
+        assert design.complexity()["segments"] == 3
+        text = design.describe()
+        assert "3 data structures" in text and "a: 64x8" in text

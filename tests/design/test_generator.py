@@ -1,0 +1,82 @@
+"""Unit and property tests for the synthetic design generator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arch import board_with_complexity, virtex_board
+from repro.design import DesignError, DesignGenerator, random_design
+
+
+class TestDeterminism:
+    def test_same_seed_same_design(self):
+        a = DesignGenerator(seed=42).generate(20)
+        b = DesignGenerator(seed=42).generate(20)
+        assert a.segment_names == b.segment_names
+        assert [(d.depth, d.width) for d in a] == [(d.depth, d.width) for d in b]
+
+    def test_different_seed_differs(self):
+        a = DesignGenerator(seed=1).generate(20)
+        b = DesignGenerator(seed=2).generate(20)
+        assert [(d.depth, d.width) for d in a] != [(d.depth, d.width) for d in b]
+
+
+class TestParameters:
+    def test_segment_count_respected(self):
+        design = random_design(37, seed=0)
+        assert design.num_segments == 37
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(DesignError):
+            DesignGenerator(min_depth=0)
+        with pytest.raises(DesignError):
+            DesignGenerator(conflict_density=1.5)
+        with pytest.raises(DesignError):
+            DesignGenerator(large_segment_fraction=-0.1)
+        with pytest.raises(DesignError):
+            DesignGenerator().generate(0)
+
+    def test_depth_bounds_respected(self):
+        generator = DesignGenerator(seed=3, min_depth=32, max_depth=256)
+        design = generator.generate(50)
+        assert all(32 <= ds.depth <= 256 for ds in design)
+
+    def test_full_conflict_density_gives_all_pairs(self):
+        design = random_design(10, seed=1, conflict_density=1.0)
+        assert len(design.conflicts) == 10 * 9 // 2
+
+    def test_zero_conflict_density_gives_none(self):
+        design = random_design(10, seed=1, conflict_density=0.0)
+        assert len(design.conflicts) == 0
+
+    def test_intermediate_density_between_extremes(self):
+        design = random_design(12, seed=5, conflict_density=0.5)
+        assert 0 < len(design.conflicts) < 12 * 11 // 2
+
+
+class TestBoardFitting:
+    def test_occupancy_scaling_keeps_design_within_board(self):
+        board = virtex_board("XCV300", num_srams=2)
+        design = random_design(24, seed=7, board=board, target_occupancy=0.4)
+        assert design.total_bits <= board.total_capacity_bits
+
+    def test_invalid_occupancy_rejected(self):
+        board = virtex_board("XCV300")
+        with pytest.raises(DesignError):
+            DesignGenerator(seed=0).generate(5, board=board, target_occupancy=0.0)
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(4, 40), st.integers(0, 50))
+    def test_property_generated_designs_fit_table3_boards(self, segments, seed):
+        board = board_with_complexity(23, 45, 100, seed=seed)
+        design = DesignGenerator(seed=seed).generate(
+            segments, board=board, target_occupancy=0.4
+        )
+        assert design.num_segments == segments
+        assert design.total_bits <= board.total_capacity_bits
+        # Every segment must individually fit somewhere on the board.
+        widest = max(c.width for bank in board for c in bank.configurations)
+        assert all(ds.width <= 4 * widest for ds in design)

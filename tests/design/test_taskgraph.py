@@ -1,0 +1,138 @@
+"""Unit tests for task-graph scheduling and lifetime-derived conflicts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.design import DataStructure, DesignError, Task, TaskGraph
+
+
+def diamond_graph():
+    """load -> (left, right) -> join, touching four data structures."""
+    graph = TaskGraph("diamond")
+    graph.add_task(Task("load", writes=("input",), latency=2))
+    graph.add_task(Task("left", reads=("input",), writes=("tmp_l",), latency=3),
+                   depends_on=["load"])
+    graph.add_task(Task("right", reads=("input",), writes=("tmp_r",), latency=1),
+                   depends_on=["load"])
+    graph.add_task(Task("join", reads=("tmp_l", "tmp_r"), writes=("output",), latency=2),
+                   depends_on=["left", "right"])
+    return graph
+
+
+def diamond_structures():
+    return [
+        DataStructure("input", 64, 8),
+        DataStructure("tmp_l", 32, 8),
+        DataStructure("tmp_r", 32, 8),
+        DataStructure("output", 64, 8),
+    ]
+
+
+class TestTaskValidation:
+    def test_requires_name_and_positive_latency(self):
+        with pytest.raises(DesignError):
+            Task("", latency=1)
+        with pytest.raises(DesignError):
+            Task("t", latency=0)
+
+    def test_touched_deduplicates(self):
+        task = Task("t", reads=("a", "b"), writes=("b", "c"))
+        assert task.touched == ("a", "b", "c")
+
+
+class TestGraphConstruction:
+    def test_duplicate_task_rejected(self):
+        graph = TaskGraph()
+        graph.add_task(Task("t"))
+        with pytest.raises(DesignError):
+            graph.add_task(Task("t"))
+
+    def test_unknown_dependency_rejected(self):
+        graph = TaskGraph()
+        with pytest.raises(DesignError):
+            graph.add_task(Task("t"), depends_on=["ghost"])
+
+    def test_cycle_rejected_and_rolled_back(self):
+        graph = TaskGraph()
+        graph.add_task(Task("a"))
+        graph.add_task(Task("b"), depends_on=["a"])
+        # A task cannot depend on itself through an existing path: force a
+        # cycle by adding an edge back to "a" from a new task that "a" will
+        # then be made to depend on is not expressible through add_task, so
+        # the direct self-cycle is the representative case.
+        with pytest.raises(DesignError):
+            graph.add_task(Task("c"), depends_on=["c"])
+        assert graph.num_tasks == 2
+
+    def test_add_chain(self):
+        graph = TaskGraph()
+        graph.add_chain([Task("a"), Task("b"), Task("c")])
+        assert graph.predecessors("c") == ["b"]
+        assert graph.successors("a") == ["b"]
+
+    def test_touched_structures(self):
+        graph = diamond_graph()
+        assert graph.touched_structures() == {"input", "tmp_l", "tmp_r", "output"}
+
+
+class TestScheduling:
+    def test_asap_schedule_respects_dependencies(self):
+        schedule = diamond_graph().schedule_asap()
+        assert schedule.start_times["load"] == 0
+        assert schedule.start_times["left"] == 2
+        assert schedule.start_times["right"] == 2
+        # join starts after the slower branch (left finishes at 5).
+        assert schedule.start_times["join"] == 5
+        assert schedule.makespan == 7
+
+    def test_list_schedule_with_one_unit_serialises(self):
+        schedule = diamond_graph().schedule_list(resource_limit=1)
+        starts = schedule.start_times
+        finishes = schedule.finish_times
+        intervals = sorted((starts[t], finishes[t]) for t in starts)
+        for (s1, f1), (s2, f2) in zip(intervals, intervals[1:]):
+            assert s2 >= f1  # no two tasks overlap with one unit
+        assert schedule.makespan >= 2 + 3 + 1 + 2
+
+    def test_list_schedule_requires_positive_limit(self):
+        with pytest.raises(DesignError):
+            diamond_graph().schedule_list(0)
+
+    def test_empty_graph_cannot_be_scheduled(self):
+        with pytest.raises(DesignError):
+            TaskGraph().schedule_asap()
+
+    def test_lifetimes_cover_first_to_last_access(self):
+        schedule = diamond_graph().schedule_asap()
+        assert schedule.lifetime_of("input") == (0, 5)   # written by load, read until branches end
+        assert schedule.lifetime_of("output")[0] == 5
+        with pytest.raises(DesignError):
+            schedule.lifetime_of("ghost")
+
+
+class TestToDesign:
+    def test_builds_design_with_conflicts(self):
+        design = diamond_graph().to_design("diamond", diamond_structures())
+        assert design.num_segments == 4
+        # input is live while both temporaries are produced -> conflicts.
+        assert design.conflicts.conflicts("input", "tmp_l")
+        # The two temporaries overlap with each other (both live at join).
+        assert design.conflicts.conflicts("tmp_l", "tmp_r")
+
+    def test_access_counts_derived_from_graph(self):
+        design = diamond_graph().to_design("diamond", diamond_structures())
+        ds = design.by_name("input")
+        # input: written once by load, read by left and right.
+        assert ds.effective_writes == 64
+        assert ds.effective_reads == 2 * 64
+
+    def test_missing_structures_rejected(self):
+        with pytest.raises(DesignError):
+            diamond_graph().to_design("diamond", diamond_structures()[:-1])
+
+    def test_resource_limit_changes_lifetimes_not_structures(self):
+        unlimited = diamond_graph().to_design("d1", diamond_structures())
+        constrained = diamond_graph().to_design("d2", diamond_structures(),
+                                                resource_limit=1)
+        assert unlimited.segment_names == constrained.segment_names

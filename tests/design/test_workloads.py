@@ -1,0 +1,78 @@
+"""Unit tests for the realistic example workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.design import (
+    all_example_designs,
+    fft_design,
+    fir_filter_design,
+    image_pipeline_design,
+    matrix_multiply_design,
+    motion_estimation_design,
+)
+
+
+class TestImagePipeline:
+    def test_default_structure_set(self):
+        design = image_pipeline_design()
+        names = set(design.segment_names)
+        assert {"line_buf0", "kernel", "histogram", "gamma_lut", "out_tile"} <= names
+        assert design.num_segments == 10
+
+    def test_kernel_size_scales_line_buffers(self):
+        design = image_pipeline_design(kernel_size=5)
+        line_buffers = [n for n in design.segment_names if n.startswith("line_buf")]
+        assert len(line_buffers) == 5
+
+    def test_schedule_derives_non_trivial_conflicts(self):
+        scheduled = image_pipeline_design(with_schedule=True)
+        unscheduled = image_pipeline_design(with_schedule=False)
+        # The scheduled variant must find at least one pair able to share
+        # storage; the unscheduled variant conservatively conflicts all pairs.
+        assert len(scheduled.conflicts) < len(unscheduled.conflicts)
+        # The line buffers are dead long before the gamma LUT is first read.
+        assert scheduled.conflicts.compatible("line_buf0", "gamma_lut")
+
+    def test_line_buffer_width_follows_pixel_bits(self):
+        design = image_pipeline_design(pixel_bits=10)
+        assert design.by_name("line_buf0").width == 10
+
+
+class TestOtherWorkloads:
+    def test_fir_filter_shapes(self):
+        design = fir_filter_design(taps=32, block_size=256, sample_bits=12)
+        assert design.by_name("coefficients").depth == 32
+        assert design.by_name("input_block").width == 12
+        assert design.num_segments == 5
+
+    def test_fft_ping_pong_buffers(self):
+        design = fft_design(points=256)
+        assert design.by_name("real_ping").depth == 256
+        assert design.by_name("twiddle_rom").depth == 128
+        assert design.num_segments == 7
+
+    def test_matrix_multiply_tiles(self):
+        design = matrix_multiply_design(tile=16, element_bits=8)
+        assert design.by_name("tile_a").depth == 256
+        assert design.by_name("tile_c").width > 8  # accumulator growth
+
+    def test_motion_estimation_window(self):
+        design = motion_estimation_design(block=8, search_range=4)
+        assert design.by_name("search_window").depth == 16 * 16
+        assert design.by_name("current_block").depth == 64
+
+
+class TestCatalog:
+    def test_all_example_designs_returns_five_distinct_designs(self):
+        designs = all_example_designs()
+        assert len(designs) == 5
+        assert len({d.name for d in designs}) == 5
+
+    def test_all_examples_have_accesses_and_conflicts(self):
+        for design in all_example_designs():
+            assert design.total_bits > 0
+            assert all(ds.total_accesses > 0 for ds in design)
+            # scheduling should have produced at least one conflicting pair
+            assert len(design.conflicts) > 0

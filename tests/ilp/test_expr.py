@@ -1,0 +1,160 @@
+"""Unit tests for the linear-expression layer (Variable, LinExpr, Constraint)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ilp import EQ, GE, LE, Model, NonLinearError, quicksum
+from repro.ilp.expr import Constraint, LinExpr
+
+
+@pytest.fixture
+def model():
+    return Model("expr-test")
+
+
+class TestVariable:
+    def test_binary_bounds_and_flags(self, model):
+        x = model.add_binary("x")
+        assert x.lb == 0.0 and x.ub == 1.0
+        assert x.is_integer and x.is_binary
+
+    def test_continuous_defaults(self, model):
+        y = model.add_continuous("y", lb=2.5, ub=7.0)
+        assert not y.is_integer and not y.is_binary
+        assert (y.lb, y.ub) == (2.5, 7.0)
+
+    def test_integer_is_not_binary_with_wide_bounds(self, model):
+        z = model.add_integer("z", lb=0, ub=5)
+        assert z.is_integer and not z.is_binary
+
+    def test_invalid_bounds_rejected(self, model):
+        with pytest.raises(Exception):
+            model.add_continuous("bad", lb=3.0, ub=1.0)
+
+    def test_to_expr_single_term(self, model):
+        x = model.add_binary("x")
+        expr = x.to_expr()
+        assert expr.coeffs == {x.index: 1.0}
+        assert expr.constant == 0.0
+
+
+class TestLinExprArithmetic:
+    def test_addition_of_variables(self, model):
+        x, y = model.add_binary("x"), model.add_binary("y")
+        expr = x + y
+        assert expr.coeffs == {x.index: 1.0, y.index: 1.0}
+
+    def test_addition_merges_duplicate_terms(self, model):
+        x = model.add_binary("x")
+        expr = x + x + x
+        assert expr.coeffs == {x.index: 3.0}
+
+    def test_scalar_multiplication(self, model):
+        x = model.add_binary("x")
+        expr = 3 * x - 0.5 * x
+        assert expr.coeffs[x.index] == pytest.approx(2.5)
+
+    def test_subtraction_and_constants(self, model):
+        x, y = model.add_binary("x"), model.add_binary("y")
+        expr = 2 * x - y + 4
+        assert expr.coeffs == {x.index: 2.0, y.index: -1.0}
+        assert expr.constant == 4.0
+
+    def test_rsub_with_number(self, model):
+        x = model.add_binary("x")
+        expr = 10 - x
+        assert expr.coeffs == {x.index: -1.0}
+        assert expr.constant == 10.0
+
+    def test_negation(self, model):
+        x = model.add_binary("x")
+        expr = -(2 * x + 1)
+        assert expr.coeffs[x.index] == -2.0
+        assert expr.constant == -1.0
+
+    def test_division_by_scalar(self, model):
+        x = model.add_binary("x")
+        expr = (4 * x + 2) / 2
+        assert expr.coeffs[x.index] == pytest.approx(2.0)
+        assert expr.constant == pytest.approx(1.0)
+
+    def test_multiplying_two_variable_expressions_raises(self, model):
+        x, y = model.add_binary("x"), model.add_binary("y")
+        with pytest.raises(NonLinearError):
+            _ = (x + 1) * (y + 1)
+
+    def test_multiplying_expression_by_constant_expression_ok(self, model):
+        x = model.add_binary("x")
+        constant_expr = LinExpr({}, 3.0)
+        result = (x + 1) * constant_expr
+        assert result.coeffs[x.index] == pytest.approx(3.0)
+
+    def test_sum_builtin_works(self, model):
+        xs = [model.add_binary(f"x{i}") for i in range(5)]
+        expr = sum(xs)
+        assert all(expr.coeffs[x.index] == 1.0 for x in xs)
+
+    def test_value_evaluation(self, model):
+        x, y = model.add_binary("x"), model.add_binary("y")
+        expr = 3 * x + 2 * y + 1
+        assert expr.value({x.index: 1, y.index: 0}) == pytest.approx(4.0)
+        assert expr.value([1.0, 1.0]) == pytest.approx(6.0)
+
+
+class TestQuicksum:
+    def test_matches_builtin_sum(self, model):
+        xs = [model.add_binary(f"x{i}") for i in range(10)]
+        a = quicksum(2 * x for x in xs)
+        b = sum(2 * x for x in xs)
+        assert a.coeffs == b.coeffs
+
+    def test_mixed_terms(self, model):
+        x = model.add_binary("x")
+        expr = quicksum([x, 2 * x, 5, 1.5])
+        assert expr.coeffs[x.index] == pytest.approx(3.0)
+        assert expr.constant == pytest.approx(6.5)
+
+    def test_rejects_non_linear_items(self, model):
+        with pytest.raises(NonLinearError):
+            quicksum(["not a term"])
+
+    def test_empty_iterable_gives_zero(self):
+        expr = quicksum([])
+        assert expr.is_constant()
+        assert expr.constant == 0.0
+
+
+class TestConstraints:
+    def test_le_constraint_normalises_rhs(self, model):
+        x, y = model.add_binary("x"), model.add_binary("y")
+        constraint = x + y + 3 <= 2 * y + 5
+        assert isinstance(constraint, Constraint)
+        assert constraint.sense == LE
+        # x - y <= 2 after moving everything to the left.
+        assert constraint.expr.coeffs[x.index] == pytest.approx(1.0)
+        assert constraint.expr.coeffs[y.index] == pytest.approx(-1.0)
+        assert constraint.rhs == pytest.approx(2.0)
+
+    def test_ge_and_eq_senses(self, model):
+        x = model.add_binary("x")
+        assert (x >= 1).sense == GE
+        assert (x.to_expr() == 1).sense == EQ
+
+    def test_satisfaction_and_violation(self, model):
+        x, y = model.add_binary("x"), model.add_binary("y")
+        constraint = x + 2 * y <= 2
+        assert constraint.is_satisfied([0, 1])
+        assert not constraint.is_satisfied([1, 1])
+        assert constraint.violation([1, 1]) == pytest.approx(1.0)
+        assert constraint.violation([0, 0]) == 0.0
+
+    def test_equality_violation_is_absolute(self, model):
+        x = model.add_binary("x")
+        constraint = x.to_expr() == 1
+        assert constraint.violation([0]) == pytest.approx(1.0)
+
+    def test_unknown_sense_rejected(self, model):
+        x = model.add_binary("x")
+        with pytest.raises(Exception):
+            Constraint(x.to_expr(), "<", 1.0)

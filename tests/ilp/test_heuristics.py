@@ -1,0 +1,104 @@
+"""Unit tests for the primal heuristics that seed branch-and-bound."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ilp import Model, quicksum, to_standard_form
+from repro.ilp.heuristics import round_with_sos, sos_greedy_assignment
+
+
+def make_assignment_model(cost, capacity):
+    m = Model("assign")
+    n_items, n_bins = len(cost), len(cost[0])
+    z = {}
+    for i in range(n_items):
+        row = [m.add_binary(f"z[{i},{j}]") for j in range(n_bins)]
+        z[i] = row
+        m.add_constraint(quicksum(row) == 1)
+        m.add_sos1(row)
+    for j in range(n_bins):
+        m.add_constraint(quicksum(z[i][j] for i in range(n_items)) <= capacity[j])
+    m.set_objective(
+        quicksum(cost[i][j] * z[i][j] for i in range(n_items) for j in range(n_bins))
+    )
+    return m, z
+
+
+class TestRoundWithSos:
+    def test_rounds_clean_fractional_point_to_feasible(self):
+        cost = [[1, 5], [4, 2]]
+        m, z = make_assignment_model(cost, capacity=[2, 2])
+        form = to_standard_form(m)
+        x = np.zeros(m.num_variables)
+        x[z[0][0].index] = 0.7
+        x[z[0][1].index] = 0.3
+        x[z[1][0].index] = 0.4
+        x[z[1][1].index] = 0.6
+        rounded = round_with_sos(m, form, x)
+        assert rounded is not None
+        assert rounded[z[0][0].index] == 1.0
+        assert rounded[z[1][1].index] == 1.0
+        assert m.is_feasible(rounded)
+
+    def test_returns_none_when_rounding_breaks_capacity(self):
+        cost = [[1, 5], [1, 5], [1, 5]]
+        m, z = make_assignment_model(cost, capacity=[1, 3])
+        form = to_standard_form(m)
+        x = np.zeros(m.num_variables)
+        for i in range(3):  # every group leans toward the capacity-1 bin
+            x[z[i][0].index] = 0.9
+            x[z[i][1].index] = 0.1
+        assert round_with_sos(m, form, x) is None
+
+    def test_ties_broken_toward_cheaper_member(self):
+        cost = [[7, 1]]
+        m, z = make_assignment_model(cost, capacity=[1, 1])
+        form = to_standard_form(m)
+        x = np.zeros(m.num_variables)
+        x[z[0][0].index] = 0.5
+        x[z[0][1].index] = 0.5
+        rounded = round_with_sos(m, form, x)
+        assert rounded is not None
+        assert rounded[z[0][1].index] == 1.0
+
+
+class TestGreedyAssignment:
+    def test_produces_feasible_assignment(self):
+        cost = [[3, 1, 4], [2, 5, 1], [6, 2, 3], [1, 1, 9]]
+        m, _ = make_assignment_model(cost, capacity=[2, 2, 2])
+        form = to_standard_form(m)
+        x = sos_greedy_assignment(m, form)
+        assert x is not None
+        assert m.is_feasible(x)
+
+    def test_greedy_value_bounds_optimum(self):
+        cost = [[3, 1, 4], [2, 5, 1], [6, 2, 3], [1, 1, 9]]
+        m, _ = make_assignment_model(cost, capacity=[2, 2, 2])
+        form = to_standard_form(m)
+        x = sos_greedy_assignment(m, form)
+        greedy_cost = float(form.c @ x)
+        optimal = m.solve().objective
+        assert greedy_cost >= optimal - 1e-9
+
+    def test_returns_none_without_sos_groups(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.add_constraint(x <= 1)
+        m.set_objective(x)
+        assert sos_greedy_assignment(m, to_standard_form(m)) is None
+
+    def test_returns_none_when_capacity_impossible(self):
+        cost = [[1, 1], [1, 1], [1, 1]]
+        m, _ = make_assignment_model(cost, capacity=[1, 1])
+        form = to_standard_form(m)
+        assert sos_greedy_assignment(m, form) is None
+
+    def test_bails_out_on_foreign_equalities(self):
+        cost = [[1, 2]]
+        m, z = make_assignment_model(cost, capacity=[1, 1])
+        extra = m.add_binary("extra")
+        m.add_constraint(extra.to_expr() == 1)
+        form = to_standard_form(m)
+        assert sos_greedy_assignment(m, form) is None

@@ -1,0 +1,124 @@
+"""Property-based tests of the ILP substrate (hypothesis).
+
+Two invariants are checked over randomly generated problem instances:
+
+* the built-in branch-and-bound solver and SciPy's independent HiGHS MILP
+  solver agree on feasibility and on the optimal objective value, and
+* any solution reported as optimal/feasible satisfies the model's own
+  feasibility check (bounds, integrality and every constraint).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ilp import (
+    BranchAndBoundSolver,
+    Model,
+    ScipyMilpSolver,
+    highs_available,
+    quicksum,
+)
+
+# Keep instances tiny so hundreds of hypothesis examples stay fast.
+_settings = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def knapsack_instances(draw):
+    n = draw(st.integers(min_value=2, max_value=7))
+    values = draw(st.lists(st.integers(1, 25), min_size=n, max_size=n))
+    weights = draw(st.lists(st.integers(1, 12), min_size=n, max_size=n))
+    capacity = draw(st.integers(min_value=0, max_value=sum(weights)))
+    return values, weights, capacity
+
+
+@st.composite
+def assignment_instances(draw):
+    items = draw(st.integers(min_value=2, max_value=6))
+    bins = draw(st.integers(min_value=2, max_value=4))
+    cost = [
+        draw(st.lists(st.integers(1, 20), min_size=bins, max_size=bins))
+        for _ in range(items)
+    ]
+    capacity = [draw(st.integers(0, items)) for _ in range(bins)]
+    return cost, capacity
+
+
+def build_knapsack(values, weights, capacity):
+    m = Model("hyp-knapsack")
+    xs = [m.add_binary(f"x{i}") for i in range(len(values))]
+    m.add_constraint(quicksum(w * x for w, x in zip(weights, xs)) <= capacity)
+    m.set_objective(quicksum(-v * x for v, x in zip(values, xs)))
+    return m
+
+
+def build_assignment(cost, capacity):
+    m = Model("hyp-assign")
+    items, bins = len(cost), len(cost[0])
+    z = [[m.add_binary(f"z[{i},{j}]") for j in range(bins)] for i in range(items)]
+    for i in range(items):
+        m.add_constraint(quicksum(z[i]) == 1)
+        m.add_sos1(z[i])
+    for j in range(bins):
+        m.add_constraint(quicksum(z[i][j] for i in range(items)) <= capacity[j])
+    m.set_objective(quicksum(cost[i][j] * z[i][j] for i in range(items) for j in range(bins)))
+    return m
+
+
+class TestKnapsackProperties:
+    @_settings
+    @given(knapsack_instances())
+    def test_solution_is_feasible_and_no_worse_than_empty(self, instance):
+        values, weights, capacity = instance
+        model = build_knapsack(values, weights, capacity)
+        solution = BranchAndBoundSolver().solve(model)
+        assert solution.is_success
+        assert model.is_feasible(solution.values)
+        # Taking nothing is always feasible, so the optimum is <= 0.
+        assert solution.objective <= 1e-9
+
+    @_settings
+    @given(knapsack_instances())
+    @pytest.mark.skipif(not highs_available(), reason="SciPy/HiGHS not installed")
+    def test_agrees_with_highs(self, instance):
+        values, weights, capacity = instance
+        model = build_knapsack(values, weights, capacity)
+        ours = BranchAndBoundSolver().solve(model)
+        reference = ScipyMilpSolver().solve(model)
+        assert ours.objective == pytest.approx(reference.objective, abs=1e-6)
+
+
+class TestAssignmentProperties:
+    @_settings
+    @given(assignment_instances())
+    def test_feasibility_matches_capacity_total(self, instance):
+        cost, capacity = instance
+        model = build_assignment(cost, capacity)
+        solution = BranchAndBoundSolver().solve(model)
+        if sum(capacity) >= len(cost):
+            # There may still be no feasible split only if every bin has zero
+            # capacity; with total >= items a feasible assignment exists.
+            assert solution.is_success
+            assert model.is_feasible(solution.values)
+        else:
+            assert not solution.is_success
+
+    @_settings
+    @given(assignment_instances())
+    @pytest.mark.skipif(not highs_available(), reason="SciPy/HiGHS not installed")
+    def test_agrees_with_highs(self, instance):
+        cost, capacity = instance
+        model = build_assignment(cost, capacity)
+        ours = BranchAndBoundSolver().solve(model)
+        reference = ScipyMilpSolver().solve(model)
+        assert ours.is_success == reference.is_success
+        if ours.is_success:
+            assert ours.objective == pytest.approx(reference.objective, abs=1e-6)

@@ -1,0 +1,80 @@
+"""Unit tests for the Solution / SolveStats / LpResult containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ilp import (
+    FEASIBLE,
+    INFEASIBLE,
+    OPTIMAL,
+    Model,
+    Solution,
+    SolveStats,
+    quicksum,
+)
+from repro.ilp.solution import LpResult
+
+
+class TestSolutionAccessors:
+    @pytest.fixture
+    def solved(self):
+        m = Model()
+        x = m.add_binary("x")
+        y = m.add_binary("y")
+        m.add_constraint(x + y <= 1)
+        m.set_objective(-2 * x - y)
+        return m, x, y, m.solve()
+
+    def test_value_accessors(self, solved):
+        _, x, y, solution = solved
+        assert solution.is_success and solution.is_optimal
+        assert solution.value(x) == pytest.approx(1.0)
+        assert solution.rounded(y) == 0
+        assert solution.value_by_index(x.index) == pytest.approx(1.0)
+
+    def test_selected_helper(self, solved):
+        _, x, y, solution = solved
+        assert solution.selected([x, y]) == [x]
+
+    def test_no_assignment_raises(self):
+        solution = Solution(status=INFEASIBLE)
+        assert not solution.is_success
+        with pytest.raises(ValueError):
+            solution.value_by_index(0)
+
+    def test_feasible_counts_as_success(self):
+        solution = Solution(status=FEASIBLE, values=np.array([1.0]), objective=3.0)
+        assert solution.is_success and not solution.is_optimal
+
+    def test_repr_mentions_status_and_objective(self, solved):
+        *_, solution = solved
+        text = repr(solution)
+        assert "optimal" in text and "objective" in text
+
+
+class TestStats:
+    def test_stats_as_dict_round_trip(self):
+        stats = SolveStats(wall_time=1.5, nodes_explored=7, lp_solves=9,
+                           incumbent_updates=2, backend="bnb+highs")
+        data = stats.as_dict()
+        assert data["nodes_explored"] == 7
+        assert data["backend"] == "bnb+highs"
+        assert set(data) >= {"wall_time", "lp_solves", "gap", "best_bound"}
+
+    def test_solver_populates_stats(self):
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(6)]
+        m.add_constraint(quicksum(xs) <= 3)
+        m.set_objective(quicksum(-(i + 1) * x for i, x in enumerate(xs)))
+        solution = m.solve()
+        assert solution.stats.lp_solves >= 1
+        assert solution.stats.wall_time > 0
+        assert solution.stats.backend.startswith("bnb+")
+
+
+class TestLpResult:
+    def test_optimal_flag(self):
+        assert LpResult(OPTIMAL, x=np.zeros(2), objective=0.0).is_optimal
+        assert not LpResult(INFEASIBLE).is_optimal

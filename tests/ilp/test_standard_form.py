@@ -1,0 +1,82 @@
+"""Unit tests for the Model -> matrix standard-form conversion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ilp import MAXIMIZE, Model, ModelError, to_standard_form
+
+
+def build_basic_model():
+    m = Model("std")
+    x = m.add_binary("x")
+    y = m.add_continuous("y", lb=1.0, ub=4.0)
+    z = m.add_integer("z", lb=0, ub=10)
+    m.add_constraint(x + 2 * y <= 7, name="row-le")
+    m.add_constraint(3 * y - z >= 1, name="row-ge")
+    m.add_constraint(x + z == 2, name="row-eq")
+    m.set_objective(5 * x + y - z + 10)
+    return m, (x, y, z)
+
+
+class TestConversion:
+    def test_matrix_shapes(self):
+        m, _ = build_basic_model()
+        form = to_standard_form(m)
+        assert form.c.shape == (3,)
+        assert form.A_ub.shape == (2, 3)   # the >= row was flipped into <=
+        assert form.A_eq.shape == (1, 3)
+        assert form.integrality.tolist() == [True, False, True]
+
+    def test_ge_rows_are_negated(self):
+        m, (x, y, z) = build_basic_model()
+        form = to_standard_form(m)
+        # Second <= row corresponds to -(3y - z) <= -1.
+        row = form.A_ub[1]
+        assert row[y.index] == pytest.approx(-3.0)
+        assert row[z.index] == pytest.approx(1.0)
+        assert form.b_ub[1] == pytest.approx(-1.0)
+
+    def test_bounds_vectors(self):
+        m, _ = build_basic_model()
+        form = to_standard_form(m)
+        assert form.lb.tolist() == [0.0, 1.0, 0.0]
+        assert form.ub.tolist() == [1.0, 4.0, 10.0]
+
+    def test_objective_offset_preserved(self):
+        m, _ = build_basic_model()
+        form = to_standard_form(m)
+        x = np.array([1.0, 1.0, 0.0])
+        assert form.user_objective(x) == pytest.approx(5 + 1 - 0 + 10)
+
+    def test_row_names_recorded(self):
+        m, _ = build_basic_model()
+        form = to_standard_form(m)
+        assert form.row_names_ub == ("row-le", "row-ge")
+        assert form.row_names_eq == ("row-eq",)
+
+    def test_maximisation_negates_objective(self):
+        m = Model("max", sense=MAXIMIZE)
+        x = m.add_binary("x")
+        m.set_objective(3 * x)
+        form = to_standard_form(m)
+        assert form.c[x.index] == pytest.approx(-3.0)
+        assert form.objective_scale == -1.0
+        # user_objective undoes the negation.
+        assert form.user_objective(np.array([1.0])) == pytest.approx(3.0)
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ModelError):
+            to_standard_form(Model("empty"))
+
+    def test_with_bounds_shares_matrices(self):
+        m, _ = build_basic_model()
+        form = to_standard_form(m)
+        new_lb = form.lb.copy()
+        new_lb[0] = 1.0
+        child = form.with_bounds(new_lb, form.ub)
+        assert child.A_ub is form.A_ub
+        assert child.A_eq is form.A_eq
+        assert child.lb[0] == 1.0
+        assert form.lb[0] == 0.0

@@ -1,0 +1,92 @@
+"""Unit tests for synthetic access-trace generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.design import DataStructure, Design
+from repro.sim import TRACE_DTYPE, AccessTrace, TraceGenerator
+
+
+@pytest.fixture
+def design():
+    return Design(
+        name="trace-design",
+        data_structures=(
+            DataStructure("a", 32, 8),
+            DataStructure("b", 16, 16, reads=40, writes=8),
+        ),
+    )
+
+
+class TestGeneration:
+    def test_record_dtype_and_length(self, design):
+        trace = TraceGenerator(seed=0).generate(design)
+        assert trace.records.dtype == TRACE_DTYPE
+        # a: 32 reads + 32 writes; b: 40 reads + 8 writes.
+        assert len(trace) == 64 + 48
+        assert trace.design_name == "trace-design"
+
+    def test_counts_per_structure_respect_footprint(self, design):
+        trace = TraceGenerator(seed=0).generate(design)
+        counts = trace.counts_per_structure()
+        assert counts["a"] == (32, 32)
+        assert counts["b"] == (40, 8)
+        assert trace.num_reads == 72
+        assert trace.num_writes == 40
+
+    def test_deterministic_for_seed(self, design):
+        a = TraceGenerator(seed=5).generate(design)
+        b = TraceGenerator(seed=5).generate(design)
+        assert np.array_equal(a.records, b.records)
+
+    def test_different_seeds_differ(self, design):
+        a = TraceGenerator(seed=1).generate(design)
+        b = TraceGenerator(seed=2).generate(design)
+        assert not np.array_equal(a.records, b.records)
+
+    def test_scale_shrinks_trace(self, design):
+        full = TraceGenerator(seed=0).generate(design)
+        small = TraceGenerator(seed=0, scale=0.25).generate(design)
+        assert len(small) < len(full)
+        assert len(small) >= 4  # at least one read and write per structure
+
+    def test_addresses_stay_in_range(self, design):
+        for pattern in ("sequential", "random", "mixed"):
+            trace = TraceGenerator(seed=3, pattern=pattern).generate(design)
+            for index, ds in enumerate(design.data_structures):
+                mask = trace.records["structure"] == index
+                addresses = trace.records["address"][mask]
+                assert addresses.min() >= 0
+                assert addresses.max() < ds.depth
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            TraceGenerator(pattern="zigzag")
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            TraceGenerator(scale=0.0)
+
+    def test_interleaving_mixes_structures(self, design):
+        interleaved = TraceGenerator(seed=0, interleave=True).generate(design)
+        sequential = TraceGenerator(seed=0, interleave=False).generate(design)
+        # Without interleaving the structure ids come in contiguous blocks.
+        seq_ids = sequential.records["structure"]
+        assert (np.diff(seq_ids) >= 0).all()
+        # With interleaving structure 1 appears before the last record of 0.
+        inter_ids = interleaved.records["structure"]
+        first_of_b = np.argmax(inter_ids == 1)
+        last_of_a = len(inter_ids) - 1 - np.argmax(inter_ids[::-1] == 0)
+        assert first_of_b < last_of_a
+
+    def test_accessor_by_name(self, design):
+        trace = TraceGenerator(seed=0).generate(design)
+        only_a = trace.accesses_of("a")
+        assert (only_a["structure"] == 0).all()
+        assert len(only_a) == 64
+
+    def test_wrong_dtype_rejected(self, design):
+        with pytest.raises(ValueError):
+            AccessTrace("x", ("a",), np.zeros(4, dtype=np.int64))

@@ -1,0 +1,105 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import BUILTIN_BOARDS, BUILTIN_DESIGNS, main
+from repro.io import board_to_dict, design_to_dict, save_json
+from repro.arch import virtex_board
+from repro.design import fir_filter_design
+
+
+class TestListingCommands:
+    def test_boards_lists_every_builtin(self, capsys):
+        assert main(["boards"]) == 0
+        out = capsys.readouterr().out
+        for name in BUILTIN_BOARDS:
+            assert name in out
+
+    def test_designs_lists_every_builtin(self, capsys):
+        assert main(["designs"]) == 0
+        out = capsys.readouterr().out
+        for name in BUILTIN_DESIGNS:
+            assert name in out
+
+    def test_describe_board_and_design(self, capsys):
+        assert main(["describe", "--board", "virtex-xcv300",
+                     "--design", "fir-filter"]) == 0
+        out = capsys.readouterr().out
+        assert "BlockRAM" in out and "coefficients" in out
+
+    def test_describe_without_arguments_fails(self, capsys):
+        assert main(["describe"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestMapCommand:
+    def test_map_builtin_design_onto_builtin_board(self, capsys):
+        assert main(["map", "--board", "virtex-xcv1000",
+                     "--design", "fir-filter"]) == 0
+        out = capsys.readouterr().out
+        assert "Memory mapping report" in out
+        assert "weighted objective" in out
+        assert "Memory map" in out
+
+    def test_map_writes_output_json(self, capsys, tmp_path):
+        output = tmp_path / "mapping.json"
+        assert main(["map", "--board", "virtex-xcv1000", "--design", "fir-filter",
+                     "--output", str(output)]) == 0
+        document = json.loads(output.read_text())
+        assert document["kind"] == "mapping_result"
+        assert document["global_mapping"]["solver_status"] == "optimal"
+        assert len(document["detailed_mapping"]["placements"]) > 0
+
+    def test_map_from_json_files(self, capsys, tmp_path):
+        board_path = save_json(board_to_dict(virtex_board("XCV300")),
+                               tmp_path / "board.json")
+        design_path = save_json(design_to_dict(fir_filter_design()),
+                                tmp_path / "design.json")
+        assert main(["map", "--board", str(board_path),
+                     "--design", str(design_path)]) == 0
+        assert "optimal" in capsys.readouterr().out
+
+    def test_map_random_design(self, capsys):
+        assert main(["map", "--board", "hierarchical", "--design", "random:6",
+                     "--seed", "3"]) == 0
+        assert "Memory mapping report" in capsys.readouterr().out
+
+    def test_map_weight_presets(self, capsys):
+        assert main(["map", "--board", "virtex-xcv1000", "--design", "fir-filter",
+                     "--weights", "latency"]) == 0
+        capsys.readouterr()
+
+    def test_unknown_board_is_a_clean_error(self, capsys):
+        assert main(["map", "--board", "no-such-board",
+                     "--design", "fir-filter"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown board" in err
+
+    def test_unknown_design_is_a_clean_error(self, capsys):
+        assert main(["map", "--board", "hierarchical",
+                     "--design", "no-such-design"]) == 2
+        assert "unknown design" in capsys.readouterr().err
+
+    def test_infeasible_mapping_is_a_clean_error(self, capsys):
+        # The FFT does not fit the small FLEX 10K board (see the dsp_kernels
+        # example); the CLI must report that as an error, not a traceback.
+        assert main(["map", "--board", "flex10k-epf10k100", "--design", "fft"]) == 2
+        assert "mapping failed" in capsys.readouterr().err
+
+
+class TestTable3Command:
+    def test_scaled_subset_runs(self, capsys):
+        assert main(["table3", "--points", "1", "--skip-complete"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "global/detailed" in out
+
+    def test_with_complete_baseline(self, capsys):
+        assert main(["table3", "--points", "1", "--time-limit", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "same optimum" in out
+        assert "yes" in out
