@@ -77,7 +77,9 @@ def render_table3(rows) -> str:
 
 def test_table3_execution_times(benchmark, results_dir):
     points = default_design_points()
-    harness = Table3Harness(points=points)
+    # artifact_dir makes the harness drop a BENCH_table3.json performance
+    # artifact (wall time, per-point stats, speedup) next to the tables.
+    harness = Table3Harness(points=points, artifact_dir=results_dir)
 
     rows = benchmark.pedantic(harness.run, rounds=1, iterations=1)
 

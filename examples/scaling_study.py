@@ -11,10 +11,13 @@ scaling experiments (different boards, occupancies or solver backends).
 Run it with::
 
     python examples/scaling_study.py            # scaled design points, quick
+    REPRO_JOBS=4 python examples/scaling_study.py          # parallel sweep
     REPRO_FULL_TABLE3=1 python examples/scaling_study.py   # the paper's sizes
 """
 
 from __future__ import annotations
+
+import os
 
 from repro.bench import (
     Table3Harness,
@@ -28,19 +31,24 @@ from repro.bench import (
 
 def main() -> None:
     points = default_design_points()
-    harness = Table3Harness(points=points)
+    jobs = int(os.environ.get("REPRO_JOBS", "1"))
+    harness = Table3Harness(points=points, jobs=jobs)
     print(
         f"Running {len(points)} design points with solver backend "
-        f"{default_solver_backend()!r} (time limit {harness.time_limit:.0f}s per solve)."
+        f"{default_solver_backend()!r} (time limit {harness.time_limit:.0f}s per "
+        f"solve, {jobs} worker{'s' if jobs != 1 else ''})."
     )
     print()
 
     rows = []
-    for point in points:
-        row = harness.run_point(point)
-        rows.append(row)
+    if jobs > 1:
+        rows = harness.run()
+    else:
+        for point in points:
+            rows.append(harness.run_point(point))
+    for row in rows:
         print(
-            f"  {point.label():45s} global/detailed {format_seconds(row.global_detailed_seconds):>9s}"
+            f"  {row.point.label():45s} global/detailed {format_seconds(row.global_detailed_seconds):>9s}"
             f"   complete {format_seconds(row.complete_seconds):>9s}"
             f"   same optimum: {'yes' if row.objectives_match else 'no'}"
         )

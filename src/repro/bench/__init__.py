@@ -1,10 +1,12 @@
 """Benchmark harness: Table 3 design points, experiment runner, reporting."""
 
+from .artifacts import batch_artifact, write_bench_artifact
 from .designpoints import (
     PAPER_DESIGN_POINTS,
     SCALED_DESIGN_POINTS,
     DesignPoint,
     default_design_points,
+    sweep_design_points,
 )
 from .harness import (
     ExperimentRow,
@@ -19,10 +21,13 @@ __all__ = [
     "PAPER_DESIGN_POINTS",
     "SCALED_DESIGN_POINTS",
     "default_design_points",
+    "sweep_design_points",
     "ExperimentRow",
     "Table3Harness",
     "run_table3",
     "default_solver_backend",
+    "batch_artifact",
+    "write_bench_artifact",
     "ascii_table",
     "ascii_series",
     "format_seconds",

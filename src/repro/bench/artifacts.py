@@ -1,0 +1,88 @@
+"""Machine-readable benchmark artifacts (``BENCH_<name>.json``).
+
+Every sweep — the batch CLI, the Table 3 harness, the benchmark scripts —
+can drop a small JSON artifact describing what ran and how fast, so the
+performance trajectory of the repository is tracked from run to run
+instead of living in scrollback.  The layout is deliberately flat: a
+header (name, sweep size, worker count), aggregate timings including the
+estimated speedup over a serial run, cache statistics when a result cache
+was in play, and one record per job.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Sequence, Union
+
+from ..engine.jobs import JobResult
+
+__all__ = ["batch_artifact", "write_bench_artifact"]
+
+#: Version tag of the artifact layout.
+ARTIFACT_VERSION = 1
+
+
+def batch_artifact(
+    name: str,
+    results: Sequence[JobResult],
+    elapsed: float,
+    jobs: int,
+    solver: str,
+    cache_stats: Optional[Mapping[str, int]] = None,
+) -> Dict[str, Any]:
+    """Summarise one engine batch as an artifact document.
+
+    ``serial_seconds`` is the sum of the per-job wall times measured inside
+    the workers — what the same sweep would have cost end-to-end on one
+    worker — so ``speedup_vs_serial`` tracks the real benefit of the
+    worker pool (and of cache hits, whose job cost is ~0).
+    """
+    serial_seconds = sum(r.wall_time for r in results if not r.cache_hit)
+    ok = sum(1 for r in results if r.ok)
+    return {
+        "kind": "bench_artifact",
+        "artifact_version": ARTIFACT_VERSION,
+        "name": name,
+        "jobs": jobs,
+        "solver": solver,
+        "num_points": len(results),
+        "num_ok": ok,
+        "num_failed": len(results) - ok,
+        "cache_hits": sum(1 for r in results if r.cache_hit),
+        "wall_seconds": elapsed,
+        "serial_seconds": serial_seconds,
+        "speedup_vs_serial": (serial_seconds / elapsed) if elapsed > 0 else None,
+        "cache": dict(cache_stats) if cache_stats is not None else None,
+        "results": [
+            {
+                "label": r.label,
+                "status": r.status,
+                "objective": r.objective,
+                "solver_status": r.solver_status,
+                "wall_time": r.wall_time,
+                "attempts": r.attempts,
+                "cache_hit": r.cache_hit,
+                "fingerprint": r.fingerprint,
+                "model_size": dict(r.model_size),
+                "error": r.error,
+            }
+            for r in results
+        ],
+    }
+
+
+def write_bench_artifact(
+    name: str,
+    payload: Mapping[str, Any],
+    directory: Union[str, Path] = ".",
+) -> Path:
+    """Write ``payload`` to ``<directory>/BENCH_<name>.json`` and return the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps(dict(payload), indent=2, sort_keys=False) + "\n",
+        encoding="utf-8",
+    )
+    return path

@@ -37,6 +37,7 @@ __all__ = [
     "PAPER_DESIGN_POINTS",
     "SCALED_DESIGN_POINTS",
     "default_design_points",
+    "sweep_design_points",
 ]
 
 
@@ -131,3 +132,31 @@ def default_design_points(full: Optional[bool] = None) -> Tuple[DesignPoint, ...
         flag = os.environ.get("REPRO_FULL_TABLE3", "")
         full = flag not in ("", "0", "false", "False")
     return PAPER_DESIGN_POINTS if full else SCALED_DESIGN_POINTS
+
+
+def sweep_design_points(count: int, full: bool = False) -> Tuple[DesignPoint, ...]:
+    """Generate an arbitrary-size sweep of design points for batch runs.
+
+    The Table 3 rows only cover nine complexity combinations; batch sweeps
+    (``repro batch --sweep N``) want any N.  Points are generated by
+    cycling the base rows while re-indexing each copy, and since a point's
+    index seeds its synthetic board and design generators, every point of
+    the sweep is a distinct (design, board) instance even where the
+    complexity parameters repeat.
+    """
+    if count < 1:
+        raise ValueError("a sweep needs at least one design point")
+    base = PAPER_DESIGN_POINTS if full else SCALED_DESIGN_POINTS
+    points = []
+    for i in range(count):
+        proto = base[i % len(base)]
+        points.append(
+            DesignPoint(
+                index=i + 1,
+                segments=proto.segments,
+                banks=proto.banks,
+                ports=proto.ports,
+                configs=proto.configs,
+            )
+        )
+    return tuple(points)

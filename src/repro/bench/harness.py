@@ -37,7 +37,17 @@ from ..core.complete_mapper import CompleteMapper
 from ..core.mapping import MappingError
 from ..core.objective import CostWeights
 from ..core.pipeline import MemoryMapper
+from ..engine import (
+    MODE_COMPLETE,
+    MODE_PIPELINE,
+    STATUS_ERROR,
+    STATUS_OK,
+    JobResult,
+    MappingEngine,
+    MappingJob,
+)
 from ..ilp import highs_available
+from .artifacts import write_bench_artifact
 from .designpoints import DesignPoint, default_design_points
 
 __all__ = ["ExperimentRow", "Table3Harness", "run_table3", "default_solver_backend"]
@@ -101,6 +111,9 @@ class Table3Harness:
         occupancy: float = 0.45,
         weights: Optional[CostWeights] = None,
         run_complete: bool = True,
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
+        artifact_dir: Optional[str] = None,
     ) -> None:
         self.points = tuple(points) if points is not None else default_design_points()
         self.solver = solver or default_solver_backend()
@@ -109,6 +122,9 @@ class Table3Harness:
         self.occupancy = occupancy
         self.weights = weights or CostWeights()
         self.run_complete = run_complete
+        self.jobs = max(1, int(jobs))
+        self.cache_dir = cache_dir
+        self.artifact_dir = artifact_dir
 
     # ------------------------------------------------------------------ api
     def run_point(self, point: DesignPoint) -> ExperimentRow:
@@ -175,7 +191,147 @@ class Table3Harness:
         )
 
     def run(self) -> List[ExperimentRow]:
-        return [self.run_point(point) for point in self.points]
+        """Measure every design point, in parallel when ``jobs > 1``.
+
+        Both execution paths produce identical mapping results; the
+        parallel path dispatches the per-point solves — global/detailed
+        and, when enabled, the complete formulation — as engine jobs
+        across worker processes.
+        """
+        start = time.perf_counter()
+        if self.jobs <= 1:
+            rows = [self.run_point(point) for point in self.points]
+        else:
+            rows = self._run_parallel()
+        if self.artifact_dir is not None:
+            write_bench_artifact(
+                "table3",
+                self._artifact(rows, time.perf_counter() - start),
+                self.artifact_dir,
+            )
+        return rows
+
+    # ------------------------------------------------------- parallel sweep
+    def _run_parallel(self) -> List[ExperimentRow]:
+        batch: List[MappingJob] = []
+        for point in self.points:
+            design, board = point.build(seed=self.seed, occupancy=self.occupancy)
+            common = dict(
+                board=board,
+                design=design,
+                weights=self.weights,
+                solver=self.solver,
+                solver_options={"time_limit": self.time_limit},
+                timeout=self.time_limit,
+                # run_point measures with warm_start=False; the parallel
+                # path must solve the exact same configuration.
+                warm_start=False,
+            )
+            batch.append(MappingJob(
+                mode=MODE_PIPELINE, label=f"global/detailed {point.label()}", **common
+            ))
+            if self.run_complete:
+                batch.append(MappingJob(
+                    mode=MODE_COMPLETE, label=f"complete {point.label()}", **common
+                ))
+        engine = MappingEngine(jobs=self.jobs, cache_dir=self.cache_dir)
+        results = engine.run(batch)
+
+        stride = 2 if self.run_complete else 1
+        rows = []
+        for i, point in enumerate(self.points):
+            pipeline = results[i * stride]
+            complete = results[i * stride + 1] if self.run_complete else None
+            rows.append(self._row_from_results(point, pipeline, complete))
+        return rows
+
+    def _row_from_results(
+        self,
+        point: DesignPoint,
+        pipeline: JobResult,
+        complete: Optional[JobResult],
+    ) -> ExperimentRow:
+        if pipeline.status == STATUS_ERROR:
+            # run_point would have propagated the worker's exception.
+            raise MappingError(
+                f"global/detailed mapping of {point.label()} crashed: "
+                f"{pipeline.error}"
+            )
+        if not pipeline.ok:
+            raise MappingError(
+                f"global/detailed mapping of {point.label()} failed: "
+                f"{pipeline.error or pipeline.status}"
+            )
+        complete_seconds = 0.0
+        complete_objective: Optional[float] = None
+        complete_status = "skipped"
+        complete_model_size: Dict[str, int] = {}
+        timed_out = False
+        if complete is not None:
+            complete_seconds = complete.wall_time
+            if complete.status == STATUS_OK:
+                complete_objective = complete.objective
+                complete_status = complete.solver_status
+                complete_model_size = dict(complete.model_size)
+                timed_out = complete.solver_status in ("timeout", "node_limit")
+            elif complete.status == STATUS_ERROR:
+                raise MappingError(
+                    f"complete mapping of {point.label()} crashed: "
+                    f"{complete.error}"
+                )
+            else:
+                # Same censoring as run_point: a solve that died on its
+                # limit is reported with the measured time as a lower bound
+                # (the full budget when the worker never reported back).
+                complete_seconds = (
+                    complete.wall_time if complete.wall_time > 0 else self.time_limit
+                )
+                complete_status = "timeout"
+                timed_out = True
+        return ExperimentRow(
+            point=point,
+            global_detailed_seconds=pipeline.wall_time,
+            complete_seconds=complete_seconds,
+            global_objective=pipeline.objective,
+            complete_objective=complete_objective,
+            global_status=pipeline.solver_status,
+            complete_status=complete_status,
+            global_model_size=dict(pipeline.model_size),
+            complete_model_size=complete_model_size,
+            complete_timed_out=timed_out,
+        )
+
+    def _artifact(self, rows: List[ExperimentRow], elapsed: float) -> Dict[str, object]:
+        serial_seconds = sum(
+            row.global_detailed_seconds + row.complete_seconds for row in rows
+        )
+        return {
+            "kind": "bench_artifact",
+            "artifact_version": 1,
+            "name": "table3",
+            "jobs": self.jobs,
+            "solver": self.solver,
+            "num_points": len(rows),
+            "wall_seconds": elapsed,
+            "serial_seconds": serial_seconds,
+            "speedup_vs_serial": (serial_seconds / elapsed) if elapsed > 0 else None,
+            "results": [
+                {
+                    "label": row.point.label(),
+                    "global_detailed_seconds": row.global_detailed_seconds,
+                    "complete_seconds": row.complete_seconds,
+                    "global_status": row.global_status,
+                    "complete_status": row.complete_status,
+                    "global_objective": row.global_objective,
+                    "complete_objective": row.complete_objective,
+                    "objectives_match": row.objectives_match,
+                    "speedup": None if row.complete_objective is None else row.speedup,
+                    "global_model_size": dict(row.global_model_size),
+                    "complete_model_size": dict(row.complete_model_size),
+                }
+                for row in rows
+            ],
+        }
 
 
 def run_table3(
@@ -184,6 +340,8 @@ def run_table3(
     time_limit: Optional[float] = None,
     seed: int = 0,
     run_complete: bool = True,
+    jobs: int = 1,
+    artifact_dir: Optional[str] = None,
 ) -> List[ExperimentRow]:
     """One-call version of the Table 3 experiment (used by the benchmarks)."""
     harness = Table3Harness(
@@ -192,5 +350,7 @@ def run_table3(
         time_limit=time_limit,
         seed=seed,
         run_complete=run_complete,
+        jobs=jobs,
+        artifact_dir=artifact_dir,
     )
     return harness.run()

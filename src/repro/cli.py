@@ -4,21 +4,28 @@ The CLI makes the library usable as a standalone tool in a synthesis flow::
 
     python -m repro boards                       # list built-in boards
     python -m repro designs                      # list built-in example designs
+    python -m repro backends                     # list registered ILP backends
     python -m repro describe --board virtex-xcv1000
     python -m repro map --board hierarchical --design image-pipeline
     python -m repro map --board my_board.json --design my_design.json \\
-        --output mapping.json --weights latency
-    python -m repro table3 --points 4            # scaling experiment (Table 3)
+        --output mapping.json --weights latency --json
+    python -m repro batch --sweep 16 --jobs 4    # parallel mapping sweep
+    python -m repro table3 --points 4 --jobs 2   # scaling experiment (Table 3)
 
 Boards and designs can be given either as the name of a built-in (see
 ``boards`` / ``designs``) or as the path of a JSON file following the schema
 of :mod:`repro.io`.
+
+Exit codes: ``0`` success, ``1`` a mapping was infeasible or failed,
+``2`` usage error (bad arguments, unreadable files).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -32,9 +39,12 @@ from .arch import (
 from .bench import (
     Table3Harness,
     ascii_table,
+    batch_artifact,
     default_design_points,
     default_solver_backend,
     format_seconds,
+    sweep_design_points,
+    write_bench_artifact,
 )
 from .core import CostWeights, MappingError, MemoryMapper
 from .core.report import render_full_report
@@ -47,6 +57,9 @@ from .design import (
     motion_estimation_design,
     random_design,
 )
+from .engine import MappingEngine, MappingJob
+from .ilp import list_backends, resolve_backend
+from .ilp.errors import ModelError as IlpModelError
 from .io import (
     SerializationError,
     load_board,
@@ -55,7 +68,13 @@ from .io import (
     save_json,
 )
 
-__all__ = ["main", "BUILTIN_BOARDS", "BUILTIN_DESIGNS"]
+__all__ = ["main", "BUILTIN_BOARDS", "BUILTIN_DESIGNS",
+           "EXIT_OK", "EXIT_MAPPING_FAILED", "EXIT_USAGE"]
+
+#: Process exit codes (documented in the module docstring).
+EXIT_OK = 0
+EXIT_MAPPING_FAILED = 1
+EXIT_USAGE = 2
 
 #: Built-in boards selectable by name on the command line.
 BUILTIN_BOARDS: Dict[str, Callable[[], Board]] = {
@@ -99,6 +118,23 @@ def _resolve_board(spec: str) -> Board:
         f"unknown board {spec!r}; use one of {', '.join(sorted(BUILTIN_BOARDS))} "
         "or the path of a board JSON file"
     )
+
+
+def _resolve_solver(name: Optional[str]) -> Optional[str]:
+    """Validate a solver backend name against the registry up front."""
+    if name is None:
+        return None
+    try:
+        resolve_backend(name)
+    except IlpModelError as exc:
+        raise CliError(f"{exc}; see 'repro backends' for the registered ones") from exc
+    return name
+
+
+def _resolve_jobs(jobs: int) -> int:
+    if jobs < 1:
+        raise CliError("--jobs must be at least 1")
+    return jobs
 
 
 def _resolve_design(spec: str, seed: int = 0) -> Design:
@@ -177,7 +213,7 @@ def _cmd_map(args: argparse.Namespace) -> int:
     mapper = MemoryMapper(
         board,
         weights=weights,
-        solver=args.solver,
+        solver=_resolve_solver(args.solver),
         solver_options={"time_limit": args.time_limit} if args.time_limit else None,
         capacity_mode=args.capacity_mode,
         port_estimation=args.port_estimation,
@@ -185,13 +221,137 @@ def _cmd_map(args: argparse.Namespace) -> int:
     try:
         result = mapper.map(design)
     except MappingError as exc:
-        raise CliError(f"mapping failed: {exc}") from exc
+        # Infeasible/failed mappings are a distinct outcome (exit 1), not a
+        # usage error: sweep drivers branch on it.
+        if args.json:
+            print(json.dumps(
+                {"kind": "job_result", "status": "failed",
+                 "label": f"{design.name}@{board.name}", "error": str(exc)},
+                indent=2,
+            ))
+        print(f"error: mapping failed: {exc}", file=sys.stderr)
+        return EXIT_MAPPING_FAILED
 
-    print(render_full_report(result))
+    document = mapping_result_to_dict(result)
+    if args.json:
+        print(json.dumps(document, indent=2))
+    else:
+        print(render_full_report(result))
     if args.output:
-        path = save_json(mapping_result_to_dict(result), args.output)
-        print(f"\n[mapping written to {path}]")
-    return 0
+        path = save_json(document, args.output)
+        if not args.json:
+            print(f"\n[mapping written to {path}]")
+    return EXIT_OK
+
+
+def _cmd_backends(args: argparse.Namespace) -> int:
+    infos = list_backends()
+    if args.json:
+        print(json.dumps(
+            [
+                {
+                    "name": info.name,
+                    "aliases": list(info.aliases),
+                    "available": info.available,
+                    "capabilities": sorted(info.capabilities),
+                    "options": dict(info.options),
+                    "description": info.description,
+                }
+                for info in infos
+            ],
+            indent=2,
+        ))
+        return EXIT_OK
+    rows = [
+        [
+            info.name,
+            "yes" if info.available else "no",
+            ", ".join(info.aliases) or "-",
+            ", ".join(sorted(info.capabilities)),
+        ]
+        for info in infos
+    ]
+    print(ascii_table(
+        ["name", "available", "aliases", "capabilities"],
+        rows,
+        title="Registered ILP solver backends",
+    ))
+    for info in infos:
+        print(f"  {info.name}: {info.description}")
+    return EXIT_OK
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    weights = _WEIGHT_PRESETS[args.weights]()
+    solver = _resolve_solver(args.solver) or default_solver_backend()
+    jobs = _resolve_jobs(args.jobs)
+    solver_options = {"time_limit": args.time_limit} if args.time_limit else {}
+
+    batch: List[MappingJob] = []
+    if args.sweep:
+        for point in sweep_design_points(args.sweep, full=args.full):
+            design, board = point.build(seed=args.seed)
+            batch.append(MappingJob(
+                board=board, design=design, weights=weights, solver=solver,
+                solver_options=solver_options, label=point.label(),
+                timeout=args.time_limit,
+            ))
+    if args.design:
+        board = _resolve_board(args.board)
+        for spec in args.design:
+            design = _resolve_design(spec, seed=args.seed)
+            batch.append(MappingJob(
+                board=board, design=design, weights=weights, solver=solver,
+                solver_options=solver_options, timeout=args.time_limit,
+            ))
+    if not batch:
+        raise CliError("batch needs --design and/or --sweep N")
+
+    engine = MappingEngine(
+        jobs=jobs, cache_dir=args.cache_dir, retries=args.retries,
+        timeout=args.time_limit,
+    )
+    start = time.perf_counter()
+    results = engine.run(batch)
+    elapsed = time.perf_counter() - start
+
+    artifact = batch_artifact(
+        "batch", results, elapsed, jobs, solver,
+        engine.cache.stats() if engine.cache is not None else None,
+    )
+    if args.artifact_dir:
+        write_bench_artifact("batch", artifact, args.artifact_dir)
+
+    if args.json:
+        document = dict(artifact)
+        document["results"] = [r.to_dict() for r in results]
+        print(json.dumps(document, indent=2))
+    else:
+        rows = [
+            [
+                r.label,
+                r.status,
+                "-" if r.objective is None else f"{r.objective:.4f}",
+                format_seconds(r.wall_time),
+                "hit" if r.cache_hit else "-",
+                r.error or r.solver_status,
+            ]
+            for r in results
+        ]
+        print(ascii_table(
+            ["job", "status", "objective", "time", "cache", "detail"],
+            rows,
+            title=f"Batch of {len(results)} mapping jobs "
+                  f"({jobs} worker{'s' if jobs != 1 else ''}, "
+                  f"{elapsed:.2f}s wall, "
+                  f"{artifact['speedup_vs_serial']:.2f}x vs serial)",
+        ))
+    if args.output:
+        save_json({"kind": "batch_result", **artifact,
+                   "results": [r.to_dict() for r in results]}, args.output)
+        if not args.json:
+            print(f"\n[batch results written to {args.output}]")
+    return EXIT_OK if all(r.ok for r in results) else EXIT_MAPPING_FAILED
 
 
 def _cmd_table3(args: argparse.Namespace) -> int:
@@ -203,14 +363,24 @@ def _cmd_table3(args: argparse.Namespace) -> int:
         solver=args.solver,
         time_limit=args.time_limit,
         run_complete=not args.skip_complete,
+        jobs=_resolve_jobs(args.jobs),
+        artifact_dir=args.artifact_dir,
     )
     print(
         f"Running {len(points)} design points with backend "
-        f"{harness.solver!r} (time limit {harness.time_limit:.0f}s)..."
+        f"{harness.solver!r} (time limit {harness.time_limit:.0f}s, "
+        f"{harness.jobs} worker{'s' if harness.jobs != 1 else ''})..."
     )
     rows = []
-    for point in points:
-        row = harness.run_point(point)
+    if harness.jobs > 1 or args.artifact_dir:
+        # run() handles worker dispatch and artifact writing in one place.
+        experiment_rows = harness.run()
+    else:
+        experiment_rows = []
+        for point in points:
+            experiment_rows.append(harness.run_point(point))
+            print(f"  finished {point.label()}")
+    for point, row in zip(points, experiment_rows):
         rows.append(
             [
                 point.index, point.segments, point.banks, point.ports, point.configs,
@@ -219,7 +389,6 @@ def _cmd_table3(args: argparse.Namespace) -> int:
                 "yes" if row.objectives_match else "-",
             ]
         )
-        print(f"  finished {point.label()}")
     print()
     print(ascii_table(
         ["#", "segs", "banks", "ports", "configs",
@@ -246,6 +415,11 @@ def build_parser() -> argparse.ArgumentParser:
         func=_cmd_designs
     )
 
+    backends = sub.add_parser("backends", help="list registered ILP solver backends")
+    backends.add_argument("--json", action="store_true",
+                          help="emit machine-readable JSON")
+    backends.set_defaults(func=_cmd_backends)
+
     describe = sub.add_parser("describe", help="describe a board and/or design")
     describe.add_argument("--board", help="board name or JSON file")
     describe.add_argument("--design", help="design name or JSON file")
@@ -268,7 +442,42 @@ def build_parser() -> argparse.ArgumentParser:
     map_cmd.add_argument("--seed", type=int, default=0,
                          help="seed for random:<n> designs")
     map_cmd.add_argument("--output", help="write the mapping result to this JSON file")
+    map_cmd.add_argument("--json", action="store_true",
+                         help="print the mapping result as JSON instead of a report")
     map_cmd.set_defaults(func=_cmd_map)
+
+    batch = sub.add_parser(
+        "batch", help="map a batch of designs in parallel through the engine"
+    )
+    batch.add_argument("--board", default="hierarchical",
+                       help="board for --design jobs (name or JSON file)")
+    batch.add_argument("--design", action="append", default=[],
+                       help="design to map (repeatable): name, random:<n>, or JSON file")
+    batch.add_argument("--sweep", type=int, default=0, metavar="N",
+                       help="add N synthetic design points (Table 3 complexity mix)")
+    batch.add_argument("--full", action="store_true",
+                       help="use the paper's full-size rows for --sweep points")
+    batch.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = in-process serial)")
+    batch.add_argument("--weights", choices=sorted(_WEIGHT_PRESETS), default="balanced",
+                       help="objective weighting preset")
+    batch.add_argument("--solver", default=None,
+                       help=f"ILP backend (default: {default_solver_backend()}; "
+                            "see 'repro backends')")
+    batch.add_argument("--time-limit", type=float, default=None,
+                       help="per-job wall-clock budget in seconds")
+    batch.add_argument("--retries", type=int, default=0,
+                       help="re-runs of a crashed job before reporting an error")
+    batch.add_argument("--cache-dir",
+                       help="directory of the on-disk result cache")
+    batch.add_argument("--artifact-dir",
+                       help="write a BENCH_batch.json artifact into this directory")
+    batch.add_argument("--seed", type=int, default=0,
+                       help="seed for random:<n> designs and sweep points")
+    batch.add_argument("--output", help="write all job results to this JSON file")
+    batch.add_argument("--json", action="store_true",
+                       help="emit machine-readable results on stdout")
+    batch.set_defaults(func=_cmd_batch)
 
     table3 = sub.add_parser("table3", help="run the Table 3 scaling experiment")
     table3.add_argument("--full", action="store_true",
@@ -281,6 +490,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-solve time limit in seconds")
     table3.add_argument("--skip-complete", action="store_true",
                         help="measure only the global/detailed flow")
+    table3.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the sweep")
+    table3.add_argument("--artifact-dir",
+                        help="write a BENCH_table3.json artifact into this directory")
     table3.set_defaults(func=_cmd_table3)
 
     return parser
@@ -294,7 +507,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return args.func(args)
     except CliError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

@@ -45,6 +45,57 @@ __all__ = ["GlobalMapper", "GlobalModelArtifacts"]
 Pair = Tuple[str, str]
 
 
+class _GlobalSkeleton:
+    """Pre-computed constraint skeleton of one design's global ILP.
+
+    Building a global model costs two very different things: deriving the
+    numeric tables (feasibility mask, port charges, footprints, objective
+    coefficients, conflict cliques) and instantiating `Model` objects.  The
+    tables depend only on (design, board, weights) — never on the forbidden
+    pairs the pipeline's retry loop adds — so they are computed once per
+    design and reused by every re-build; only the cheap `Model` assembly
+    runs again, with forbidden pairs filtered out of the cached candidate
+    lists.
+    """
+
+    def __init__(
+        self,
+        design: Design,
+        preprocessor: Preprocessor,
+        cost_model: CostModel,
+        capacity_mode: str,
+    ) -> None:
+        self.design = design
+        self.preprocessor = preprocessor
+        self.cost_model = cost_model
+
+        unmappable = preprocessor.unmappable_structures()
+        if unmappable:
+            raise MappingError(
+                "the following data structures fit on no bank type of board "
+                f"{preprocessor.board.name!r}: {unmappable}"
+            )
+        feasible = preprocessor.feasible_pairs()
+        #: per-structure admissible (bank name, d_index, t_index) candidates
+        self.candidates: List[List[Tuple[str, int, int]]] = []
+        board = preprocessor.board
+        for d_index, ds in enumerate(design.data_structures):
+            row = [
+                (bank.name, d_index, t_index)
+                for t_index, bank in enumerate(board.bank_types)
+                if feasible[d_index, t_index]
+            ]
+            self.candidates.append(row)
+        self.port_coeff = preprocessor.cp
+        self.footprint = preprocessor.consumed_bits_table()
+        self.coefficients = cost_model.coefficient_matrix()
+        if capacity_mode == "strict":
+            self.group_sets = [("all", [ds.name for ds in design.data_structures])]
+        else:
+            cliques = design.conflicts.conflict_cliques(design.data_structures)
+            self.group_sets = [(f"clique{i}", clique) for i, clique in enumerate(cliques)]
+
+
 class GlobalModelArtifacts:
     """The ILP model of a global-mapping instance plus its variable map.
 
@@ -141,6 +192,10 @@ class GlobalMapper:
         self.solver_options = dict(solver_options or {})
         self.capacity_mode = capacity_mode
         self.port_estimation = port_estimation
+        #: memoized constraint skeletons keyed by design identity
+        self._skeletons: Dict[int, _GlobalSkeleton] = {}
+        self.skeleton_builds = 0
+        self.skeleton_reuses = 0
 
     # -------------------------------------------------------------- building
     def build_model(
@@ -154,38 +209,25 @@ class GlobalMapper:
 
         ``forbidden_pairs`` lists (structure, type) combinations that must
         not be used; the mapping pipeline adds entries here when a detailed
-        mapping attempt fails and the global step must be repeated.
+        mapping attempt fails and the global step must be repeated.  The
+        numeric constraint skeleton (feasibility, port/capacity loads,
+        objective coefficients) is memoized per design, so those re-runs
+        only pay for model assembly.
         """
-        preprocessor = preprocessor or Preprocessor(
-            design, self.board, port_estimation=self.port_estimation
-        )
-        cost_model = cost_model or CostModel(
-            design, self.board, self.weights, preprocessor=preprocessor
-        )
+        skeleton = self._skeleton(design, preprocessor, cost_model)
         forbidden: Set[Pair] = set(forbidden_pairs)
 
-        feasible = preprocessor.feasible_pairs()
-        unmappable = preprocessor.unmappable_structures()
-        if unmappable:
-            raise MappingError(
-                "the following data structures fit on no bank type of board "
-                f"{self.board.name!r}: {unmappable}"
-            )
-
         model = Model(name=f"global[{design.name}@{self.board.name}]")
-        coefficients = cost_model.coefficient_matrix()
         z_vars: Dict[Pair, Variable] = {}
 
         # Variables and uniqueness constraints (one SOS-1 group per segment).
-        for d_index, ds in enumerate(design.data_structures):
+        for ds, row in zip(design.data_structures, skeleton.candidates):
             row_vars: List[Variable] = []
-            for t_index, bank in enumerate(self.board.bank_types):
-                if not feasible[d_index, t_index]:
+            for bank_name, _, _ in row:
+                if (ds.name, bank_name) in forbidden:
                     continue
-                if (ds.name, bank.name) in forbidden:
-                    continue
-                var = model.add_binary(f"Z[{ds.name}|{bank.name}]")
-                z_vars[(ds.name, bank.name)] = var
+                var = model.add_binary(f"Z[{ds.name}|{bank_name}]")
+                z_vars[(ds.name, bank_name)] = var
                 row_vars.append(var)
             if not row_vars:
                 raise MappingError(
@@ -203,29 +245,22 @@ class GlobalMapper:
                 var = z_vars.get((ds.name, bank.name))
                 if var is None:
                     continue
-                terms.append(int(preprocessor.cp[d_index, t_index]) * var)
+                terms.append(int(skeleton.port_coeff[d_index, t_index]) * var)
             if terms:
                 model.add_constraint(
                     quicksum(terms) <= bank.total_ports, name=f"ports[{bank.name}]"
                 )
 
         # Capacity constraints.
-        footprint = preprocessor.consumed_bits_table()
-        if self.capacity_mode == "strict":
-            group_sets = [("all", [ds.name for ds in design.data_structures])]
-        else:
-            cliques = design.conflicts.conflict_cliques(design.data_structures)
-            group_sets = [(f"clique{i}", clique) for i, clique in enumerate(cliques)]
-
         for t_index, bank in enumerate(self.board.bank_types):
-            for group_name, members in group_sets:
+            for group_name, members in skeleton.group_sets:
                 terms = []
                 for name in members:
                     var = z_vars.get((name, bank.name))
                     if var is None:
                         continue
                     d_index = design.index_of(name)
-                    terms.append(int(footprint[d_index, t_index]) * var)
+                    terms.append(int(skeleton.footprint[d_index, t_index]) * var)
                 if terms:
                     suffix = "" if group_name == "all" else f":{group_name}"
                     model.add_constraint(
@@ -238,10 +273,49 @@ class GlobalMapper:
         for (structure, type_name), var in z_vars.items():
             d_index = design.index_of(structure)
             t_index = self.board.type_index(type_name)
-            objective_terms.append(float(coefficients[d_index, t_index]) * var)
+            objective_terms.append(float(skeleton.coefficients[d_index, t_index]) * var)
         model.set_objective(quicksum(objective_terms))
 
-        return GlobalModelArtifacts(model, z_vars, preprocessor, cost_model)
+        return GlobalModelArtifacts(
+            model, z_vars, skeleton.preprocessor, skeleton.cost_model
+        )
+
+    def _skeleton(
+        self,
+        design: Design,
+        preprocessor: Optional[Preprocessor],
+        cost_model: Optional[CostModel],
+    ) -> _GlobalSkeleton:
+        """Return (building on demand) the memoized skeleton for ``design``.
+
+        Entries are keyed by object identity and verified with an ``is``
+        check against the strong reference the entry holds, so a recycled
+        ``id()`` can never alias a dead design.  A cached entry is only
+        reused when the caller passed no explicit preprocessor/cost model
+        or passed the exact objects the skeleton was built from.
+        """
+        key = id(design)
+        entry = self._skeletons.get(key)
+        if (
+            entry is not None
+            and entry.design is design
+            and (preprocessor is None or entry.preprocessor is preprocessor)
+            and (cost_model is None or entry.cost_model is cost_model)
+        ):
+            self.skeleton_reuses += 1
+            return entry
+        preprocessor = preprocessor or Preprocessor(
+            design, self.board, port_estimation=self.port_estimation
+        )
+        cost_model = cost_model or CostModel(
+            design, self.board, self.weights, preprocessor=preprocessor
+        )
+        entry = _GlobalSkeleton(design, preprocessor, cost_model, self.capacity_mode)
+        if len(self._skeletons) >= 8:  # bound the cache for long sweeps
+            self._skeletons.pop(next(iter(self._skeletons)))
+        self._skeletons[key] = entry
+        self.skeleton_builds += 1
+        return entry
 
     # ---------------------------------------------------------------- solving
     def solve(

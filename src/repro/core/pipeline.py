@@ -176,3 +176,44 @@ class MemoryMapper:
     def map_global_only(self, design: Design) -> GlobalMapping:
         """Run only the global stage (used by benchmarks and ablations)."""
         return self.global_mapper.solve(design)
+
+    def map_batch(
+        self,
+        designs: Iterable[Design],
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
+        timeout: Optional[float] = None,
+        retries: int = 0,
+    ) -> List["JobResult"]:
+        """Map many designs onto this board through the batch engine.
+
+        Returns one :class:`repro.engine.JobResult` per design, in input
+        order.  With ``jobs > 1`` the designs are mapped concurrently in
+        worker processes; results are identical to a serial run.  Requires
+        the mapper to have been configured with a solver backend *name*
+        (instances cannot cross process boundaries).
+        """
+        from ..engine import MappingEngine, MappingJob  # local: io -> core cycle
+
+        solver = self.solver if isinstance(self.solver, str) else None
+        if solver is None:
+            raise MappingError(
+                "map_batch needs a solver backend name, not a solver instance"
+            )
+        batch = [
+            MappingJob(
+                board=self.board,
+                design=design,
+                weights=self.weights,
+                solver=solver,
+                solver_options=self.solver_options,
+                capacity_mode=self.capacity_mode,
+                port_estimation=self.port_estimation,
+                warm_start=self.warm_start,
+            )
+            for design in designs
+        ]
+        engine = MappingEngine(
+            jobs=jobs, cache_dir=cache_dir, timeout=timeout, retries=retries
+        )
+        return engine.run(batch)

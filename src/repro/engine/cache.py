@@ -1,0 +1,149 @@
+"""Canonical hashing and the on-disk result cache of the mapping engine.
+
+Cache keys are content hashes of the *inputs* of a mapping job — the
+serialised board and design (via :mod:`repro.io.serialize`), the objective
+weights, the solver backend and its options — so any process that builds
+the same job computes the same key.  Canonicalisation is plain JSON with
+sorted keys and fixed separators; no pickle, no interning, no per-process
+salt, which is what makes the keys stable across interpreter runs (the
+test suite pins this by hashing in a subprocess).
+
+The cache itself is a flat directory of ``<key>.json`` files holding
+serialised :class:`repro.engine.jobs.JobResult` documents.  Writes go
+through a temporary file plus :func:`os.replace` so concurrent engine
+workers can never observe a half-written entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterable, Mapping, Optional, Union
+
+__all__ = [
+    "canonical_json",
+    "canonical_hash",
+    "result_fingerprint",
+    "ResultCache",
+]
+
+#: Bump when the cached document layout changes incompatibly; old entries
+#: then simply miss instead of being misread.
+CACHE_SCHEMA_VERSION = 1
+
+#: Keys stripped (recursively) before fingerprinting a result document.
+#: Everything timing- or machine-dependent lives under these names, so two
+#: runs of the same job — serial or parallel, any worker count — produce
+#: the same fingerprint exactly when they produce the same mapping.
+_NONDETERMINISTIC_KEYS = frozenset(
+    {"global_time", "detailed_time", "solve_time", "wall_time", "solver_stats"}
+)
+
+
+def canonical_json(document: Any) -> str:
+    """Serialise ``document`` to a canonical JSON string (sorted, compact)."""
+    return json.dumps(
+        document, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+
+
+def canonical_hash(document: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON form of ``document``."""
+    return hashlib.sha256(canonical_json(document).encode("ascii")).hexdigest()
+
+
+def _strip_nondeterministic(value: Any) -> Any:
+    if isinstance(value, Mapping):
+        return {
+            k: _strip_nondeterministic(v)
+            for k, v in value.items()
+            if k not in _NONDETERMINISTIC_KEYS
+        }
+    if isinstance(value, (list, tuple)):
+        return [_strip_nondeterministic(v) for v in value]
+    return value
+
+
+def result_fingerprint(document: Optional[Mapping[str, Any]]) -> Optional[str]:
+    """Deterministic hash of a result document, ignoring timing fields.
+
+    Two mapping runs get the same fingerprint iff they produced the same
+    assignment, placement and cost — regardless of how long any solver
+    took or which worker executed them.  The batch CLI and the engine
+    tests use this to assert that parallel execution is bit-for-bit
+    equivalent to serial execution.
+    """
+    if document is None:
+        return None
+    return canonical_hash(_strip_nondeterministic(document))
+
+
+class ResultCache:
+    """Directory-backed store of finished job results, keyed by input hash."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Return the cached document for ``key`` or ``None`` on a miss."""
+        path = self.path_for(key)
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if document.get("cache_schema_version") != CACHE_SCHEMA_VERSION:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return document["result"]
+
+    def put(self, key: str, document: Mapping[str, Any]) -> Path:
+        """Store ``document`` under ``key`` atomically."""
+        payload = {
+            "cache_schema_version": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "result": dict(document),
+        }
+        path = self.path_for(key)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.directory), prefix=".cache-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def keys(self) -> Iterable[str]:
+        return sorted(p.stem for p in self.directory.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of files removed."""
+        removed = 0
+        for path in self.directory.glob("*.json"):
+            path.unlink()
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self)}

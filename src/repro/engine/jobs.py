@@ -1,0 +1,192 @@
+"""Job and result records of the parallel mapping engine.
+
+A :class:`MappingJob` is one unit of work — "map this design onto this
+board with these weights and this solver" — expressed entirely in terms of
+the versioned JSON schema of :mod:`repro.io.serialize`, so jobs cross
+process boundaries as plain dictionaries and their cache keys are content
+hashes of exactly what a worker will execute.
+
+A :class:`JobResult` is the structured outcome the engine hands back (and
+what ``repro batch --json`` emits): a coarse status, the objective and
+assignment, the full mapping-result document, a determinism fingerprint,
+and execution metadata (wall time, attempts, cache hit, worker pid).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from ..arch.board import Board
+from ..core.objective import CostWeights
+from ..design.design import Design
+from ..io.serialize import SCHEMA_VERSION, board_to_dict, design_to_dict
+from .cache import canonical_hash
+
+__all__ = ["MappingJob", "JobResult",
+           "STATUS_OK", "STATUS_FAILED", "STATUS_ERROR", "STATUS_TIMEOUT"]
+
+#: Job completed with a valid mapping.
+STATUS_OK = "ok"
+#: The mapping flow failed deterministically (infeasible model, solver
+#: reported failure); retrying cannot help.
+STATUS_FAILED = "failed"
+#: The job raised an unexpected exception (worker crash, bug) even after
+#: the configured retries.
+STATUS_ERROR = "error"
+#: The job exceeded its wall-clock budget.
+STATUS_TIMEOUT = "timeout"
+
+#: Two pipeline flavours the engine can execute: the paper's two-stage
+#: global/detailed flow and the flat single-ILP formulation it compares
+#: against (used by the Table 3 harness).
+MODE_PIPELINE = "pipeline"
+MODE_COMPLETE = "complete"
+
+
+def _weights_to_dict(weights: CostWeights) -> Dict[str, Any]:
+    return {
+        "latency": weights.latency,
+        "pin_delay": weights.pin_delay,
+        "pin_io": weights.pin_io,
+        "normalize": weights.normalize,
+    }
+
+
+@dataclass(frozen=True)
+class MappingJob:
+    """One (board, design, weights) mapping request for the engine."""
+
+    board: Board
+    design: Design
+    weights: CostWeights = field(default_factory=CostWeights)
+    #: Solver backend *name* (registry of :mod:`repro.ilp.backends`); the
+    #: engine refuses instances because jobs must serialise across
+    #: processes.
+    solver: str = "auto"
+    solver_options: Mapping[str, Any] = field(default_factory=dict)
+    capacity_mode: str = "strict"
+    port_estimation: str = "paper"
+    #: Seed the ILP incumbent with the greedy heuristic (pipeline mode).
+    warm_start: bool = True
+    mode: str = MODE_PIPELINE
+    #: Display / artifact label; not part of the cache key.
+    label: str = ""
+    #: Per-job wall-clock budget in seconds (cooperative: it tightens the
+    #: solver's time limit and bounds the engine's wait on the worker).
+    timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.solver, str):
+            raise TypeError(
+                "MappingJob.solver must be a backend name (jobs are shipped "
+                "to worker processes; pass the registry name, not an instance)"
+            )
+        if self.mode not in (MODE_PIPELINE, MODE_COMPLETE):
+            raise ValueError(f"unknown job mode {self.mode!r}")
+
+    def display_label(self) -> str:
+        return self.label or f"{self.design.name}@{self.board.name}"
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Self-contained, picklable work order for a worker process."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "board": board_to_dict(self.board),
+            "design": design_to_dict(self.design),
+            "weights": _weights_to_dict(self.weights),
+            "solver": self.solver,
+            "solver_options": dict(self.solver_options),
+            "capacity_mode": self.capacity_mode,
+            "port_estimation": self.port_estimation,
+            "warm_start": self.warm_start,
+            "mode": self.mode,
+            "timeout": self.timeout,
+        }
+
+    def cache_key(self) -> str:
+        """Content hash of everything that determines the job's result.
+
+        The label is excluded (pure presentation).  The timeout is *not*:
+        it tightens the solver's time limit at execution, so a run censored
+        by a 1-second budget may carry a suboptimal incumbent that must
+        never be served to a rerun with a larger budget.
+        """
+        return payload_cache_key(self.to_payload())
+
+
+def payload_cache_key(payload: Mapping[str, Any]) -> str:
+    """Cache key of an executable payload (the engine hashes the payload it
+    actually ships, after applying its own default timeout)."""
+    return canonical_hash(payload)
+
+
+@dataclass
+class JobResult:
+    """Structured outcome of one engine job."""
+
+    index: int
+    label: str
+    status: str
+    objective: Optional[float] = None
+    solver_status: str = ""
+    #: ``structure name -> bank type name`` of the global stage.
+    assignment: Dict[str, str] = field(default_factory=dict)
+    #: Full mapping-result document (:func:`repro.io.mapping_result_to_dict`)
+    #: for pipeline jobs; a reduced document for complete-formulation jobs.
+    result: Optional[Dict[str, Any]] = None
+    #: Hash of ``result`` with timing fields stripped; equal fingerprints
+    #: mean byte-identical mappings regardless of worker count.
+    fingerprint: Optional[str] = None
+    model_size: Dict[str, int] = field(default_factory=dict)
+    error: str = ""
+    wall_time: float = 0.0
+    attempts: int = 1
+    cache_hit: bool = False
+    worker_pid: int = 0
+    cache_key: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "job_result",
+            "schema_version": SCHEMA_VERSION,
+            "index": self.index,
+            "label": self.label,
+            "status": self.status,
+            "objective": self.objective,
+            "solver_status": self.solver_status,
+            "assignment": dict(self.assignment),
+            "result": self.result,
+            "fingerprint": self.fingerprint,
+            "model_size": dict(self.model_size),
+            "error": self.error,
+            "wall_time": self.wall_time,
+            "attempts": self.attempts,
+            "cache_hit": self.cache_hit,
+            "worker_pid": self.worker_pid,
+            "cache_key": self.cache_key,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JobResult":
+        return cls(
+            index=int(data.get("index", 0)),
+            label=data.get("label", ""),
+            status=data.get("status", STATUS_ERROR),
+            objective=data.get("objective"),
+            solver_status=data.get("solver_status", ""),
+            assignment=dict(data.get("assignment", {})),
+            result=data.get("result"),
+            fingerprint=data.get("fingerprint"),
+            model_size=dict(data.get("model_size", {})),
+            error=data.get("error", ""),
+            wall_time=float(data.get("wall_time", 0.0)),
+            attempts=int(data.get("attempts", 1)),
+            cache_hit=bool(data.get("cache_hit", False)),
+            worker_pid=int(data.get("worker_pid", 0)),
+            cache_key=data.get("cache_key", ""),
+        )

@@ -29,6 +29,17 @@ from .errors import (
 from .expr import EQ, GE, LE, Constraint, LinExpr, Variable, quicksum
 from .model import MAXIMIZE, MINIMIZE, Model, SosGroup
 from .branch_bound import BnBOptions, BranchAndBoundSolver, create_solver
+from .backends import (
+    DEFAULT_BACKEND,
+    BackendInfo,
+    PortfolioBackend,
+    SolverBackend,
+    backend_names,
+    create_backend,
+    list_backends,
+    register_backend,
+    resolve_backend,
+)
 from .scipy_backend import ScipyMilpSolver, highs_available, solve_lp_highs
 from .simplex import SimplexOptions, solve_lp_simplex
 from .solution import (
@@ -62,6 +73,16 @@ __all__ = [
     "BranchAndBoundSolver",
     "BnBOptions",
     "create_solver",
+    # backend registry
+    "SolverBackend",
+    "BackendInfo",
+    "PortfolioBackend",
+    "register_backend",
+    "resolve_backend",
+    "create_backend",
+    "list_backends",
+    "backend_names",
+    "DEFAULT_BACKEND",
     "ScipyMilpSolver",
     "highs_available",
     "solve_lp_highs",

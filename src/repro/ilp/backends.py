@@ -1,0 +1,383 @@
+"""Pluggable solver-backend registry.
+
+The seed dispatched solver names through an ad-hoc ``if``-chain in
+:func:`repro.ilp.branch_bound.create_solver`.  This module replaces that
+with a small registry in the style of mainstream solver frontends: every
+backend is described by a :class:`BackendInfo` record (factory, option
+schema, capability tags, aliases, availability probe) and instantiated
+through :func:`create_backend`.  The public contract of a backend is the
+:class:`SolverBackend` protocol — anything with a ``solve(model)`` method
+returning a :class:`repro.ilp.solution.Solution`.
+
+Built-in backends registered on import:
+
+``bnb``
+    The from-scratch best-first branch-and-bound solver with SOS-1
+    branching (:class:`repro.ilp.branch_bound.BranchAndBoundSolver`),
+    picking HiGHS for LP relaxations when SciPy is importable.
+``bnb-pure``
+    The same solver pinned to the pure-Python dense simplex LP kernel —
+    zero third-party dependencies.
+``scipy-milp``
+    The HiGHS branch-and-cut MILP behind ``scipy.optimize.milp``.
+``portfolio``
+    A racing backend: it runs the pure-Python branch-and-bound and the
+    HiGHS MILP concurrently and returns the first proven-optimal result,
+    cancelling the loser.  Mirrors the solver portfolios of modern MIP
+    services — the pure solver wins on small SOS-heavy models, HiGHS on
+    large ones, and the race never does worse than the faster entrant.
+
+Unknown option names are *filtered* against each backend's declared
+schema rather than rejected, so heterogeneous backends can be swapped
+freely under a shared option dictionary (the engine and benchmarks rely
+on this to pass ``time_limit`` everywhere).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .errors import ModelError, SolverError
+from .model import MAXIMIZE, Model
+from .scipy_backend import ScipyMilpSolver, highs_available
+from .solution import OPTIMAL, Solution
+
+try:  # pragma: no cover - typing fallback for very old interpreters
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore
+
+    def runtime_checkable(cls):  # type: ignore
+        return cls
+
+__all__ = [
+    "SolverBackend",
+    "BackendInfo",
+    "PortfolioBackend",
+    "register_backend",
+    "resolve_backend",
+    "create_backend",
+    "list_backends",
+    "backend_names",
+    "DEFAULT_BACKEND",
+]
+
+#: Canonical name used when the caller passes ``None`` or ``"auto"``.
+DEFAULT_BACKEND = "bnb"
+
+
+@runtime_checkable
+class SolverBackend(Protocol):
+    """Structural interface every registered solver satisfies."""
+
+    def solve(self, model: Model) -> Solution:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass(frozen=True)
+class BackendInfo:
+    """Registry record describing one solver backend."""
+
+    name: str
+    factory: Callable[..., SolverBackend]
+    description: str
+    #: Capability tags ("milp", "sos1-branching", "pure-python", ...) used
+    #: by callers to pick a backend and by ``repro backends`` for display.
+    capabilities: frozenset
+    #: Accepted constructor options (name -> one-line description).  Options
+    #: outside the schema are dropped by :func:`create_backend`.
+    options: Mapping[str, str] = field(default_factory=dict)
+    aliases: Tuple[str, ...] = ()
+    #: Availability probe; ``None`` means always available.
+    requires: Optional[Callable[[], bool]] = None
+
+    @property
+    def available(self) -> bool:
+        return self.requires is None or bool(self.requires())
+
+    def create(self, **options) -> SolverBackend:
+        """Instantiate the backend, filtering options to the schema."""
+        accepted = {k: v for k, v in options.items() if k in self.options}
+        return self.factory(**accepted)
+
+
+_REGISTRY: Dict[str, BackendInfo] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def register_backend(info: BackendInfo) -> BackendInfo:
+    """Add a backend to the registry (its aliases must be unclaimed)."""
+    for key in (info.name,) + info.aliases:
+        owner = _ALIASES.get(key)
+        if owner is not None and owner != info.name:
+            raise ModelError(
+                f"backend name {key!r} is already registered by {owner!r}"
+            )
+    _REGISTRY[info.name] = info
+    _ALIASES[info.name] = info.name
+    for alias in info.aliases:
+        _ALIASES[alias] = info.name
+    return info
+
+
+def backend_names() -> List[str]:
+    """Canonical names of all registered backends (sorted)."""
+    return sorted(_REGISTRY)
+
+
+def list_backends() -> List[BackendInfo]:
+    """All registered backends, sorted by canonical name."""
+    return [_REGISTRY[name] for name in backend_names()]
+
+
+def resolve_backend(name: Optional[str]) -> BackendInfo:
+    """Resolve a (possibly aliased) backend name to its registry record."""
+    if name is None or name == "auto":
+        name = DEFAULT_BACKEND
+    canonical = _ALIASES.get(name)
+    if canonical is None:
+        raise ModelError(f"unknown solver backend {name!r}")
+    return _REGISTRY[canonical]
+
+
+def create_backend(name: Optional[str] = None, **options) -> SolverBackend:
+    """Instantiate a registered backend by (aliased) name.
+
+    This is the engine behind :func:`repro.ilp.create_solver`; the old
+    string names (``"auto"``, ``"bnb-pure"``, ``"scipy-milp"``, ...) keep
+    resolving unchanged.  Options not in the backend's schema are ignored
+    so a single option dictionary can drive heterogeneous backends.
+    """
+    info = resolve_backend(name)
+    if not info.available:
+        raise SolverError(
+            f"solver backend {info.name!r} is not available in this "
+            "environment (missing optional dependency)"
+        )
+    return info.create(**options)
+
+
+# ---------------------------------------------------------------------------
+# Portfolio backend
+# ---------------------------------------------------------------------------
+
+class PortfolioBackend:
+    """Race several MILP backends; the first proven-optimal result wins.
+
+    Entrants run on a thread pool: the HiGHS MILP releases the GIL inside
+    its C++ core, so it genuinely overlaps with the pure-Python
+    branch-and-bound.  As soon as one entrant proves optimality a stop
+    event is set; the branch-and-bound loop polls it between nodes and
+    exits, while a HiGHS solve simply runs to its own (bounded) limit in
+    the background.  When no entrant reaches optimality the best feasible
+    incumbent is returned, and only if every entrant fails does the
+    portfolio report the first failure.
+    """
+
+    name = "portfolio"
+
+    def __init__(
+        self,
+        time_limit: Optional[float] = None,
+        rel_gap: float = 1e-6,
+        entrants: Optional[Sequence[str]] = None,
+        **bnb_options,
+    ) -> None:
+        self.time_limit = time_limit
+        self.rel_gap = rel_gap
+        self.entrants = tuple(entrants) if entrants is not None else None
+        self.bnb_options = dict(bnb_options)
+
+    # ------------------------------------------------------------- entrants
+    def _build_entrants(self, stop: threading.Event) -> List[Tuple[str, SolverBackend]]:
+        from .branch_bound import BranchAndBoundSolver  # local: avoid cycle
+
+        wanted = self.entrants
+        if wanted is None:
+            wanted = ("bnb-pure", "scipy-milp") if highs_available() else ("bnb-pure",)
+        entrants: List[Tuple[str, SolverBackend]] = []
+        for label in wanted:
+            if label in ("bnb-pure", "bnb"):
+                options = dict(self.bnb_options)
+                if label == "bnb-pure":
+                    options.setdefault("lp_backend", "simplex")
+                entrants.append(
+                    (
+                        label,
+                        BranchAndBoundSolver(
+                            time_limit=self.time_limit,
+                            rel_gap=self.rel_gap,
+                            stop_check=stop.is_set,
+                            **options,
+                        ),
+                    )
+                )
+            elif label in ("scipy-milp", "scipy", "highs-milp"):
+                if not highs_available():
+                    continue
+                entrants.append(
+                    (label, ScipyMilpSolver(time_limit=self.time_limit,
+                                            rel_gap=self.rel_gap))
+                )
+            else:
+                raise ModelError(f"unknown portfolio entrant {label!r}")
+        if not entrants:
+            raise SolverError("portfolio backend has no available entrants")
+        return entrants
+
+    # ----------------------------------------------------------------- solve
+    def solve(self, model: Model) -> Solution:
+        start = time.perf_counter()
+        stop = threading.Event()
+        entrants = self._build_entrants(stop)
+
+        if len(entrants) == 1:
+            label, solver = entrants[0]
+            solution = solver.solve(model)
+            return self._finish(solution, label, start)
+
+        futures: Dict[Future, str] = {}
+        pool = ThreadPoolExecutor(
+            max_workers=len(entrants), thread_name_prefix="portfolio"
+        )
+        try:
+            for label, solver in entrants:
+                futures[pool.submit(solver.solve, model)] = label
+
+            finished: List[Tuple[str, Solution]] = []
+            pending = set(futures)
+            winner: Optional[Tuple[str, Solution]] = None
+            while pending and winner is None:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    label = futures[future]
+                    try:
+                        solution = future.result()
+                    except Exception:  # entrant crashed: let the others race on
+                        continue
+                    finished.append((label, solution))
+                    if solution.is_optimal:
+                        winner = (label, solution)
+                        break
+            stop.set()  # cooperative entrants exit at their next node
+            if winner is None:
+                for future in pending:
+                    label = futures[future]
+                    try:
+                        finished.append((label, future.result()))
+                    except Exception:
+                        continue
+        finally:
+            stop.set()
+            # Do NOT join the losers: a HiGHS solve cannot be interrupted
+            # and would otherwise hold the winner hostage until its own
+            # time limit.  The abandoned thread finishes in the background
+            # (bounded by its per-entrant time limit when one is set).
+            pool.shutdown(wait=False, cancel_futures=True)
+
+        if winner is not None:
+            return self._finish(winner[1], winner[0], start)
+        feasible = [(lbl, s) for lbl, s in finished if s.is_success]
+        if feasible:
+            # Best incumbent in the *user's* optimisation sense.
+            pick = max if model.sense == MAXIMIZE else min
+            label, solution = pick(feasible, key=lambda pair: pair[1].objective)
+            return self._finish(solution, label, start)
+        if finished:
+            return self._finish(finished[0][1], finished[0][0], start)
+        raise SolverError("every portfolio entrant crashed")
+
+    def _finish(self, solution: Solution, label: str, start: float) -> Solution:
+        solution.stats.backend = f"portfolio[{label}:{solution.stats.backend or label}]"
+        solution.stats.wall_time = time.perf_counter() - start
+        return solution
+
+
+# ---------------------------------------------------------------------------
+# Built-in registrations
+# ---------------------------------------------------------------------------
+
+_BNB_OPTIONS: Dict[str, str] = {
+    "lp_backend": "LP relaxation kernel: auto, highs or simplex",
+    "branching": "branching strategy: auto, sos1 or variable",
+    "time_limit": "wall-clock limit in seconds",
+    "node_limit": "maximum number of branch-and-bound nodes",
+    "rel_gap": "relative optimality gap",
+    "abs_gap": "absolute optimality gap",
+    "integrality_tol": "integrality tolerance",
+    "root_heuristic": "seed the incumbent with the greedy SOS heuristic",
+    "node_rounding": "try rounding every node relaxation",
+    "warm_start": "initial incumbent assignment (variable-indexed vector)",
+    "stop_check": "callable polled between nodes to cancel the solve",
+    "log": "print per-node progress",
+}
+
+
+def _bnb_factory(**options):
+    from .branch_bound import BranchAndBoundSolver
+
+    return BranchAndBoundSolver(**options)
+
+
+def _bnb_pure_factory(**options):
+    from .branch_bound import BranchAndBoundSolver
+
+    options.setdefault("lp_backend", "simplex")
+    return BranchAndBoundSolver(**options)
+
+
+def _register_builtin_backends() -> None:
+    register_backend(BackendInfo(
+        name="bnb",
+        factory=_bnb_factory,
+        description="best-first branch-and-bound with SOS-1 branching "
+                    "(HiGHS LP relaxations when SciPy is present)",
+        capabilities=frozenset({"milp", "sos1-branching", "warm-start",
+                                "time-limit", "node-limit"}),
+        options=_BNB_OPTIONS,
+        aliases=("branch-and-bound",),
+    ))
+    register_backend(BackendInfo(
+        name="bnb-pure",
+        factory=_bnb_pure_factory,
+        description="branch-and-bound pinned to the pure-Python dense "
+                    "simplex (no third-party dependencies)",
+        capabilities=frozenset({"milp", "sos1-branching", "warm-start",
+                                "time-limit", "node-limit", "pure-python"}),
+        options=_BNB_OPTIONS,
+        aliases=("pure", "simplex"),
+    ))
+    register_backend(BackendInfo(
+        name="scipy-milp",
+        factory=ScipyMilpSolver,
+        description="HiGHS branch-and-cut via scipy.optimize.milp",
+        capabilities=frozenset({"milp", "time-limit", "requires-scipy"}),
+        options={
+            "time_limit": "wall-clock limit in seconds",
+            "rel_gap": "relative optimality gap",
+        },
+        aliases=("scipy", "highs-milp"),
+        requires=highs_available,
+    ))
+    register_backend(BackendInfo(
+        name="portfolio",
+        factory=PortfolioBackend,
+        description="race pure-Python branch-and-bound against HiGHS; "
+                    "first proven-optimal result wins",
+        capabilities=frozenset({"milp", "racing", "time-limit"}),
+        options={
+            "time_limit": "wall-clock limit in seconds (applied per entrant)",
+            "rel_gap": "relative optimality gap",
+            "entrants": "sequence of entrant backend names to race",
+            "warm_start": "initial incumbent for the branch-and-bound entrant",
+            "node_limit": "node limit for the branch-and-bound entrant",
+        },
+        aliases=("race",),
+    ))
+
+
+_register_builtin_backends()

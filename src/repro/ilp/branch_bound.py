@@ -34,7 +34,7 @@ import itertools
 import math
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -81,6 +81,10 @@ class BnBOptions:
     node_rounding: bool = True
     #: optional warm-start assignment (indexed by variable index).
     warm_start: Optional[np.ndarray] = None
+    #: polled between nodes; returning True stops the solve with the best
+    #: incumbent found so far (used by the portfolio backend to cancel a
+    #: race loser without killing its thread).
+    stop_check: Optional[Callable[[], bool]] = None
     log: bool = False
 
 
@@ -243,6 +247,8 @@ class BranchAndBoundSolver:
         integrality_tol = options.integrality_tol
 
         while queue:
+            if options.stop_check is not None and options.stop_check():
+                return finish(TIMEOUT, incumbent, incumbent_obj, best_bound)
             if options.time_limit is not None and time.perf_counter() - start > options.time_limit:
                 return finish(TIMEOUT if incumbent is None else TIMEOUT,
                               incumbent, incumbent_obj, best_bound)
@@ -339,16 +345,12 @@ class BranchAndBoundSolver:
 def create_solver(name: Optional[str] = None, **kwargs):
     """Factory mapping a backend name to a solver instance.
 
-    ``None`` and ``"auto"`` return the built-in branch-and-bound solver with
-    default options; ``"bnb-pure"`` forces the pure-Python simplex LP kernel;
-    ``"scipy-milp"`` returns the HiGHS MILP wrapper.
+    Thin compatibility wrapper over the pluggable registry of
+    :mod:`repro.ilp.backends`: all historic names (``None``/``"auto"``,
+    ``"bnb-pure"``, ``"scipy-milp"``, ...) resolve through
+    :func:`repro.ilp.backends.create_backend`, which also serves the new
+    backends such as ``"portfolio"``.
     """
-    if name is None or name in ("auto", "bnb", "branch-and-bound"):
-        return BranchAndBoundSolver(**kwargs)
-    if name in ("bnb-pure", "pure", "simplex"):
-        kwargs.setdefault("lp_backend", "simplex")
-        return BranchAndBoundSolver(**kwargs)
-    if name in ("scipy-milp", "scipy", "highs-milp"):
-        allowed = {k: v for k, v in kwargs.items() if k in ("time_limit", "rel_gap")}
-        return ScipyMilpSolver(**allowed)
-    raise ModelError(f"unknown solver backend {name!r}")
+    from .backends import create_backend  # local import to avoid a cycle
+
+    return create_backend(name, **kwargs)

@@ -7,11 +7,14 @@ from .serialize import (
     board_to_dict,
     design_from_dict,
     design_to_dict,
+    detailed_mapping_from_dict,
     detailed_mapping_to_dict,
+    global_mapping_from_dict,
     global_mapping_to_dict,
     load_board,
     load_design,
     load_json,
+    mapping_result_from_dict,
     mapping_result_to_dict,
     save_json,
 )
@@ -24,8 +27,11 @@ __all__ = [
     "design_to_dict",
     "design_from_dict",
     "global_mapping_to_dict",
+    "global_mapping_from_dict",
     "detailed_mapping_to_dict",
+    "detailed_mapping_from_dict",
     "mapping_result_to_dict",
+    "mapping_result_from_dict",
     "save_json",
     "load_json",
     "load_board",

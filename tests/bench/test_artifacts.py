@@ -1,0 +1,64 @@
+"""Unit tests for BENCH_<name>.json artifact writing."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench import Table3Harness, batch_artifact, sweep_design_points, write_bench_artifact
+from repro.engine import JobResult
+
+
+def fake_results():
+    return [
+        JobResult(index=0, label="a", status="ok", objective=1.0, wall_time=0.4),
+        JobResult(index=1, label="b", status="ok", objective=2.0, wall_time=0.6,
+                  cache_hit=True),
+        JobResult(index=2, label="c", status="failed", error="no fit", wall_time=0.2),
+    ]
+
+
+class TestBatchArtifact:
+    def test_aggregates_counts_and_speedup(self):
+        artifact = batch_artifact("demo", fake_results(), elapsed=0.3, jobs=2,
+                                  solver="bnb-pure")
+        assert artifact["num_points"] == 3
+        assert artifact["num_ok"] == 2
+        assert artifact["num_failed"] == 1
+        assert artifact["cache_hits"] == 1
+        # Cached jobs do not count toward the serial-equivalent time.
+        assert artifact["serial_seconds"] == 0.4 + 0.2
+        assert artifact["speedup_vs_serial"] == (0.4 + 0.2) / 0.3
+        assert len(artifact["results"]) == 3
+
+    def test_is_json_serialisable(self):
+        json.dumps(batch_artifact("demo", fake_results(), 0.3, 2, "bnb-pure",
+                                  cache_stats={"hits": 1, "misses": 2}))
+
+
+class TestWriteBenchArtifact:
+    def test_writes_named_file(self, tmp_path):
+        path = write_bench_artifact("demo", {"kind": "bench_artifact"}, tmp_path)
+        assert path.name == "BENCH_demo.json"
+        assert json.loads(path.read_text())["kind"] == "bench_artifact"
+
+    def test_creates_directory(self, tmp_path):
+        path = write_bench_artifact("demo", {}, tmp_path / "deep" / "dir")
+        assert path.exists()
+
+
+class TestHarnessArtifact:
+    def test_table3_run_writes_artifact(self, tmp_path):
+        harness = Table3Harness(
+            points=sweep_design_points(2),
+            solver="bnb-pure",
+            time_limit=60,
+            run_complete=False,
+            artifact_dir=tmp_path,
+        )
+        rows = harness.run()
+        artifact = json.loads((tmp_path / "BENCH_table3.json").read_text())
+        assert artifact["name"] == "table3"
+        assert artifact["num_points"] == len(rows) == 2
+        assert artifact["wall_seconds"] > 0
+        assert [r["label"] for r in artifact["results"]] == \
+            [row.point.label() for row in rows]

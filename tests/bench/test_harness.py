@@ -55,3 +55,25 @@ class TestHarness:
         assert builtin_row.global_objective == pytest.approx(
             default_row.global_objective, rel=1e-6
         )
+
+
+class TestParallelHarness:
+    def test_parallel_run_matches_serial_objectives(self):
+        points = SCALED_DESIGN_POINTS[:2]
+        serial = Table3Harness(points=points, time_limit=60, jobs=1).run()
+        parallel = Table3Harness(points=points, time_limit=60, jobs=2).run()
+        assert len(parallel) == len(serial) == 2
+        for s, p in zip(serial, parallel):
+            assert p.point == s.point
+            assert p.global_objective == pytest.approx(s.global_objective)
+            assert p.complete_objective == pytest.approx(s.complete_objective)
+            assert p.global_status == s.global_status
+            assert p.objectives_match == s.objectives_match
+            assert p.complete_model_size["variables"] == \
+                s.complete_model_size["variables"]
+
+    def test_parallel_run_without_complete_baseline(self):
+        rows = Table3Harness(points=SCALED_DESIGN_POINTS[:2], time_limit=60,
+                             jobs=2, run_complete=False).run()
+        assert all(r.complete_status == "skipped" for r in rows)
+        assert all(r.global_status == "optimal" for r in rows)

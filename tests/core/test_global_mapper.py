@@ -84,6 +84,51 @@ class TestModelStructure:
             )
 
 
+class TestSkeletonMemoization:
+    def test_rebuilds_reuse_the_skeleton(self, two_type_board, small_design):
+        mapper = GlobalMapper(two_type_board)
+        mapper.build_model(small_design)
+        assert (mapper.skeleton_builds, mapper.skeleton_reuses) == (1, 0)
+        # The retry loop's shape: same design, growing forbidden set.
+        mapper.build_model(small_design, forbidden_pairs=[("coeffs", "blockram")])
+        mapper.build_model(small_design, forbidden_pairs=[("coeffs", "blockram"),
+                                                          ("table", "blockram")])
+        assert (mapper.skeleton_builds, mapper.skeleton_reuses) == (1, 2)
+
+    def test_memoized_rebuild_produces_the_same_model(self, two_type_board, small_design):
+        fresh = GlobalMapper(two_type_board).build_model(
+            small_design, forbidden_pairs=[("coeffs", "blockram")]
+        )
+        warm_mapper = GlobalMapper(two_type_board)
+        warm_mapper.build_model(small_design)  # populate the skeleton cache
+        warm = warm_mapper.build_model(
+            small_design, forbidden_pairs=[("coeffs", "blockram")]
+        )
+        assert set(warm.z_vars) == set(fresh.z_vars)
+        assert warm.model.num_variables == fresh.model.num_variables
+        assert warm.model.num_constraints == fresh.model.num_constraints
+        assert [c.name for c in warm.model.constraints] == \
+            [c.name for c in fresh.model.constraints]
+
+    def test_distinct_designs_get_distinct_skeletons(self, two_type_board, small_design):
+        mapper = GlobalMapper(two_type_board)
+        other = Design.from_segments("other", [("tiny", 16, 8)])
+        mapper.build_model(small_design)
+        mapper.build_model(other)
+        assert mapper.skeleton_builds == 2
+
+    def test_solve_after_forbidden_rebuild_stays_optimal(self, two_type_board, small_design):
+        mapper = GlobalMapper(two_type_board)
+        baseline = mapper.solve(small_design)
+        rerouted = mapper.solve(
+            small_design,
+            forbidden_pairs=[("coeffs", baseline.type_of("coeffs"))],
+        )
+        assert rerouted.solver_status == "optimal"
+        assert rerouted.type_of("coeffs") != baseline.type_of("coeffs")
+        assert validate_global_mapping(small_design, two_type_board, rerouted) == []
+
+
 class TestSolving:
     def test_small_design_all_onchip(self, two_type_board, small_design):
         mapping = GlobalMapper(two_type_board).solve(small_design)

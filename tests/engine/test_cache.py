@@ -1,0 +1,90 @@
+"""Unit tests for canonical hashing and the on-disk result cache."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.engine import ResultCache, canonical_hash, canonical_json, result_fingerprint
+
+
+class TestCanonicalHash:
+    def test_key_order_does_not_matter(self):
+        assert canonical_hash({"a": 1, "b": [1, 2]}) == \
+            canonical_hash({"b": [1, 2], "a": 1})
+
+    def test_values_do_matter(self):
+        assert canonical_hash({"a": 1}) != canonical_hash({"a": 2})
+
+    def test_canonical_json_is_compact_and_sorted(self):
+        text = canonical_json({"b": 1, "a": {"d": 2, "c": 3}})
+        assert text == '{"a":{"c":3,"d":2},"b":1}'
+
+    def test_hash_is_stable_across_processes(self):
+        script = (
+            "from repro.engine import canonical_hash\n"
+            "print(canonical_hash({'design': 'fir', 'weights': [1.0, 0.5],"
+            " 'nested': {'x': 1}}))\n"
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True, text=True, check=True
+        )
+        local = canonical_hash(
+            {"design": "fir", "weights": [1.0, 0.5], "nested": {"x": 1}}
+        )
+        assert completed.stdout.strip() == local
+
+
+class TestResultFingerprint:
+    def test_ignores_timing_fields_at_any_depth(self):
+        a = {"objective": 1.5, "global_time": 0.123,
+             "nested": {"solve_time": 9.0, "assignment": {"x": "sram"}}}
+        b = {"objective": 1.5, "global_time": 7.777,
+             "nested": {"solve_time": 0.1, "assignment": {"x": "sram"}}}
+        assert result_fingerprint(a) == result_fingerprint(b)
+
+    def test_detects_real_differences(self):
+        a = {"assignment": {"x": "sram"}}
+        b = {"assignment": {"x": "blockram"}}
+        assert result_fingerprint(a) != result_fingerprint(b)
+
+    def test_none_document_has_no_fingerprint(self):
+        assert result_fingerprint(None) is None
+
+
+class TestResultCache:
+    def test_put_get_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        document = {"status": "ok", "objective": 2.5}
+        cache.put("k" * 64, document)
+        assert cache.get("k" * 64) == document
+        assert len(cache) == 1
+
+    def test_miss_returns_none_and_counts(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("absent") is None
+        assert cache.stats()["misses"] == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.path_for("bad").write_text("{not json", encoding="utf-8")
+        assert cache.get("bad") is None
+
+    def test_schema_version_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("key", {"status": "ok"})
+        payload = json.loads(cache.path_for("key").read_text())
+        payload["cache_schema_version"] = 999
+        cache.path_for("key").write_text(json.dumps(payload))
+        assert cache.get("key") is None
+
+    def test_clear_removes_everything(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("a", {"status": "ok"})
+        cache.put("b", {"status": "ok"})
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert list(cache.keys()) == []

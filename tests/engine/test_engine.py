@@ -1,0 +1,181 @@
+"""Integration tests for the parallel batch-mapping engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import flex10k_board, hierarchical_board, virtex_board
+from repro.core import MemoryMapper
+from repro.design import (
+    fft_design,
+    fir_filter_design,
+    image_pipeline_design,
+    matrix_multiply_design,
+)
+from repro.engine import (
+    MODE_COMPLETE,
+    STATUS_FAILED,
+    STATUS_OK,
+    JobResult,
+    MappingEngine,
+    MappingJob,
+    execute_payload,
+)
+
+
+def small_batch():
+    return [
+        MappingJob(board=virtex_board("XCV1000"), design=fir_filter_design(),
+                   solver="bnb-pure", label="fir"),
+        MappingJob(board=hierarchical_board(), design=image_pipeline_design(),
+                   solver="bnb-pure", label="image"),
+        MappingJob(board=virtex_board("XCV1000"), design=matrix_multiply_design(),
+                   solver="bnb-pure", label="matmul"),
+    ]
+
+
+class TestSerialExecution:
+    def test_results_in_submission_order_with_ok_status(self):
+        results = MappingEngine(jobs=1).run(small_batch())
+        assert [r.label for r in results] == ["fir", "image", "matmul"]
+        assert all(r.status == STATUS_OK for r in results)
+        assert all(r.fingerprint for r in results)
+        assert all(r.objective is not None for r in results)
+        assert all(r.model_size["variables"] > 0 for r in results)
+
+    def test_infeasible_job_reports_failed_without_aborting_batch(self):
+        batch = [
+            MappingJob(board=flex10k_board("EPF10K100"), design=fft_design(),
+                       solver="bnb-pure", label="doomed"),
+            MappingJob(board=virtex_board("XCV1000"), design=fir_filter_design(),
+                       solver="bnb-pure", label="fine"),
+        ]
+        results = MappingEngine(jobs=1).run(batch)
+        assert results[0].status == STATUS_FAILED
+        assert results[0].error
+        assert results[1].status == STATUS_OK
+
+    def test_solver_instances_are_rejected_at_job_construction(self):
+        from repro.ilp import BranchAndBoundSolver
+
+        with pytest.raises(TypeError):
+            MappingJob(board=virtex_board("XCV1000"), design=fir_filter_design(),
+                       solver=BranchAndBoundSolver())
+
+    def test_complete_mode_matches_pipeline_objective(self):
+        board = virtex_board("XCV1000")
+        design = fir_filter_design()
+        pipeline, complete = MappingEngine(jobs=1).run([
+            MappingJob(board=board, design=design, solver="bnb-pure"),
+            MappingJob(board=board, design=design, solver="bnb-pure",
+                       mode=MODE_COMPLETE),
+        ])
+        assert pipeline.status == STATUS_OK and complete.status == STATUS_OK
+        assert complete.objective == pytest.approx(pipeline.objective, rel=1e-3)
+
+
+class TestParallelExecution:
+    def test_parallel_results_identical_to_serial(self):
+        serial = MappingEngine(jobs=1).run(small_batch())
+        parallel = MappingEngine(jobs=2).run(small_batch())
+        assert [r.label for r in parallel] == [r.label for r in serial]
+        assert [r.fingerprint for r in parallel] == [r.fingerprint for r in serial]
+        assert [r.assignment for r in parallel] == [r.assignment for r in serial]
+
+    def test_workers_actually_fan_out(self):
+        results = MappingEngine(jobs=2).run(small_batch())
+        assert all(r.worker_pid != 0 for r in results)
+
+
+class TestResultCache:
+    def test_warm_rerun_hits_for_every_job(self, tmp_path):
+        engine = MappingEngine(jobs=1, cache_dir=tmp_path)
+        cold = engine.run(small_batch())
+        assert all(not r.cache_hit for r in cold)
+        warm = engine.run(small_batch())
+        assert all(r.cache_hit for r in warm)
+        assert [r.fingerprint for r in warm] == [r.fingerprint for r in cold]
+        assert engine.cache.stats()["hits"] == len(small_batch())
+
+    def test_cache_shared_between_engine_instances(self, tmp_path):
+        MappingEngine(jobs=1, cache_dir=tmp_path).run(small_batch())
+        warm = MappingEngine(jobs=2, cache_dir=tmp_path).run(small_batch())
+        assert all(r.cache_hit for r in warm)
+
+    def test_failed_jobs_are_cached_too(self, tmp_path):
+        batch = [MappingJob(board=flex10k_board("EPF10K100"), design=fft_design(),
+                            solver="bnb-pure")]
+        engine = MappingEngine(jobs=1, cache_dir=tmp_path)
+        cold = engine.run(batch)
+        warm = engine.run(batch)
+        assert cold[0].status == STATUS_FAILED
+        assert warm[0].status == STATUS_FAILED and warm[0].cache_hit
+
+    def test_engine_default_timeout_participates_in_the_key(self, tmp_path):
+        # A run censored by a tight engine-level budget must never be
+        # served to a rerun with a larger (or no) budget.
+        board, design = virtex_board("XCV1000"), fir_filter_design()
+        batch = [MappingJob(board=board, design=design, solver="bnb-pure")]
+        MappingEngine(jobs=1, cache_dir=tmp_path, timeout=1.0).run(batch)
+        unbounded = MappingEngine(jobs=1, cache_dir=tmp_path).run(batch)
+        assert not unbounded[0].cache_hit
+        rerun = MappingEngine(jobs=1, cache_dir=tmp_path, timeout=1.0).run(batch)
+        assert rerun[0].cache_hit
+
+    def test_different_solver_options_miss(self, tmp_path):
+        board, design = virtex_board("XCV1000"), fir_filter_design()
+        engine = MappingEngine(jobs=1, cache_dir=tmp_path)
+        engine.run([MappingJob(board=board, design=design, solver="bnb-pure")])
+        again = engine.run([MappingJob(board=board, design=design, solver="bnb-pure",
+                                       solver_options={"node_limit": 100000})])
+        assert not again[0].cache_hit
+
+
+class TestJobResultSchema:
+    def test_round_trips_through_dict(self):
+        result = MappingEngine(jobs=1).run(small_batch()[:1])[0]
+        rebuilt = JobResult.from_dict(result.to_dict())
+        assert rebuilt.fingerprint == result.fingerprint
+        assert rebuilt.assignment == result.assignment
+        assert rebuilt.status == result.status
+
+    def test_map_result_rehydrates_full_mapping(self):
+        engine = MappingEngine(jobs=1)
+        result = engine.run(small_batch()[:1])[0]
+        mapping = engine.map_result(result)
+        assert mapping.global_mapping.objective == pytest.approx(result.objective)
+        assert mapping.detailed_mapping.num_fragments > 0
+
+
+class TestMemoryMapperBatch:
+    def test_map_batch_matches_individual_map_calls(self):
+        board = virtex_board("XCV1000")
+        designs = [fir_filter_design(), matrix_multiply_design()]
+        mapper = MemoryMapper(board, solver="bnb-pure")
+        results = mapper.map_batch(designs)
+        assert [r.status for r in results] == [STATUS_OK, STATUS_OK]
+        for design, job_result in zip(designs, results):
+            direct = MemoryMapper(board, solver="bnb-pure").map(design)
+            assert job_result.objective == pytest.approx(
+                direct.global_mapping.objective
+            )
+
+    def test_map_batch_refuses_solver_instances(self):
+        from repro.core import MappingError
+        from repro.ilp import BranchAndBoundSolver
+
+        mapper = MemoryMapper(virtex_board("XCV1000"), solver=BranchAndBoundSolver())
+        with pytest.raises(MappingError):
+            mapper.map_batch([fir_filter_design()])
+
+
+class TestExecutePayload:
+    def test_timeout_tightens_the_solver_limit(self):
+        job = MappingJob(board=virtex_board("XCV1000"), design=fir_filter_design(),
+                         solver="bnb-pure", solver_options={"time_limit": 500.0},
+                         timeout=0.75)
+        payload = job.to_payload()
+        document = execute_payload(payload)
+        # The job either finished inside the budget or was cut off by the
+        # tightened solver limit — never by the original 500 s one.
+        assert document["wall_time"] < 30.0

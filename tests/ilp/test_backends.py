@@ -1,0 +1,165 @@
+"""Unit tests for the pluggable solver-backend registry and the portfolio."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ilp import (
+    BackendInfo,
+    BranchAndBoundSolver,
+    Model,
+    ModelError,
+    PortfolioBackend,
+    ScipyMilpSolver,
+    SolverBackend,
+    backend_names,
+    create_backend,
+    create_solver,
+    highs_available,
+    list_backends,
+    register_backend,
+    resolve_backend,
+    quicksum,
+)
+
+
+def knapsack_model() -> Model:
+    model = Model("knapsack")
+    values = [6, 5, 4, 3, 2]
+    weights = [4, 3, 3, 2, 1]
+    x = [model.add_binary(f"x{i}") for i in range(len(values))]
+    model.add_constraint(quicksum(w * v for w, v in zip(weights, x)) <= 7)
+    model.set_objective(quicksum(-value * var for value, var in zip(values, x)))
+    return model
+
+
+class TestRegistry:
+    def test_at_least_three_backends_registered(self):
+        assert len(backend_names()) >= 3
+        assert {"bnb", "bnb-pure", "portfolio", "scipy-milp"} <= set(backend_names())
+
+    def test_legacy_names_resolve_through_registry(self):
+        assert resolve_backend(None).name == "bnb"
+        assert resolve_backend("auto").name == "bnb"
+        assert resolve_backend("branch-and-bound").name == "bnb"
+        assert resolve_backend("pure").name == "bnb-pure"
+        assert resolve_backend("simplex").name == "bnb-pure"
+        assert resolve_backend("scipy").name == "scipy-milp"
+        assert resolve_backend("highs-milp").name == "scipy-milp"
+        assert resolve_backend("race").name == "portfolio"
+
+    def test_create_solver_keeps_backward_compatibility(self):
+        assert isinstance(create_solver(None), BranchAndBoundSolver)
+        assert isinstance(create_solver("auto"), BranchAndBoundSolver)
+        pure = create_solver("bnb-pure")
+        assert pure.options.lp_backend == "simplex"
+        if highs_available():
+            assert isinstance(create_solver("scipy-milp"), ScipyMilpSolver)
+
+    def test_unknown_backend_raises_model_error(self):
+        with pytest.raises(ModelError):
+            create_backend("cplex")
+
+    def test_options_filtered_to_backend_schema(self):
+        if not highs_available():
+            pytest.skip("SciPy not available")
+        # node_limit is a branch-and-bound knob; the HiGHS wrapper ignores it.
+        solver = create_backend("scipy-milp", time_limit=5.0, node_limit=10)
+        assert solver.time_limit == 5.0
+
+    def test_every_backend_satisfies_the_protocol(self):
+        for info in list_backends():
+            if not info.available:
+                continue
+            assert isinstance(info.create(), SolverBackend)
+
+    def test_backend_info_declares_options_and_capabilities(self):
+        for info in list_backends():
+            assert info.description
+            assert info.capabilities
+            assert "milp" in info.capabilities
+            assert all(isinstance(k, str) and v for k, v in info.options.items())
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ModelError):
+            register_backend(BackendInfo(
+                name="impostor",
+                factory=BranchAndBoundSolver,
+                description="steals an existing alias",
+                capabilities=frozenset({"milp"}),
+                aliases=("bnb",),
+            ))
+
+    def test_custom_backend_registers_and_creates(self):
+        info = BackendInfo(
+            name="test-custom-bnb",
+            factory=BranchAndBoundSolver,
+            description="test-only registration",
+            capabilities=frozenset({"milp"}),
+            options={"time_limit": "seconds"},
+        )
+        register_backend(info)
+        try:
+            assert "test-custom-bnb" in backend_names()
+            solver = create_backend("test-custom-bnb", time_limit=1.0, bogus=1)
+            assert isinstance(solver, BranchAndBoundSolver)
+            assert solver.options.time_limit == 1.0
+        finally:
+            # keep the global registry clean for other tests
+            from repro.ilp import backends as backends_module
+
+            backends_module._REGISTRY.pop("test-custom-bnb")
+            backends_module._ALIASES.pop("test-custom-bnb")
+
+
+class TestPortfolioBackend:
+    def test_solves_to_optimality(self):
+        solution = PortfolioBackend(time_limit=30).solve(knapsack_model())
+        assert solution.is_optimal
+        assert solution.objective == pytest.approx(-11.0)
+        assert solution.stats.backend.startswith("portfolio[")
+
+    def test_matches_the_individual_entrants(self):
+        portfolio = PortfolioBackend(time_limit=30).solve(knapsack_model())
+        pure = create_backend("bnb-pure").solve(knapsack_model())
+        assert portfolio.objective == pytest.approx(pure.objective)
+        if highs_available():
+            highs = create_backend("scipy-milp").solve(knapsack_model())
+            assert portfolio.objective == pytest.approx(highs.objective)
+
+    def test_single_entrant_degrades_to_direct_solve(self):
+        solution = PortfolioBackend(entrants=["bnb-pure"]).solve(knapsack_model())
+        assert solution.is_optimal
+        assert "bnb-pure" in solution.stats.backend
+
+    def test_unknown_entrant_rejected(self):
+        with pytest.raises(ModelError):
+            PortfolioBackend(entrants=["cplex"]).solve(knapsack_model())
+
+    def test_maximize_models_pick_the_best_incumbent(self):
+        # Knapsack phrased as MAXIMIZE; the portfolio's fallback tie-break
+        # must honour the model's sense, not always take min(objective).
+        model = Model("knapsack-max", sense="max")
+        values = [6, 5, 4, 3, 2]
+        weights = [4, 3, 3, 2, 1]
+        x = [model.add_binary(f"x{i}") for i in range(len(values))]
+        model.add_constraint(quicksum(w * v for w, v in zip(weights, x)) <= 7)
+        model.set_objective(quicksum(v * var for v, var in zip(values, x)))
+        solution = PortfolioBackend(time_limit=30).solve(model)
+        assert solution.is_success
+        assert solution.objective == pytest.approx(11.0)
+
+    def test_registered_and_usable_through_create_solver(self):
+        solution = create_solver("portfolio", time_limit=30).solve(knapsack_model())
+        assert solution.is_optimal
+        assert solution.objective == pytest.approx(-11.0)
+
+
+class TestStopCheck:
+    def test_stop_check_cancels_the_solve(self):
+        # A stop check that fires immediately must abort before any node is
+        # explored while still returning cleanly.
+        solver = BranchAndBoundSolver(stop_check=lambda: True, root_heuristic=False)
+        solution = solver.solve(knapsack_model())
+        assert solution.status == "timeout"
+        assert solution.stats.nodes_explored == 0

@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import json
+import subprocess
+import sys
 
 import pytest
 
@@ -16,11 +18,14 @@ from repro.io import (
     board_to_dict,
     design_from_dict,
     design_to_dict,
+    detailed_mapping_from_dict,
     detailed_mapping_to_dict,
+    global_mapping_from_dict,
     global_mapping_to_dict,
     load_board,
     load_design,
     load_json,
+    mapping_result_from_dict,
     mapping_result_to_dict,
     save_json,
 )
@@ -148,3 +153,105 @@ class TestResultSerialisation:
         # The embedded board and design documents round-trip on their own.
         assert board_from_dict(loaded["board"]).name == result.board.name
         assert design_from_dict(loaded["design"]).num_segments == result.design.num_segments
+
+
+class TestResultRoundTrip:
+    """Results are no longer output-only: the engine cache rehydrates them."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        board = hierarchical_board()
+        return MemoryMapper(board).map(image_pipeline_design())
+
+    def test_global_mapping_round_trip(self, result):
+        doc = global_mapping_to_dict(result.global_mapping)
+        rebuilt = global_mapping_from_dict(doc)
+        assert dict(rebuilt.assignment) == dict(result.global_mapping.assignment)
+        assert rebuilt.objective == pytest.approx(result.global_mapping.objective)
+        assert rebuilt.solver_status == result.global_mapping.solver_status
+        assert rebuilt.cost.as_dict() == result.global_mapping.cost.as_dict()
+        # Re-serialising the rebuilt object reproduces the document exactly.
+        assert global_mapping_to_dict(rebuilt) == doc
+
+    def test_detailed_mapping_round_trip(self, result):
+        doc = detailed_mapping_to_dict(result.detailed_mapping)
+        rebuilt = detailed_mapping_from_dict(doc)
+        assert rebuilt.num_fragments == result.detailed_mapping.num_fragments
+        assert rebuilt.instances_used() == result.detailed_mapping.instances_used()
+        assert detailed_mapping_to_dict(rebuilt) == doc
+
+    def test_mapping_result_round_trip_is_exact(self, result):
+        doc = mapping_result_to_dict(result)
+        rebuilt = mapping_result_from_dict(doc)
+        assert mapping_result_to_dict(rebuilt) == doc
+        assert rebuilt.cost.weighted_total == pytest.approx(result.cost.weighted_total)
+        assert rebuilt.retries == result.retries
+
+    def test_mapping_result_requires_all_sections(self, result):
+        doc = mapping_result_to_dict(result)
+        del doc["detailed_mapping"]
+        with pytest.raises(SerializationError):
+            mapping_result_from_dict(doc)
+
+
+class TestCacheKeyStability:
+    """The engine's cache keys must agree between independent processes."""
+
+    def _job_key_script(self) -> str:
+        return (
+            "from repro.arch import hierarchical_board\n"
+            "from repro.design import image_pipeline_design\n"
+            "from repro.engine import MappingJob\n"
+            "job = MappingJob(board=hierarchical_board(),"
+            " design=image_pipeline_design(), solver='bnb-pure')\n"
+            "print(job.cache_key())\n"
+        )
+
+    def test_cache_key_stable_across_processes(self):
+        keys = set()
+        for _ in range(2):
+            completed = subprocess.run(
+                [sys.executable, "-c", self._job_key_script()],
+                capture_output=True, text=True, check=True,
+            )
+            keys.add(completed.stdout.strip())
+        assert len(keys) == 1
+        (key,) = keys
+        assert len(key) == 64  # sha256 hex
+
+    def test_cache_key_matches_in_process(self):
+        from repro.engine import MappingJob
+
+        job = MappingJob(
+            board=hierarchical_board(),
+            design=image_pipeline_design(),
+            solver="bnb-pure",
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", self._job_key_script()],
+            capture_output=True, text=True, check=True,
+        )
+        assert completed.stdout.strip() == job.cache_key()
+
+    def test_cache_key_ignores_label(self):
+        from repro.engine import MappingJob
+
+        base = dict(board=hierarchical_board(), design=image_pipeline_design())
+        assert MappingJob(**base).cache_key() == \
+            MappingJob(label="other", **base).cache_key()
+
+    def test_cache_key_tracks_timeout(self):
+        # A budget-censored run may carry a suboptimal incumbent, so a
+        # different time budget must be a different cache entry.
+        from repro.engine import MappingJob
+
+        base = dict(board=hierarchical_board(), design=image_pipeline_design())
+        assert MappingJob(**base).cache_key() != \
+            MappingJob(timeout=5.0, **base).cache_key()
+
+    def test_cache_key_tracks_solver_options(self):
+        from repro.engine import MappingJob
+
+        base = dict(board=hierarchical_board(), design=image_pipeline_design())
+        assert MappingJob(**base).cache_key() != \
+            MappingJob(solver_options={"node_limit": 10}, **base).cache_key()

@@ -86,9 +86,99 @@ class TestMapCommand:
 
     def test_infeasible_mapping_is_a_clean_error(self, capsys):
         # The FFT does not fit the small FLEX 10K board (see the dsp_kernels
-        # example); the CLI must report that as an error, not a traceback.
-        assert main(["map", "--board", "flex10k-epf10k100", "--design", "fft"]) == 2
+        # example); the CLI must report that as a mapping failure (exit 1,
+        # distinct from usage errors), not a traceback.
+        assert main(["map", "--board", "flex10k-epf10k100", "--design", "fft"]) == 1
         assert "mapping failed" in capsys.readouterr().err
+
+    def test_infeasible_mapping_with_json_emits_failure_document(self, capsys):
+        assert main(["map", "--board", "flex10k-epf10k100", "--design", "fft",
+                     "--json"]) == 1
+        captured = capsys.readouterr()
+        document = json.loads(captured.out)
+        assert document["status"] == "failed"
+        assert document["error"]
+
+    def test_map_json_output(self, capsys):
+        assert main(["map", "--board", "virtex-xcv1000", "--design", "fir-filter",
+                     "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["kind"] == "mapping_result"
+        assert document["global_mapping"]["solver_status"] == "optimal"
+
+
+class TestBackendsCommand:
+    def test_lists_registered_backends(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("bnb", "bnb-pure", "scipy-milp", "portfolio"):
+            assert name in out
+
+    def test_json_listing_has_at_least_three_backends(self, capsys):
+        assert main(["backends", "--json"]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        assert len(listing) >= 3
+        names = {entry["name"] for entry in listing}
+        assert {"bnb", "bnb-pure", "portfolio"} <= names
+        for entry in listing:
+            assert "capabilities" in entry and "options" in entry
+
+
+class TestBatchCommand:
+    def test_batch_of_named_designs(self, capsys):
+        assert main(["batch", "--board", "virtex-xcv1000",
+                     "--design", "fir-filter", "--design", "matrix-multiply"]) == 0
+        out = capsys.readouterr().out
+        assert "Batch of 2 mapping jobs" in out
+        assert out.count("ok") >= 2
+
+    def test_batch_json_and_artifact(self, capsys, tmp_path):
+        assert main(["batch", "--sweep", "2", "--json",
+                     "--artifact-dir", str(tmp_path),
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["num_points"] == 2
+        assert all(r["status"] == "ok" for r in document["results"])
+        artifact = json.loads((tmp_path / "BENCH_batch.json").read_text())
+        assert artifact["kind"] == "bench_artifact"
+        assert artifact["num_ok"] == 2
+        assert artifact["speedup_vs_serial"] is not None
+
+    def test_batch_warm_cache_reruns_from_disk(self, capsys, tmp_path):
+        argv = ["batch", "--sweep", "2", "--json",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert all(r["cache_hit"] for r in warm["results"])
+        assert [r["fingerprint"] for r in warm["results"]] == \
+               [r["fingerprint"] for r in cold["results"]]
+
+    def test_batch_with_failing_job_exits_nonzero(self, capsys):
+        # The FFT does not fit the FLEX 10K board; one failed job must turn
+        # into a non-zero exit without aborting the rest of the batch.
+        assert main(["batch", "--board", "flex10k-epf10k100",
+                     "--design", "fft", "--design", "fir-filter"]) == 1
+        out = capsys.readouterr().out
+        assert "failed" in out and "ok" in out
+
+    def test_batch_without_work_is_a_usage_error(self, capsys):
+        assert main(["batch"]) == 2
+        assert "batch needs" in capsys.readouterr().err
+
+    def test_unknown_solver_is_a_usage_error(self, capsys):
+        assert main(["batch", "--design", "fir-filter", "--solver", "cplex"]) == 2
+        assert "unknown solver backend" in capsys.readouterr().err
+        assert main(["map", "--board", "virtex-xcv1000", "--design", "fir-filter",
+                     "--solver", "cplex"]) == 2
+        assert "repro backends" in capsys.readouterr().err
+
+    def test_zero_jobs_is_a_usage_error(self, capsys):
+        assert main(["batch", "--sweep", "2", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+        assert main(["table3", "--points", "1", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
 
 
 class TestTable3Command:
