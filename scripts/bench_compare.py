@@ -1,0 +1,188 @@
+#!/usr/bin/env python
+"""Validate and diff ``BENCH_*.json`` benchmark artifacts.
+
+Two modes:
+
+``--check FILE``
+    Validate that an artifact exists and is well-formed (used by the CI
+    benchmark smoke job).  Exit 0 when valid, 1 when missing/malformed.
+
+``BASELINE CANDIDATE``
+    Diff two artifacts of the same benchmark: per-label wall-time and
+    solver-work deltas plus the aggregate totals.  With
+    ``--fail-over PCT`` the script exits 1 when the candidate's total
+    wall time regressed by more than PCT percent over the baseline.
+
+Examples::
+
+    python scripts/bench_compare.py --check BENCH_table3.json
+    python scripts/bench_compare.py BENCH_table3_legacy.json BENCH_table3.json
+    python scripts/bench_compare.py old.json new.json --fail-over 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+#: Keys every bench artifact must carry to be considered well-formed.
+REQUIRED_KEYS = ("kind", "artifact_version", "name", "solver", "num_points",
+                 "wall_seconds", "results")
+
+#: Aggregate counters diffed when both artifacts carry them.
+TOTAL_KEYS = (
+    "wall_seconds",
+    "serial_seconds",
+    "total_lp_solves",
+    "total_nodes_explored",
+    "total_simplex_iterations",
+    "total_global_solves",
+    "total_retries",
+    "total_presolve_rows_dropped",
+    "total_presolve_cols_fixed",
+)
+
+
+def load_artifact(path: Path) -> Dict[str, Any]:
+    if not path.exists():
+        raise SystemExit(f"error: artifact {path} does not exist")
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"error: cannot read artifact {path}: {exc}")
+    problems = validate(document)
+    if problems:
+        raise SystemExit(
+            f"error: artifact {path} is malformed: " + "; ".join(problems)
+        )
+    return document
+
+
+def validate(document: Any) -> List[str]:
+    """Return a list of problems (empty when the artifact is well-formed)."""
+    problems: List[str] = []
+    if not isinstance(document, dict):
+        return ["top-level value is not an object"]
+    for key in REQUIRED_KEYS:
+        if key not in document:
+            problems.append(f"missing key {key!r}")
+    if document.get("kind") != "bench_artifact":
+        problems.append(f"kind is {document.get('kind')!r}, "
+                        "expected 'bench_artifact'")
+    results = document.get("results")
+    if not isinstance(results, list):
+        problems.append("'results' is not a list")
+    else:
+        if len(results) != document.get("num_points", len(results)) and \
+                document.get("name") == "table3":
+            problems.append("num_points does not match len(results)")
+        for i, row in enumerate(results):
+            if not isinstance(row, dict) or "label" not in row:
+                problems.append(f"results[{i}] lacks a label")
+                break
+    return problems
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def _delta(base: Optional[float], cand: Optional[float]) -> str:
+    if base is None or cand is None or not isinstance(base, (int, float)) \
+            or not isinstance(cand, (int, float)):
+        return "-"
+    diff = cand - base
+    pct = f" ({100.0 * diff / base:+.1f}%)" if base else ""
+    return f"{diff:+.3f}{pct}"
+
+
+def compare(baseline: Dict[str, Any], candidate: Dict[str, Any],
+            fail_over: Optional[float]) -> int:
+    print(f"baseline : {baseline['name']} (solver={baseline['solver']}, "
+          f"jobs={baseline.get('jobs')}, warm_retries="
+          f"{baseline.get('warm_retries')}, presolve={baseline.get('presolve')})")
+    print(f"candidate: {candidate['name']} (solver={candidate['solver']}, "
+          f"jobs={candidate.get('jobs')}, warm_retries="
+          f"{candidate.get('warm_retries')}, presolve={candidate.get('presolve')})")
+    print()
+
+    print(f"{'metric':<30} {'baseline':>12} {'candidate':>12} {'delta':>20}")
+    for key in TOTAL_KEYS:
+        base = baseline.get(key)
+        cand = candidate.get(key)
+        if base is None and cand is None:
+            continue
+        print(f"{key:<30} {_fmt(base):>12} {_fmt(cand):>12} "
+              f"{_delta(base, cand):>20}")
+    print()
+
+    base_rows = {row["label"]: row for row in baseline.get("results", [])}
+    cand_rows = {row["label"]: row for row in candidate.get("results", [])}
+    shared = [label for label in base_rows if label in cand_rows]
+    if shared:
+        print(f"{'label':<34} {'base s':>9} {'cand s':>9} "
+              f"{'base lp':>8} {'cand lp':>8} {'objectives':>11}")
+        for label in shared:
+            b, c = base_rows[label], cand_rows[label]
+            b_obj = b.get("global_objective", b.get("objective"))
+            c_obj = c.get("global_objective", c.get("objective"))
+            match = "-"
+            if isinstance(b_obj, (int, float)) and isinstance(c_obj, (int, float)):
+                scale = max(1e-9, abs(b_obj))
+                match = "same" if abs(b_obj - c_obj) / scale <= 1e-6 else "DIFFER"
+            b_lp = (b.get("solve_stats") or {}).get("lp_solves", "-")
+            c_lp = (c.get("solve_stats") or {}).get("lp_solves", "-")
+            b_s = b.get("global_detailed_seconds", b.get("wall_time", 0.0)) or 0.0
+            c_s = c.get("global_detailed_seconds", c.get("wall_time", 0.0)) or 0.0
+            print(f"{label:<34} {b_s:>9.3f} {c_s:>9.3f} "
+                  f"{str(b_lp):>8} {str(c_lp):>8} {match:>11}")
+    missing = sorted(set(base_rows) ^ set(cand_rows))
+    if missing:
+        print(f"\nwarning: labels present in only one artifact: {missing}")
+
+    if fail_over is not None:
+        base_wall = float(baseline.get("wall_seconds") or 0.0)
+        cand_wall = float(candidate.get("wall_seconds") or 0.0)
+        if base_wall > 0 and cand_wall > base_wall * (1.0 + fail_over / 100.0):
+            print(f"\nFAIL: candidate wall time {cand_wall:.3f}s exceeds "
+                  f"baseline {base_wall:.3f}s by more than {fail_over:.0f}%")
+            return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="validate / diff BENCH_*.json artifacts")
+    parser.add_argument("artifacts", nargs="*", type=Path,
+                        help="BASELINE CANDIDATE artifact files")
+    parser.add_argument("--check", type=Path, default=None,
+                        help="only validate this artifact and exit")
+    parser.add_argument("--fail-over", type=float, default=None, metavar="PCT",
+                        help="exit 1 when candidate wall time regresses by "
+                             "more than PCT percent")
+    args = parser.parse_args(argv)
+
+    if args.check is not None:
+        document = load_artifact(args.check)
+        print(f"ok: {args.check} is a well-formed bench artifact "
+              f"({document['name']}, {document['num_points']} points, "
+              f"{document['wall_seconds']:.3f}s)")
+        return 0
+
+    if len(args.artifacts) != 2:
+        parser.error("expected BASELINE and CANDIDATE artifacts (or --check FILE)")
+    baseline = load_artifact(args.artifacts[0])
+    candidate = load_artifact(args.artifacts[1])
+    return compare(baseline, candidate, args.fail_over)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -65,6 +65,7 @@ def batch_artifact(
                 "cache_hit": r.cache_hit,
                 "fingerprint": r.fingerprint,
                 "model_size": dict(r.model_size),
+                "solve_stats": dict(r.solve_stats),
                 "error": r.error,
             }
             for r in results

@@ -82,6 +82,9 @@ class ExperimentRow:
     global_model_size: Dict[str, int] = field(default_factory=dict)
     complete_model_size: Dict[str, int] = field(default_factory=dict)
     complete_timed_out: bool = False
+    #: aggregated solver work of the global/detailed flow (LP solves,
+    #: nodes, presolve reductions) — see ``MappingResult.solve_stats``.
+    global_solve_stats: Dict[str, object] = field(default_factory=dict)
 
     @property
     def speedup(self) -> float:
@@ -114,6 +117,8 @@ class Table3Harness:
         jobs: int = 1,
         cache_dir: Optional[str] = None,
         artifact_dir: Optional[str] = None,
+        warm_retries: bool = True,
+        presolve: bool = True,
     ) -> None:
         self.points = tuple(points) if points is not None else default_design_points()
         self.solver = solver or default_solver_backend()
@@ -125,12 +130,25 @@ class Table3Harness:
         self.jobs = max(1, int(jobs))
         self.cache_dir = cache_dir
         self.artifact_dir = artifact_dir
+        #: benchmark knobs for comparing against the pre-presolve solve
+        #: path: cold retries and/or presolve off reproduce it.
+        self.warm_retries = warm_retries
+        self.presolve = presolve
+
+    def _solver_options(self) -> Dict[str, object]:
+        options: Dict[str, object] = {"time_limit": self.time_limit}
+        if not self.presolve:
+            # The faithful pre-refactor path: no root presolve and no
+            # node-level bound propagation.
+            options["presolve"] = False
+            options["node_presolve"] = False
+        return options
 
     # ------------------------------------------------------------------ api
     def run_point(self, point: DesignPoint) -> ExperimentRow:
         """Measure one design point."""
         design, board = point.build(seed=self.seed, occupancy=self.occupancy)
-        solver_options = {"time_limit": self.time_limit}
+        solver_options = self._solver_options()
 
         # Global/detailed approach (pre-processing is included in the timing,
         # as the paper notes it is for its own measurements).
@@ -140,6 +158,7 @@ class Table3Harness:
             solver=self.solver,
             solver_options=solver_options,
             warm_start=False,
+            warm_retries=self.warm_retries,
         )
         start = time.perf_counter()
         result = mapper.map(design)
@@ -188,6 +207,7 @@ class Table3Harness:
             global_model_size=global_model_size,
             complete_model_size=complete_model_size,
             complete_timed_out=timed_out,
+            global_solve_stats=dict(result.solve_stats),
         )
 
     def run(self) -> List[ExperimentRow]:
@@ -221,11 +241,12 @@ class Table3Harness:
                 design=design,
                 weights=self.weights,
                 solver=self.solver,
-                solver_options={"time_limit": self.time_limit},
+                solver_options=self._solver_options(),
                 timeout=self.time_limit,
                 # run_point measures with warm_start=False; the parallel
                 # path must solve the exact same configuration.
                 warm_start=False,
+                warm_retries=self.warm_retries,
             )
             batch.append(MappingJob(
                 mode=MODE_PIPELINE, label=f"global/detailed {point.label()}", **common
@@ -299,22 +320,40 @@ class Table3Harness:
             global_model_size=dict(pipeline.model_size),
             complete_model_size=complete_model_size,
             complete_timed_out=timed_out,
+            global_solve_stats=dict(pipeline.solve_stats),
         )
 
     def _artifact(self, rows: List[ExperimentRow], elapsed: float) -> Dict[str, object]:
         serial_seconds = sum(
             row.global_detailed_seconds + row.complete_seconds for row in rows
         )
+
+        def stat_total(key: str) -> int:
+            return int(sum(int(row.global_solve_stats.get(key, 0) or 0)
+                           for row in rows))
+
         return {
             "kind": "bench_artifact",
             "artifact_version": 1,
             "name": "table3",
             "jobs": self.jobs,
             "solver": self.solver,
+            "warm_retries": self.warm_retries,
+            "presolve": self.presolve,
             "num_points": len(rows),
             "wall_seconds": elapsed,
             "serial_seconds": serial_seconds,
             "speedup_vs_serial": (serial_seconds / elapsed) if elapsed > 0 else None,
+            # Totals of the global/detailed flow's solver work, so two
+            # artifacts (e.g. warm+presolve vs the legacy cold path) can be
+            # diffed by scripts/bench_compare.py.
+            "total_lp_solves": stat_total("lp_solves"),
+            "total_nodes_explored": stat_total("nodes_explored"),
+            "total_simplex_iterations": stat_total("simplex_iterations"),
+            "total_global_solves": stat_total("global_solves"),
+            "total_retries": stat_total("retries"),
+            "total_presolve_rows_dropped": stat_total("presolve_rows_dropped"),
+            "total_presolve_cols_fixed": stat_total("presolve_cols_fixed"),
             "results": [
                 {
                     "label": row.point.label(),
@@ -328,6 +367,7 @@ class Table3Harness:
                     "speedup": None if row.complete_objective is None else row.speedup,
                     "global_model_size": dict(row.global_model_size),
                     "complete_model_size": dict(row.complete_model_size),
+                    "solve_stats": dict(row.global_solve_stats),
                 }
                 for row in rows
             ],
@@ -342,6 +382,8 @@ def run_table3(
     run_complete: bool = True,
     jobs: int = 1,
     artifact_dir: Optional[str] = None,
+    warm_retries: bool = True,
+    presolve: bool = True,
 ) -> List[ExperimentRow]:
     """One-call version of the Table 3 experiment (used by the benchmarks)."""
     harness = Table3Harness(
@@ -352,5 +394,7 @@ def run_table3(
         run_complete=run_complete,
         jobs=jobs,
         artifact_dir=artifact_dir,
+        warm_retries=warm_retries,
+        presolve=presolve,
     )
     return harness.run()

@@ -333,13 +333,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 r.status,
                 "-" if r.objective is None else f"{r.objective:.4f}",
                 format_seconds(r.wall_time),
+                str(r.solve_stats.get("lp_solves", "-")),
                 "hit" if r.cache_hit else "-",
                 r.error or r.solver_status,
             ]
             for r in results
         ]
         print(ascii_table(
-            ["job", "status", "objective", "time", "cache", "detail"],
+            ["job", "status", "objective", "time", "lp", "cache", "detail"],
             rows,
             title=f"Batch of {len(results)} mapping jobs "
                   f"({jobs} worker{'s' if jobs != 1 else ''}, "
@@ -365,6 +366,8 @@ def _cmd_table3(args: argparse.Namespace) -> int:
         run_complete=not args.skip_complete,
         jobs=_resolve_jobs(args.jobs),
         artifact_dir=args.artifact_dir,
+        warm_retries=not args.cold_retries,
+        presolve=not args.no_presolve,
     )
     print(
         f"Running {len(points)} design points with backend "
@@ -494,6 +497,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker processes for the sweep")
     table3.add_argument("--artifact-dir",
                         help="write a BENCH_table3.json artifact into this directory")
+    table3.add_argument("--cold-retries", action="store_true",
+                        help="solve every pipeline retry cold (legacy path, "
+                             "for benchmark comparison)")
+    table3.add_argument("--no-presolve", action="store_true",
+                        help="disable the ILP presolve pass (legacy path)")
     table3.set_defaults(func=_cmd_table3)
 
     return parser

@@ -35,7 +35,7 @@ import numpy as np
 
 from ..arch.board import Board
 from ..design.design import Design
-from ..ilp import Model, Solution, Variable, create_solver, quicksum
+from ..ilp import Model, Solution, SolveContext, Variable, create_solver, quicksum
 from .mapping import GlobalMapping, MappingError
 from .objective import CostModel, CostWeights
 from .preprocess import Preprocessor
@@ -94,6 +94,11 @@ class _GlobalSkeleton:
         else:
             cliques = design.conflicts.conflict_cliques(design.data_structures)
             self.group_sets = [(f"clique{i}", clique) for i, clique in enumerate(cliques)]
+        #: the unfiltered (no forbidden pairs) model, built once per design;
+        #: the solve path reuses it across the pipeline's retries and applies
+        #: forbidden pairs as solver-level variable fixings instead of
+        #: re-assembling the constraint skeleton.
+        self.full_artifacts: Optional["GlobalModelArtifacts"] = None
 
 
 class GlobalModelArtifacts:
@@ -317,6 +322,91 @@ class GlobalMapper:
         self.skeleton_builds += 1
         return entry
 
+    def full_model_artifacts(
+        self,
+        design: Design,
+        preprocessor: Optional[Preprocessor] = None,
+        cost_model: Optional[CostModel] = None,
+    ) -> GlobalModelArtifacts:
+        """The unfiltered model of ``design``, built once and reused.
+
+        This is what the solve path runs against: forbidden pairs never
+        remove variables from it, they become solver-level fixings
+        (``fix_zero``), so the pipeline's retries share one constraint
+        skeleton *and* one ``Model`` — and, through the
+        :class:`~repro.ilp.SolveContext`, one cached standard form.
+        """
+        skeleton = self._skeleton(design, preprocessor, cost_model)
+        if skeleton.full_artifacts is None:
+            skeleton.full_artifacts = self.build_model(
+                design,
+                preprocessor=skeleton.preprocessor,
+                cost_model=skeleton.cost_model,
+            )
+        return skeleton.full_artifacts
+
+    def _fixed_indices(
+        self,
+        artifacts: GlobalModelArtifacts,
+        design: Design,
+        forbidden: Set[Pair],
+    ) -> List[int]:
+        """Variable indices a forbidden set pins to zero (with sanity check)."""
+        if not forbidden:
+            return []
+        free = {ds.name: 0 for ds in design.data_structures}
+        fixed: List[int] = []
+        for (structure, type_name), var in artifacts.z_vars.items():
+            if (structure, type_name) in forbidden:
+                fixed.append(var.index)
+            else:
+                free[structure] += 1
+        starved = [name for name, count in free.items() if count == 0]
+        if starved:
+            raise MappingError(
+                f"structure {starved[0]!r} has no admissible bank type left "
+                "(all candidates are infeasible or forbidden)"
+            )
+        return sorted(fixed)
+
+    def _repaired_warm_assignment(
+        self,
+        skeleton: _GlobalSkeleton,
+        artifacts: GlobalModelArtifacts,
+        design: Design,
+        context: SolveContext,
+        forbidden: Set[Pair],
+    ) -> Optional[Dict[str, str]]:
+        """Patch the previous incumbent around newly forbidden pairs.
+
+        The retry loop forbids exactly the pair that made detailed mapping
+        fail, so the previous solve's incumbent is one reassignment away
+        from a (usually feasible) warm start: move the offending structure
+        to its cheapest still-admissible type and keep everything else.
+        """
+        values = context.warm_values
+        if values is None or values.shape[0] != artifacts.model.num_variables:
+            return None
+        assignment: Dict[str, str] = {}
+        for (structure, type_name), var in artifacts.z_vars.items():
+            if values[var.index] > 0.5:
+                assignment[structure] = type_name
+        if len(assignment) != design.num_segments:
+            return None
+        for structure, type_name in list(assignment.items()):
+            if (structure, type_name) not in forbidden:
+                continue
+            d_index = design.index_of(structure)
+            options = [
+                (float(skeleton.coefficients[d_index, t_index]), bank_name)
+                for bank_name, _, t_index in skeleton.candidates[d_index]
+                if (structure, bank_name) not in forbidden
+            ]
+            if not options:
+                return None
+            assignment[structure] = min(options)[1]
+        return assignment
+
     # ---------------------------------------------------------------- solving
     def solve(
         self,
@@ -325,27 +415,56 @@ class GlobalMapper:
         forbidden_pairs: Iterable[Pair] = (),
         preprocessor: Optional[Preprocessor] = None,
         cost_model: Optional[CostModel] = None,
+        context: Optional[SolveContext] = None,
     ) -> GlobalMapping:
-        """Solve the global-mapping ILP and return the type assignment."""
-        artifacts = self.build_model(
-            design,
-            preprocessor=preprocessor,
-            cost_model=cost_model,
-            forbidden_pairs=forbidden_pairs,
-        )
+        """Solve the global-mapping ILP and return the type assignment.
+
+        ``context`` (optional) threads warm starts, pseudo-cost branching
+        statistics and the cached standard form across repeated solves of
+        the same design — the pipeline passes one context through its
+        whole forbidden-pair retry loop.
+        """
+        forbidden: Set[Pair] = set(forbidden_pairs)
         solver_options = dict(self.solver_options)
-        if warm_start is not None:
-            vector = artifacts.warm_start_vector(warm_start)
-            if vector is not None:
-                solver_options.setdefault("warm_start", vector)
+
+        if isinstance(self.solver, str) or self.solver is None:
+            skeleton = self._skeleton(design, preprocessor, cost_model)
+            artifacts = self.full_model_artifacts(design, preprocessor, cost_model)
+            fixed = self._fixed_indices(artifacts, design, forbidden)
+            if fixed:
+                solver_options["fix_zero"] = fixed
+            if context is not None:
+                solver_options["context"] = context
+                if warm_start is None and forbidden:
+                    warm_start = self._repaired_warm_assignment(
+                        skeleton, artifacts, design, context, forbidden
+                    )
+            if warm_start is not None:
+                vector = artifacts.warm_start_vector(warm_start)
+                if vector is not None:
+                    solver_options.setdefault("warm_start", vector)
+            solver: object = create_solver(self.solver, **solver_options)
+        else:
+            # Injected solver instances cannot take per-solve fixings, so
+            # they keep the legacy path: a model with forbidden variables
+            # filtered out at assembly.
+            artifacts = self.build_model(
+                design,
+                preprocessor=preprocessor,
+                cost_model=cost_model,
+                forbidden_pairs=forbidden,
+            )
+            solver = self.solver
 
         start = time.perf_counter()
-        if isinstance(self.solver, str) or self.solver is None:
-            solver = create_solver(self.solver, **solver_options)
-        else:
-            solver = self.solver
         solution = solver.solve(artifacts.model)
         elapsed = time.perf_counter() - start
+
+        if context is not None and solution.is_success:
+            # Record the incumbent here, on the caller's thread, so warm
+            # retries work with every backend (scipy-milp and the racing
+            # portfolio never touch the caller's context themselves).
+            context.note_incumbent(solution.values)
 
         if not solution.is_success:
             raise MappingError(

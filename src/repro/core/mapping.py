@@ -227,6 +227,10 @@ class MappingResult:
     global_time: float = 0.0
     detailed_time: float = 0.0
     retries: int = 0
+    #: aggregated solver statistics of the whole retry loop (LP solves,
+    #: nodes, presolve reductions, warm-start hits); see
+    #: :meth:`repro.core.pipeline.MemoryMapper._solve_stats`.
+    solve_stats: Dict[str, object] = field(default_factory=dict)
 
     @property
     def total_time(self) -> float:
@@ -242,5 +246,16 @@ class MappingResult:
             f"  global solve: {self.global_time:.3f}s, detailed: {self.detailed_time:.3f}s"
             + (f", retries: {self.retries}" if self.retries else ""),
         ]
+        if self.solve_stats:
+            lines.append(
+                "  solver: {lp} LP solves / {nodes} nodes over {solves} global "
+                "solve(s), presolve dropped {rows} rows and fixed {cols} cols".format(
+                    lp=self.solve_stats.get("lp_solves", 0),
+                    nodes=self.solve_stats.get("nodes_explored", 0),
+                    solves=self.solve_stats.get("global_solves", 0),
+                    rows=self.solve_stats.get("presolve_rows_dropped", 0),
+                    cols=self.solve_stats.get("presolve_cols_fixed", 0),
+                )
+            )
         lines.append(self.global_mapping.describe())
         return "\n".join(lines)

@@ -17,6 +17,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..arch.board import Board
 from ..design.design import Design
+from ..ilp import SolveContext
 from .detailed_mapper import DetailedMapper, DetailedMappingFailure
 from .global_mapper import GlobalMapper
 from .heuristic_mapper import GreedyMapper
@@ -50,6 +51,13 @@ class MemoryMapper:
         When true (default) a greedy assignment seeds the ILP solver's
         incumbent, which speeds up branch-and-bound without affecting the
         optimum.
+    warm_retries:
+        When true (default) a :class:`repro.ilp.SolveContext` is threaded
+        through the retry loop: retry ``N`` warm-starts from retry
+        ``N-1``'s incumbent (repaired around the newly forbidden pair),
+        reuses the cached standard form and keeps the pseudo-cost
+        branching statistics.  ``False`` solves every retry cold — kept
+        for benchmarking the old behaviour.
     validate:
         When true (default) both stages are checked by the validators and a
         :class:`repro.core.mapping.MappingError` is raised on any violation.
@@ -65,6 +73,7 @@ class MemoryMapper:
         port_estimation: str = "paper",
         max_retries: int = 3,
         warm_start: bool = True,
+        warm_retries: bool = True,
         validate: bool = True,
     ) -> None:
         self.board = board
@@ -75,6 +84,7 @@ class MemoryMapper:
         self.port_estimation = port_estimation
         self.max_retries = max_retries
         self.warm_start = warm_start
+        self.warm_retries = warm_retries
         self.validate = validate
         self.global_mapper = GlobalMapper(
             board,
@@ -109,6 +119,8 @@ class MemoryMapper:
         retries = 0
         global_time = 0.0
         detailed_time = 0.0
+        context = SolveContext() if self.warm_retries else None
+        stage_stats: List[Dict[str, object]] = []
 
         while True:
             start = time.perf_counter()
@@ -118,8 +130,10 @@ class MemoryMapper:
                 forbidden_pairs=forbidden,
                 preprocessor=preprocessor,
                 cost_model=cost_model,
+                context=context,
             )
             global_time += time.perf_counter() - start
+            stage_stats.append(dict(global_mapping.solver_stats))
 
             if self.validate:
                 ensure_valid(
@@ -171,7 +185,47 @@ class MemoryMapper:
                 global_time=global_time,
                 detailed_time=detailed_time,
                 retries=retries,
+                solve_stats=self._solve_stats(stage_stats, context, retries),
             )
+
+    @staticmethod
+    def _solve_stats(
+        stage_stats: List[Dict[str, object]],
+        context: Optional[SolveContext],
+        retries: int,
+    ) -> Dict[str, object]:
+        """Aggregate the per-solve solver statistics of the retry loop.
+
+        Works for every backend (the counters come from the per-solve
+        stats dictionaries); the context adds its cross-retry extras when
+        warm retries are enabled.
+        """
+        def total(key: str) -> int:
+            return int(sum(int(s.get(key, 0) or 0) for s in stage_stats))
+
+        presolve_rows = presolve_cols = 0
+        for s in stage_stats:
+            pres = s.get("presolve") or {}
+            if isinstance(pres, dict):
+                presolve_rows += int(pres.get("rows_dropped_ub", 0))
+                presolve_rows += int(pres.get("rows_dropped_eq", 0))
+                presolve_cols += int(pres.get("cols_fixed", 0))
+        stats: Dict[str, object] = {
+            "global_solves": len(stage_stats),
+            "retries": retries,
+            "lp_solves": total("lp_solves"),
+            "nodes_explored": total("nodes_explored"),
+            "simplex_iterations": total("simplex_iterations"),
+            "incumbent_updates": total("incumbent_updates"),
+            "presolve_rows_dropped": presolve_rows,
+            "presolve_cols_fixed": presolve_cols,
+            "warm_retries": context is not None,
+            "backend": str(stage_stats[-1].get("backend", "")) if stage_stats else "",
+        }
+        if context is not None:
+            stats["warm_start_hits"] = context.warm_start_hits
+            stats["form_reuses"] = context.form_reuses
+        return stats
 
     def map_global_only(self, design: Design) -> GlobalMapping:
         """Run only the global stage (used by benchmarks and ablations)."""
@@ -210,6 +264,7 @@ class MemoryMapper:
                 capacity_mode=self.capacity_mode,
                 port_estimation=self.port_estimation,
                 warm_start=self.warm_start,
+                warm_retries=self.warm_retries,
             )
             for design in designs
         ]

@@ -135,8 +135,24 @@ def render_full_report(result: MappingResult) -> str:
         f"global solve time : {result.global_time:.3f}s"
         + (f" (+{result.retries} retries)" if result.retries else ""),
         f"detailed map time : {result.detailed_time:.3f}s",
-        "",
     ]
+    stats = result.solve_stats
+    if stats:
+        header.append(
+            "solver work       : {lp} LP solves / {nodes} nodes across {solves} "
+            "global solve(s)".format(
+                lp=stats.get("lp_solves", 0),
+                nodes=stats.get("nodes_explored", 0),
+                solves=stats.get("global_solves", 0),
+            )
+        )
+        header.append(
+            "presolve          : dropped {rows} rows, fixed {cols} columns".format(
+                rows=stats.get("presolve_rows_dropped", 0),
+                cols=stats.get("presolve_cols_fixed", 0),
+            )
+        )
+    header.append("")
     body = [
         render_assignment(result.design, result.board, result.global_mapping),
         "",

@@ -39,7 +39,10 @@ CACHE_SCHEMA_VERSION = 1
 #: runs of the same job — serial or parallel, any worker count — produce
 #: the same fingerprint exactly when they produce the same mapping.
 _NONDETERMINISTIC_KEYS = frozenset(
-    {"global_time", "detailed_time", "solve_time", "wall_time", "solver_stats"}
+    {"global_time", "detailed_time", "solve_time", "wall_time", "solver_stats",
+     # solver work counters vary with warm starts and worker scheduling
+     # while the mapping itself stays identical.
+     "solve_stats"}
 )
 
 

@@ -104,6 +104,7 @@ def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
         "assignment": {},
         "result": None,
         "model_size": {},
+        "solve_stats": {},
         "error": "",
         "worker_pid": os.getpid(),
     }
@@ -121,6 +122,7 @@ def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
             document["assignment"] = dict(outcome.global_mapping.assignment)
             document["result"] = global_mapping_to_dict(outcome.global_mapping)
             document["model_size"] = dict(outcome.model_size)
+            document["solve_stats"] = dict(outcome.global_mapping.solver_stats)
         else:
             mapper = MemoryMapper(
                 board,
@@ -130,6 +132,7 @@ def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
                 capacity_mode=payload.get("capacity_mode", "strict"),
                 port_estimation=payload.get("port_estimation", "paper"),
                 warm_start=bool(payload.get("warm_start", True)),
+                warm_retries=bool(payload.get("warm_retries", True)),
             )
             result = mapper.map(design)
             artifacts = mapper.global_mapper.build_model(design)
@@ -141,6 +144,7 @@ def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
                 "variables": artifacts.model.num_variables,
                 "constraints": artifacts.model.num_constraints,
             }
+            document["solve_stats"] = dict(result.solve_stats)
     except MappingError as exc:
         document["status"] = STATUS_FAILED
         document["error"] = str(exc)
@@ -349,6 +353,7 @@ class MappingEngine:
             result=document.get("result"),
             fingerprint=document.get("fingerprint"),
             model_size=dict(document.get("model_size") or {}),
+            solve_stats=dict(document.get("solve_stats") or {}),
             error=document.get("error", ""),
             wall_time=float(document.get("wall_time", 0.0)),
             attempts=int(document.get("attempts", 1)),

@@ -69,6 +69,9 @@ class MappingJob:
     port_estimation: str = "paper"
     #: Seed the ILP incumbent with the greedy heuristic (pipeline mode).
     warm_start: bool = True
+    #: Thread a SolveContext through the pipeline's retry loop so retry N
+    #: warm-starts from retry N-1 (pipeline mode).
+    warm_retries: bool = True
     mode: str = MODE_PIPELINE
     #: Display / artifact label; not part of the cache key.
     label: str = ""
@@ -100,6 +103,7 @@ class MappingJob:
             "capacity_mode": self.capacity_mode,
             "port_estimation": self.port_estimation,
             "warm_start": self.warm_start,
+            "warm_retries": self.warm_retries,
             "mode": self.mode,
             "timeout": self.timeout,
         }
@@ -139,6 +143,9 @@ class JobResult:
     #: mean byte-identical mappings regardless of worker count.
     fingerprint: Optional[str] = None
     model_size: Dict[str, int] = field(default_factory=dict)
+    #: aggregated solver statistics of the job's mapping flow (LP solves,
+    #: nodes, presolve reductions); excluded from the fingerprint.
+    solve_stats: Dict[str, Any] = field(default_factory=dict)
     error: str = ""
     wall_time: float = 0.0
     attempts: int = 1
@@ -163,6 +170,7 @@ class JobResult:
             "result": self.result,
             "fingerprint": self.fingerprint,
             "model_size": dict(self.model_size),
+            "solve_stats": dict(self.solve_stats),
             "error": self.error,
             "wall_time": self.wall_time,
             "attempts": self.attempts,
@@ -183,6 +191,7 @@ class JobResult:
             result=data.get("result"),
             fingerprint=data.get("fingerprint"),
             model_size=dict(data.get("model_size", {})),
+            solve_stats=dict(data.get("solve_stats") or {}),
             error=data.get("error", ""),
             wall_time=float(data.get("wall_time", 0.0)),
             attempts=int(data.get("attempts", 1)),

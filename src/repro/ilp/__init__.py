@@ -28,6 +28,16 @@ from .errors import (
 )
 from .expr import EQ, GE, LE, Constraint, LinExpr, Variable, quicksum
 from .model import MAXIMIZE, MINIMIZE, Model, SosGroup
+from .sparse import CsrMatrix
+from .context import PseudoCost, SolveContext
+from .presolve import (
+    REDUCED,
+    SOLVED,
+    Postsolve,
+    PresolveResult,
+    PresolveStats,
+    presolve,
+)
 from .branch_bound import BnBOptions, BranchAndBoundSolver, create_solver
 from .backends import (
     DEFAULT_BACKEND,
@@ -99,9 +109,18 @@ __all__ = [
     "TIMEOUT",
     "NODE_LIMIT",
     "ERROR",
-    # standard form
+    # standard form / presolve / context
     "StandardForm",
     "to_standard_form",
+    "CsrMatrix",
+    "SolveContext",
+    "PseudoCost",
+    "presolve",
+    "Postsolve",
+    "PresolveResult",
+    "PresolveStats",
+    "REDUCED",
+    "SOLVED",
     # errors
     "IlpError",
     "ModelError",

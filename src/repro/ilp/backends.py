@@ -185,26 +185,46 @@ class PortfolioBackend:
         time_limit: Optional[float] = None,
         rel_gap: float = 1e-6,
         entrants: Optional[Sequence[str]] = None,
+        fix_zero: Optional[Sequence[int]] = None,
         **bnb_options,
     ) -> None:
         self.time_limit = time_limit
         self.rel_gap = rel_gap
         self.entrants = tuple(entrants) if entrants is not None else None
+        self.fix_zero = tuple(fix_zero) if fix_zero is not None else None
         self.bnb_options = dict(bnb_options)
 
     # ------------------------------------------------------------- entrants
     def _build_entrants(self, stop: threading.Event) -> List[Tuple[str, SolverBackend]]:
         from .branch_bound import BranchAndBoundSolver  # local: avoid cycle
+        from .context import SolveContext
 
         wanted = self.entrants
         if wanted is None:
             wanted = ("bnb-pure", "scipy-milp") if highs_available() else ("bnb-pure",)
+        racing = len([w for w in wanted
+                      if w != "scipy-milp" or highs_available()]) > 1
         entrants: List[Tuple[str, SolverBackend]] = []
+        bnb_seen = False
         for label in wanted:
             if label in ("bnb-pure", "bnb"):
                 options = dict(self.bnb_options)
                 if label == "bnb-pure":
                     options.setdefault("lp_backend", "simplex")
+                if bnb_seen:
+                    # A SolveContext is not safe to share between two
+                    # concurrently racing branch-and-bound entrants.
+                    options.pop("context", None)
+                elif racing and options.get("context") is not None:
+                    # A losing racer is abandoned, not joined, so it may
+                    # still be mutating its context after solve() returns
+                    # — never hand a racing thread the caller's context.
+                    # A detached clone keeps the warm start and the
+                    # pseudo-cost knowledge without the race.
+                    options["context"] = SolveContext.from_dict(
+                        options["context"].as_dict()
+                    )
+                bnb_seen = True
                 entrants.append(
                     (
                         label,
@@ -212,6 +232,7 @@ class PortfolioBackend:
                             time_limit=self.time_limit,
                             rel_gap=self.rel_gap,
                             stop_check=stop.is_set,
+                            fix_zero=self.fix_zero,
                             **options,
                         ),
                     )
@@ -221,7 +242,8 @@ class PortfolioBackend:
                     continue
                 entrants.append(
                     (label, ScipyMilpSolver(time_limit=self.time_limit,
-                                            rel_gap=self.rel_gap))
+                                            rel_gap=self.rel_gap,
+                                            fix_zero=self.fix_zero))
                 )
             else:
                 raise ModelError(f"unknown portfolio entrant {label!r}")
@@ -234,16 +256,18 @@ class PortfolioBackend:
         start = time.perf_counter()
         stop = threading.Event()
         entrants = self._build_entrants(stop)
+        labels = [label for label, _ in entrants]
 
         if len(entrants) == 1:
             label, solver = entrants[0]
             solution = solver.solve(model)
-            return self._finish(solution, label, start)
+            return self._finish(solution, label, labels, start, cancelled=0)
 
         futures: Dict[Future, str] = {}
         pool = ThreadPoolExecutor(
             max_workers=len(entrants), thread_name_prefix="portfolio"
         )
+        cancelled = 0
         try:
             for label, solver in entrants:
                 futures[pool.submit(solver.solve, model)] = label
@@ -262,8 +286,14 @@ class PortfolioBackend:
                     finished.append((label, solution))
                     if solution.is_optimal:
                         winner = (label, solution)
+                        # Cancel the losers *immediately*: cooperative
+                        # entrants poll this event between nodes, so the
+                        # sooner it is set the sooner their thread frees
+                        # the interpreter for the caller.
+                        stop.set()
                         break
-            stop.set()  # cooperative entrants exit at their next node
+            stop.set()
+            cancelled = len(pending)
             if winner is None:
                 for future in pending:
                     label = futures[future]
@@ -271,6 +301,7 @@ class PortfolioBackend:
                         finished.append((label, future.result()))
                     except Exception:
                         continue
+                cancelled = 0
         finally:
             stop.set()
             # Do NOT join the losers: a HiGHS solve cannot be interrupted
@@ -280,20 +311,32 @@ class PortfolioBackend:
             pool.shutdown(wait=False, cancel_futures=True)
 
         if winner is not None:
-            return self._finish(winner[1], winner[0], start)
+            return self._finish(winner[1], winner[0], labels, start,
+                                cancelled=cancelled)
         feasible = [(lbl, s) for lbl, s in finished if s.is_success]
         if feasible:
             # Best incumbent in the *user's* optimisation sense.
             pick = max if model.sense == MAXIMIZE else min
             label, solution = pick(feasible, key=lambda pair: pair[1].objective)
-            return self._finish(solution, label, start)
+            return self._finish(solution, label, labels, start, cancelled=0)
         if finished:
-            return self._finish(finished[0][1], finished[0][0], start)
+            return self._finish(finished[0][1], finished[0][0], labels, start,
+                                cancelled=0)
         raise SolverError("every portfolio entrant crashed")
 
-    def _finish(self, solution: Solution, label: str, start: float) -> Solution:
+    def _finish(
+        self,
+        solution: Solution,
+        label: str,
+        entrants: List[str],
+        start: float,
+        cancelled: int,
+    ) -> Solution:
         solution.stats.backend = f"portfolio[{label}:{solution.stats.backend or label}]"
         solution.stats.wall_time = time.perf_counter() - start
+        solution.stats.extra["portfolio_winner"] = label
+        solution.stats.extra["portfolio_entrants"] = list(entrants)
+        solution.stats.extra["portfolio_cancelled"] = cancelled
         return solution
 
 
@@ -313,6 +356,10 @@ _BNB_OPTIONS: Dict[str, str] = {
     "node_rounding": "try rounding every node relaxation",
     "warm_start": "initial incumbent assignment (variable-indexed vector)",
     "stop_check": "callable polled between nodes to cancel the solve",
+    "presolve": "run the presolve reductions before the tree search",
+    "node_presolve": "bound propagation at every node (prunes without LP)",
+    "fix_zero": "variable indices forced to zero at the root",
+    "context": "SolveContext carrying warm starts and pseudo-costs",
     "log": "print per-node progress",
 }
 
@@ -359,6 +406,7 @@ def _register_builtin_backends() -> None:
         options={
             "time_limit": "wall-clock limit in seconds",
             "rel_gap": "relative optimality gap",
+            "fix_zero": "variable indices forced to zero",
         },
         aliases=("scipy", "highs-milp"),
         requires=highs_available,
@@ -375,6 +423,9 @@ def _register_builtin_backends() -> None:
             "entrants": "sequence of entrant backend names to race",
             "warm_start": "initial incumbent for the branch-and-bound entrant",
             "node_limit": "node limit for the branch-and-bound entrant",
+            "fix_zero": "variable indices forced to zero (all entrants)",
+            "presolve": "presolve toggle for the branch-and-bound entrant",
+            "context": "SolveContext for the branch-and-bound entrant",
         },
         aliases=("race",),
     ))

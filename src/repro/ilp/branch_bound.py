@@ -1,30 +1,38 @@
 """Best-first branch-and-bound solver for mixed 0/1 linear programs.
 
-This is the reproduction's stand-in for CPLEX's MIP engine.  It implements
-the classic LP-relaxation branch-and-bound loop:
+This is the reproduction's stand-in for CPLEX's MIP engine.  A solve now
+runs as a three-stage path:
 
-1. solve the LP relaxation of the node (HiGHS when available, otherwise the
-   built-in dense simplex of :mod:`repro.ilp.simplex`),
-2. prune when the relaxation is infeasible or its bound cannot beat the
-   incumbent,
-3. accept the node as a new incumbent when the relaxation is integral,
-4. otherwise branch and push the children onto a best-bound priority queue.
+1. **standard form** — the model is converted (or fetched from the
+   :class:`~repro.ilp.context.SolveContext` cache) into the sparse
+   :class:`~repro.ilp.standard_form.StandardForm`; caller-supplied
+   variable fixings (``fix_zero``, how forbidden (structure, type) pairs
+   arrive from the mapping pipeline) are applied as root bounds;
+2. **presolve** — :func:`repro.ilp.presolve.presolve` fixes forced
+   variables, tightens bounds and drops empty/redundant rows, producing a
+   reduced problem plus a postsolve map back to the full space (often it
+   solves the whole model outright on retry solves);
+3. **branch and bound** — the classic LP-relaxation loop over the
+   *reduced* form: solve the node relaxation (HiGHS when available,
+   otherwise the built-in sparse-assembled dense simplex), prune against
+   the incumbent, accept integral relaxations, branch otherwise.
 
-Two branching strategies are implemented:
+Branching strategies:
 
-* **SOS-1 branching** (default when the model declares SOS-1 groups): pick
-  the group with the most fractional LP mass and create one child per
-  member, fixing that member to one and its siblings to zero.  The mapping
-  formulations declare one group per data structure (its ``Z[d][t]`` row),
-  so a single branching decision settles an entire data-structure
-  assignment — this is the main reason the built-in solver handles the
-  global formulation comfortably.
-* **Most-fractional variable branching**: the textbook two-way split, used
-  for models without SOS annotations and as a fallback.
+* **SOS-1 branching** (default when the model declares SOS-1 groups):
+  pick the group with the most fractional LP mass and create one child
+  per member.  The mapping formulations declare one group per data
+  structure, so a single decision settles a whole assignment row.
+* **Pseudo-cost variable branching**: two-way splits steered by the
+  objective degradation observed per unit of fractionality.  The
+  statistics live in the :class:`SolveContext`, so the pipeline's
+  forbidden-pair retries keep learning across solves instead of starting
+  cold each time.
 
-Primal heuristics from :mod:`repro.ilp.heuristics` seed the incumbent at the
-root and try to round every node relaxation, mirroring (in miniature) what
-commercial solvers do.
+Primal heuristics from :mod:`repro.ilp.heuristics` seed the incumbent at
+the root and try to round every node relaxation; warm starts arrive
+either explicitly (``warm_start``) or through the context's previous
+incumbent.
 """
 
 from __future__ import annotations
@@ -34,14 +42,16 @@ import itertools
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .context import SolveContext
 from .errors import ModelError, SolverError
 from .heuristics import round_with_sos, sos_greedy_assignment
 from .model import Model
-from .scipy_backend import ScipyMilpSolver, highs_available, solve_lp_highs
+from .presolve import Postsolve, presolve as run_presolve, propagate_bounds
+from .scipy_backend import highs_available, solve_lp_highs
 from .simplex import SimplexOptions, solve_lp_simplex
 from .solution import (
     ERROR,
@@ -75,6 +85,17 @@ class BnBOptions:
     rel_gap: float = 1e-6
     abs_gap: float = 1e-9
     integrality_tol: float = 1e-6
+    #: run the presolve reductions before the tree search.
+    presolve: bool = True
+    #: run bound propagation at every node: infeasible children are pruned
+    #: and fully-fixed children fathomed without spending an LP solve.
+    node_presolve: bool = True
+    #: variable indices forced to zero at the root (the pipeline's
+    #: forbidden (structure, type) pairs arrive here as in-model fixings).
+    fix_zero: Optional[Sequence[int]] = None
+    #: cross-solve state (cached standard form, pseudo-costs, previous
+    #: incumbent); created per-solve when the caller does not supply one.
+    context: Optional[SolveContext] = None
     #: run the greedy SOS heuristic at the root to obtain an incumbent.
     root_heuristic: bool = True
     #: try rounding the relaxation of every node into an incumbent.
@@ -97,6 +118,11 @@ class _Node:
     lb: np.ndarray = field(compare=False, default=None)
     ub: np.ndarray = field(compare=False, default=None)
     depth: int = field(compare=False, default=0)
+    #: pseudo-cost bookkeeping: which branch created this node.
+    branch_name: Optional[str] = field(compare=False, default=None)
+    branch_dir: str = field(compare=False, default="")
+    branch_frac: float = field(compare=False, default=0.0)
+    parent_bound: float = field(compare=False, default=-math.inf)
 
 
 class BranchAndBoundSolver:
@@ -117,14 +143,18 @@ class BranchAndBoundSolver:
 
     # ------------------------------------------------------------ branching
     def _select_sos_group(
-        self, model: Model, x: np.ndarray, lb: np.ndarray, ub: np.ndarray
+        self,
+        groups: Sequence[Tuple[int, ...]],
+        x: np.ndarray,
+        lb: np.ndarray,
+        ub: np.ndarray,
     ) -> Optional[Tuple[Tuple[int, ...], np.ndarray]]:
         """Pick the SOS-1 group whose LP values are the most fractional."""
         tol = self.options.integrality_tol
         best_group = None
         best_score = tol
-        for group in model.sos1_groups:
-            members = np.asarray(group.members, dtype=int)
+        for members in groups:
+            members = np.asarray(members, dtype=int)
             if np.all(ub[members] - lb[members] < tol):
                 continue  # already fully decided on this branch
             values = x[members]
@@ -160,28 +190,64 @@ class BranchAndBoundSolver:
         return children
 
     def _branch_variable(
-        self, form: StandardForm, x: np.ndarray, node: _Node
-    ) -> List[Tuple[np.ndarray, np.ndarray]]:
-        """Classic two-way branch on the most fractional integer variable."""
+        self,
+        form: StandardForm,
+        x: np.ndarray,
+        node: _Node,
+        context: SolveContext,
+    ) -> List[Tuple[np.ndarray, np.ndarray, str, str, float]]:
+        """Two-way branch on the best pseudo-cost fractional variable.
+
+        Returns ``(lb, ub, name, direction, fractionality)`` per child so
+        the node loop can update the pseudo-cost statistics once the
+        child's relaxation is solved.
+        """
         frac = np.abs(x - np.round(x))
         frac[~form.integrality] = 0.0
         # Only consider variables not yet fixed on this branch.
         frac[node.ub - node.lb < self.options.integrality_tol] = 0.0
-        idx = int(np.argmax(frac))
-        if frac[idx] <= self.options.integrality_tol:
+        candidates = np.where(frac > self.options.integrality_tol)[0]
+        if candidates.size == 0:
             return []
+        default = context.average_unit_gain()
+        best_idx = -1
+        best_score = -1.0
+        for j in candidates:
+            name = form.variable_names[j] if form.variable_names else str(j)
+            f_down = float(x[j] - math.floor(x[j]))
+            f_up = float(math.ceil(x[j]) - x[j])
+            entry = context.pseudocosts.get(name)
+            if entry is None:
+                down = up = default
+            else:
+                down = entry.estimate("down", default)
+                up = entry.estimate("up", default)
+            # Product rule with an epsilon floor (standard practice: it
+            # favours variables whose both children degrade the bound).
+            score = max(down * f_down, 1e-9) * max(up * f_up, 1e-9)
+            if score > best_score + 1e-15:
+                best_score = score
+                best_idx = int(j)
+        idx = best_idx
         value = x[idx]
+        name = form.variable_names[idx] if form.variable_names else str(idx)
         low_lb, low_ub = node.lb.copy(), node.ub.copy()
         low_ub[idx] = math.floor(value)
         high_lb, high_ub = node.lb.copy(), node.ub.copy()
         high_lb[idx] = math.ceil(value)
-        return [(low_lb, low_ub), (high_lb, high_ub)]
+        f_down = float(value - math.floor(value))
+        f_up = float(math.ceil(value) - value)
+        return [
+            (low_lb, low_ub, name, "down", f_down),
+            (high_lb, high_ub, name, "up", f_up),
+        ]
 
     # ---------------------------------------------------------------- solve
     def solve(self, model: Model) -> Solution:
         options = self.options
         start = time.perf_counter()
         stats = SolveStats()
+        context = options.context if options.context is not None else SolveContext()
 
         if options.lp_backend == "auto":
             self._lp_backend = "highs" if highs_available() else "simplex"
@@ -199,15 +265,21 @@ class BranchAndBoundSolver:
         if branching == "sos1" and not model.sos1_groups:
             raise ModelError("SOS-1 branching requested but the model has no groups")
 
-        form = to_standard_form(model)
+        form = context.standard_form(model)
         names = {i: n for i, n in enumerate(form.variable_names)}
+        n = form.num_variables
+
+        def internal_objective(x: np.ndarray) -> float:
+            return float(form.c @ x) + form.objective_offset
 
         def finish(status: str, incumbent, incumbent_obj, best_bound) -> Solution:
             stats.wall_time = time.perf_counter() - start
             stats.best_bound = (
                 form.objective_scale * best_bound if math.isfinite(best_bound) else best_bound
             )
+            context.record(stats)
             if incumbent is not None and math.isfinite(incumbent_obj):
+                context.note_incumbent(incumbent)
                 user_obj = form.objective_scale * incumbent_obj
                 denom = max(1.0, abs(incumbent_obj))
                 stats.gap = abs(incumbent_obj - best_bound) / denom
@@ -220,26 +292,93 @@ class BranchAndBoundSolver:
                 )
             return Solution(status=status, stats=stats, variable_names=names)
 
+        # ------------------------------------------------------------ root bounds
+        root_lb = form.lb.copy()
+        root_ub = form.ub.copy()
+        if options.fix_zero:
+            fixed = np.asarray(sorted(set(int(i) for i in options.fix_zero)), dtype=int)
+            if fixed.size:
+                if np.any(fixed < 0) or np.any(fixed >= n):
+                    raise ModelError("fix_zero index outside the model")
+                if np.any(root_lb[fixed] > 0.5):
+                    return finish(INFEASIBLE, None, math.inf, -math.inf)
+                root_lb[fixed] = 0.0
+                root_ub[fixed] = 0.0
+        root_form = form.with_bounds(root_lb, root_ub)
+
+        def admissible(candidate: np.ndarray) -> bool:
+            """Feasible for the model *and* the root fixings."""
+            tol = options.integrality_tol
+            if np.any(candidate < root_lb - tol) or np.any(candidate > root_ub + tol):
+                return False
+            return model.is_feasible(candidate)
+
+        # --------------------------------------------------------------- presolve
+        post = Postsolve(
+            kept=np.arange(n), fixed_values=np.zeros(n), column_map=np.arange(n)
+        )
+        rform = root_form
+        if options.presolve:
+            reduction = run_presolve(
+                root_form, integrality_tol=options.integrality_tol
+            )
+            stats.presolve = reduction.stats.as_dict()
+            if reduction.status == INFEASIBLE:
+                return finish(INFEASIBLE, None, math.inf, -math.inf)
+            if reduction.status == UNBOUNDED:
+                return finish(UNBOUNDED, None, math.inf, -math.inf)
+            post = reduction.postsolve
+            rform = reduction.form
+            if reduction.solved:
+                candidate = post.restore(None)
+                if admissible(candidate):
+                    obj = internal_objective(candidate)
+                    stats.incumbent_updates += 1
+                    return finish(OPTIMAL, candidate, obj, obj)
+                # The reductions were consistent but the fixings violate a
+                # constraint presolve could not see; report infeasible.
+                return finish(INFEASIBLE, None, math.inf, -math.inf)
+
+        column_map = post.column_map
+        reduced_groups: List[Tuple[int, ...]] = []
+        if branching == "sos1":
+            for group in model.sos1_groups:
+                mapped = tuple(
+                    int(column_map[m]) for m in group.members if column_map[m] >= 0
+                )
+                if len(mapped) >= 2:
+                    reduced_groups.append(mapped)
+
         # ------------------------------------------------------------ warm start
         incumbent: Optional[np.ndarray] = None
         incumbent_obj = math.inf
+
+        def try_incumbent(candidate: Optional[np.ndarray], *, warm: bool = False) -> None:
+            nonlocal incumbent, incumbent_obj
+            if candidate is None:
+                return
+            candidate = np.asarray(candidate, dtype=float)
+            obj = internal_objective(candidate)
+            if obj < incumbent_obj - options.abs_gap and admissible(candidate):
+                incumbent = candidate
+                incumbent_obj = obj
+                stats.incumbent_updates += 1
+                if warm:
+                    context.warm_start_hits += 1
+
         if options.warm_start is not None:
             candidate = np.asarray(options.warm_start, dtype=float)
-            if candidate.shape[0] != form.num_variables:
+            if candidate.shape[0] != n:
                 raise ModelError("warm_start length does not match the model")
-            if model.is_feasible(candidate):
-                incumbent = candidate
-                incumbent_obj = float(form.c @ candidate) + form.objective_offset
-                stats.incumbent_updates += 1
+            try_incumbent(candidate, warm=True)
+        if context.warm_values is not None and context.warm_values.shape[0] == n:
+            try_incumbent(context.warm_values, warm=True)
         if incumbent is None and options.root_heuristic and model.sos1_groups:
-            candidate = sos_greedy_assignment(model, form)
-            if candidate is not None:
-                incumbent = candidate
-                incumbent_obj = float(form.c @ candidate) + form.objective_offset
-                stats.incumbent_updates += 1
+            try_incumbent(sos_greedy_assignment(model, root_form))
 
         # ------------------------------------------------------------ root node
-        root = _Node(bound=-math.inf, sequence=0, lb=form.lb.copy(), ub=form.ub.copy())
+        root = _Node(bound=-math.inf, sequence=0,
+                     lb=rform.lb.copy(), ub=rform.ub.copy())
         counter = itertools.count(1)
         queue: List[_Node] = [root]
         best_bound = -math.inf
@@ -250,8 +389,7 @@ class BranchAndBoundSolver:
             if options.stop_check is not None and options.stop_check():
                 return finish(TIMEOUT, incumbent, incumbent_obj, best_bound)
             if options.time_limit is not None and time.perf_counter() - start > options.time_limit:
-                return finish(TIMEOUT if incumbent is None else TIMEOUT,
-                              incumbent, incumbent_obj, best_bound)
+                return finish(TIMEOUT, incumbent, incumbent_obj, best_bound)
             if options.node_limit is not None and stats.nodes_explored >= options.node_limit:
                 return finish(NODE_LIMIT, incumbent, incumbent_obj, best_bound)
 
@@ -264,7 +402,32 @@ class BranchAndBoundSolver:
                 continue
 
             stats.nodes_explored += 1
-            node_form = form.with_bounds(node.lb, node.ub)
+            node_lb, node_ub = node.lb, node.ub
+            if options.node_presolve:
+                feasible, node_lb, node_ub = propagate_bounds(
+                    rform, node.lb, node.ub, integrality_tol
+                )
+                if not feasible:
+                    stats.nodes_pruned += 1
+                    stats.extra["propagation_prunes"] = (
+                        stats.extra.get("propagation_prunes", 0) + 1
+                    )
+                    continue
+                if bool(np.all(node_ub - node_lb <= integrality_tol)):
+                    # Propagation fixed every variable: evaluate the point
+                    # directly instead of solving a trivial LP.
+                    reduced = node_lb.copy()
+                    reduced[rform.integrality] = np.round(
+                        reduced[rform.integrality]
+                    )
+                    stats.extra["nodes_fathomed_without_lp"] = (
+                        stats.extra.get("nodes_fathomed_without_lp", 0) + 1
+                    )
+                    try_incumbent(post.restore(reduced))
+                    continue
+                # Children must inherit the tightened box.
+                node.lb, node.ub = node_lb, node_ub
+            node_form = rform.with_bounds(node_lb, node_ub)
             relaxation = self._solve_relaxation(node_form, stats)
 
             if relaxation.status == INFEASIBLE:
@@ -279,7 +442,12 @@ class BranchAndBoundSolver:
                 return finish(ERROR, incumbent, incumbent_obj, best_bound)
 
             x = relaxation.x
-            bound = relaxation.objective + form.objective_offset
+            bound = relaxation.objective + rform.objective_offset
+            if node.branch_name is not None and math.isfinite(node.parent_bound):
+                context.pseudocost(node.branch_name).update(
+                    node.branch_dir,
+                    (bound - node.parent_bound) / max(node.branch_frac, 1e-6),
+                )
             if node.depth == 0:
                 best_bound = bound
             if bound >= incumbent_obj - options.abs_gap:
@@ -287,25 +455,15 @@ class BranchAndBoundSolver:
                 continue
 
             frac = np.abs(x - np.round(x))
-            is_integral = bool(np.all(frac[form.integrality] <= integrality_tol))
+            is_integral = bool(np.all(frac[rform.integrality] <= integrality_tol))
             if is_integral:
-                candidate = x.copy()
-                candidate[form.integrality] = np.round(candidate[form.integrality])
-                candidate_obj = float(form.c @ candidate) + form.objective_offset
-                if candidate_obj < incumbent_obj - options.abs_gap and model.is_feasible(candidate):
-                    incumbent = candidate
-                    incumbent_obj = candidate_obj
-                    stats.incumbent_updates += 1
+                reduced = x.copy()
+                reduced[rform.integrality] = np.round(reduced[rform.integrality])
+                try_incumbent(post.restore(reduced))
                 continue
 
             if options.node_rounding:
-                rounded = round_with_sos(model, form, x)
-                if rounded is not None:
-                    rounded_obj = float(form.c @ rounded) + form.objective_offset
-                    if rounded_obj < incumbent_obj - options.abs_gap:
-                        incumbent = rounded
-                        incumbent_obj = rounded_obj
-                        stats.incumbent_updates += 1
+                try_incumbent(round_with_sos(model, root_form, post.restore(x)))
 
             # Check the optimality gap against the best open bound.
             if incumbent is not None and math.isfinite(bound):
@@ -313,18 +471,23 @@ class BranchAndBoundSolver:
                 if (incumbent_obj - bound) / denom <= options.rel_gap:
                     continue
 
-            children: List[Tuple[np.ndarray, np.ndarray]] = []
-            if branching == "sos1":
-                selection = self._select_sos_group(model, x, node.lb, node.ub)
+            children: List[Tuple] = []
+            sos_children: List[Tuple[np.ndarray, np.ndarray]] = []
+            if branching == "sos1" and reduced_groups:
+                selection = self._select_sos_group(reduced_groups, x, node.lb, node.ub)
                 if selection is not None:
                     members, values = selection
-                    children = self._branch_sos(members, values, node)
-            if not children:
-                children = self._branch_variable(form, x, node)
+                    sos_children = self._branch_sos(members, values, node)
+            if sos_children:
+                children = [
+                    (lb, ub, None, "", 0.0) for lb, ub in sos_children
+                ]
+            else:
+                children = self._branch_variable(rform, x, node, context)
             if not children:
                 # Numerically integral but missed by the tolerance test above.
                 continue
-            for child_lb, child_ub in children:
+            for child_lb, child_ub, child_name, child_dir, child_frac in children:
                 heapq.heappush(
                     queue,
                     _Node(
@@ -333,6 +496,10 @@ class BranchAndBoundSolver:
                         lb=child_lb,
                         ub=child_ub,
                         depth=node.depth + 1,
+                        branch_name=child_name,
+                        branch_dir=child_dir,
+                        branch_frac=child_frac,
+                        parent_bound=bound,
                     ),
                 )
 

@@ -1,0 +1,202 @@
+"""Cross-solve state shared by the pipeline's retry loop.
+
+The Section 4.1 flow re-runs the global ILP whenever detailed packing
+fails.  Those re-solves are near-identical — same design, same board, one
+extra forbidden ``(structure, type)`` pair — so everything learned in
+retry ``N-1`` is still true in retry ``N``:
+
+* the :class:`~repro.ilp.standard_form.StandardForm` of the (unchanging)
+  model can be cached instead of rebuilt,
+* the previous incumbent is a strong warm start after a tiny repair,
+* pseudo-cost branching statistics keep steering the tree search.
+
+:class:`SolveContext` carries exactly that state.  It is created per
+pipeline run, threaded through :class:`repro.core.GlobalMapper` into the
+branch-and-bound solver, and aggregated into the solve statistics that
+``MappingResult`` / ``repro map --json`` report.  Contexts serialise to
+plain dictionaries (:meth:`as_dict` / :meth:`from_dict`) so their
+aggregate can cross process boundaries with the batch engine's job
+results.
+
+Pseudo-costs are keyed by *variable name*, not index: names are stable
+across retries (the model is reused, forbidden pairs arrive as bound
+fixings), and they stay meaningful even if a future model rebuild
+renumbers columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from .standard_form import StandardForm, to_standard_form
+
+__all__ = ["PseudoCost", "SolveContext"]
+
+
+@dataclass
+class PseudoCost:
+    """Per-variable branching history: objective gain per unit fractionality."""
+
+    down_sum: float = 0.0
+    down_count: int = 0
+    up_sum: float = 0.0
+    up_count: int = 0
+
+    def update(self, direction: str, unit_gain: float) -> None:
+        unit_gain = max(0.0, float(unit_gain))
+        if direction == "down":
+            self.down_sum += unit_gain
+            self.down_count += 1
+        else:
+            self.up_sum += unit_gain
+            self.up_count += 1
+
+    def estimate(self, direction: str, default: float) -> float:
+        if direction == "down":
+            return self.down_sum / self.down_count if self.down_count else default
+        return self.up_sum / self.up_count if self.up_count else default
+
+    @property
+    def observations(self) -> int:
+        return self.down_count + self.up_count
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "down_sum": self.down_sum,
+            "down_count": self.down_count,
+            "up_sum": self.up_sum,
+            "up_count": self.up_count,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PseudoCost":
+        return cls(
+            down_sum=float(data.get("down_sum", 0.0)),
+            down_count=int(data.get("down_count", 0)),
+            up_sum=float(data.get("up_sum", 0.0)),
+            up_count=int(data.get("up_count", 0)),
+        )
+
+
+class SolveContext:
+    """Carries warm-start state and statistics across repeated solves."""
+
+    def __init__(self) -> None:
+        self.pseudocosts: Dict[str, PseudoCost] = {}
+        #: full-space incumbent of the most recent successful solve
+        self.warm_values: Optional[np.ndarray] = None
+        # ---- aggregate counters over every solve run under this context
+        self.solves: int = 0
+        self.total_lp_solves: int = 0
+        self.total_nodes: int = 0
+        self.total_simplex_iterations: int = 0
+        self.presolve_rows_dropped: int = 0
+        self.presolve_cols_fixed: int = 0
+        self.warm_start_hits: int = 0
+        self.form_reuses: int = 0
+        self._form_cache: Tuple[Optional[object], Optional[StandardForm]] = (None, None)
+
+    # ------------------------------------------------------------ form cache
+    def standard_form(self, model) -> StandardForm:
+        """``to_standard_form(model)``, cached across retries.
+
+        Keyed by object identity — the retry loop reuses one Model — and
+        verified with an ``is`` check against the strong reference held
+        here, so a recycled ``id()`` can never alias a dead model.
+        """
+        cached_model, cached_form = self._form_cache
+        if cached_model is model and cached_form is not None:
+            self.form_reuses += 1
+            return cached_form
+        form = to_standard_form(model)
+        self._form_cache = (model, form)
+        return form
+
+    # ------------------------------------------------------------ pseudo-cost
+    def pseudocost(self, name: str) -> PseudoCost:
+        entry = self.pseudocosts.get(name)
+        if entry is None:
+            entry = PseudoCost()
+            self.pseudocosts[name] = entry
+        return entry
+
+    def average_unit_gain(self) -> float:
+        """Mean observed unit gain, used to initialise unseen variables."""
+        total = 0.0
+        count = 0
+        for entry in self.pseudocosts.values():
+            total += entry.down_sum + entry.up_sum
+            count += entry.observations
+        return total / count if count else 1.0
+
+    # -------------------------------------------------------------- incumbent
+    def note_incumbent(self, values: Optional[np.ndarray]) -> None:
+        """Remember the solve's incumbent as the next retry's warm start."""
+        if values is not None:
+            self.warm_values = np.asarray(values, dtype=np.float64).copy()
+
+    # ------------------------------------------------------------- statistics
+    def record(self, stats) -> None:
+        """Fold one solve's :class:`~repro.ilp.solution.SolveStats` in."""
+        self.solves += 1
+        self.total_lp_solves += stats.lp_solves
+        self.total_nodes += stats.nodes_explored
+        self.total_simplex_iterations += stats.simplex_iterations
+        pres = stats.presolve or {}
+        self.presolve_rows_dropped += int(pres.get("rows_dropped_ub", 0))
+        self.presolve_rows_dropped += int(pres.get("rows_dropped_eq", 0))
+        self.presolve_cols_fixed += int(pres.get("cols_fixed", 0))
+
+    def summary(self) -> Dict[str, Any]:
+        """Aggregate counters (what pipeline results and artifacts surface)."""
+        return {
+            "solves": self.solves,
+            "lp_solves": self.total_lp_solves,
+            "nodes": self.total_nodes,
+            "simplex_iterations": self.total_simplex_iterations,
+            "presolve_rows_dropped": self.presolve_rows_dropped,
+            "presolve_cols_fixed": self.presolve_cols_fixed,
+            "warm_start_hits": self.warm_start_hits,
+            "form_reuses": self.form_reuses,
+        }
+
+    # ------------------------------------------------------------ round trip
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (crosses process boundaries with job results)."""
+        return {
+            "kind": "solve_context",
+            "summary": self.summary(),
+            "pseudocosts": {k: v.as_dict() for k, v in self.pseudocosts.items()},
+            "warm_values": (
+                None if self.warm_values is None else self.warm_values.tolist()
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SolveContext":
+        ctx = cls()
+        summary = data.get("summary") or {}
+        ctx.solves = int(summary.get("solves", 0))
+        ctx.total_lp_solves = int(summary.get("lp_solves", 0))
+        ctx.total_nodes = int(summary.get("nodes", 0))
+        ctx.total_simplex_iterations = int(summary.get("simplex_iterations", 0))
+        ctx.presolve_rows_dropped = int(summary.get("presolve_rows_dropped", 0))
+        ctx.presolve_cols_fixed = int(summary.get("presolve_cols_fixed", 0))
+        ctx.warm_start_hits = int(summary.get("warm_start_hits", 0))
+        ctx.form_reuses = int(summary.get("form_reuses", 0))
+        ctx.pseudocosts = {
+            k: PseudoCost.from_dict(v)
+            for k, v in (data.get("pseudocosts") or {}).items()
+        }
+        warm = data.get("warm_values")
+        ctx.warm_values = None if warm is None else np.asarray(warm, dtype=np.float64)
+        return ctx
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SolveContext(solves={self.solves}, lp_solves={self.total_lp_solves}, "
+            f"pseudocosts={len(self.pseudocosts)})"
+        )

@@ -47,13 +47,23 @@ def round_with_sos(
         members = np.asarray(group.members, dtype=int)
         in_group[members] = True
         values = x[members]
+        # Only members whose bounds still allow a one may win the group:
+        # branch-and-bound fixes forbidden candidates to zero via ``ub``.
+        allowed = form.ub[members] >= 0.5
+        forced = form.lb[members] > 0.5
+        x[members] = 0.0
+        if np.any(forced):
+            x[members[np.argmax(forced)]] = 1.0
+            continue
+        if not np.any(allowed):
+            continue
+        candidates = members[allowed]
+        cand_values = values[allowed]
         # Prefer the largest fractional value; break ties toward the member
         # with the smallest objective coefficient so the incumbent is cheap.
-        order = np.lexsort((form.c[members], -values))
-        winner = members[order[0]]
-        x[members] = 0.0
-        if values.max() > tol:
-            x[winner] = 1.0
+        order = np.lexsort((form.c[candidates], -cand_values))
+        if cand_values.max() > tol:
+            x[candidates[order[0]]] = 1.0
 
     integer_mask = form.integrality & ~in_group
     x[integer_mask] = np.clip(
@@ -88,23 +98,31 @@ def sos_greedy_assignment(
     n = form.num_variables
     x = np.zeros(n, dtype=float)
 
-    # Remaining slack of every <= row; equality rows other than the group
-    # uniqueness rows are not supported by the greedy and cause a bail-out.
-    slack = form.b_ub - (form.A_ub @ x if form.A_ub.size else 0.0)
+    # Remaining slack of every <= row (x starts at zero); equality rows
+    # other than the group uniqueness rows are not supported by the greedy
+    # and cause a bail-out.  Everything below works off the sparse
+    # matrices — the greedy must not be the one consumer that forces a
+    # dense rows-x-columns materialisation.
+    slack = form.b_ub.astype(np.float64).copy()
     group_member_set = set()
     for group in model.sos1_groups:
         group_member_set.update(group.members)
-    for row, rhs in zip(form.A_eq, form.b_eq):
-        support = np.nonzero(row)[0]
-        if not set(support.tolist()) <= group_member_set:
+    for i in range(form.num_eq_rows):
+        support, _ = form.A_eq_sparse.row_entries(i)
+        if not set(int(j) for j in support) <= group_member_set:
             return None
+
+    # Per-column max |coefficient| over the <= rows, computed sparsely.
+    column_pressure = np.zeros(n)
+    if form.A_ub_sparse.nnz:
+        np.maximum.at(
+            column_pressure, form.A_ub_sparse.indices, np.abs(form.A_ub_sparse.data)
+        )
 
     # Order groups: largest maximum column demand first (place big items early).
     def group_pressure(group) -> float:
         members = np.asarray(group.members, dtype=int)
-        if form.A_ub.size == 0:
-            return 0.0
-        return float(np.max(np.abs(form.A_ub[:, members])))
+        return float(column_pressure[members].max()) if members.size else 0.0
 
     groups = sorted(model.sos1_groups, key=group_pressure, reverse=True)
     if rng is not None:
@@ -114,11 +132,18 @@ def sos_greedy_assignment(
         )
 
     for group in groups:
-        members = sorted(group.members, key=lambda idx: form.c[idx])
+        forced = [idx for idx in group.members if form.lb[idx] > 0.5]
+        if forced:
+            members = forced  # a fixed-to-one member leaves no choice
+        else:
+            members = sorted(
+                (idx for idx in group.members if form.ub[idx] >= 0.5),
+                key=lambda idx: form.c[idx],
+            )
         placed = False
         for idx in members:
-            if form.A_ub.size:
-                column = form.A_ub[:, idx]
+            if form.A_ub_sparse.nnz:
+                column = form.A_ub_sparse.column(idx)
                 if np.all(column <= slack + 1e-9):
                     slack = slack - column
                     x[idx] = 1.0

@@ -1,0 +1,506 @@
+"""Presolve: shrink a :class:`StandardForm` before branch-and-bound.
+
+Commercial MIP engines spend a large share of their advantage in presolve,
+and the paper's retry loop (Section 4.1) re-solves near-identical models
+where presolve pays off every time: a forbidden ``(structure, type)`` pair
+arrives as a variable fixed to zero, the structure's uniqueness row then
+forces the surviving candidate, and whole constraint blocks collapse.
+
+The pass implemented here iterates the classic reductions to a fixpoint:
+
+* **fixed-variable substitution** — variables with ``lb == ub`` are moved
+  into the right-hand sides and the objective offset;
+* **integer bound rounding** — fractional bounds of integer variables are
+  tightened to the enclosed integers;
+* **singleton rows** — one-variable ``<=`` rows become bound updates,
+  one-variable ``==`` rows become fixings;
+* **empty / redundant rows** — rows whose maximum activity over the
+  bounds cannot violate them are dropped; rows whose minimum activity
+  already violates them prove infeasibility;
+* **forcing rows** — rows only satisfiable at one extreme point fix every
+  participating variable (this is how a uniqueness row with one remaining
+  candidate resolves);
+* **empty columns** — variables left in no constraint are fixed at their
+  objective-optimal bound.
+
+The :class:`Postsolve` record maps a reduced-space solution back to the
+full variable space; :func:`presolve` never loses the optimum: every
+reduction is optimality-preserving for the mixed 0/1 models produced by
+:mod:`repro.core` (and the property tests cross-check exactly that).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from .solution import INFEASIBLE, UNBOUNDED
+from .sparse import CsrMatrix
+from .standard_form import StandardForm
+
+__all__ = ["Postsolve", "PresolveStats", "PresolveResult", "presolve",
+           "propagate_bounds", "REDUCED", "SOLVED"]
+
+#: Presolve outcome statuses (INFEASIBLE / UNBOUNDED reuse solver constants).
+REDUCED = "reduced"
+SOLVED = "solved"
+
+_FEAS_TOL = 1e-7
+
+
+@dataclass
+class PresolveStats:
+    """What the pass removed (surfaced in solver stats and BENCH artifacts)."""
+
+    rows_dropped_ub: int = 0
+    rows_dropped_eq: int = 0
+    cols_fixed: int = 0
+    bounds_tightened: int = 0
+    passes: int = 0
+    nnz_before: int = 0
+    nnz_after: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "rows_dropped_ub": self.rows_dropped_ub,
+            "rows_dropped_eq": self.rows_dropped_eq,
+            "cols_fixed": self.cols_fixed,
+            "bounds_tightened": self.bounds_tightened,
+            "passes": self.passes,
+            "nnz_before": self.nnz_before,
+            "nnz_after": self.nnz_after,
+        }
+
+
+@dataclass
+class Postsolve:
+    """Recovers a full-space solution from a reduced-space one."""
+
+    #: original indices of the variables that survived into the reduced form
+    kept: np.ndarray
+    #: full-length vector holding the fixed values (zeros at kept positions)
+    fixed_values: np.ndarray
+    #: original index -> reduced index, or -1 for eliminated columns
+    column_map: np.ndarray
+
+    @property
+    def num_original(self) -> int:
+        return int(self.fixed_values.shape[0])
+
+    @property
+    def num_reduced(self) -> int:
+        return int(self.kept.shape[0])
+
+    def restore(self, x_reduced: Optional[np.ndarray]) -> np.ndarray:
+        """Lift ``x_reduced`` back into the original variable space."""
+        x = self.fixed_values.copy()
+        if self.num_reduced:
+            if x_reduced is None:
+                raise ValueError("reduced solution required to restore")
+            x[self.kept] = np.asarray(x_reduced, dtype=np.float64)
+        return x
+
+
+@dataclass
+class PresolveResult:
+    """Outcome of :func:`presolve`."""
+
+    status: str
+    form: Optional[StandardForm]
+    postsolve: Postsolve
+    stats: PresolveStats = field(default_factory=PresolveStats)
+
+    @property
+    def solved(self) -> bool:
+        return self.status == SOLVED
+
+
+class _Infeasible(Exception):
+    """Internal control flow: the reductions proved infeasibility."""
+
+
+class _Unbounded(Exception):
+    """Internal control flow: the reductions proved unboundedness."""
+
+
+class _Worker:
+    """Mutable working state of one presolve run."""
+
+    def __init__(self, form: StandardForm, integrality_tol: float) -> None:
+        self.form = form
+        self.tol = integrality_tol
+        n = form.num_variables
+        self.lb = form.lb.copy()
+        self.ub = form.ub.copy()
+        self.c = form.c
+        self.integrality = form.integrality
+        self.offset_delta = 0.0
+        self.fixed = np.full(n, np.nan)
+        self.is_fixed = np.zeros(n, dtype=bool)
+        self.stats = PresolveStats(nnz_before=form.num_nonzeros)
+
+        # Row working set: ({col: coeff}, rhs, active) per row, per kind.
+        self.rows: Dict[str, List[Dict[int, float]]] = {
+            "ub": form.A_ub_sparse.rows_as_dicts(),
+            "eq": form.A_eq_sparse.rows_as_dicts(),
+        }
+        self.rhs: Dict[str, np.ndarray] = {
+            "ub": form.b_ub.copy(),
+            "eq": form.b_eq.copy(),
+        }
+        self.active: Dict[str, np.ndarray] = {
+            "ub": np.ones(form.num_ub_rows, dtype=bool),
+            "eq": np.ones(form.num_eq_rows, dtype=bool),
+        }
+        #: column -> set of (kind, row index) still containing it
+        self.col_rows: Dict[int, Set[Tuple[str, int]]] = {}
+        for kind in ("ub", "eq"):
+            for i, row in enumerate(self.rows[kind]):
+                for j in row:
+                    self.col_rows.setdefault(j, set()).add((kind, i))
+        #: fixed variables whose substitution is still pending
+        self.subst_queue: List[int] = []
+
+    # ------------------------------------------------------------- variables
+    def round_integer_bounds(self) -> None:
+        mask = self.integrality & ~self.is_fixed
+        idx = np.where(mask)[0]
+        for j in idx:
+            new_lb = self.lb[j]
+            new_ub = self.ub[j]
+            if math.isfinite(new_lb) and abs(new_lb - round(new_lb)) > self.tol:
+                new_lb = math.ceil(new_lb - self.tol)
+                self.stats.bounds_tightened += 1
+            if math.isfinite(new_ub) and abs(new_ub - round(new_ub)) > self.tol:
+                new_ub = math.floor(new_ub + self.tol)
+                self.stats.bounds_tightened += 1
+            self.lb[j] = new_lb
+            self.ub[j] = new_ub
+            if new_lb > new_ub + self.tol:
+                raise _Infeasible(f"integer bounds of column {j} crossed")
+
+    def fix(self, j: int, value: float) -> None:
+        """Fix variable ``j`` to ``value`` (validated against its domain)."""
+        if self.is_fixed[j]:
+            if abs(self.fixed[j] - value) > 1e-6:
+                raise _Infeasible(f"column {j} forced to two values")
+            return
+        if value < self.lb[j] - 1e-6 or value > self.ub[j] + 1e-6:
+            raise _Infeasible(f"column {j} forced outside its bounds")
+        if self.integrality[j]:
+            if abs(value - round(value)) > 1e-6:
+                raise _Infeasible(f"integer column {j} forced to {value}")
+            value = float(round(value))
+        self.fixed[j] = value
+        self.is_fixed[j] = True
+        self.lb[j] = value
+        self.ub[j] = value
+        self.offset_delta += float(self.c[j]) * value
+        self.stats.cols_fixed += 1
+        self.subst_queue.append(j)
+
+    def tighten(self, j: int, *, lower: Optional[float] = None,
+                upper: Optional[float] = None) -> bool:
+        """Tighten the bounds of free variable ``j``; fixes it when they meet."""
+        changed = False
+        if lower is not None and lower > self.lb[j] + 1e-9:
+            self.lb[j] = (math.ceil(lower - self.tol)
+                          if self.integrality[j] and math.isfinite(lower) else lower)
+            self.stats.bounds_tightened += 1
+            changed = True
+        if upper is not None and upper < self.ub[j] - 1e-9:
+            self.ub[j] = (math.floor(upper + self.tol)
+                          if self.integrality[j] and math.isfinite(upper) else upper)
+            self.stats.bounds_tightened += 1
+            changed = True
+        if self.lb[j] > self.ub[j] + self.tol:
+            raise _Infeasible(f"bounds of column {j} crossed")
+        if changed and not self.is_fixed[j] and self.ub[j] - self.lb[j] <= self.tol:
+            self.fix(j, (self.lb[j] + self.ub[j]) / 2.0)
+        return changed
+
+    def substitute_fixed(self) -> bool:
+        """Move every pending fixed variable into the right-hand sides."""
+        changed = False
+        while self.subst_queue:
+            j = self.subst_queue.pop()
+            for kind, i in self.col_rows.pop(j, set()):
+                row = self.rows[kind][i]
+                coeff = row.pop(j, None)
+                if coeff is not None:
+                    self.rhs[kind][i] -= coeff * self.fixed[j]
+                    changed = True
+        return changed
+
+    # ------------------------------------------------------------------ rows
+    def drop_row(self, kind: str, i: int) -> None:
+        self.active[kind][i] = False
+        for j in list(self.rows[kind][i]):
+            owners = self.col_rows.get(j)
+            if owners is not None:
+                owners.discard((kind, i))
+        self.rows[kind][i] = {}
+        if kind == "ub":
+            self.stats.rows_dropped_ub += 1
+        else:
+            self.stats.rows_dropped_eq += 1
+
+    def _activity(self, row: Dict[int, float]) -> Tuple[float, float]:
+        lo = hi = 0.0
+        for j, a in row.items():
+            if a >= 0:
+                lo += a * self.lb[j]
+                hi += a * self.ub[j]
+            else:
+                lo += a * self.ub[j]
+                hi += a * self.lb[j]
+        return lo, hi
+
+    def _fix_row_at(self, row: Dict[int, float], at_min: bool) -> None:
+        """Force every variable of a row to its extreme-activity bound."""
+        for j, a in list(row.items()):
+            take_lower = (a >= 0) == at_min
+            value = self.lb[j] if take_lower else self.ub[j]
+            if not math.isfinite(value):
+                raise _Infeasible("forcing row hit an unbounded variable")
+            self.fix(j, value)
+
+    def scan_rows(self) -> bool:
+        changed = False
+        for kind in ("ub", "eq"):
+            is_eq = kind == "eq"
+            for i, row in enumerate(self.rows[kind]):
+                if not self.active[kind][i]:
+                    continue
+                rhs = float(self.rhs[kind][i])
+                if not row:
+                    if is_eq and abs(rhs) > _FEAS_TOL:
+                        raise _Infeasible("empty == row with non-zero rhs")
+                    if not is_eq and rhs < -_FEAS_TOL:
+                        raise _Infeasible("empty <= row with negative rhs")
+                    self.drop_row(kind, i)
+                    changed = True
+                    continue
+                if len(row) == 1:
+                    (j, a), = row.items()
+                    if abs(a) < 1e-12:
+                        # Numerically empty: re-check as empty next pass.
+                        row.clear()
+                        changed = True
+                        continue
+                    if is_eq:
+                        self.fix(j, rhs / a)
+                    elif a > 0:
+                        self.tighten(j, upper=rhs / a)
+                    else:
+                        self.tighten(j, lower=rhs / a)
+                    self.drop_row(kind, i)
+                    changed = True
+                    continue
+                lo, hi = self._activity(row)
+                if lo > rhs + _FEAS_TOL:
+                    raise _Infeasible("row minimum activity exceeds its rhs")
+                if is_eq and hi < rhs - _FEAS_TOL:
+                    raise _Infeasible("row maximum activity below its == rhs")
+                if not is_eq and hi <= rhs + _FEAS_TOL:
+                    self.drop_row(kind, i)  # redundant: can never be violated
+                    changed = True
+                    continue
+                if lo >= rhs - _FEAS_TOL:
+                    # Only satisfiable at the minimum-activity point.
+                    self._fix_row_at(row, at_min=True)
+                    self.drop_row(kind, i)
+                    changed = True
+                    continue
+                if is_eq and hi <= rhs + _FEAS_TOL:
+                    self._fix_row_at(row, at_min=False)
+                    self.drop_row(kind, i)
+                    changed = True
+        return changed
+
+    # --------------------------------------------------------------- columns
+    def fix_empty_columns(self) -> bool:
+        changed = False
+        for j in range(self.lb.shape[0]):
+            if self.is_fixed[j] or self.col_rows.get(j):
+                continue
+            cost = float(self.c[j])
+            if cost > 0 or (cost == 0 and math.isfinite(self.lb[j])):
+                target = self.lb[j]
+            elif cost < 0 or math.isfinite(self.ub[j]):
+                target = self.ub[j]
+            else:
+                target = 0.0
+            if not math.isfinite(target):
+                if cost == 0.0:
+                    target = 0.0
+                else:
+                    raise _Unbounded(f"free column {j} has unbounded descent")
+            self.fix(j, target)
+            changed = True
+        return changed
+
+
+def presolve(
+    form: StandardForm,
+    integrality_tol: float = 1e-6,
+    max_passes: int = 10,
+) -> PresolveResult:
+    """Run the reduction fixpoint over ``form`` and package the result."""
+    n = form.num_variables
+    worker = _Worker(form, integrality_tol)
+    identity_post = Postsolve(
+        kept=np.arange(n), fixed_values=np.zeros(n), column_map=np.arange(n)
+    )
+    try:
+        if np.any(worker.lb > worker.ub + integrality_tol):
+            raise _Infeasible("crossed input bounds")
+        worker.round_integer_bounds()
+        for j in np.where(worker.ub - worker.lb <= integrality_tol)[0]:
+            worker.fix(int(j), (worker.lb[j] + worker.ub[j]) / 2.0)
+        for _ in range(max_passes):
+            worker.stats.passes += 1
+            changed = worker.substitute_fixed()
+            changed |= worker.scan_rows()
+            changed |= worker.substitute_fixed()
+            changed |= worker.fix_empty_columns()
+            if not changed:
+                break
+        worker.substitute_fixed()
+    except _Infeasible:
+        return PresolveResult(INFEASIBLE, None, identity_post, worker.stats)
+    except _Unbounded:
+        return PresolveResult(UNBOUNDED, None, identity_post, worker.stats)
+
+    kept = np.where(~worker.is_fixed)[0]
+    column_map = np.full(n, -1, dtype=np.int64)
+    column_map[kept] = np.arange(kept.shape[0])
+    fixed_values = np.where(worker.is_fixed, worker.fixed, 0.0)
+    post = Postsolve(kept=kept, fixed_values=fixed_values, column_map=column_map)
+
+    reduced = _build_reduced(form, worker, kept, column_map)
+    worker.stats.nnz_after = reduced.num_nonzeros if reduced is not None else 0
+    if kept.shape[0] == 0:
+        return PresolveResult(SOLVED, reduced, post, worker.stats)
+    return PresolveResult(REDUCED, reduced, post, worker.stats)
+
+
+def propagate_bounds(
+    form: StandardForm,
+    lb: np.ndarray,
+    ub: np.ndarray,
+    integrality_tol: float = 1e-6,
+    max_rounds: int = 4,
+) -> Tuple[bool, np.ndarray, np.ndarray]:
+    """Node-level domain propagation over the rows of ``form``.
+
+    Tightens the box ``[lb, ub]`` using each row's activity bounds (the
+    classic knapsack propagation): a value a variable cannot take in *any*
+    completion of the row is cut off, so the reduction never excludes a
+    feasible point.  Returns ``(feasible, lb, ub)`` with tightened copies;
+    ``feasible=False`` proves the node empty **without an LP solve**,
+    which is where branch-and-bound saves most of its relaxation work
+    after an SOS branching decision fixes a whole assignment row.
+    """
+    lb = np.asarray(lb, dtype=np.float64).copy()
+    ub = np.asarray(ub, dtype=np.float64).copy()
+    integrality = form.integrality
+
+    blocks = (
+        (form.A_ub_sparse, form.b_ub, False),
+        (form.A_eq_sparse, form.b_eq, True),
+    )
+    for _ in range(max_rounds):
+        prev_lb = lb.copy()
+        prev_ub = ub.copy()
+        for matrix, rhs_vec, is_eq in blocks:
+            if matrix.nnz == 0:
+                continue
+            rows = matrix.rows_of_nonzeros()
+            data = matrix.data
+            cols = matrix.indices
+            col_lb = lb[cols]
+            col_ub = ub[cols]
+            positive = data >= 0
+            low = np.where(positive, data * col_lb, data * col_ub)
+            high = np.where(positive, data * col_ub, data * col_lb)
+            with np.errstate(invalid="ignore"):
+                lo = np.bincount(rows, weights=low, minlength=matrix.num_rows)
+                hi = np.bincount(rows, weights=high, minlength=matrix.num_rows)
+            if np.any(lo > rhs_vec + _FEAS_TOL):
+                return False, lb, ub
+            if is_eq and np.any(hi < rhs_vec - _FEAS_TOL):
+                return False, lb, ub
+            # Rows touching unbounded variables cannot propagate.
+            usable = (np.isfinite(lo) & np.isfinite(hi))[rows]
+            if not np.any(usable):
+                continue
+            with np.errstate(invalid="ignore", divide="ignore"):
+                # Everyone else at their minimum contribution: the entry
+                # must stay under the remaining row budget.
+                ratio_min = (rhs_vec[rows] - (lo[rows] - low)) / data
+            pos_sel = usable & (data > 0)
+            neg_sel = usable & (data < 0)
+            np.minimum.at(ub, cols[pos_sel], ratio_min[pos_sel])
+            np.maximum.at(lb, cols[neg_sel], ratio_min[neg_sel])
+            if is_eq:
+                with np.errstate(invalid="ignore", divide="ignore"):
+                    # Everyone else at their maximum: the entry must make
+                    # up the rest of the == right-hand side.
+                    ratio_max = (rhs_vec[rows] - (hi[rows] - high)) / data
+                np.maximum.at(lb, cols[pos_sel], ratio_max[pos_sel])
+                np.minimum.at(ub, cols[neg_sel], ratio_max[neg_sel])
+        # Integer rounding (floor/ceil commute with the min/max above).
+        tight = integrality & np.isfinite(ub)
+        ub[tight] = np.floor(ub[tight] + integrality_tol)
+        tight = integrality & np.isfinite(lb)
+        lb[tight] = np.ceil(lb[tight] - integrality_tol)
+        if np.any(lb > ub + integrality_tol):
+            return False, lb, ub
+        if np.array_equal(lb, prev_lb) and np.array_equal(ub, prev_ub):
+            break
+    return True, lb, ub
+
+
+def _build_reduced(
+    form: StandardForm,
+    worker: _Worker,
+    kept: np.ndarray,
+    column_map: np.ndarray,
+) -> StandardForm:
+    """Assemble the reduced StandardForm from the worker's surviving state."""
+    def surviving(kind: str, names: Tuple[str, ...]):
+        rows: List[Dict[int, float]] = []
+        rhs: List[float] = []
+        kept_names: List[str] = []
+        for i, row in enumerate(worker.rows[kind]):
+            if not worker.active[kind][i]:
+                continue
+            rows.append({int(column_map[j]): a for j, a in row.items()})
+            rhs.append(float(worker.rhs[kind][i]))
+            if i < len(names):
+                kept_names.append(names[i])
+        return rows, np.asarray(rhs, dtype=np.float64), tuple(kept_names)
+
+    m = kept.shape[0]
+    ub_rows, b_ub, ub_names = surviving("ub", form.row_names_ub)
+    eq_rows, b_eq, eq_names = surviving("eq", form.row_names_eq)
+    names = tuple(form.variable_names[j] for j in kept) if form.variable_names else ()
+    return StandardForm(
+        c=form.c[kept],
+        A_ub=CsrMatrix.from_coeff_rows(ub_rows, m),
+        b_ub=b_ub,
+        A_eq=CsrMatrix.from_coeff_rows(eq_rows, m),
+        b_eq=b_eq,
+        lb=worker.lb[kept],
+        ub=worker.ub[kept],
+        integrality=form.integrality[kept],
+        objective_offset=form.objective_offset + worker.offset_delta,
+        objective_scale=form.objective_scale,
+        variable_names=names,
+        row_names_ub=ub_names,
+        row_names_eq=eq_names,
+    )

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -42,10 +42,18 @@ __all__ = ["highs_available", "solve_lp_highs", "ScipyMilpSolver"]
 try:  # pragma: no cover - exercised implicitly on import
     from scipy.optimize import LinearConstraint, linprog, milp
     from scipy.optimize import Bounds as _Bounds
+    from scipy.sparse import csr_matrix as _scipy_csr
 
     _HAVE_SCIPY = True
 except Exception:  # pragma: no cover - scipy is installed in the target env
     _HAVE_SCIPY = False
+
+
+def _scipy_matrix(matrix):
+    """Hand a CsrMatrix to SciPy without a dense detour."""
+    return _scipy_csr(
+        (matrix.data, matrix.indices, matrix.indptr), shape=matrix.shape
+    )
 
 
 def highs_available() -> bool:
@@ -60,9 +68,9 @@ def solve_lp_highs(form: StandardForm) -> LpResult:
     bounds = list(zip(form.lb.tolist(), [None if not np.isfinite(u) else u for u in form.ub]))
     result = linprog(
         c=form.c,
-        A_ub=form.A_ub if form.A_ub.size else None,
+        A_ub=_scipy_matrix(form.A_ub_sparse) if form.num_ub_rows else None,
         b_ub=form.b_ub if form.b_ub.size else None,
-        A_eq=form.A_eq if form.A_eq.size else None,
+        A_eq=_scipy_matrix(form.A_eq_sparse) if form.num_eq_rows else None,
         b_eq=form.b_eq if form.b_eq.size else None,
         bounds=bounds,
         method="highs",
@@ -89,21 +97,41 @@ class ScipyMilpSolver:
     time_limit: Optional[float] = None
     rel_gap: float = 1e-6
     name: str = "scipy-milp"
+    #: variable indices forced to zero (the pipeline's forbidden pairs);
+    #: applied as bounds so every backend honours the same fixings.
+    fix_zero: Optional[Sequence[int]] = None
 
     def solve(self, model) -> Solution:
         if not _HAVE_SCIPY:  # pragma: no cover - defensive
             raise SolverError("SciPy is not available; use the built-in solver")
         start = time.perf_counter()
         form = to_standard_form(model)
+        if self.fix_zero:
+            ub = form.ub.copy()
+            fixed = np.asarray(sorted(set(int(i) for i in self.fix_zero)), dtype=int)
+            if fixed.size and (np.any(fixed < 0) or np.any(fixed >= form.num_variables)):
+                raise SolverError("fix_zero index outside the model")
+            ub[fixed] = 0.0
+            form = form.with_bounds(form.lb, ub)
+        if np.any(form.lb > form.ub + 1e-12):
+            # A fixing excluded a variable whose lower bound requires it
+            # (scipy's Bounds would reject the crossed interval outright).
+            return Solution(
+                status=INFEASIBLE,
+                stats=SolveStats(wall_time=time.perf_counter() - start,
+                                 backend=self.name),
+                variable_names={i: n for i, n in enumerate(form.variable_names)},
+                message="crossed variable bounds",
+            )
 
         constraints = []
-        if form.A_ub.size:
+        if form.num_ub_rows:
             constraints.append(
-                LinearConstraint(form.A_ub, -np.inf, form.b_ub)
+                LinearConstraint(_scipy_matrix(form.A_ub_sparse), -np.inf, form.b_ub)
             )
-        if form.A_eq.size:
+        if form.num_eq_rows:
             constraints.append(
-                LinearConstraint(form.A_eq, form.b_eq, form.b_eq)
+                LinearConstraint(_scipy_matrix(form.A_eq_sparse), form.b_eq, form.b_eq)
             )
         bounds = _Bounds(form.lb, form.ub)
         options = {"mip_rel_gap": self.rel_gap}

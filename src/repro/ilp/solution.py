@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 import numpy as np
 
@@ -37,8 +37,13 @@ class SolveStats:
     best_bound: float = float("nan")
     gap: float = float("nan")
     backend: str = ""
+    #: reductions reported by the presolve pass (empty when presolve is off
+    #: or the backend has no presolve of its own).
+    presolve: Dict[str, int] = field(default_factory=dict)
+    #: free-form backend metadata (e.g. the portfolio's winning entrant).
+    extra: Dict[str, Any] = field(default_factory=dict)
 
-    def as_dict(self) -> Dict[str, float]:
+    def as_dict(self) -> Dict[str, Any]:
         return {
             "wall_time": self.wall_time,
             "nodes_explored": self.nodes_explored,
@@ -49,6 +54,8 @@ class SolveStats:
             "best_bound": self.best_bound,
             "gap": self.gap,
             "backend": self.backend,
+            "presolve": dict(self.presolve),
+            "extra": dict(self.extra),
         }
 
 

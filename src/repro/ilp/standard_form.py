@@ -1,8 +1,7 @@
 """Conversion of a :class:`repro.ilp.model.Model` into matrix standard form.
 
 Solvers (the built-in simplex, the branch-and-bound relaxation loop and the
-SciPy backends) all consume the same dense/structured representation built
-here::
+SciPy backends) all consume the same structured representation built here::
 
     minimise      c @ x  (+ offset)
     subject to    A_ub @ x <= b_ub
@@ -13,46 +12,100 @@ Maximisation models are converted by negating the objective; the recorded
 ``objective_scale`` restores the sign when reporting results.  ``>=`` rows
 are flipped into ``<=`` rows.
 
-The arrays are plain ``numpy.ndarray`` objects.  The mapping formulations
-produced by :mod:`repro.core` have at most a few thousand variables and a
-few hundred constraints, for which dense storage is both simpler and faster
-than any sparse structure in pure Python; the SciPy backend converts to
-sparse internally when it benefits.
+The constraint matrices are stored sparsely (:class:`repro.ilp.sparse.
+CsrMatrix`): the mapping formulations touch only a handful of columns per
+row, so model assembly and matrix-vector products scale with the non-zero
+count rather than ``rows x columns``.  Consumers that genuinely need a
+dense array — the simplex tableau, the SciPy bindings — read the
+``A_ub`` / ``A_eq`` properties, which materialise (and cache) the dense
+view on first access; everything else works off ``A_ub_sparse`` /
+``A_eq_sparse``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Tuple, Union
 
 import numpy as np
 
 from .errors import ModelError
 from .expr import EQ, GE, LE
 from .model import MAXIMIZE, Model
+from .sparse import CsrMatrix
 
 __all__ = ["StandardForm", "to_standard_form"]
 
+MatrixLike = Union[np.ndarray, CsrMatrix]
 
-@dataclass
+
+def _as_sparse(matrix: MatrixLike, num_cols: int) -> CsrMatrix:
+    if isinstance(matrix, CsrMatrix):
+        return matrix
+    array = np.asarray(matrix, dtype=np.float64)
+    if array.size == 0:
+        return CsrMatrix.empty(num_cols)
+    return CsrMatrix.from_dense(array)
+
+
 class StandardForm:
-    """Matrix view of a model, plus the metadata needed to interpret it."""
+    """Matrix view of a model, plus the metadata needed to interpret it.
 
-    c: np.ndarray
-    A_ub: np.ndarray
-    b_ub: np.ndarray
-    A_eq: np.ndarray
-    b_eq: np.ndarray
-    lb: np.ndarray
-    ub: np.ndarray
-    integrality: np.ndarray  # bool mask: True where variable must be integer
-    objective_offset: float = 0.0
-    #: +1 for minimisation models, -1 for maximisation (objective was negated).
-    objective_scale: float = 1.0
-    variable_names: Tuple[str, ...] = field(default_factory=tuple)
-    row_names_ub: Tuple[str, ...] = field(default_factory=tuple)
-    row_names_eq: Tuple[str, ...] = field(default_factory=tuple)
+    ``A_ub`` / ``A_eq`` accept either dense arrays or :class:`CsrMatrix`
+    instances; internally everything is kept sparse and the dense view is
+    cached on the sparse object, so bound-sharing copies created by
+    :meth:`with_bounds` also share any materialised dense array.
+    """
 
+    __slots__ = (
+        "c", "A_ub_sparse", "b_ub", "A_eq_sparse", "b_eq", "lb", "ub",
+        "integrality", "objective_offset", "objective_scale",
+        "variable_names", "row_names_ub", "row_names_eq",
+    )
+
+    def __init__(
+        self,
+        c: np.ndarray,
+        A_ub: MatrixLike,
+        b_ub: np.ndarray,
+        A_eq: MatrixLike,
+        b_eq: np.ndarray,
+        lb: np.ndarray,
+        ub: np.ndarray,
+        integrality: np.ndarray,
+        objective_offset: float = 0.0,
+        objective_scale: float = 1.0,
+        variable_names: Tuple[str, ...] = (),
+        row_names_ub: Tuple[str, ...] = (),
+        row_names_eq: Tuple[str, ...] = (),
+    ) -> None:
+        self.c = np.asarray(c, dtype=np.float64)
+        n = int(self.c.shape[0])
+        self.A_ub_sparse = _as_sparse(A_ub, n)
+        self.b_ub = np.asarray(b_ub, dtype=np.float64)
+        self.A_eq_sparse = _as_sparse(A_eq, n)
+        self.b_eq = np.asarray(b_eq, dtype=np.float64)
+        self.lb = np.asarray(lb, dtype=np.float64)
+        self.ub = np.asarray(ub, dtype=np.float64)
+        self.integrality = np.asarray(integrality, dtype=bool)
+        #: +1 for minimisation models, -1 for maximisation (objective negated).
+        self.objective_offset = float(objective_offset)
+        self.objective_scale = float(objective_scale)
+        self.variable_names = tuple(variable_names)
+        self.row_names_ub = tuple(row_names_ub)
+        self.row_names_eq = tuple(row_names_eq)
+
+    # ------------------------------------------------------------ dense view
+    @property
+    def A_ub(self) -> np.ndarray:
+        """Dense ``<=`` matrix (materialised lazily, cached, read-only)."""
+        return self.A_ub_sparse.toarray()
+
+    @property
+    def A_eq(self) -> np.ndarray:
+        """Dense ``==`` matrix (materialised lazily, cached, read-only)."""
+        return self.A_eq_sparse.toarray()
+
+    # ------------------------------------------------------------ dimensions
     @property
     def num_variables(self) -> int:
         return int(self.c.shape[0])
@@ -64,6 +117,11 @@ class StandardForm:
     @property
     def num_eq_rows(self) -> int:
         return int(self.b_eq.shape[0])
+
+    @property
+    def num_nonzeros(self) -> int:
+        """Total constraint non-zeros (the size presolve actually fights)."""
+        return self.A_ub_sparse.nnz + self.A_eq_sparse.nnz
 
     def user_objective(self, x: np.ndarray) -> float:
         """Objective value in the *user's* sense (undo min/max conversion)."""
@@ -79,9 +137,9 @@ class StandardForm:
         """
         return StandardForm(
             c=self.c,
-            A_ub=self.A_ub,
+            A_ub=self.A_ub_sparse,
             b_ub=self.b_ub,
-            A_eq=self.A_eq,
+            A_eq=self.A_eq_sparse,
             b_eq=self.b_eq,
             lb=lb,
             ub=ub,
@@ -93,9 +151,15 @@ class StandardForm:
             row_names_eq=self.row_names_eq,
         )
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StandardForm({self.num_variables} vars, {self.num_ub_rows} ub "
+            f"rows, {self.num_eq_rows} eq rows, {self.num_nonzeros} nz)"
+        )
+
 
 def to_standard_form(model: Model) -> StandardForm:
-    """Build the :class:`StandardForm` arrays for ``model``."""
+    """Build the :class:`StandardForm` for ``model`` (sparse assembly)."""
     n = model.num_variables
     if n == 0:
         raise ModelError("cannot convert an empty model to standard form")
@@ -112,41 +176,34 @@ def to_standard_form(model: Model) -> StandardForm:
         offset = -offset
         scale = -1.0
 
-    ub_rows: List[np.ndarray] = []
+    ub_rows: List[dict] = []
     ub_rhs: List[float] = []
     ub_names: List[str] = []
-    eq_rows: List[np.ndarray] = []
+    eq_rows: List[dict] = []
     eq_rhs: List[float] = []
     eq_names: List[str] = []
 
     for constraint in model.constraints:
-        row = np.zeros(n, dtype=np.float64)
-        for idx, coeff in constraint.expr.coeffs.items():
+        for idx in constraint.expr.coeffs:
             if idx >= n:
                 raise ModelError(
                     f"constraint {constraint.name!r} references variable index "
                     f"{idx} outside the model"
                 )
-            row[idx] = coeff
         if constraint.sense == LE:
-            ub_rows.append(row)
+            ub_rows.append(dict(constraint.expr.coeffs))
             ub_rhs.append(constraint.rhs)
             ub_names.append(constraint.name)
         elif constraint.sense == GE:
-            ub_rows.append(-row)
+            ub_rows.append({i: -v for i, v in constraint.expr.coeffs.items()})
             ub_rhs.append(-constraint.rhs)
             ub_names.append(constraint.name)
         elif constraint.sense == EQ:
-            eq_rows.append(row)
+            eq_rows.append(dict(constraint.expr.coeffs))
             eq_rhs.append(constraint.rhs)
             eq_names.append(constraint.name)
         else:  # pragma: no cover - Constraint already validates the sense
             raise ModelError(f"unknown sense {constraint.sense!r}")
-
-    A_ub = np.vstack(ub_rows) if ub_rows else np.zeros((0, n), dtype=np.float64)
-    b_ub = np.asarray(ub_rhs, dtype=np.float64)
-    A_eq = np.vstack(eq_rows) if eq_rows else np.zeros((0, n), dtype=np.float64)
-    b_eq = np.asarray(eq_rhs, dtype=np.float64)
 
     lb = np.array([v.lb for v in model.variables], dtype=np.float64)
     ub = np.array([v.ub for v in model.variables], dtype=np.float64)
@@ -154,10 +211,10 @@ def to_standard_form(model: Model) -> StandardForm:
 
     return StandardForm(
         c=c,
-        A_ub=A_ub,
-        b_ub=b_ub,
-        A_eq=A_eq,
-        b_eq=b_eq,
+        A_ub=CsrMatrix.from_coeff_rows(ub_rows, n),
+        b_ub=np.asarray(ub_rhs, dtype=np.float64),
+        A_eq=CsrMatrix.from_coeff_rows(eq_rows, n),
+        b_eq=np.asarray(eq_rhs, dtype=np.float64),
         lb=lb,
         ub=ub,
         integrality=integrality,

@@ -310,6 +310,7 @@ def mapping_result_to_dict(result: MappingResult) -> Dict[str, Any]:
         "global_time": result.global_time,
         "detailed_time": result.detailed_time,
         "retries": result.retries,
+        "solve_stats": dict(result.solve_stats),
     }
 
 
@@ -334,6 +335,7 @@ def mapping_result_from_dict(data: Mapping[str, Any]) -> MappingResult:
         global_time=float(data.get("global_time", 0.0)),
         detailed_time=float(data.get("detailed_time", 0.0)),
         retries=int(data.get("retries", 0)),
+        solve_stats=dict(data.get("solve_stats") or {}),
     )
 
 

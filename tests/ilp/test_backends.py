@@ -154,6 +154,33 @@ class TestPortfolioBackend:
         assert solution.is_optimal
         assert solution.objective == pytest.approx(-11.0)
 
+    def test_winner_recorded_in_result_metadata(self):
+        solution = PortfolioBackend(time_limit=30).solve(knapsack_model())
+        extra = solution.stats.extra
+        assert extra["portfolio_winner"] in extra["portfolio_entrants"]
+        assert len(extra["portfolio_entrants"]) >= 1
+        assert extra["portfolio_cancelled"] >= 0
+        # The backend string names the same winner.
+        assert extra["portfolio_winner"] in solution.stats.backend
+
+    def test_single_entrant_metadata(self):
+        solution = PortfolioBackend(entrants=["bnb-pure"]).solve(knapsack_model())
+        assert solution.stats.extra["portfolio_winner"] == "bnb-pure"
+        assert solution.stats.extra["portfolio_cancelled"] == 0
+
+    def test_fix_zero_honoured_by_every_entrant(self):
+        # Forbid the best knapsack item; both entrants must respect it.
+        model = knapsack_model()
+        unrestricted = PortfolioBackend(time_limit=30).solve(model)
+        best = int(max(
+            range(model.num_variables),
+            key=lambda i: unrestricted.values[i],
+        ))
+        restricted = PortfolioBackend(time_limit=30, fix_zero=[best]).solve(model)
+        assert restricted.is_optimal
+        assert restricted.values[best] == pytest.approx(0.0, abs=1e-9)
+        assert restricted.objective >= unrestricted.objective - 1e-9
+
 
 class TestStopCheck:
     def test_stop_check_cancels_the_solve(self):

@@ -1,0 +1,221 @@
+"""Unit and property tests for the ILP presolve pass.
+
+The property tests are the satellite required by the issue: across seeded
+generator designs, solving the presolved model and lifting the solution
+through the postsolve map must give the same optimal objective — and a
+feasible full-space assignment — as solving the raw model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch import hierarchical_board
+from repro.core import CostModel, CostWeights, GlobalMapper, Preprocessor
+from repro.design import random_design
+from repro.ilp import (
+    INFEASIBLE,
+    OPTIMAL,
+    SOLVED,
+    UNBOUNDED,
+    BranchAndBoundSolver,
+    Model,
+    presolve,
+    quicksum,
+    to_standard_form,
+)
+
+
+def fixed_form(model, **fixings):
+    """Standard form of ``model`` with named binaries pinned via bounds."""
+    form = to_standard_form(model)
+    lb = form.lb.copy()
+    ub = form.ub.copy()
+    for name, value in fixings.items():
+        idx = model.var_by_name(name).index
+        lb[idx] = ub[idx] = float(value)
+    return form.with_bounds(lb, ub)
+
+
+class TestReductions:
+    def test_identity_on_untightenable_model(self):
+        m = Model("plain")
+        x = m.add_binary("x")
+        y = m.add_binary("y")
+        m.add_constraint(x + y <= 1)
+        m.set_objective(-x - 2 * y)
+        result = presolve(to_standard_form(m))
+        assert result.status == "reduced"
+        assert result.form.num_variables == 2
+        assert result.stats.cols_fixed == 0
+
+    def test_fixed_variable_substituted(self):
+        m = Model("fix")
+        x = m.add_binary("x")
+        y = m.add_binary("y")
+        m.add_constraint(2 * x + 3 * y <= 4)
+        m.set_objective(x + y)
+        result = presolve(fixed_form(m, x=1))
+        # Substituting x=1 turns the row into 3y <= 2 -> y <= 2/3 -> y = 0
+        # for an integer variable, so presolve solves the model outright.
+        assert result.status == SOLVED
+        assert result.stats.cols_fixed == 2
+        x_full = result.postsolve.restore(None)
+        assert x_full.tolist() == [1.0, 0.0]
+
+    def test_singleton_eq_row_fixes_variable(self):
+        m = Model("singleton")
+        x = m.add_binary("x")
+        y = m.add_binary("y")
+        m.add_constraint(2 * x == 2)
+        m.add_constraint(x + y <= 1)
+        m.set_objective(y)
+        result = presolve(to_standard_form(m))
+        assert result.status == SOLVED
+        x_full = result.postsolve.restore(None)
+        assert x_full.tolist() == [1.0, 0.0]
+
+    def test_redundant_row_dropped(self):
+        m = Model("redundant")
+        x = m.add_binary("x")
+        y = m.add_binary("y")
+        m.add_constraint(x + y <= 5, name="slack-row")  # max activity is 2
+        m.add_constraint(x + y >= 1, name="real-row")
+        m.set_objective(x + 2 * y)
+        result = presolve(to_standard_form(m))
+        assert result.stats.rows_dropped_ub >= 1
+        assert result.form.num_ub_rows == 1
+
+    def test_forcing_row_fixes_all_members(self):
+        m = Model("forcing")
+        x = m.add_binary("x")
+        y = m.add_binary("y")
+        z = m.add_binary("z")
+        # x + y + z >= 3 is only satisfiable with every variable at one.
+        m.add_constraint(x + y + z >= 3)
+        m.set_objective(x + y + z)
+        result = presolve(to_standard_form(m))
+        assert result.status == SOLVED
+        assert result.postsolve.restore(None).tolist() == [1.0, 1.0, 1.0]
+
+    def test_uniqueness_with_single_candidate_resolves(self):
+        """The retry-loop shape: forbid all but one member of an SOS row."""
+        m = Model("uniq")
+        a = m.add_binary("a")
+        b = m.add_binary("b")
+        c = m.add_binary("c")
+        m.add_constraint(a + b + c == 1)
+        m.set_objective(a + 2 * b + 3 * c)
+        result = presolve(fixed_form(m, a=0, c=0))
+        assert result.status == SOLVED
+        assert result.postsolve.restore(None).tolist() == [0.0, 1.0, 0.0]
+
+    def test_infeasible_bounds_detected(self):
+        m = Model("crossed")
+        x = m.add_binary("x")
+        m.add_constraint(x <= 1)
+        m.set_objective(x)
+        form = to_standard_form(m)
+        lb = form.lb.copy()
+        lb[0] = 2.0
+        assert presolve(form.with_bounds(lb, form.ub)).status == INFEASIBLE
+
+    def test_infeasible_row_detected(self):
+        m = Model("impossible")
+        x = m.add_binary("x")
+        y = m.add_binary("y")
+        m.add_constraint(x + y >= 3)
+        m.set_objective(x)
+        assert presolve(to_standard_form(m)).status == INFEASIBLE
+
+    def test_unbounded_empty_column_detected(self):
+        m = Model("unbounded")
+        x = m.add_continuous("x", lb=0.0)
+        m.set_objective(-x)  # minimise -x with x unbounded above
+        assert presolve(to_standard_form(m)).status == UNBOUNDED
+
+    def test_empty_column_fixed_at_cheap_bound(self):
+        m = Model("emptycol")
+        x = m.add_binary("x")
+        y = m.add_binary("y")
+        m.add_constraint(x <= 1)  # y appears in no constraint
+        m.set_objective(x - 2 * y)
+        result = presolve(to_standard_form(m))
+        assert result.status == SOLVED
+        assert result.postsolve.restore(None).tolist() == [0.0, 1.0]
+
+    def test_integer_bounds_rounded(self):
+        m = Model("round")
+        x = m.add_integer("x", lb=0.4, ub=2.6)
+        y = m.add_integer("y", lb=0, ub=5)
+        m.add_constraint(x + y <= 2)   # binding: keeps both columns alive
+        m.set_objective(-x - y)
+        result = presolve(to_standard_form(m))
+        assert result.stats.bounds_tightened >= 2
+        idx = list(result.form.variable_names).index("x")
+        assert result.form.lb[idx] == 1.0
+        assert result.form.ub[idx] == 2.0
+
+    def test_postsolve_restores_reduced_solution(self):
+        m = Model("restore")
+        x = m.add_binary("x")
+        y = m.add_binary("y")
+        z = m.add_binary("z")
+        m.add_constraint(x + y + z == 1)
+        m.add_constraint(y + z <= 2)
+        m.set_objective(3 * x + y + 2 * z)
+        result = presolve(fixed_form(m, x=0))
+        kept = result.form.num_variables
+        assert kept == 2
+        x_full = result.postsolve.restore(np.array([1.0, 0.0]))
+        assert x_full.shape == (3,)
+        assert x_full[m.var_by_name("x").index] == 0.0
+
+
+class TestObjectiveParity:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_presolved_model_has_same_optimum(self, seed):
+        """Property: presolve+postsolve preserves the optimal objective and
+        produces a feasible full-space point, across seeded generator
+        designs solved by the real global-mapping formulation."""
+        board = hierarchical_board()
+        design = random_design(
+            6 + seed % 5, seed=seed, board=board, target_occupancy=0.35
+        )
+        pre = Preprocessor(design, board)
+        cost_model = CostModel(design, board, CostWeights(), preprocessor=pre)
+        artifacts = GlobalMapper(board).build_model(
+            design, preprocessor=pre, cost_model=cost_model
+        )
+        model = artifacts.model
+        form = to_standard_form(model)
+
+        raw = BranchAndBoundSolver(presolve=False).solve(model)
+        cooked = BranchAndBoundSolver(presolve=True).solve(model)
+        assert raw.status == cooked.status == OPTIMAL
+        assert cooked.objective == pytest.approx(raw.objective, rel=1e-6)
+        # The lifted solution is feasible in the *raw* full-space model.
+        assert model.is_feasible(cooked.values)
+        # And evaluates to the reported objective.
+        assert form.user_objective(cooked.values) == pytest.approx(
+            cooked.objective, rel=1e-6
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_parity_with_forbidden_fixings(self, seed):
+        """Presolve parity must also hold under retry-style fixings."""
+        board = hierarchical_board()
+        design = random_design(7, seed=seed, board=board, target_occupancy=0.3)
+        artifacts = GlobalMapper(board).build_model(design)
+        model = artifacts.model
+        # Forbid the first candidate of the first two structures.
+        fix = [var.index for i, var in enumerate(artifacts.z_vars.values())
+               if i in (0, 3)]
+        raw = BranchAndBoundSolver(presolve=False, fix_zero=fix).solve(model)
+        cooked = BranchAndBoundSolver(presolve=True, fix_zero=fix).solve(model)
+        assert raw.status == cooked.status
+        if raw.status == OPTIMAL:
+            assert cooked.objective == pytest.approx(raw.objective, rel=1e-6)
+            for idx in fix:
+                assert cooked.values[idx] == pytest.approx(0.0, abs=1e-9)
