@@ -8,7 +8,6 @@ be inspected (and diffed against EXPERIMENTS.md) after a run.
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 import pytest

@@ -62,6 +62,11 @@ def load_artifact(path: Path) -> Dict[str, Any]:
     return document
 
 
+#: Extra keys an explore artifact must carry on top of REQUIRED_KEYS.
+EXPLORE_KEYS = ("grid", "chains", "fingerprint", "pareto_front",
+                "warm_chain", "total_lp_solves")
+
+
 def validate(document: Any) -> List[str]:
     """Return a list of problems (empty when the artifact is well-formed)."""
     problems: List[str] = []
@@ -78,12 +83,52 @@ def validate(document: Any) -> List[str]:
         problems.append("'results' is not a list")
     else:
         if len(results) != document.get("num_points", len(results)) and \
-                document.get("name") == "table3":
+                document.get("name") in ("table3", "explore"):
             problems.append("num_points does not match len(results)")
         for i, row in enumerate(results):
             if not isinstance(row, dict) or "label" not in row:
                 problems.append(f"results[{i}] lacks a label")
                 break
+    if document.get("name") == "explore":
+        problems.extend(_validate_explore(document))
+    return problems
+
+
+def _validate_explore(document: Dict[str, Any]) -> List[str]:
+    """Schema checks specific to ``repro explore`` artifacts."""
+    problems: List[str] = []
+    for key in EXPLORE_KEYS:
+        if key not in document:
+            problems.append(f"explore artifact missing key {key!r}")
+    grid = document.get("grid")
+    if isinstance(grid, dict):
+        if grid.get("kind") != "scenario_grid" or not grid.get("sweeps"):
+            problems.append("'grid' is not a scenario_grid with sweeps")
+    elif "grid" in document:
+        problems.append("'grid' is not an object")
+    labels = {row.get("label") for row in document.get("results", [])
+              if isinstance(row, dict)}
+    front = document.get("pareto_front")
+    if isinstance(front, list):
+        bad = [label for label in front if not isinstance(label, str)]
+        if bad:
+            problems.append(f"pareto_front entries are not labels: {bad}")
+        unknown = [label for label in front
+                   if isinstance(label, str) and label not in labels]
+        if unknown:
+            problems.append(f"pareto_front references unknown labels {unknown}")
+    elif "pareto_front" in document:
+        problems.append("'pareto_front' is not a list")
+    chains = document.get("chains")
+    if isinstance(chains, list):
+        if any(not isinstance(chain, list) for chain in chains):
+            problems.append("'chains' entries are not lists of labels")
+        else:
+            chained = sum(len(chain) for chain in chains)
+            if chained != len(document.get("results", [])):
+                problems.append("chains do not cover every result exactly once")
+    elif "chains" in document:
+        problems.append("'chains' is not a list")
     return problems
 
 

@@ -18,7 +18,7 @@ differs.  This is exactly the abstraction of Section 3.1 / Figure 1:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Iterable, Optional, Tuple
 
 __all__ = ["MemoryConfig", "BankType", "ArchitectureError"]
 

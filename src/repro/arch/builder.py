@@ -13,7 +13,6 @@ their memory-complexity parameters (Table 3).  This module provides:
 
 from __future__ import annotations
 
-import math
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np

@@ -1,6 +1,6 @@
 """Benchmark harness: Table 3 design points, experiment runner, reporting."""
 
-from .artifacts import batch_artifact, write_bench_artifact
+from .artifacts import batch_artifact, explore_artifact, write_bench_artifact
 from .designpoints import (
     PAPER_DESIGN_POINTS,
     SCALED_DESIGN_POINTS,
@@ -27,6 +27,7 @@ __all__ = [
     "run_table3",
     "default_solver_backend",
     "batch_artifact",
+    "explore_artifact",
     "write_bench_artifact",
     "ascii_table",
     "ascii_series",

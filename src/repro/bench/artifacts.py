@@ -17,7 +17,7 @@ from typing import Any, Dict, Mapping, Optional, Sequence, Union
 
 from ..engine.jobs import JobResult
 
-__all__ = ["batch_artifact", "write_bench_artifact"]
+__all__ = ["batch_artifact", "explore_artifact", "write_bench_artifact"]
 
 #: Version tag of the artifact layout.
 ARTIFACT_VERSION = 1
@@ -70,6 +70,55 @@ def batch_artifact(
             }
             for r in results
         ],
+    }
+
+
+def explore_artifact(result: "ExploreResult") -> Dict[str, Any]:
+    """Summarise one exploration run as a ``BENCH_explore.json`` document.
+
+    Carries the same aggregate counters as the Table 3 artifact (so
+    ``scripts/bench_compare.py`` can diff a warm-chained run against a
+    ``--cold`` one), plus the explore-specific payload: the serialised
+    grid, the warm-chain layout, the Pareto fronts and the deterministic
+    run fingerprint.  The ``pareto_front_timed`` front includes wall time
+    and is therefore machine-dependent; everything under ``fingerprint``
+    is not.
+    """
+    from ..io.serialize import scenario_grid_to_dict
+
+    points = result.points
+    serial_seconds = sum(p.wall_time for p in points if not p.cache_hit)
+
+    def total(attribute: str) -> int:
+        return int(result.total(attribute))
+
+    return {
+        "kind": "bench_artifact",
+        "artifact_version": ARTIFACT_VERSION,
+        "name": "explore",
+        "jobs": result.jobs,
+        "solver": result.solver,
+        "warm_chain": result.warm_chain,
+        "num_points": len(points),
+        "num_ok": len(result.ok_points),
+        "num_failed": result.num_failed,
+        "cache_hits": sum(1 for p in points if p.cache_hit),
+        "wall_seconds": result.elapsed,
+        "serial_seconds": serial_seconds,
+        "speedup_vs_serial": (
+            (serial_seconds / result.elapsed) if result.elapsed > 0 else None
+        ),
+        "total_lp_solves": total("lp_solves"),
+        "total_nodes_explored": total("nodes_explored"),
+        "total_simplex_iterations": total("simplex_iterations"),
+        "total_retries": total("retries"),
+        "cache": dict(result.cache_stats) if result.cache_stats is not None else None,
+        "grid": scenario_grid_to_dict(result.grid),
+        "chains": [list(chain) for chain in result.chains],
+        "fingerprint": result.fingerprint(),
+        "pareto_front": [p.label for p in result.pareto_front()],
+        "pareto_front_timed": [p.label for p in result.pareto_front_timed()],
+        "results": [p.to_dict() for p in points],
     }
 
 

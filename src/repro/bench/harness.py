@@ -31,7 +31,7 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..core.complete_mapper import CompleteMapper
 from ..core.mapping import MappingError
@@ -138,10 +138,11 @@ class Table3Harness:
     def _solver_options(self) -> Dict[str, object]:
         options: Dict[str, object] = {"time_limit": self.time_limit}
         if not self.presolve:
-            # The faithful pre-refactor path: no root presolve and no
-            # node-level bound propagation.
+            # The faithful pre-refactor path: no root presolve, no
+            # node-level bound propagation, no incumbent-cutoff filtering.
             options["presolve"] = False
             options["node_presolve"] = False
+            options["objective_cutoff"] = False
         return options
 
     # ------------------------------------------------------------------ api

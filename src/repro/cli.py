@@ -11,6 +11,10 @@ The CLI makes the library usable as a standalone tool in a synthesis flow::
         --output mapping.json --weights latency --json
     python -m repro batch --sweep 16 --jobs 4    # parallel mapping sweep
     python -m repro table3 --points 4 --jobs 2   # scaling experiment (Table 3)
+    python -m repro scenarios                    # list scenario families
+    python -m repro explore \\
+        --grid "random@structures=12,occupancy=0.5:0.8:0.05" \\
+        --jobs 2 --artifact-dir bench-artifacts  # design-space exploration
 
 Boards and designs can be given either as the name of a built-in (see
 ``boards`` / ``designs``) or as the path of a JSON file following the schema
@@ -42,6 +46,7 @@ from .bench import (
     batch_artifact,
     default_design_points,
     default_solver_backend,
+    explore_artifact,
     format_seconds,
     sweep_design_points,
     write_bench_artifact,
@@ -58,6 +63,13 @@ from .design import (
     random_design,
 )
 from .engine import MappingEngine, MappingJob
+from .explore import (
+    DesignSpaceExplorer,
+    ExploreError,
+    ScenarioGrid,
+    list_scenario_families,
+    render_explore_report,
+)
 from .ilp import list_backends, resolve_backend
 from .ilp.errors import ModelError as IlpModelError
 from .io import (
@@ -355,6 +367,88 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return EXIT_OK if all(r.ok for r in results) else EXIT_MAPPING_FAILED
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    families = list_scenario_families()
+    if args.json:
+        print(json.dumps(
+            [
+                {
+                    "name": family.name,
+                    "description": family.description,
+                    "params": [
+                        {
+                            "name": spec.name,
+                            "kind": spec.kind,
+                            "default": spec.default,
+                            "description": spec.description,
+                        }
+                        for spec in family.params
+                    ],
+                }
+                for family in families
+            ],
+            indent=2,
+        ))
+        return EXIT_OK
+    rows = [
+        [
+            family.name,
+            ", ".join(
+                f"{spec.name}={spec.default}" for spec in family.params
+            ),
+            family.description,
+        ]
+        for family in families
+    ]
+    print(ascii_table(
+        ["family", "parameters (defaults)", "description"],
+        rows,
+        title="Registered scenario families",
+    ))
+    print("\nGrid syntax: family@key=value, key=lo:hi[:step], key=a|b|c "
+          "(see 'repro explore --grid').")
+    return EXIT_OK
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    try:
+        grid = ScenarioGrid.parse(args.grid)
+    except ExploreError as exc:
+        raise CliError(str(exc)) from exc
+    solver = _resolve_solver(args.solver) or "auto"
+    explorer = DesignSpaceExplorer(
+        grid,
+        jobs=_resolve_jobs(args.jobs),
+        solver=solver,
+        weights=_WEIGHT_PRESETS[args.weights](),
+        warm_chain=not args.cold,
+        seed=args.seed,
+        time_limit=args.time_limit,
+        cache_dir=args.cache_dir,
+        retries=args.retries,
+    )
+    try:
+        # Scenario build errors can surface here too (not just at grid
+        # parse): a board name is type-checked as a plain string, so an
+        # unknown board only fails when the point is built.
+        result = explorer.run()
+    except ExploreError as exc:
+        raise CliError(str(exc)) from exc
+
+    artifact = explore_artifact(result)
+    if args.artifact_dir:
+        write_bench_artifact("explore", artifact, args.artifact_dir)
+    if args.json:
+        print(json.dumps(artifact, indent=2))
+    else:
+        print(render_explore_report(result))
+    if args.output:
+        save_json(artifact, args.output)
+        if not args.json:
+            print(f"\n[exploration results written to {args.output}]")
+    return EXIT_OK if result.num_failed == 0 else EXIT_MAPPING_FAILED
+
+
 def _cmd_table3(args: argparse.Namespace) -> int:
     points = default_design_points(full=args.full)
     if args.points is not None:
@@ -481,6 +575,50 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--json", action="store_true",
                        help="emit machine-readable results on stdout")
     batch.set_defaults(func=_cmd_batch)
+
+    scenarios = sub.add_parser(
+        "scenarios", help="list registered scenario families"
+    )
+    scenarios.add_argument("--json", action="store_true",
+                           help="emit machine-readable JSON")
+    scenarios.set_defaults(func=_cmd_scenarios)
+
+    explore = sub.add_parser(
+        "explore", help="explore a scenario grid and reduce it to Pareto fronts"
+    )
+    explore.add_argument("--grid", action="append", default=[], metavar="SPEC",
+                         required=True,
+                         help="scenario sweep spec (repeatable), e.g. "
+                              "'random@structures=8:14:2,occupancy=0.6'; each "
+                              "spec becomes one warm chain")
+    explore.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (chains run concurrently)")
+    explore.add_argument("--cold", action="store_true",
+                         help="solve every point independently instead of "
+                              "warm-chaining adjacent points (baseline mode)")
+    explore.add_argument("--weights", choices=sorted(_WEIGHT_PRESETS),
+                         default="balanced", help="objective weighting preset")
+    explore.add_argument("--solver", default=None,
+                         help="ILP backend (default: auto — warm chaining "
+                              "needs a context-capable backend)")
+    explore.add_argument("--time-limit", type=float, default=None,
+                         help="per-point wall-clock budget in seconds")
+    explore.add_argument("--retries", type=int, default=0,
+                         help="re-runs of a crashed point before reporting "
+                              "an error")
+    explore.add_argument("--seed", type=int, default=0,
+                         help="base seed for the scenario builders")
+    explore.add_argument("--cache-dir",
+                         help="directory of the on-disk result cache")
+    explore.add_argument("--artifact-dir",
+                         help="write a BENCH_explore.json artifact into this "
+                              "directory")
+    explore.add_argument("--output",
+                         help="write the full exploration document to this "
+                              "JSON file")
+    explore.add_argument("--json", action="store_true",
+                         help="emit the artifact document on stdout")
+    explore.set_defaults(func=_cmd_explore)
 
     table3 = sub.add_parser("table3", help="run the Table 3 scaling experiment")
     table3.add_argument("--full", action="store_true",

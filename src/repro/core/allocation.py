@@ -18,7 +18,7 @@ to render Table 2.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from .preprocess import consumed_ports, next_power_of_two
 

@@ -38,7 +38,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..arch.board import Board
 from ..design.design import Design
-from ..ilp import Model, Solution, Variable, create_solver, quicksum
+from ..ilp import Model, Variable, create_solver, quicksum
 from .mapping import GlobalMapping, MappingError
 from .objective import CostModel, CostWeights
 from .preprocess import Preprocessor

@@ -27,9 +27,8 @@ forbidden (the retry loop the paper describes in Section 4.1).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from ..arch.bank import BankType
 from ..arch.board import Board

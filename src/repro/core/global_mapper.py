@@ -29,7 +29,7 @@ The objective is the weighted latency / pin-delay / pin-I/O cost of
 from __future__ import annotations
 
 import time
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 import numpy as np
 
@@ -407,6 +407,73 @@ class GlobalMapper:
             assignment[structure] = min(options)[1]
         return assignment
 
+    def _seeded_warm_assignment(
+        self,
+        skeleton: _GlobalSkeleton,
+        artifacts: GlobalModelArtifacts,
+        design: Design,
+        context: SolveContext,
+        forbidden: Set[Pair],
+        base: Optional[Mapping[str, str]],
+    ) -> Optional[Tuple[Dict[str, str], np.ndarray]]:
+        """Warm assignment seeded from an *adjacent* design point's incumbent.
+
+        The explore subsystem chains a :meth:`SolveContext.chain_dict`
+        from one design point into the next; its ``seed_assignment`` is
+        keyed by structure/type *name*, so it survives the model change.
+        Per structure the seed's type is adopted when it is still an
+        admissible candidate here, otherwise the ``base`` (greedy) choice,
+        otherwise the cheapest candidate.  The merged assignment is only
+        returned when its objective beats the base assignment — a worse
+        seed must never displace a better greedy incumbent.  Returns the
+        assignment together with its (validated) warm-start vector so the
+        caller does not rebuild it.
+        """
+        seed = context.seed_assignment
+        if not seed:
+            return None
+        merged: Dict[str, str] = {}
+        for d_index, ds in enumerate(design.data_structures):
+            choice: Optional[str] = None
+            for source in (seed, base):
+                candidate = source.get(ds.name) if source else None
+                if (
+                    candidate is not None
+                    and (ds.name, candidate) in artifacts.z_vars
+                    and (ds.name, candidate) not in forbidden
+                ):
+                    choice = candidate
+                    break
+            if choice is None:
+                options = [
+                    (float(skeleton.coefficients[d_index, t_index]), bank_name)
+                    for bank_name, _, t_index in skeleton.candidates[d_index]
+                    if (ds.name, bank_name) not in forbidden
+                ]
+                if not options:
+                    return None
+                choice = min(options)[1]
+            merged[ds.name] = choice
+
+        def cost(assignment: Mapping[str, str]) -> float:
+            total = 0.0
+            for name, type_name in assignment.items():
+                d_index = design.index_of(name)
+                t_index = self.board.type_index(type_name)
+                total += float(skeleton.coefficients[d_index, t_index])
+            return total
+
+        if base is not None and len(base) == design.num_segments:
+            if cost(merged) >= cost(base):
+                return None
+        # The transplant must hold up in *this* model: an infeasible merged
+        # assignment would silently displace a feasible greedy incumbent
+        # (the solver validates warm starts and drops bad ones).
+        vector = artifacts.warm_start_vector(merged)
+        if vector is None or not artifacts.model.is_feasible(vector):
+            return None
+        return merged, vector
+
     # ---------------------------------------------------------------- solving
     def solve(
         self,
@@ -433,16 +500,23 @@ class GlobalMapper:
             fixed = self._fixed_indices(artifacts, design, forbidden)
             if fixed:
                 solver_options["fix_zero"] = fixed
+            warm_vector = None
             if context is not None:
                 solver_options["context"] = context
                 if warm_start is None and forbidden:
                     warm_start = self._repaired_warm_assignment(
                         skeleton, artifacts, design, context, forbidden
                     )
+                seeded = self._seeded_warm_assignment(
+                    skeleton, artifacts, design, context, forbidden, warm_start
+                )
+                if seeded is not None:
+                    warm_start, warm_vector = seeded
             if warm_start is not None:
-                vector = artifacts.warm_start_vector(warm_start)
-                if vector is not None:
-                    solver_options.setdefault("warm_start", vector)
+                if warm_vector is None:
+                    warm_vector = artifacts.warm_start_vector(warm_start)
+                if warm_vector is not None:
+                    solver_options.setdefault("warm_start", warm_vector)
             solver: object = create_solver(self.solver, **solver_options)
         else:
             # Injected solver instances cannot take per-solve fixings, so
@@ -472,6 +546,10 @@ class GlobalMapper:
                 f"solver status {solution.status!r}"
             )
         assignment = artifacts.assignment_from_solution(solution)
+        if context is not None:
+            # Name-keyed counterpart of note_incumbent: what a *chained*
+            # solve of an adjacent design point can reuse as its seed.
+            context.note_assignment(assignment)
         breakdown = artifacts.cost_model.evaluate_assignment(assignment)
         return GlobalMapping(
             design_name=design.name,

@@ -16,9 +16,9 @@ The two stages of the paper produce different artefacts:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
-from ..arch.bank import BankType, MemoryConfig
+from ..arch.bank import MemoryConfig
 from ..arch.board import Board
 from ..design.design import Design
 from .objective import CostBreakdown

@@ -97,8 +97,18 @@ class MemoryMapper:
         self.detailed_mapper = DetailedMapper(board)
 
     # ------------------------------------------------------------------ api
-    def map(self, design: Design) -> MappingResult:
-        """Map ``design`` onto the board and return the combined result."""
+    def map(
+        self, design: Design, context: Optional[SolveContext] = None
+    ) -> MappingResult:
+        """Map ``design`` onto the board and return the combined result.
+
+        ``context`` (optional) supplies the :class:`repro.ilp.SolveContext`
+        threaded through the retry loop instead of a fresh one — this is
+        how the explore subsystem chains a sweep: the context of design
+        point ``N-1`` (rebased via :meth:`SolveContext.from_chain_dict`)
+        seeds point ``N``'s incumbent and branching statistics.  When a
+        context is given it is used even with ``warm_retries=False``.
+        """
         preprocessor = Preprocessor(
             design, self.board, port_estimation=self.port_estimation
         )
@@ -119,7 +129,8 @@ class MemoryMapper:
         retries = 0
         global_time = 0.0
         detailed_time = 0.0
-        context = SolveContext() if self.warm_retries else None
+        if context is None:
+            context = SolveContext() if self.warm_retries else None
         stage_stats: List[Dict[str, object]] = []
 
         while True:

@@ -9,7 +9,7 @@ by lifetime analysis (Section 3.3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from .conflicts import ConflictSet
 from .datastruct import DataStructure, DesignError

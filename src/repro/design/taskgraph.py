@@ -19,7 +19,7 @@ a dependency of the scientific-Python stack available here).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 import networkx as nx

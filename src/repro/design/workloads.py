@@ -17,7 +17,7 @@ complexity counts.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from .conflicts import ConflictSet
 from .datastruct import DataStructure

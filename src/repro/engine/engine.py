@@ -39,7 +39,8 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     TimeoutError as FutureTimeoutError,
 )
-from typing import Any, Dict, List, Optional, Sequence, Union
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
 
 from .cache import ResultCache, result_fingerprint
 from .jobs import (
@@ -105,9 +106,23 @@ def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
         "result": None,
         "model_size": {},
         "solve_stats": {},
+        "chain_context": None,
         "error": "",
         "worker_pid": os.getpid(),
     }
+    # Warm-chained sweeps (repro.explore) thread name-keyed solve state from
+    # one design point into the next; rebuild it here so the chained solve
+    # and its export both happen inside the worker.
+    context = None
+    chain = payload.get("chain_context")
+    if payload["mode"] != MODE_COMPLETE and (
+        chain is not None or payload.get("export_context")
+    ):
+        from ..ilp import SolveContext
+
+        context = (
+            SolveContext.from_chain_dict(chain) if chain else SolveContext()
+        )
     try:
         if payload["mode"] == MODE_COMPLETE:
             mapper = CompleteMapper(
@@ -134,7 +149,7 @@ def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
                 warm_start=bool(payload.get("warm_start", True)),
                 warm_retries=bool(payload.get("warm_retries", True)),
             )
-            result = mapper.map(design)
+            result = mapper.map(design, context=context)
             artifacts = mapper.global_mapper.build_model(design)
             document["objective"] = result.global_mapping.objective
             document["solver_status"] = result.global_mapping.solver_status
@@ -149,6 +164,10 @@ def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
         document["status"] = STATUS_FAILED
         document["error"] = str(exc)
 
+    if context is not None:
+        # Exported even on failure: a failed point passes whatever state it
+        # inherited (plus any successful intermediate solves) down the chain.
+        document["chain_context"] = context.chain_dict()
     document["wall_time"] = time.perf_counter() - start
     document["fingerprint"] = result_fingerprint(document["result"])
     return document
@@ -187,6 +206,10 @@ class MappingEngine:
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.retries = retries
         self.timeout = timeout
+        #: worker pool kept alive across run() calls inside a
+        #: :meth:`persistent_pool` block; ``None`` otherwise.
+        self._persistent: Optional[ProcessPoolExecutor] = None
+        self._persistent_active = False
 
     # ------------------------------------------------------------------ api
     def run(self, batch: Sequence[MappingJob]) -> List[JobResult]:
@@ -224,6 +247,26 @@ class MappingEngine:
 
         return [result for result in results if result is not None]
 
+    @contextmanager
+    def persistent_pool(self) -> Iterator["MappingEngine"]:
+        """Reuse one worker pool across every ``run()`` call in the block.
+
+        Wavefront callers (the explore subsystem runs one small batch per
+        sweep step) would otherwise pay worker spawn + import costs on
+        every step.  Outside the block behaviour is unchanged: each
+        ``run()`` creates and tears down its own pool.  A pool abandoned
+        because of a stuck worker is dropped and replaced on the next
+        ``run()``.
+        """
+        self._persistent_active = True
+        try:
+            yield self
+        finally:
+            self._persistent_active = False
+            if self._persistent is not None:
+                self._persistent.shutdown(wait=True)
+                self._persistent = None
+
     def map_result(self, result: JobResult):
         """Rehydrate a pipeline job's full :class:`MappingResult`."""
         from ..io.serialize import mapping_result_from_dict
@@ -244,8 +287,13 @@ class MappingEngine:
         results: List[Optional[JobResult]],
     ) -> None:
         attempts = {index: 1 for index in pending}
-        workers = min(self.jobs, len(pending))
-        executor = ProcessPoolExecutor(max_workers=workers)
+        if self._persistent_active:
+            # Sized to the engine, not this batch: later waves may be wider.
+            if self._persistent is None:
+                self._persistent = ProcessPoolExecutor(max_workers=self.jobs)
+            executor = self._persistent
+        else:
+            executor = ProcessPoolExecutor(max_workers=min(self.jobs, len(pending)))
         abandoned = False
         try:
             futures: Dict[int, Future] = {
@@ -308,7 +356,13 @@ class MappingEngine:
         finally:
             # A stuck worker must not block the batch: abandon it and let
             # the pool reap it when its (cooperatively bounded) solve ends.
-            executor.shutdown(wait=not abandoned, cancel_futures=abandoned)
+            # A persistent pool outlives the batch unless poisoned that
+            # way; the next run() then starts a fresh one.
+            if executor is not self._persistent:
+                executor.shutdown(wait=not abandoned, cancel_futures=abandoned)
+            elif abandoned:
+                executor.shutdown(wait=False, cancel_futures=True)
+                self._persistent = None
 
     def _execute_with_retries(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         attempt = 1
@@ -354,6 +408,7 @@ class MappingEngine:
             fingerprint=document.get("fingerprint"),
             model_size=dict(document.get("model_size") or {}),
             solve_stats=dict(document.get("solve_stats") or {}),
+            chain_context=document.get("chain_context"),
             error=document.get("error", ""),
             wall_time=float(document.get("wall_time", 0.0)),
             attempts=int(document.get("attempts", 1)),

@@ -78,6 +78,15 @@ class MappingJob:
     #: Per-job wall-clock budget in seconds (cooperative: it tightens the
     #: solver's time limit and bounds the engine's wait on the worker).
     timeout: Optional[float] = None
+    #: Chained solve state from an adjacent design point — the
+    #: :meth:`repro.ilp.SolveContext.chain_dict` of the previous job in a
+    #: warm-chained sweep (pipeline mode).  Part of the cache key: a
+    #: chained run and a cold run of the same point are different work.
+    chain_context: Optional[Mapping[str, Any]] = None
+    #: Ship the job's final chain context back in the result so the next
+    #: point of a sweep can be chained onto it (pipeline mode; implied
+    #: when ``chain_context`` is set).
+    export_context: bool = False
 
     def __post_init__(self) -> None:
         if not isinstance(self.solver, str):
@@ -106,6 +115,10 @@ class MappingJob:
             "warm_retries": self.warm_retries,
             "mode": self.mode,
             "timeout": self.timeout,
+            "chain_context": (
+                None if self.chain_context is None else dict(self.chain_context)
+            ),
+            "export_context": bool(self.export_context),
         }
 
     def cache_key(self) -> str:
@@ -146,6 +159,10 @@ class JobResult:
     #: aggregated solver statistics of the job's mapping flow (LP solves,
     #: nodes, presolve reductions); excluded from the fingerprint.
     solve_stats: Dict[str, Any] = field(default_factory=dict)
+    #: the job's final chain context (when it was asked to export one);
+    #: what the next design point of a warm-chained sweep consumes.
+    #: Excluded from the fingerprint, like the other solver-effort state.
+    chain_context: Optional[Dict[str, Any]] = None
     error: str = ""
     wall_time: float = 0.0
     attempts: int = 1
@@ -171,6 +188,7 @@ class JobResult:
             "fingerprint": self.fingerprint,
             "model_size": dict(self.model_size),
             "solve_stats": dict(self.solve_stats),
+            "chain_context": self.chain_context,
             "error": self.error,
             "wall_time": self.wall_time,
             "attempts": self.attempts,
@@ -192,6 +210,7 @@ class JobResult:
             fingerprint=data.get("fingerprint"),
             model_size=dict(data.get("model_size", {})),
             solve_stats=dict(data.get("solve_stats") or {}),
+            chain_context=data.get("chain_context"),
             error=data.get("error", ""),
             wall_time=float(data.get("wall_time", 0.0)),
             attempts=int(data.get("attempts", 1)),

@@ -1,0 +1,48 @@
+"""Scenario catalog and Pareto design-space exploration.
+
+The subsystem that turns the repository from "reproduce the paper's
+tables" into "explore the design space the paper could not": a registry
+of parameterized scenario families (:mod:`repro.explore.scenarios`),
+sweep grids over them (:mod:`repro.explore.grid`), a warm-chained
+multi-objective explorer (:mod:`repro.explore.explorer`) with Pareto
+reduction (:mod:`repro.explore.pareto`) and plain-text reporting
+(:mod:`repro.explore.report`).
+"""
+
+from .grid import GridSpecError, ScenarioGrid, ScenarioSweep
+from .pareto import dominates, pareto_front, pareto_indices
+from .scenarios import (
+    ExploreError,
+    ParamSpec,
+    ScenarioFamily,
+    ScenarioParamError,
+    ScenarioPoint,
+    UnknownScenarioError,
+    list_scenario_families,
+    register_scenario,
+    scenario_family,
+)
+from .explorer import DesignSpaceExplorer, ExplorePointResult, ExploreResult
+from .report import render_explore_report
+
+__all__ = [
+    "ExploreError",
+    "UnknownScenarioError",
+    "ScenarioParamError",
+    "GridSpecError",
+    "ParamSpec",
+    "ScenarioFamily",
+    "ScenarioPoint",
+    "register_scenario",
+    "scenario_family",
+    "list_scenario_families",
+    "ScenarioSweep",
+    "ScenarioGrid",
+    "dominates",
+    "pareto_front",
+    "pareto_indices",
+    "DesignSpaceExplorer",
+    "ExplorePointResult",
+    "ExploreResult",
+    "render_explore_report",
+]

@@ -1,0 +1,319 @@
+"""The multi-objective design-space explorer.
+
+:class:`DesignSpaceExplorer` fans a :class:`~repro.explore.grid.ScenarioGrid`
+out through the parallel :class:`~repro.engine.MappingEngine` and reduces
+the results into Pareto fronts over (mapping objective, LP solves, wall
+time).
+
+Execution is *wavefront-parallel over warm chains*: every sweep of the
+grid is one chain of adjacent design points, and at step ``k`` the
+explorer runs point ``k`` of every chain as one engine batch.  Chains are
+warm-chained — each job carries the previous point's
+:meth:`~repro.ilp.SolveContext.chain_dict` (incumbent assignment plus
+pseudo-cost branching statistics, both keyed by name), so the solver
+starts from a near-optimal incumbent instead of from scratch.  Because
+the chain structure depends only on the grid, the mapping results are
+fingerprint-identical across reruns and worker counts; warm chaining
+changes only the solver effort (fewer LP solves), never the mappings.
+
+``warm_chain=False`` (the CLI's ``--cold``) runs the identical grid with
+every point solved independently — the baseline the explore artifact's
+``total_lp_solves`` is meant to be compared against.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.objective import CostWeights
+from ..engine import MappingEngine, MappingJob
+from ..engine.cache import canonical_hash
+from ..engine.jobs import JobResult
+from .grid import ScenarioGrid
+from .pareto import pareto_indices
+from .scenarios import ScenarioPoint
+
+__all__ = ["ExplorePointResult", "ExploreResult", "DesignSpaceExplorer"]
+
+
+@dataclass
+class ExplorePointResult:
+    """Outcome of one scenario point of an exploration run."""
+
+    label: str
+    family: str
+    params: Dict[str, Any]
+    chain: int
+    step: int
+    status: str
+    objective: Optional[float] = None
+    wall_time: float = 0.0
+    lp_solves: int = 0
+    nodes_explored: int = 0
+    simplex_iterations: int = 0
+    retries: int = 0
+    fingerprint: Optional[str] = None
+    cache_hit: bool = False
+    error: str = ""
+    solve_stats: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "family": self.family,
+            "params": dict(self.params),
+            "chain": self.chain,
+            "step": self.step,
+            "status": self.status,
+            "objective": self.objective,
+            "wall_time": self.wall_time,
+            "lp_solves": self.lp_solves,
+            "nodes_explored": self.nodes_explored,
+            "simplex_iterations": self.simplex_iterations,
+            "retries": self.retries,
+            "fingerprint": self.fingerprint,
+            "cache_hit": self.cache_hit,
+            "error": self.error,
+            "solve_stats": dict(self.solve_stats),
+        }
+
+
+@dataclass
+class ExploreResult:
+    """Everything one exploration run produced."""
+
+    grid: ScenarioGrid
+    points: List[ExplorePointResult]
+    chains: List[List[str]]
+    jobs: int
+    solver: str
+    warm_chain: bool
+    elapsed: float
+    cache_stats: Optional[Dict[str, int]] = None
+
+    # ------------------------------------------------------------- reductions
+    @property
+    def ok_points(self) -> List[ExplorePointResult]:
+        return [point for point in self.points if point.ok]
+
+    @property
+    def num_failed(self) -> int:
+        return len(self.points) - len(self.ok_points)
+
+    def total(self, attribute: str) -> float:
+        return sum(getattr(point, attribute) for point in self.points)
+
+    def pareto_front(self) -> List[ExplorePointResult]:
+        """Non-dominated points over (objective, LP solves) — deterministic."""
+        candidates = self.ok_points
+        vectors = [(p.objective, float(p.lp_solves)) for p in candidates]
+        return [candidates[i] for i in pareto_indices(vectors)]
+
+    def pareto_front_timed(self) -> List[ExplorePointResult]:
+        """Front over (objective, LP solves, wall time).
+
+        Wall time is machine- and load-dependent, so this front is
+        reported for human consumption but kept out of the run
+        fingerprint.
+        """
+        candidates = self.ok_points
+        vectors = [(p.objective, float(p.lp_solves), p.wall_time) for p in candidates]
+        return [candidates[i] for i in pareto_indices(vectors)]
+
+    def fingerprint(self) -> str:
+        """Deterministic content hash of the exploration outcome.
+
+        Covers the grid, the solver, per-point mappings and solver-work
+        counts, and the deterministic Pareto front; excludes wall times
+        and cache incidentals.  Equal fingerprints mean the run explored
+        the same space and found the same mappings with the same effort.
+        """
+        document = {
+            "kind": "explore_fingerprint",
+            "grid": self.grid.to_dict(),
+            "solver": self.solver,
+            "warm_chain": self.warm_chain,
+            "points": [
+                {
+                    "label": point.label,
+                    "status": point.status,
+                    "fingerprint": point.fingerprint,
+                    "objective": point.objective,
+                    "lp_solves": point.lp_solves,
+                }
+                for point in self.points
+            ],
+            "pareto_front": [point.label for point in self.pareto_front()],
+        }
+        return canonical_hash(document)
+
+
+class DesignSpaceExplorer:
+    """Runs a scenario grid through the engine and reduces the results.
+
+    Parameters
+    ----------
+    grid:
+        The scenario grid to explore (one warm chain per sweep).
+    jobs:
+        Worker processes; chains run concurrently, points within a chain
+        sequentially (they feed each other's warm starts).
+    solver:
+        ILP backend *name*.  Defaults to ``"auto"`` (the built-in
+        branch-and-bound) rather than ``scipy-milp`` because warm
+        chaining needs a context-capable backend.
+    weights:
+        Objective weights shared by every point.
+    warm_chain:
+        Chain each point's solve state into the next point of its sweep
+        (default).  ``False`` solves every point cold.
+    seed:
+        Base seed for the scenario builders.
+    time_limit:
+        Per-point wall-clock budget in seconds.
+    cache_dir / retries:
+        Forwarded to the :class:`~repro.engine.MappingEngine`.
+    """
+
+    def __init__(
+        self,
+        grid: ScenarioGrid,
+        jobs: int = 1,
+        solver: str = "auto",
+        weights: Optional[CostWeights] = None,
+        warm_chain: bool = True,
+        seed: int = 0,
+        time_limit: Optional[float] = None,
+        cache_dir: Optional[str] = None,
+        retries: int = 0,
+    ) -> None:
+        self.grid = grid
+        self.jobs = max(1, int(jobs))
+        self.solver = solver
+        self.weights = weights or CostWeights()
+        self.warm_chain = warm_chain
+        self.seed = seed
+        self.time_limit = time_limit
+        self.cache_dir = cache_dir
+        self.retries = retries
+
+    # ------------------------------------------------------------------ api
+    def run(self) -> ExploreResult:
+        chains = self.grid.chains(seed=self.seed)
+        labels = self._unique_labels(chains)
+        engine = MappingEngine(
+            jobs=self.jobs,
+            cache_dir=self.cache_dir,
+            retries=self.retries,
+            timeout=self.time_limit,
+        )
+
+        start = time.perf_counter()
+        contexts: List[Optional[Dict[str, Any]]] = [None] * len(chains)
+        records: Dict[Tuple[int, int], ExplorePointResult] = {}
+        depth = max(len(chain) for chain in chains)
+        # One worker pool for the whole run: a wavefront issues one small
+        # batch per step, which would otherwise respawn workers each time.
+        with engine.persistent_pool():
+            for step in range(depth):
+                wave = [
+                    (index, chain[step])
+                    for index, chain in enumerate(chains)
+                    if step < len(chain)
+                ]
+                batch = [
+                    self._job(point, labels[index][step], contexts[index])
+                    for index, point in wave
+                ]
+                results = engine.run(batch)
+                for (index, point), result in zip(wave, results):
+                    records[(index, step)] = self._record(
+                        point, index, step, result
+                    )
+                    if self.warm_chain and result.chain_context is not None:
+                        contexts[index] = result.chain_context
+        elapsed = time.perf_counter() - start
+
+        points = [
+            records[(index, step)]
+            for index, chain in enumerate(chains)
+            for step in range(len(chain))
+        ]
+        return ExploreResult(
+            grid=self.grid,
+            points=points,
+            chains=labels,
+            jobs=self.jobs,
+            solver=self.solver,
+            warm_chain=self.warm_chain,
+            elapsed=elapsed,
+            cache_stats=(
+                dict(engine.cache.stats()) if engine.cache is not None else None
+            ),
+        )
+
+    # ------------------------------------------------------------- internals
+    def _unique_labels(self, chains: List[List[ScenarioPoint]]) -> List[List[str]]:
+        """Per-chain point labels, deduplicated deterministically."""
+        seen: Dict[str, int] = {}
+        labels: List[List[str]] = []
+        for chain in chains:
+            row: List[str] = []
+            for point in chain:
+                label = point.label()
+                count = seen.get(label, 0)
+                seen[label] = count + 1
+                row.append(label if count == 0 else f"{label}#{count + 1}")
+            labels.append(row)
+        return labels
+
+    def _job(
+        self,
+        point: ScenarioPoint,
+        label: str,
+        context: Optional[Dict[str, Any]],
+    ) -> MappingJob:
+        design, board = point.build()
+        return MappingJob(
+            board=board,
+            design=design,
+            weights=self.weights,
+            solver=self.solver,
+            label=label,
+            timeout=self.time_limit,
+            chain_context=context if self.warm_chain else None,
+            export_context=self.warm_chain,
+        )
+
+    def _record(
+        self,
+        point: ScenarioPoint,
+        chain: int,
+        step: int,
+        result: JobResult,
+    ) -> ExplorePointResult:
+        stats = result.solve_stats
+        return ExplorePointResult(
+            label=result.label,
+            family=point.family,
+            params=point.resolved_params(),
+            chain=chain,
+            step=step,
+            status=result.status,
+            objective=result.objective,
+            wall_time=result.wall_time,
+            lp_solves=int(stats.get("lp_solves", 0) or 0),
+            nodes_explored=int(stats.get("nodes_explored", 0) or 0),
+            simplex_iterations=int(stats.get("simplex_iterations", 0) or 0),
+            retries=int(stats.get("retries", 0) or 0),
+            fingerprint=result.fingerprint,
+            cache_hit=result.cache_hit,
+            error=result.error,
+            solve_stats=dict(stats),
+        )

@@ -1,0 +1,61 @@
+"""Pareto dominance over multi-objective design points.
+
+The explorer reduces a sweep into a Pareto front over *minimised*
+objectives — mapping cost, solver effort (LP solves), wall time.  A point
+``a`` dominates ``b`` when it is no worse in every objective and strictly
+better in at least one; the front is the subset no other point dominates.
+
+The implementation is deliberately simple (O(n^2) pairwise pruning):
+grids are hundreds of points, not millions, and a predictable, stable
+result order matters more than asymptotics — the front preserves input
+order, and exact ties (identical objective vectors) are *all* kept, so
+the front of a deterministic sweep is itself deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+__all__ = ["dominates", "pareto_front", "pareto_indices"]
+
+T = TypeVar("T")
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when objective vector ``a`` Pareto-dominates ``b`` (minimise)."""
+    if len(a) != len(b):
+        raise ValueError(f"objective vectors differ in length ({len(a)} vs {len(b)})")
+    strictly_better = False
+    for ai, bi in zip(a, b):
+        if ai > bi:
+            return False
+        if ai < bi:
+            strictly_better = True
+    return strictly_better
+
+
+def pareto_indices(vectors: Sequence[Sequence[float]]) -> List[int]:
+    """Indices of the non-dominated vectors, in input order."""
+    front: List[int] = []
+    for i, candidate in enumerate(vectors):
+        if not any(
+            dominates(vectors[j], candidate) for j in range(len(vectors)) if j != i
+        ):
+            front.append(i)
+    return front
+
+
+def pareto_front(
+    items: Sequence[T],
+    key: Optional[Callable[[T], Sequence[float]]] = None,
+) -> List[T]:
+    """The non-dominated subset of ``items``, preserving input order.
+
+    ``key`` maps an item to its objective vector (all minimised); by
+    default the items themselves are treated as vectors.
+    """
+    vectors: List[Tuple[float, ...]] = [
+        tuple(float(v) for v in (key(item) if key is not None else item))
+        for item in items
+    ]
+    return [items[i] for i in pareto_indices(vectors)]

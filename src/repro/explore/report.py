@@ -1,0 +1,67 @@
+"""Plain-text rendering of exploration results.
+
+Follows the style of :mod:`repro.core.report`: fixed-width tables a
+reader can paste next to the paper.  One table per warm chain (so the
+sweep ordering is visible), a mark on the Pareto-front members, and an
+aggregate footer with the solver-effort totals that warm chaining is
+meant to reduce.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..bench.reporting import ascii_table, format_seconds
+from .explorer import ExploreResult
+
+__all__ = ["render_explore_report"]
+
+
+def render_explore_report(result: ExploreResult) -> str:
+    """Render an exploration run as a human-readable report."""
+    front = {point.label for point in result.pareto_front()}
+    timed_front = {point.label for point in result.pareto_front_timed()}
+    sections: List[str] = []
+
+    for index, chain_labels in enumerate(result.chains):
+        family = result.grid.sweeps[index].family
+        rows = []
+        for point in result.points:
+            if point.chain != index:
+                continue
+            row = [
+                point.label,
+                point.status,
+                "-" if point.objective is None else f"{point.objective:.4f}",
+                point.lp_solves,
+                point.nodes_explored,
+                format_seconds(point.wall_time),
+                "*" if point.label in front else "-",
+            ]
+            rows.append(row)
+        plural = "s" if len(chain_labels) != 1 else ""
+        mode = "warm-chained" if result.warm_chain else "cold"
+        table = ascii_table(
+            ["point", "status", "objective", "lp", "nodes", "time", "front"],
+            rows,
+            title=f"Chain {index + 1}: {family} "
+            f"({len(chain_labels)} point{plural}, {mode})",
+        )
+        sections.append(table)
+
+    summary_rows = [
+        ["points", len(result.points)],
+        ["ok / failed", f"{len(result.ok_points)} / {result.num_failed}"],
+        ["pareto front (objective, lp)", len(front)],
+        ["pareto front (+wall time)", len(timed_front)],
+        ["total LP solves", int(result.total("lp_solves"))],
+        ["total nodes", int(result.total("nodes_explored"))],
+        ["wall time", format_seconds(result.elapsed)],
+        ["workers", result.jobs],
+        ["solver", result.solver],
+        ["fingerprint", result.fingerprint()[:16]],
+    ]
+    title = "Exploration summary"
+    summary = ascii_table(["metric", "value"], summary_rows, title=title)
+    sections.append(summary)
+    return "\n\n".join(sections)

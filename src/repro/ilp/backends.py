@@ -44,7 +44,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 from .errors import ModelError, SolverError
 from .model import MAXIMIZE, Model
 from .scipy_backend import ScipyMilpSolver, highs_available
-from .solution import OPTIMAL, Solution
+from .solution import Solution
 
 try:  # pragma: no cover - typing fallback for very old interpreters
     from typing import Protocol, runtime_checkable
@@ -358,6 +358,7 @@ _BNB_OPTIONS: Dict[str, str] = {
     "stop_check": "callable polled between nodes to cancel the solve",
     "presolve": "run the presolve reductions before the tree search",
     "node_presolve": "bound propagation at every node (prunes without LP)",
+    "objective_cutoff": "per-node incumbent-cutoff filtering (prunes without LP)",
     "fix_zero": "variable indices forced to zero at the root",
     "context": "SolveContext carrying warm starts and pseudo-costs",
     "log": "print per-node progress",
@@ -425,6 +426,7 @@ def _register_builtin_backends() -> None:
             "node_limit": "node limit for the branch-and-bound entrant",
             "fix_zero": "variable indices forced to zero (all entrants)",
             "presolve": "presolve toggle for the branch-and-bound entrant",
+            "objective_cutoff": "cutoff-filter toggle for the branch-and-bound entrant",
             "context": "SolveContext for the branch-and-bound entrant",
         },
         aliases=("race",),

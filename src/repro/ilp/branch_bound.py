@@ -55,7 +55,6 @@ from .scipy_backend import highs_available, solve_lp_highs
 from .simplex import SimplexOptions, solve_lp_simplex
 from .solution import (
     ERROR,
-    FEASIBLE,
     INFEASIBLE,
     NODE_LIMIT,
     OPTIMAL,
@@ -65,7 +64,7 @@ from .solution import (
     Solution,
     SolveStats,
 )
-from .standard_form import StandardForm, to_standard_form
+from .standard_form import StandardForm
 
 __all__ = ["BranchAndBoundSolver", "BnBOptions", "create_solver"]
 
@@ -90,6 +89,13 @@ class BnBOptions:
     #: run bound propagation at every node: infeasible children are pruned
     #: and fully-fixed children fathomed without spending an LP solve.
     node_presolve: bool = True
+    #: filter every node against the objective cutoff ``c.x <= incumbent -
+    #: abs_gap`` using SOS-aware interval bounds: candidates too expensive
+    #: for the incumbent are removed (and hopeless nodes pruned) before
+    #: any LP is solved.  This is what turns a good warm start — e.g. a
+    #: chained incumbent from an adjacent design point — into fewer LP
+    #: solves rather than just a head start.
+    objective_cutoff: bool = True
     #: variable indices forced to zero at the root (the pipeline's
     #: forbidden (structure, type) pairs arrive here as in-model fixings).
     fix_zero: Optional[Sequence[int]] = None
@@ -349,6 +355,82 @@ class BranchAndBoundSolver:
                 if len(mapped) >= 2:
                     reduced_groups.append(mapped)
 
+        # ------------------------------------------------- objective cutoff
+        # Bookkeeping for the per-node objective-cutoff filter: which
+        # reduced columns belong to an (exactly-one) SOS group, and which
+        # integer columns stand alone.
+        group_members = [np.asarray(g, dtype=int) for g in reduced_groups]
+        in_group = np.zeros(rform.num_variables, dtype=bool)
+        for members in group_members:
+            in_group[members] = True
+        free_integers = np.where(rform.integrality & ~in_group)[0]
+
+        def apply_objective_cutoff(cutoff, lb, ub):
+            """Filter a node's box against ``c.x <= cutoff``.
+
+            Uses the same exactly-one group semantics SOS branching relies
+            on: every group contributes at least its cheapest selectable
+            member, every other variable its interval minimum.  Members
+            whose selection alone would bust the cutoff are removed, and
+            nodes whose floor already exceeds it are pruned — all without
+            an LP solve.  Returns ``(feasible, lb, ub)``.
+            """
+            c = rform.c
+            outside = ~in_group
+            base = float(np.where(c >= 0, c * lb, c * ub)[outside].sum())
+            minima = []
+            for members in group_members:
+                selectable = members[ub[members] > 0.5]
+                if selectable.size == 0:
+                    return False, lb, ub
+                forced = selectable[lb[selectable] > 0.5]
+                if forced.size:
+                    minima.append(float(c[forced].sum()))
+                else:
+                    minima.append(float(c[selectable].min()))
+            base += sum(minima) + rform.objective_offset
+            if not math.isfinite(base):
+                # Unbounded-below contributions (free variables) poison the
+                # floor; the filter has nothing sound to say — skip it.
+                return True, lb, ub
+            if base > cutoff + 1e-12:
+                stats.extra["objective_cutoff_prunes"] = (
+                    stats.extra.get("objective_cutoff_prunes", 0) + 1
+                )
+                return False, lb, ub
+            slack = cutoff - base
+            new_lb: Optional[np.ndarray] = None
+            new_ub: Optional[np.ndarray] = None
+            for members, group_min in zip(group_members, minima):
+                open_members = members[
+                    (ub[members] > 0.5) & (lb[members] < 0.5)
+                ]
+                too_dear = open_members[c[open_members] - group_min > slack + 1e-9]
+                if too_dear.size:
+                    if new_ub is None:
+                        new_lb, new_ub = lb.copy(), ub.copy()
+                    new_ub[too_dear] = 0.0
+                    stats.extra["objective_cutoff_fixings"] = (
+                        stats.extra.get("objective_cutoff_fixings", 0)
+                        + int(too_dear.size)
+                    )
+            for j in free_integers:
+                width = ub[j] - lb[j]
+                if width <= integrality_tol or abs(c[j]) * width <= slack + 1e-9:
+                    continue
+                span = math.floor(slack / abs(c[j]) + integrality_tol)
+                if new_ub is None:
+                    new_lb, new_ub = lb.copy(), ub.copy()
+                if c[j] >= 0:
+                    new_ub[j] = min(new_ub[j], lb[j] + span)
+                else:
+                    new_lb[j] = max(new_lb[j], ub[j] - span)
+                if new_ub[j] < new_lb[j] - integrality_tol:
+                    return False, lb, ub
+            if new_ub is None:
+                return True, lb, ub
+            return True, new_lb, new_ub
+
         # ------------------------------------------------------------ warm start
         incumbent: Optional[np.ndarray] = None
         incumbent_obj = math.inf
@@ -373,7 +455,11 @@ class BranchAndBoundSolver:
             try_incumbent(candidate, warm=True)
         if context.warm_values is not None and context.warm_values.shape[0] == n:
             try_incumbent(context.warm_values, warm=True)
-        if incumbent is None and options.root_heuristic and model.sos1_groups:
+        if options.root_heuristic and model.sos1_groups:
+            # Run even when a warm start was installed: the greedy point is
+            # computed on *this* solve's root bounds (forbidden pairs etc.),
+            # so it can beat a repaired or chained incumbent — and a better
+            # incumbent means more objective-cutoff pruning below.
             try_incumbent(sos_greedy_assignment(model, root_form))
 
         # ------------------------------------------------------------ root node
@@ -426,6 +512,24 @@ class BranchAndBoundSolver:
                     try_incumbent(post.restore(reduced))
                     continue
                 # Children must inherit the tightened box.
+                node.lb, node.ub = node_lb, node_ub
+            if options.objective_cutoff and incumbent is not None:
+                feasible, node_lb, node_ub = apply_objective_cutoff(
+                    incumbent_obj - options.abs_gap, node_lb, node_ub
+                )
+                if not feasible:
+                    stats.nodes_pruned += 1
+                    continue
+                if bool(np.all(node_ub - node_lb <= integrality_tol)):
+                    reduced = node_lb.copy()
+                    reduced[rform.integrality] = np.round(
+                        reduced[rform.integrality]
+                    )
+                    stats.extra["nodes_fathomed_without_lp"] = (
+                        stats.extra.get("nodes_fathomed_without_lp", 0) + 1
+                    )
+                    try_incumbent(post.restore(reduced))
+                    continue
                 node.lb, node.ub = node_lb, node_ub
             node_form = rform.with_bounds(node_lb, node_ub)
             relaxation = self._solve_relaxation(node_form, stats)

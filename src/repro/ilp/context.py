@@ -22,11 +22,21 @@ Pseudo-costs are keyed by *variable name*, not index: names are stable
 across retries (the model is reused, forbidden pairs arrive as bound
 fixings), and they stay meaningful even if a future model rebuild
 renumbers columns.
+
+Name-keyed state is also what makes contexts *chainable across adjacent
+design points*: a sweep that changes one knob at a time (the
+``repro.explore`` subsystem) keeps most structure and bank-type names
+stable from one point to the next, so the previous point's incumbent
+assignment and branching statistics remain useful seeds even though the
+models differ.  :meth:`SolveContext.chain_dict` exports exactly that
+transferable subset and :meth:`SolveContext.from_chain_dict` rebuilds a
+context from it; model-specific state (the cached standard form, the
+full-space warm-start vector, the counters) never crosses the chain.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 import numpy as np
@@ -88,6 +98,11 @@ class SolveContext:
         self.pseudocosts: Dict[str, PseudoCost] = {}
         #: full-space incumbent of the most recent successful solve
         self.warm_values: Optional[np.ndarray] = None
+        #: name-keyed incumbent (``structure -> bank type``) of the most
+        #: recent successful solve; unlike :attr:`warm_values` this is
+        #: meaningful for a *different* model too, which is what lets the
+        #: explore subsystem chain adjacent design points together.
+        self.seed_assignment: Optional[Dict[str, str]] = None
         # ---- aggregate counters over every solve run under this context
         self.solves: int = 0
         self.total_lp_solves: int = 0
@@ -138,6 +153,11 @@ class SolveContext:
         if values is not None:
             self.warm_values = np.asarray(values, dtype=np.float64).copy()
 
+    def note_assignment(self, assignment: Optional[Mapping[str, str]]) -> None:
+        """Remember the solve's assignment as the next *chained* solve's seed."""
+        if assignment:
+            self.seed_assignment = dict(assignment)
+
     # ------------------------------------------------------------- statistics
     def record(self, stats) -> None:
         """Fold one solve's :class:`~repro.ilp.solution.SolveStats` in."""
@@ -173,6 +193,9 @@ class SolveContext:
             "warm_values": (
                 None if self.warm_values is None else self.warm_values.tolist()
             ),
+            "seed_assignment": (
+                None if self.seed_assignment is None else dict(self.seed_assignment)
+            ),
         }
 
     @classmethod
@@ -193,6 +216,39 @@ class SolveContext:
         }
         warm = data.get("warm_values")
         ctx.warm_values = None if warm is None else np.asarray(warm, dtype=np.float64)
+        seed = data.get("seed_assignment")
+        ctx.seed_assignment = None if seed is None else dict(seed)
+        return ctx
+
+    # ---------------------------------------------------------------- chaining
+    def chain_dict(self) -> Dict[str, Any]:
+        """The name-keyed state transferable to an *adjacent* model's solve.
+
+        This is the explore subsystem's chaining hook: the previous design
+        point's incumbent assignment (by structure/type name) plus the
+        pseudo-cost branching statistics (by variable name).  Everything
+        tied to this context's concrete model — the cached standard form,
+        the full-space warm-start vector, the counters — is deliberately
+        left behind.
+        """
+        return {
+            "kind": "solve_context_chain",
+            "pseudocosts": {k: v.as_dict() for k, v in self.pseudocosts.items()},
+            "seed_assignment": (
+                None if self.seed_assignment is None else dict(self.seed_assignment)
+            ),
+        }
+
+    @classmethod
+    def from_chain_dict(cls, data: Mapping[str, Any]) -> "SolveContext":
+        """Fresh context seeded with a previous point's :meth:`chain_dict`."""
+        ctx = cls()
+        ctx.pseudocosts = {
+            k: PseudoCost.from_dict(v)
+            for k, v in (data.get("pseudocosts") or {}).items()
+        }
+        seed = data.get("seed_assignment")
+        ctx.seed_assignment = None if seed is None else dict(seed)
         return ctx
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

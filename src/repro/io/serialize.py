@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Union
+from typing import Any, Dict, Mapping, Optional, Union
 
 from ..arch.bank import BankType, MemoryConfig
 from ..arch.board import Board
@@ -44,6 +44,10 @@ __all__ = [
     "detailed_mapping_from_dict",
     "mapping_result_to_dict",
     "mapping_result_from_dict",
+    "scenario_point_to_dict",
+    "scenario_point_from_dict",
+    "scenario_grid_to_dict",
+    "scenario_grid_from_dict",
     "save_json",
     "load_json",
     "load_board",
@@ -344,6 +348,62 @@ def mapping_result_from_dict(data: Mapping[str, Any]) -> MappingResult:
 # ---------------------------------------------------------------------------
 
 PathLike = Union[str, Path]
+
+
+# ---------------------------------------------------------------------------
+# Scenario points and grids (the explore subsystem)
+# ---------------------------------------------------------------------------
+
+def scenario_point_to_dict(point: "ScenarioPoint") -> Dict[str, Any]:
+    """Serialise a :class:`repro.explore.ScenarioPoint`.
+
+    Only the family name, the explicit parameter overrides and the seed
+    are stored — the family's defaults fill the rest when the point is
+    rebuilt, so documents stay valid when a family grows new parameters.
+    """
+    return {
+        "kind": "scenario_point",
+        "schema_version": SCHEMA_VERSION,
+        "family": point.family,
+        "params": dict(point.params),
+        "seed": point.seed,
+    }
+
+
+def scenario_point_from_dict(data: Mapping[str, Any]) -> "ScenarioPoint":
+    """Rebuild a scenario point; the family must be registered."""
+    from ..explore.scenarios import ExploreError, ScenarioPoint
+
+    _check_kind(data, "scenario_point")
+    try:
+        return ScenarioPoint(
+            family=_require(data, "family", "scenario_point"),
+            params=dict(data.get("params") or {}),
+            seed=int(data.get("seed", 0)),
+        )
+    except ExploreError as exc:
+        raise SerializationError(f"scenario_point: {exc}") from exc
+
+
+def scenario_grid_to_dict(grid: "ScenarioGrid") -> Dict[str, Any]:
+    """Serialise a :class:`repro.explore.ScenarioGrid` (sweeps and axes)."""
+    return {
+        "kind": "scenario_grid",
+        "schema_version": SCHEMA_VERSION,
+        **grid.to_dict(),
+    }
+
+
+def scenario_grid_from_dict(data: Mapping[str, Any]) -> "ScenarioGrid":
+    """Rebuild a scenario grid; every family must be registered."""
+    from ..explore.grid import ScenarioGrid
+    from ..explore.scenarios import ExploreError
+
+    _check_kind(data, "scenario_grid")
+    try:
+        return ScenarioGrid.from_dict(data)
+    except ExploreError as exc:
+        raise SerializationError(f"scenario_grid: {exc}") from exc
 
 
 def save_json(document: Mapping[str, Any], path: PathLike) -> Path:

@@ -25,7 +25,7 @@ fancy-indexing operations over the whole trace.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.arch import BankType, Board, MemoryConfig, hierarchical_board, virtex_board
+from repro.arch import BankType, Board, hierarchical_board, virtex_board
 from repro.design import ConflictSet, DataStructure, Design
 
 

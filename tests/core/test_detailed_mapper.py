@@ -12,12 +12,11 @@ from repro.core import (
     DetailedMappingFailure,
     GlobalMapper,
     GlobalMapping,
-    Preprocessor,
     compute_pair_metrics,
     decompose_structure,
     validate_detailed_mapping,
 )
-from repro.design import ConflictSet, DataStructure, Design
+from repro.design import DataStructure, Design
 
 
 class TestDecomposition:

@@ -12,7 +12,7 @@ from repro.core import (
     SimulatedAnnealingMapper,
     validate_global_mapping,
 )
-from repro.design import ConflictSet, DataStructure, Design, random_design
+from repro.design import Design, random_design
 
 
 class TestGreedyMapper:

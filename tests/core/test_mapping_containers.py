@@ -6,9 +6,7 @@ import pytest
 
 from repro.arch import MemoryConfig
 from repro.core import (
-    DetailedMapper,
     GlobalMapper,
-    GlobalMapping,
     MappingError,
     MemoryMapper,
 )

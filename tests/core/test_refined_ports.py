@@ -15,12 +15,10 @@ import pytest
 
 from repro.arch import BankType, Board
 from repro.core import (
-    GlobalMapper,
     MappingError,
     MemoryMapper,
     Preprocessor,
     compute_pair_metrics,
-    consumed_ports,
     packable_with_ports,
     refined_consumed_ports,
     validate_detailed_mapping,

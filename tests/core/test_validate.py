@@ -15,8 +15,7 @@ from repro.core import (
     validate_detailed_mapping,
     validate_global_mapping,
 )
-from repro.core.mapping import DetailedMapping, PlacedFragment
-from repro.design import Design
+from repro.core.mapping import DetailedMapping
 
 
 @pytest.fixture

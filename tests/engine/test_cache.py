@@ -6,7 +6,6 @@ import json
 import subprocess
 import sys
 
-import pytest
 
 from repro.engine import ResultCache, canonical_hash, canonical_json, result_fingerprint
 

@@ -179,3 +179,24 @@ class TestExecutePayload:
         # The job either finished inside the budget or was cut off by the
         # tightened solver limit — never by the original 500 s one.
         assert document["wall_time"] < 30.0
+
+
+class TestPersistentPool:
+    def test_pool_is_reused_across_runs(self):
+        engine = MappingEngine(jobs=2)
+        with engine.persistent_pool():
+            first = engine.run(small_batch())
+            pool = engine._persistent
+            assert pool is not None
+            second = engine.run(small_batch())
+            assert engine._persistent is pool
+        # The block tears the pool down on exit.
+        assert engine._persistent is None
+        assert [r.fingerprint for r in first] == [r.fingerprint for r in second]
+
+    def test_results_match_per_run_pools(self):
+        engine = MappingEngine(jobs=2)
+        plain = engine.run(small_batch())
+        with engine.persistent_pool():
+            pooled = engine.run(small_batch())
+        assert [r.fingerprint for r in pooled] == [r.fingerprint for r in plain]

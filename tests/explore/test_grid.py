@@ -1,0 +1,110 @@
+"""Unit tests for grid spec parsing and chain expansion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.explore import GridSpecError, ScenarioGrid, ScenarioSweep
+from repro.io import (
+    SerializationError,
+    scenario_grid_from_dict,
+    scenario_grid_to_dict,
+)
+
+
+class TestSpecParsing:
+    def test_family_only_spec_is_one_point(self):
+        sweep = ScenarioSweep.parse("fft")
+        assert sweep.num_points == 1
+        assert sweep.points()[0].label() == "fft"
+
+    def test_integer_range_is_inclusive(self):
+        sweep = ScenarioSweep.parse("random@structures=4:10:2")
+        values = sweep.axes["structures"]
+        assert values == (4, 6, 8, 10)
+
+    def test_float_range_is_rounded(self):
+        sweep = ScenarioSweep.parse("random@occupancy=0.5:0.8:0.05")
+        assert sweep.axes["occupancy"] == (0.5, 0.55, 0.6, 0.65, 0.7, 0.75, 0.8)
+
+    def test_value_list(self):
+        sweep = ScenarioSweep.parse("fft@board=hierarchical|virtex-xcv1000")
+        assert sweep.axes["board"] == ("hierarchical", "virtex-xcv1000")
+
+    def test_last_axis_varies_fastest_in_snake_order(self):
+        sweep = ScenarioSweep.parse("random@structures=4|6,occupancy=0.4|0.5")
+        params = [point.params for point in sweep.points()]
+        # Boustrophedon: the last axis reverses on every pass, so every
+        # consecutive pair differs in exactly one knob.
+        assert params == [
+            {"structures": 4, "occupancy": 0.4},
+            {"structures": 4, "occupancy": 0.5},
+            {"structures": 6, "occupancy": 0.5},
+            {"structures": 6, "occupancy": 0.4},
+        ]
+
+    def test_consecutive_points_differ_in_exactly_one_knob(self):
+        spec = "random@structures=4|6|8,occupancy=0.4|0.5,conflict_density=0.5|1.0"
+        points = ScenarioSweep.parse(spec).points()
+        for before, after in zip(points, points[1:]):
+            changed = [
+                key
+                for key in before.params
+                if before.params[key] != after.params[key]
+            ]
+            assert len(changed) == 1
+
+    def test_unknown_family_fails(self):
+        with pytest.raises(Exception, match="unknown scenario family"):
+            ScenarioSweep.parse("nope@x=1")
+
+    def test_bad_axis_syntax_fails(self):
+        with pytest.raises(GridSpecError, match="key=value"):
+            ScenarioSweep.parse("fft@points")
+
+    def test_duplicate_axis_fails(self):
+        with pytest.raises(GridSpecError, match="twice"):
+            ScenarioSweep.parse("fft@points=8,points=16")
+
+    def test_float_range_requires_step(self):
+        with pytest.raises(GridSpecError, match="step"):
+            ScenarioSweep.parse("random@occupancy=0.4:0.8")
+
+    def test_descending_range_fails(self):
+        with pytest.raises(GridSpecError, match="lo <= hi"):
+            ScenarioSweep.parse("random@structures=10:4")
+
+
+class TestGrid:
+    def test_one_chain_per_spec(self):
+        grid = ScenarioGrid.parse(["fft", "random@structures=4:8:2"])
+        chains = grid.chains()
+        assert [len(chain) for chain in chains] == [1, 3]
+        assert grid.num_points == 4
+
+    def test_empty_grid_fails(self):
+        with pytest.raises(GridSpecError, match="at least one sweep"):
+            ScenarioGrid.parse([])
+
+    def test_chains_ignore_worker_count(self):
+        grid = ScenarioGrid.parse(["random@structures=4:8:2"])
+        labels_a = [p.label() for chain in grid.chains() for p in chain]
+        labels_b = [p.label() for chain in grid.chains() for p in chain]
+        assert labels_a == labels_b
+
+    def test_grid_round_trip(self):
+        grid = ScenarioGrid.parse(
+            ["image-pipeline@width=128:512:128", "random@occupancy=0.5|0.7"]
+        )
+        document = scenario_grid_to_dict(grid)
+        assert document["kind"] == "scenario_grid"
+        rebuilt = scenario_grid_from_dict(document)
+        assert rebuilt == grid
+
+    def test_grid_round_trip_rejects_unknown_family(self):
+        document = {
+            "kind": "scenario_grid",
+            "sweeps": [{"family": "no-such", "axes": {}}],
+        }
+        with pytest.raises(SerializationError, match="no-such"):
+            scenario_grid_from_dict(document)

@@ -1,0 +1,56 @@
+"""Unit tests for the Pareto dominance reduction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.explore import dominates, pareto_front, pareto_indices
+
+
+class TestDominates:
+    def test_strictly_better_everywhere(self):
+        assert dominates((1.0, 1.0), (2.0, 2.0))
+
+    def test_better_in_one_equal_in_rest(self):
+        assert dominates((1.0, 2.0), (2.0, 2.0))
+
+    def test_equal_vectors_do_not_dominate(self):
+        assert not dominates((1.0, 2.0), (1.0, 2.0))
+
+    def test_trade_off_does_not_dominate(self):
+        assert not dominates((1.0, 3.0), (2.0, 2.0))
+        assert not dominates((2.0, 2.0), (1.0, 3.0))
+
+    def test_length_mismatch_is_an_error(self):
+        with pytest.raises(ValueError, match="length"):
+            dominates((1.0,), (1.0, 2.0))
+
+
+class TestParetoFront:
+    def test_single_point_is_its_own_front(self):
+        assert pareto_front([(3.0, 3.0)]) == [(3.0, 3.0)]
+
+    def test_dominated_points_are_pruned(self):
+        points = [(1.0, 4.0), (2.0, 2.0), (4.0, 1.0), (3.0, 3.0), (5.0, 5.0)]
+        front = pareto_front(points)
+        assert front == [(1.0, 4.0), (2.0, 2.0), (4.0, 1.0)]
+
+    def test_exact_ties_are_all_kept(self):
+        points = [(1.0, 1.0), (1.0, 1.0), (2.0, 2.0)]
+        assert pareto_front(points) == [(1.0, 1.0), (1.0, 1.0)]
+
+    def test_front_preserves_input_order(self):
+        points = [(4.0, 1.0), (1.0, 4.0), (2.0, 2.0)]
+        assert pareto_front(points) == points
+
+    def test_key_function_maps_items_to_vectors(self):
+        items = [{"cost": 2.0, "lp": 5}, {"cost": 1.0, "lp": 9}, {"cost": 2.5, "lp": 9}]
+        front = pareto_front(items, key=lambda it: (it["cost"], it["lp"]))
+        assert front == [{"cost": 2.0, "lp": 5}, {"cost": 1.0, "lp": 9}]
+
+    def test_indices_variant(self):
+        vectors = [(2.0, 2.0), (1.0, 1.0), (3.0, 0.5)]
+        assert pareto_indices(vectors) == [1, 2]
+
+    def test_empty_input(self):
+        assert pareto_front([]) == []

@@ -1,0 +1,129 @@
+"""Unit tests for the scenario registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.board import Board
+from repro.design.design import Design
+from repro.explore import (
+    ParamSpec,
+    ScenarioFamily,
+    ScenarioParamError,
+    ScenarioPoint,
+    UnknownScenarioError,
+    list_scenario_families,
+    register_scenario,
+    scenario_family,
+)
+from repro.io import (
+    SerializationError,
+    scenario_point_from_dict,
+    scenario_point_to_dict,
+)
+
+
+class TestRegistry:
+    def test_builtin_families_are_registered(self):
+        names = {family.name for family in list_scenario_families()}
+        expected = {
+            "image-pipeline",
+            "fir-filter",
+            "fft",
+            "matrix-multiply",
+            "motion-estimation",
+            "random",
+            "board-scale",
+        }
+        assert expected <= names
+
+    def test_unknown_family_is_a_clean_error(self):
+        with pytest.raises(UnknownScenarioError, match="no-such-family"):
+            scenario_family("no-such-family")
+
+    def test_unknown_parameter_is_a_clean_error(self):
+        with pytest.raises(ScenarioParamError, match="no parameter"):
+            ScenarioPoint(family="fft", params={"bogus": 1})
+
+    def test_bad_parameter_value_is_a_clean_error(self):
+        with pytest.raises(ScenarioParamError, match="expects int"):
+            ScenarioPoint(family="fft", params={"points": "many"})
+
+    def test_register_scenario_round_trips_through_lookup(self):
+        def build(params, seed):
+            raise NotImplementedError
+
+        family = ScenarioFamily(
+            name="custom-test-family",
+            description="registered by the test suite",
+            params=(ParamSpec("knob", "int", 1, "a knob"),),
+            builder=build,
+        )
+        register_scenario(family)
+        assert scenario_family("custom-test-family") is family
+
+
+class TestScenarioPoints:
+    def test_build_produces_design_and_board(self):
+        point = ScenarioPoint(family="fir-filter", params={"taps": 32})
+        design, board = point.build()
+        assert isinstance(design, Design)
+        assert isinstance(board, Board)
+        assert design.by_name("coefficients").depth == 32
+
+    def test_board_scale_matches_requested_banks(self):
+        point = ScenarioPoint(family="board-scale", params={"banks": 8, "segments": 6})
+        _, board = point.build()
+        assert board.total_banks == 8
+
+    def test_defaults_fill_unset_parameters(self):
+        point = ScenarioPoint(family="image-pipeline", params={"width": 64})
+        resolved = point.resolved_params()
+        assert resolved["width"] == 64
+        assert resolved["kernel"] == 3
+        assert resolved["board"] == "hierarchical"
+
+    def test_labels_are_deterministic_and_param_sorted(self):
+        point_a = ScenarioPoint(
+            family="random", params={"structures": 6, "occupancy": 0.5}
+        )
+        point_b = ScenarioPoint(
+            family="random", params={"occupancy": 0.5, "structures": 6}
+        )
+        assert point_a.label() == point_b.label()
+        assert point_a.label() == "random[occupancy=0.5,structures=6]"
+
+    def test_unknown_board_parameter_value_fails_at_build(self):
+        point = ScenarioPoint(family="fft", params={"board": "no-such-board"})
+        with pytest.raises(ScenarioParamError, match="unknown board"):
+            point.build()
+
+
+class TestSerialization:
+    def test_point_round_trip(self):
+        point = ScenarioPoint(
+            family="random", params={"structures": 9, "occupancy": 0.6}, seed=3
+        )
+        document = scenario_point_to_dict(point)
+        assert document["kind"] == "scenario_point"
+        rebuilt = scenario_point_from_dict(document)
+        assert rebuilt == point
+        assert rebuilt.label() == point.label()
+
+    def test_round_trip_preserves_build_output(self):
+        point = ScenarioPoint(family="board-scale", params={"banks": 6}, seed=1)
+        rebuilt = scenario_point_from_dict(scenario_point_to_dict(point))
+        design, board = point.build()
+        design2, board2 = rebuilt.build()
+        assert design.name == design2.name
+        assert board.total_banks == board2.total_banks
+        assert [ds.size_bits for ds in design] == [ds.size_bits for ds in design2]
+
+    def test_unknown_family_in_document_is_a_serialization_error(self):
+        document = {"kind": "scenario_point", "family": "no-such", "params": {}}
+        with pytest.raises(SerializationError, match="no-such"):
+            scenario_point_from_dict(document)
+
+    def test_wrong_kind_is_a_serialization_error(self):
+        with pytest.raises(SerializationError, match="scenario_point"):
+            scenario_point_from_dict({"kind": "board"})

@@ -106,3 +106,38 @@ class TestContextThroughSolver:
         ctx = SolveContext()
         BranchAndBoundSolver(context=ctx).solve(m)
         json.dumps(ctx.as_dict())
+
+
+class TestChainDict:
+    """The name-keyed chaining hook of the explore subsystem."""
+
+    def test_chain_dict_round_trip(self):
+        ctx = SolveContext()
+        ctx.pseudocost("Z[a|t0]").update("down", 2.0)
+        ctx.note_assignment({"a": "t0", "b": "t1"})
+        chained = SolveContext.from_chain_dict(ctx.chain_dict())
+        assert chained.seed_assignment == {"a": "t0", "b": "t1"}
+        assert chained.pseudocost("Z[a|t0]").down_sum == pytest.approx(2.0)
+
+    def test_chain_dict_drops_model_specific_state(self):
+        ctx = SolveContext()
+        ctx.note_incumbent(np.array([1.0, 0.0]))
+        ctx.note_assignment({"a": "t0"})
+        ctx.total_lp_solves = 7
+        chained = SolveContext.from_chain_dict(ctx.chain_dict())
+        assert chained.warm_values is None
+        assert chained.total_lp_solves == 0
+        assert chained.seed_assignment == {"a": "t0"}
+
+    def test_chain_dict_is_json_serialisable(self):
+        import json
+
+        ctx = SolveContext()
+        ctx.note_assignment({"a": "t0"})
+        json.dumps(ctx.chain_dict())
+
+    def test_as_dict_round_trips_seed_assignment(self):
+        ctx = SolveContext()
+        ctx.note_assignment({"a": "t0"})
+        clone = SolveContext.from_dict(ctx.as_dict())
+        assert clone.seed_assignment == {"a": "t0"}

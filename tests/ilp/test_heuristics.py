@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.ilp import Model, quicksum, to_standard_form
 from repro.ilp.heuristics import round_with_sos, sos_greedy_assignment

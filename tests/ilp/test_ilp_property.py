@@ -10,7 +10,6 @@ Two invariants are checked over randomly generated problem instances:
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st

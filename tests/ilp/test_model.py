@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.ilp import MAXIMIZE, MINIMIZE, Model, ModelError, quicksum
+from repro.ilp import MAXIMIZE, MINIMIZE, Model, ModelError
 
 
 class TestVariableManagement:

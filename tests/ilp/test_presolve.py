@@ -22,7 +22,6 @@ from repro.ilp import (
     BranchAndBoundSolver,
     Model,
     presolve,
-    quicksum,
     to_standard_form,
 )
 

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import json
 
-import pytest
 
 from repro.cli import BUILTIN_BOARDS, BUILTIN_DESIGNS, main
 from repro.io import board_to_dict, design_to_dict, save_json
@@ -179,6 +178,78 @@ class TestBatchCommand:
         assert "--jobs" in capsys.readouterr().err
         assert main(["table3", "--points", "1", "--jobs", "0"]) == 2
         assert "--jobs" in capsys.readouterr().err
+
+
+class TestScenariosCommand:
+    def test_lists_every_registered_family(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("image-pipeline", "random", "board-scale"):
+            assert name in out
+
+    def test_json_listing_carries_param_specs(self, capsys):
+        assert main(["scenarios", "--json"]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        by_name = {entry["name"]: entry for entry in listing}
+        assert "board-scale" in by_name
+        params = {p["name"] for p in by_name["board-scale"]["params"]}
+        assert {"segments", "banks"} <= params
+
+
+class TestExploreCommand:
+    def test_small_grid_succeeds(self, capsys, tmp_path):
+        assert main(["explore", "--grid", "fir-filter@taps=16|32",
+                     "--artifact-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Exploration summary" in out
+        artifact = json.loads((tmp_path / "BENCH_explore.json").read_text())
+        assert artifact["kind"] == "bench_artifact"
+        assert artifact["name"] == "explore"
+        assert artifact["num_points"] == 2
+        assert artifact["num_failed"] == 0
+
+    def test_json_output_is_the_artifact(self, capsys):
+        assert main(["explore", "--grid", "fft", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["name"] == "explore"
+        assert document["fingerprint"]
+
+    def test_infeasible_point_exits_one(self, capsys):
+        # banks=2 cannot hold 10 structures; the sweep finishes but the
+        # run reports the failed point through the exit code.
+        assert main(["explore", "--grid",
+                     "board-scale@segments=10,banks=2|8"]) == 1
+        assert "failed" in capsys.readouterr().out
+
+    def test_bad_grid_spec_is_a_usage_error(self, capsys):
+        assert main(["explore", "--grid", "no-such-family@x=1"]) == 2
+        assert "unknown scenario family" in capsys.readouterr().err
+        assert main(["explore", "--grid", "fft@points"]) == 2
+        assert "key=value" in capsys.readouterr().err
+
+    def test_unknown_scenario_parameter_is_a_usage_error(self, capsys):
+        assert main(["explore", "--grid", "fft@bogus=3"]) == 2
+        assert "no parameter" in capsys.readouterr().err
+
+    def test_build_time_scenario_error_is_a_usage_error(self, capsys):
+        # The board knob is a plain string, so a bad name only fails when
+        # the point is built inside the explorer — still exit 2, no
+        # traceback.
+        assert main(["explore", "--grid", "fft@board=bogus"]) == 2
+        assert "unknown board" in capsys.readouterr().err
+
+    def test_zero_jobs_is_a_usage_error(self, capsys):
+        assert main(["explore", "--grid", "fft", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_deterministic_across_reruns_and_jobs(self, capsys):
+        argv = ["explore", "--grid", "image-pipeline@width=128:384:128",
+                "--json"]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(argv + ["--jobs", "2"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first["fingerprint"] == second["fingerprint"]
 
 
 class TestTable3Command:
