@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the mapping service (the CI `serve-smoke` job).
+
+Boots ``repro serve`` as a real subprocess, drives it through the real
+``repro submit`` CLI, and asserts the serving guarantees the repository
+makes:
+
+1. the server comes up and answers ``/healthz``;
+2. N concurrent submissions (with duplicates) all complete, duplicates
+   dedupe to fewer solves than submissions, and coalescing produced
+   fewer engine batches than jobs;
+3. every served fingerprint equals the fingerprint of the equivalent
+   direct ``repro batch`` run — the service changes *where* mappings are
+   computed, never *what* they are;
+4. the server shuts down cleanly on request (bounded by a timeout, with
+   SIGKILL as the fallback so CI never hangs).
+
+Exit code 0 on success, 1 on any violated expectation.  Run it locally::
+
+    PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+PORT = int(os.environ.get("SERVE_SMOKE_PORT", "18742"))
+URL = f"http://127.0.0.1:{PORT}"
+BOARD = "virtex-xcv1000"
+DESIGNS = ["fir-filter", "matrix-multiply", "image-pipeline", "fft"]
+REPEAT = 2  # 4 designs x 2 = 8 concurrent submissions, 4 unique solves
+SOLVER = "bnb-pure"
+STARTUP_TIMEOUT = 60.0
+SHUTDOWN_TIMEOUT = 30.0
+
+
+def cli(*args: str, check: bool = True) -> subprocess.CompletedProcess:
+    command = [sys.executable, "-m", "repro", *args]
+    completed = subprocess.run(command, capture_output=True, text=True)
+    if check and completed.returncode != 0:
+        raise AssertionError(
+            f"command {' '.join(command)} exited "
+            f"{completed.returncode}:\n{completed.stdout}\n{completed.stderr}"
+        )
+    return completed
+
+
+def wait_for_health(deadline: float) -> None:
+    while time.monotonic() < deadline:
+        probe = cli("submit", "--url", URL, "--health", check=False)
+        if probe.returncode == 0:
+            return
+        time.sleep(0.25)
+    raise AssertionError(f"server at {URL} did not answer /healthz in time")
+
+
+def main() -> int:
+    server = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", str(PORT), "--max-batch", "4", "--max-wait-ms", "50",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        wait_for_health(time.monotonic() + STARTUP_TIMEOUT)
+        print(f"[smoke] server is up at {URL}")
+
+        submit = cli(
+            "submit", "--url", URL, "--board", BOARD, "--solver", SOLVER,
+            *[arg for design in DESIGNS for arg in ("--design", design)],
+            "--repeat", str(REPEAT), "--json",
+        )
+        submitted = json.loads(submit.stdout)
+        jobs = submitted["jobs"]
+        assert len(jobs) == len(DESIGNS) * REPEAT, submitted
+        assert submitted["num_failed"] == 0, submitted
+        assert all(job["state"] == "done" for job in jobs), submitted
+        deduped = sum(1 for job in jobs if job["deduped"] or job["cache_hit"])
+        assert deduped >= len(DESIGNS) * (REPEAT - 1), (
+            f"expected >= {len(DESIGNS)} deduped/cached jobs, got {deduped}"
+        )
+        print(f"[smoke] {len(jobs)} submissions ok, {deduped} answered "
+              "without a duplicate solve")
+
+        health = json.loads(cli("submit", "--url", URL, "--health").stdout)
+        batches = health["counters"]["batches"]
+        assert 0 < batches < len(jobs), (
+            f"expected coalescing into fewer than {len(jobs)} batches, "
+            f"got {batches}"
+        )
+        print(f"[smoke] burst coalesced into {batches} engine batch(es)")
+
+        batch = cli(
+            "batch", "--board", BOARD, "--solver", SOLVER,
+            *[arg for design in DESIGNS for arg in ("--design", design)],
+            "--json",
+        )
+        reference = {
+            result["label"].split("@")[0]: result["fingerprint"]
+            for result in json.loads(batch.stdout)["results"]
+        }
+        for job in jobs:
+            design = job["label"].split("@")[0]
+            assert job["fingerprint"] == reference[design], (
+                f"served fingerprint of {design} differs from the direct "
+                f"batch run: {job['fingerprint']} != {reference[design]}"
+            )
+        print(f"[smoke] all {len(jobs)} served fingerprints match the "
+              "direct `repro batch` run")
+
+        cli("submit", "--url", URL, "--shutdown")
+        try:
+            code = server.wait(timeout=SHUTDOWN_TIMEOUT)
+        except subprocess.TimeoutExpired:
+            raise AssertionError(
+                f"server did not exit within {SHUTDOWN_TIMEOUT:.0f}s of "
+                "POST /v1/shutdown"
+            )
+        assert code == 0, f"server exited {code} after graceful shutdown"
+        print("[smoke] clean shutdown — PASS")
+        return 0
+    except AssertionError as failure:
+        print(f"[smoke] FAIL: {failure}", file=sys.stderr)
+        return 1
+    finally:
+        if server.poll() is None:
+            server.send_signal(signal.SIGTERM)
+            try:
+                server.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                server.kill()
+                server.wait()
+        output = server.stdout.read() if server.stdout else ""
+        if output:
+            print(f"[smoke] server log:\n{output}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

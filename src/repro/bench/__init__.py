@@ -1,6 +1,12 @@
 """Benchmark harness: Table 3 design points, experiment runner, reporting."""
 
-from .artifacts import batch_artifact, explore_artifact, write_bench_artifact
+from .artifacts import (
+    batch_artifact,
+    explore_artifact,
+    latency_percentiles,
+    serve_artifact,
+    write_bench_artifact,
+)
 from .designpoints import (
     PAPER_DESIGN_POINTS,
     SCALED_DESIGN_POINTS,
@@ -28,6 +34,8 @@ __all__ = [
     "default_solver_backend",
     "batch_artifact",
     "explore_artifact",
+    "serve_artifact",
+    "latency_percentiles",
     "write_bench_artifact",
     "ascii_table",
     "ascii_series",

@@ -12,12 +12,19 @@ was in play, and one record per job.
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Sequence, Union
 
 from ..engine.jobs import JobResult
 
-__all__ = ["batch_artifact", "explore_artifact", "write_bench_artifact"]
+__all__ = [
+    "batch_artifact",
+    "explore_artifact",
+    "serve_artifact",
+    "latency_percentiles",
+    "write_bench_artifact",
+]
 
 #: Version tag of the artifact layout.
 ARTIFACT_VERSION = 1
@@ -119,6 +126,84 @@ def explore_artifact(result: "ExploreResult") -> Dict[str, Any]:
         "pareto_front": [p.label for p in result.pareto_front()],
         "pareto_front_timed": [p.label for p in result.pareto_front_timed()],
         "results": [p.to_dict() for p in points],
+    }
+
+
+def latency_percentiles(samples: Sequence[float]) -> Dict[str, Optional[float]]:
+    """Nearest-rank p50/p90/p99 (plus mean/max) of a latency sample set.
+
+    Nearest-rank keeps every reported value an *observed* latency — no
+    interpolation between samples — which is the convention serving
+    dashboards use and is stable for the small sample counts a smoke run
+    produces.  Returns ``None`` values for an empty sample set.
+    """
+    if not samples:
+        return {"p50": None, "p90": None, "p99": None, "mean": None, "max": None}
+    ordered = sorted(samples)
+
+    def rank(q: float) -> float:
+        index = math.ceil(q * len(ordered)) - 1
+        return ordered[min(len(ordered) - 1, max(0, index))]
+
+    return {
+        "p50": rank(0.50),
+        "p90": rank(0.90),
+        "p99": rank(0.99),
+        "mean": sum(ordered) / len(ordered),
+        "max": ordered[-1],
+    }
+
+
+def serve_artifact(
+    records: Sequence[Mapping[str, Any]],
+    elapsed: float,
+    jobs: int,
+    max_batch: int,
+    max_wait_ms: float,
+    counters: Mapping[str, int],
+    batch_sizes: Sequence[int],
+) -> Dict[str, Any]:
+    """Summarise one serving window as a ``BENCH_serve.json`` document.
+
+    ``records`` are the service's per-job metrics (label, end-to-end
+    ``latency_ms``, in-solver ``solve_ms``, cache/dedupe flags); the
+    artifact reduces them to throughput and nearest-rank latency
+    percentiles so serving regressions show up as numbers, not vibes.
+    The gap between the ``latency_ms`` and ``solve_ms`` percentiles is
+    the serving overhead (queueing + batching window + dispatch).
+
+    ``records`` is a bounded window (the service keeps the most recent
+    few thousand), so the headline ``num_jobs``/``throughput_jobs_per_s``
+    come from the cumulative ``completed`` counter when present; the
+    percentiles describe the recent window.
+    """
+    latencies = [
+        float(r["latency_ms"]) for r in records if r.get("latency_ms") is not None
+    ]
+    solves = [
+        float(r["solve_ms"]) for r in records if r.get("solve_ms") is not None
+    ]
+    sizes = list(batch_sizes)
+    completed = int(counters.get("completed", len(records)))
+    return {
+        "kind": "bench_artifact",
+        "artifact_version": ARTIFACT_VERSION,
+        "name": "serve",
+        "jobs": jobs,
+        "max_batch": max_batch,
+        "max_wait_ms": max_wait_ms,
+        "elapsed_seconds": elapsed,
+        "num_jobs": completed,
+        "throughput_jobs_per_s": (completed / elapsed) if elapsed > 0 else None,
+        "latency_ms": latency_percentiles(latencies),
+        "solve_ms": latency_percentiles(solves),
+        "batches": {
+            "count": len(sizes),
+            "mean_size": (sum(sizes) / len(sizes)) if sizes else None,
+            "max_size": max(sizes) if sizes else None,
+        },
+        "counters": dict(counters),
+        "results": [dict(r) for r in records],
     }
 
 

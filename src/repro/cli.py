@@ -15,6 +15,9 @@ The CLI makes the library usable as a standalone tool in a synthesis flow::
     python -m repro explore \\
         --grid "random@structures=12,occupancy=0.5:0.8:0.05" \\
         --jobs 2 --artifact-dir bench-artifacts  # design-space exploration
+    python -m repro serve --port 8347            # long-lived mapping service
+    python -m repro submit --url http://127.0.0.1:8347 \\
+        --design fir-filter --design fft         # client of a running server
 
 Boards and designs can be given either as the name of a built-in (see
 ``boards`` / ``designs``) or as the path of a JSON file following the schema
@@ -449,6 +452,167 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     return EXIT_OK if result.num_failed == 0 else EXIT_MAPPING_FAILED
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from .serve import MappingServer, MappingService
+
+    if args.max_batch < 1:
+        raise CliError("--max-batch must be at least 1")
+    if args.max_wait_ms < 0:
+        raise CliError("--max-wait-ms must be >= 0")
+    if args.cache_entries is not None and args.cache_entries < 1:
+        raise CliError("--cache-entries must be at least 1")
+    if args.memory_entries < 1:
+        raise CliError("--memory-entries must be at least 1")
+    service = MappingService(
+        jobs=_resolve_jobs(args.jobs),
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        cache_dir=args.cache_dir,
+        memory_entries=args.memory_entries,
+        disk_entries=args.cache_entries,
+        retries=args.retries,
+        default_timeout=args.time_limit,
+        mp_context=args.mp_context,
+    )
+    server = MappingServer(service, host=args.host, port=args.port)
+
+    async def _run() -> None:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, server.request_shutdown)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # platforms without loop signal handlers
+        await server.start()
+        print(
+            f"serving mapping jobs on {server.url} "
+            f"({service.engine.jobs} worker"
+            f"{'s' if service.engine.jobs != 1 else ''}, "
+            f"max_batch={args.max_batch}, max_wait={args.max_wait_ms:.0f}ms)",
+            flush=True,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive teardown
+        pass
+    except OSError as exc:
+        # Bind failures (port in use, privileged port) are usage errors
+        # under the CLI's 0/1/2 contract, not tracebacks.
+        raise CliError(
+            f"cannot serve on {args.host}:{args.port}: {exc}"
+        ) from exc
+    if args.artifact_dir:
+        path = write_bench_artifact("serve", service.artifact(), args.artifact_dir)
+        print(f"[serve artifact written to {path}]")
+    return EXIT_OK
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .io.serve import JobSubmission, job_status_to_dict
+    from .serve import ServeClient, ServeClientError
+
+    try:
+        client = ServeClient(args.url, timeout=args.connect_timeout)
+
+        if args.health:
+            print(json.dumps(client.health(), indent=2))
+            return EXIT_OK
+        if args.shutdown:
+            print(json.dumps(client.shutdown(), indent=2))
+            return EXIT_OK
+
+        if not args.design:
+            raise CliError("submit needs --design (or --health / --shutdown)")
+        if args.repeat < 1:
+            raise CliError("--repeat must be at least 1")
+        board = _resolve_board(args.board)
+        weights = _WEIGHT_PRESETS[args.weights]()
+        submissions = []
+        for spec in args.design:
+            design = _resolve_design(spec, seed=args.seed)
+            for _ in range(args.repeat):
+                submissions.append(JobSubmission.from_objects(
+                    board,
+                    design,
+                    weights={
+                        "latency": weights.latency,
+                        "pin_delay": weights.pin_delay,
+                        "pin_io": weights.pin_io,
+                        "normalize": weights.normalize,
+                    },
+                    solver=args.solver,
+                    timeout=args.time_limit,
+                    priority=args.priority,
+                    deadline_ms=args.deadline_ms,
+                ))
+
+        statuses = client.submit(submissions)
+        if not args.no_wait:
+            statuses = [
+                client.wait(status.job_id, timeout=args.wait_timeout)
+                for status in statuses
+            ]
+
+        # Only terminal outcomes can be failures: with --no-wait the jobs
+        # are still queued/running, which is the expected success shape.
+        failed = sum(
+            1 for s in statuses
+            if s.terminal and (s.state != "done" or s.result_status != "ok")
+        )
+        if args.json:
+            print(json.dumps(
+                {
+                    "kind": "submit_result",
+                    "url": client.url,
+                    "num_jobs": len(statuses),
+                    "num_failed": failed,
+                    "jobs": [job_status_to_dict(s) for s in statuses],
+                },
+                indent=2,
+            ))
+        else:
+            rows = [
+                [
+                    s.label,
+                    s.state,
+                    s.result_status or "-",
+                    "-" if s.objective is None else f"{s.objective:.4f}",
+                    "-" if s.latency_ms is None else f"{s.latency_ms:.0f}ms",
+                    ("hit" if s.cache_hit else "dedup" if s.deduped else "-"),
+                    (s.fingerprint or "")[:12] or "-",
+                    s.error,
+                ]
+                for s in statuses
+            ]
+            print(ascii_table(
+                ["job", "state", "result", "objective", "latency",
+                 "reuse", "fingerprint", "detail"],
+                rows,
+                title=f"{len(statuses)} job(s) via {client.url}",
+            ))
+        if args.output:
+            documents = []
+            for status in statuses:
+                entry = job_status_to_dict(status)
+                if status.state == "done":
+                    try:
+                        entry["result"] = client.result(status.job_id)
+                    except ServeClientError:
+                        entry["result"] = None
+                documents.append(entry)
+            save_json({"kind": "submit_result", "jobs": documents}, args.output)
+            if not args.json:
+                print(f"\n[job results written to {args.output}]")
+        return EXIT_OK if failed == 0 else EXIT_MAPPING_FAILED
+    except ServeClientError as exc:
+        raise CliError(str(exc)) from exc
+
+
 def _cmd_table3(args: argparse.Namespace) -> int:
     points = default_design_points(full=args.full)
     if args.points is not None:
@@ -619,6 +783,80 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--json", action="store_true",
                          help="emit the artifact document on stdout")
     explore.set_defaults(func=_cmd_explore)
+
+    serve = sub.add_parser(
+        "serve", help="run the long-lived mapping service (async job API)"
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8347,
+                       help="TCP port (0 picks an ephemeral port)")
+    serve.add_argument("--jobs", type=int, default=1,
+                       help="engine worker processes (1 = in-process)")
+    serve.add_argument("--max-batch", type=int, default=4,
+                       help="most requests coalesced into one engine batch")
+    serve.add_argument("--max-wait-ms", type=float, default=25.0,
+                       help="batching window after the first request (ms)")
+    serve.add_argument("--cache-dir",
+                       help="on-disk result cache shared with 'repro batch'")
+    serve.add_argument("--cache-entries", type=int, default=None,
+                       help="bound the on-disk cache to its newest N entries "
+                            "(default: unbounded)")
+    serve.add_argument("--memory-entries", type=int, default=256,
+                       help="in-memory result store capacity")
+    serve.add_argument("--retries", type=int, default=0,
+                       help="re-runs of a crashed job before reporting an error")
+    serve.add_argument("--time-limit", type=float, default=None,
+                       help="default per-job wall-clock budget in seconds")
+    serve.add_argument("--mp-context", choices=["fork", "spawn", "forkserver"],
+                       default=None,
+                       help="worker start method (default: spawn when --jobs > 1)")
+    serve.add_argument("--artifact-dir",
+                       help="write a BENCH_serve.json artifact on shutdown")
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit mapping jobs to a running 'repro serve'"
+    )
+    submit.add_argument("--url", default="http://127.0.0.1:8347",
+                        help="base URL of the mapping service")
+    submit.add_argument("--board", default="hierarchical",
+                        help="board for the submitted jobs (name or JSON file)")
+    submit.add_argument("--design", action="append", default=[],
+                        help="design to map (repeatable): name, random:<n>, "
+                             "or JSON file")
+    submit.add_argument("--repeat", type=int, default=1,
+                        help="submit each design N times (duplicates dedupe "
+                             "to one solve server-side)")
+    submit.add_argument("--weights", choices=sorted(_WEIGHT_PRESETS),
+                        default="balanced", help="objective weighting preset")
+    submit.add_argument("--solver", default="auto",
+                        help="ILP backend name (see 'repro backends')")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="queue priority (higher runs earlier)")
+    submit.add_argument("--deadline-ms", type=float, default=None,
+                        help="max milliseconds a job may wait in the queue")
+    submit.add_argument("--time-limit", type=float, default=None,
+                        help="per-job wall-clock budget in seconds")
+    submit.add_argument("--seed", type=int, default=0,
+                        help="seed for random:<n> designs")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="return after submission instead of polling "
+                             "for results")
+    submit.add_argument("--wait-timeout", type=float, default=300.0,
+                        help="seconds to wait for each job (with polling)")
+    submit.add_argument("--connect-timeout", type=float, default=30.0,
+                        help="per-request HTTP timeout in seconds")
+    submit.add_argument("--health", action="store_true",
+                        help="print the service /healthz document and exit")
+    submit.add_argument("--shutdown", action="store_true",
+                        help="ask the service to shut down gracefully and exit")
+    submit.add_argument("--output",
+                        help="write job statuses + result documents to this "
+                             "JSON file")
+    submit.add_argument("--json", action="store_true",
+                        help="emit machine-readable results on stdout")
+    submit.set_defaults(func=_cmd_submit)
 
     table3 = sub.add_parser("table3", help="run the Table 3 scaling experiment")
     table3.add_argument("--full", action="store_true",

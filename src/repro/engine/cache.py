@@ -85,26 +85,55 @@ def result_fingerprint(document: Optional[Mapping[str, Any]]) -> Optional[str]:
 
 
 class ResultCache:
-    """Directory-backed store of finished job results, keyed by input hash."""
+    """Directory-backed store of finished job results, keyed by input hash.
 
-    def __init__(self, directory: Union[str, Path]) -> None:
+    With ``max_entries`` set the cache is bounded: every write trims the
+    directory back to the newest ``max_entries`` files (by modification
+    time), so a long-lived service can cache forever without growing an
+    unbounded result directory.  Unbounded (the default) preserves the
+    historical sweep-cache behaviour.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        max_entries: Optional[int] = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None for unbounded)")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        #: Approximate entry count, maintained incrementally so the
+        #: bounded-cache hot path does not scan the directory on every
+        #: put; ``trim`` re-derives the exact number when it runs.
+        self._approx_entries: Optional[int] = None
 
     def path_for(self, key: str) -> Path:
         return self.directory / f"{key}.json"
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
-        """Return the cached document for ``key`` or ``None`` on a miss."""
+        """Return the cached document for ``key`` or ``None`` on a miss.
+
+        A corrupt entry — truncated write, non-JSON bytes, JSON of the
+        wrong shape, or an unreadable file — is treated as a plain miss,
+        never an error: the caller simply re-executes the job and the next
+        ``put`` overwrites the bad file.
+        """
         path = self.path_for(key)
         try:
             document = json.loads(path.read_text(encoding="utf-8"))
-        except (FileNotFoundError, json.JSONDecodeError):
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
             self.misses += 1
             return None
-        if document.get("cache_schema_version") != CACHE_SCHEMA_VERSION:
+        if (
+            not isinstance(document, dict)
+            or document.get("cache_schema_version") != CACHE_SCHEMA_VERSION
+            or not isinstance(document.get("result"), dict)
+        ):
             self.misses += 1
             return None
         self.hits += 1
@@ -121,6 +150,7 @@ class ResultCache:
         fd, tmp_name = tempfile.mkstemp(
             dir=str(self.directory), prefix=".cache-", suffix=".tmp"
         )
+        is_new = not path.exists()
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(payload, handle, indent=2, sort_keys=True)
@@ -132,7 +162,48 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        if is_new and self._approx_entries is not None:
+            self._approx_entries += 1
+        if self.max_entries is not None and self._entry_count() > self.max_entries:
+            # Directory scans are O(entries): only trim when the running
+            # count says the bound was actually crossed.
+            self.trim(self.max_entries)
         return path
+
+    def _entry_count(self) -> int:
+        """Entry count from the incremental counter (one scan to seed it)."""
+        if self._approx_entries is None:
+            self._approx_entries = len(self)
+        return self._approx_entries
+
+    def trim(self, max_entries: int) -> int:
+        """Evict the oldest entries until at most ``max_entries`` remain.
+
+        Age is modification time (a ``put`` refreshes it), oldest first
+        with the file name as a deterministic tie-break.  Returns the
+        number of entries removed; files deleted concurrently by another
+        process are simply skipped.
+        """
+        entries = []
+        for path in self.directory.glob("*.json"):
+            try:
+                entries.append((path.stat().st_mtime, path.name, path))
+            except OSError:
+                continue
+        removed = 0
+        if len(entries) <= max_entries:
+            self._approx_entries = len(entries)
+            return removed
+        entries.sort()
+        for _, _, path in entries[: len(entries) - max_entries]:
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+        self.evictions += removed
+        self._approx_entries = len(entries) - removed
+        return removed
 
     def keys(self) -> Iterable[str]:
         return sorted(p.stem for p in self.directory.glob("*.json"))
@@ -143,10 +214,19 @@ class ResultCache:
         for path in self.directory.glob("*.json"):
             path.unlink()
             removed += 1
+        self._approx_entries = 0
         return removed
 
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*.json"))
 
     def stats(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "entries": len(self)}
+        # The entry count comes from the incremental counter, not a
+        # directory glob: a long-lived server reports this on every
+        # health poll and must not pay O(entries) for it.
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": self._entry_count(),
+            "evictions": self.evictions,
+        }

@@ -32,6 +32,8 @@ for retries) rather than killed mid-write.
 
 from __future__ import annotations
 
+import json
+import multiprocessing
 import os
 import time
 from concurrent.futures import (
@@ -189,6 +191,12 @@ class MappingEngine:
     timeout:
         Default per-job wall-clock budget in seconds, applied to jobs that
         do not carry their own.
+    mp_context:
+        Multiprocessing start-method name for the worker pool (``"fork"``,
+        ``"spawn"``, ``"forkserver"``); ``None`` keeps the platform
+        default.  The serving layer passes ``"spawn"`` because it runs the
+        engine from a thread, where forking is deprecated (Python 3.12+)
+        and unsafe.
     """
 
     def __init__(
@@ -197,26 +205,48 @@ class MappingEngine:
         cache_dir: Optional[Union[str, os.PathLike]] = None,
         retries: int = 0,
         timeout: Optional[float] = None,
+        mp_context: Optional[str] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if retries < 0:
             raise ValueError("retries must be >= 0")
+        if (
+            mp_context is not None
+            and mp_context not in multiprocessing.get_all_start_methods()
+        ):
+            raise ValueError(
+                f"unknown mp_context {mp_context!r}; this platform supports "
+                f"{', '.join(multiprocessing.get_all_start_methods())}"
+            )
         self.jobs = jobs
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.retries = retries
         self.timeout = timeout
-        #: worker pool kept alive across run() calls inside a
-        #: :meth:`persistent_pool` block; ``None`` otherwise.
+        self.mp_context = mp_context
+        #: worker pool kept alive across run() calls between
+        #: :meth:`start_persistent` and :meth:`stop_persistent`;
+        #: ``None`` otherwise.
         self._persistent: Optional[ProcessPoolExecutor] = None
         self._persistent_active = False
 
     # ------------------------------------------------------------------ api
     def run(self, batch: Sequence[MappingJob]) -> List[JobResult]:
-        """Execute ``batch`` and return one result per job, in job order."""
+        """Execute ``batch`` and return one result per job, in job order.
+
+        Identical jobs inside one batch (same cache key, i.e. identical
+        shipped payload) are **coalesced**: one representative is solved
+        and its result is replicated to the duplicates, which come back
+        flagged ``deduped``.  The serving layer leans on this — a
+        micro-batch of concurrent client requests often contains the same
+        mapping more than once — and it is semantically invisible because
+        equal payloads produce equal results by construction.
+        """
         batch = list(batch)
         results: List[Optional[JobResult]] = [None] * len(batch)
         pending: List[int] = []
+        duplicates: Dict[int, int] = {}
+        first_for_key: Dict[str, int] = {}
 
         payloads: List[Dict[str, Any]] = []
         keys: List[str] = []
@@ -235,7 +265,10 @@ class MappingEngine:
                 result = self._to_result(index, batch[index], key, cached)
                 result.cache_hit = True
                 results[index] = result
+            elif key in first_for_key:
+                duplicates[index] = first_for_key[key]
             else:
+                first_for_key[key] = index
                 pending.append(index)
 
         if len(pending) <= 1 or self.jobs == 1:
@@ -245,7 +278,27 @@ class MappingEngine:
         else:
             self._run_pool(batch, payloads, keys, pending, results)
 
+        for index, primary in duplicates.items():
+            results[index] = self._replicate(index, batch[index], results[primary])
+
         return [result for result in results if result is not None]
+
+    def start_persistent(self) -> None:
+        """Keep one worker pool alive across subsequent ``run()`` calls.
+
+        The pool is created lazily by the first parallel ``run()`` and
+        torn down by :meth:`stop_persistent`.  Long-lived callers (the
+        serving layer) use this imperative form; block-scoped callers use
+        :meth:`persistent_pool`.
+        """
+        self._persistent_active = True
+
+    def stop_persistent(self) -> None:
+        """Tear down the persistent worker pool (no-op when none is up)."""
+        self._persistent_active = False
+        if self._persistent is not None:
+            self._persistent.shutdown(wait=True)
+            self._persistent = None
 
     @contextmanager
     def persistent_pool(self) -> Iterator["MappingEngine"]:
@@ -258,14 +311,11 @@ class MappingEngine:
         because of a stuck worker is dropped and replaced on the next
         ``run()``.
         """
-        self._persistent_active = True
+        self.start_persistent()
         try:
             yield self
         finally:
-            self._persistent_active = False
-            if self._persistent is not None:
-                self._persistent.shutdown(wait=True)
-                self._persistent = None
+            self.stop_persistent()
 
     def map_result(self, result: JobResult):
         """Rehydrate a pipeline job's full :class:`MappingResult`."""
@@ -290,10 +340,10 @@ class MappingEngine:
         if self._persistent_active:
             # Sized to the engine, not this batch: later waves may be wider.
             if self._persistent is None:
-                self._persistent = ProcessPoolExecutor(max_workers=self.jobs)
+                self._persistent = self._make_pool(self.jobs)
             executor = self._persistent
         else:
-            executor = ProcessPoolExecutor(max_workers=min(self.jobs, len(pending)))
+            executor = self._make_pool(min(self.jobs, len(pending)))
         abandoned = False
         try:
             futures: Dict[int, Future] = {
@@ -329,6 +379,10 @@ class MappingEngine:
                                   f"(+{_TIMEOUT_GRACE:.0f}s grace)",
                             wall_time=float(wait) * (1 + starvation_waits),
                             attempts=attempts[index],
+                            # The job's inherited chain state passes through
+                            # even though the solve never finished, so a
+                            # warm chain survives a timed-out point.
+                            chain_context=payloads[index].get("chain_context"),
                             cache_key=keys[index],
                         )
                         abandoned = True
@@ -346,6 +400,7 @@ class MappingEngine:
                             status=STATUS_ERROR,
                             error=f"{type(exc).__name__}: {exc}",
                             attempts=attempts[index],
+                            chain_context=payloads[index].get("chain_context"),
                             cache_key=keys[index],
                         )
                         break
@@ -364,6 +419,14 @@ class MappingEngine:
                 executor.shutdown(wait=False, cancel_futures=True)
                 self._persistent = None
 
+    def _make_pool(self, max_workers: int) -> ProcessPoolExecutor:
+        context = (
+            multiprocessing.get_context(self.mp_context)
+            if self.mp_context is not None
+            else None
+        )
+        return ProcessPoolExecutor(max_workers=max_workers, mp_context=context)
+
     def _execute_with_retries(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         attempt = 1
         while True:
@@ -377,9 +440,24 @@ class MappingEngine:
                     "status": STATUS_ERROR,
                     "error": f"{type(exc).__name__}: {exc}",
                     "wall_time": 0.0,
+                    # Even a job that crashed out of all its attempts must
+                    # pass its inherited chain state downstream — dropping
+                    # it would silently cold-start the rest of the sweep.
+                    "chain_context": payload.get("chain_context"),
                 }
             document["attempts"] = attempt
             return document
+
+    @staticmethod
+    def _replicate(index: int, job: MappingJob, primary: JobResult) -> JobResult:
+        """Clone a solved sibling's result for a coalesced duplicate job."""
+        # JSON round-trip: the replica must not share mutable sub-documents
+        # with the primary result.
+        replica = JobResult.from_dict(json.loads(json.dumps(primary.to_dict())))
+        replica.index = index
+        replica.label = job.display_label()
+        replica.deduped = True
+        return replica
 
     def _record(
         self,

@@ -167,6 +167,9 @@ class JobResult:
     wall_time: float = 0.0
     attempts: int = 1
     cache_hit: bool = False
+    #: This job shared a batch with an identical sibling (same cache key)
+    #: and was answered from the sibling's solve instead of its own.
+    deduped: bool = False
     worker_pid: int = 0
     cache_key: str = ""
 
@@ -193,6 +196,7 @@ class JobResult:
             "wall_time": self.wall_time,
             "attempts": self.attempts,
             "cache_hit": self.cache_hit,
+            "deduped": self.deduped,
             "worker_pid": self.worker_pid,
             "cache_key": self.cache_key,
         }
@@ -215,6 +219,7 @@ class JobResult:
             wall_time=float(data.get("wall_time", 0.0)),
             attempts=int(data.get("attempts", 1)),
             cache_hit=bool(data.get("cache_hit", False)),
+            deduped=bool(data.get("deduped", False)),
             worker_pid=int(data.get("worker_pid", 0)),
             cache_key=data.get("cache_key", ""),
         )

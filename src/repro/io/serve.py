@@ -1,0 +1,294 @@
+"""Request/response schema of the mapping service (:mod:`repro.serve`).
+
+The serving layer speaks the same versioned JSON dialect as the rest of
+:mod:`repro.io`: a client submits a **job submission** (the board, design
+and solver configuration of one mapping request plus serving metadata —
+priority, deadline), the server answers with **job status** documents
+while the job moves through the queue, and the finished **result** is the
+exact :class:`repro.engine.jobs.JobResult` document the batch CLI emits,
+so a served mapping and a locally-run one can be compared field by field
+(most importantly by fingerprint).
+
+Round-tripping a submission or status through its ``*_to_dict`` /
+``*_from_dict`` pair reproduces an equal object; the test suite pins
+this the same way it pins the board/design schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Mapping, Optional
+
+from .serialize import (
+    SCHEMA_VERSION,
+    SerializationError,
+    _check_kind,
+    _require,
+    board_to_dict,
+    design_to_dict,
+)
+
+__all__ = [
+    "JOB_STATES",
+    "STATE_QUEUED",
+    "STATE_RUNNING",
+    "STATE_DONE",
+    "STATE_CANCELLED",
+    "STATE_EXPIRED",
+    "JobSubmission",
+    "JobStatus",
+    "job_submission_to_dict",
+    "job_submission_from_dict",
+    "job_status_to_dict",
+    "job_status_from_dict",
+]
+
+#: Lifecycle states of a served job.  ``done`` is terminal in every case;
+#: the engine-level outcome (``ok``/``failed``/``error``/``timeout``) then
+#: lives in :attr:`JobStatus.result_status`.
+STATE_QUEUED = "queued"
+STATE_RUNNING = "running"
+STATE_DONE = "done"
+STATE_CANCELLED = "cancelled"
+STATE_EXPIRED = "expired"
+JOB_STATES = (
+    STATE_QUEUED,
+    STATE_RUNNING,
+    STATE_DONE,
+    STATE_CANCELLED,
+    STATE_EXPIRED,
+)
+
+#: States a job can never leave.
+TERMINAL_STATES = (STATE_DONE, STATE_CANCELLED, STATE_EXPIRED)
+
+
+@dataclass(frozen=True)
+class JobSubmission:
+    """One mapping request as a client hands it to the service.
+
+    The board and design travel as their serialised documents (see
+    :func:`repro.io.board_to_dict` / :func:`repro.io.design_to_dict`), so a
+    submission is self-contained JSON end to end and its canonical hash is
+    exactly the engine's cache key for the equivalent
+    :class:`~repro.engine.jobs.MappingJob`.
+    """
+
+    board: Mapping[str, Any]
+    design: Mapping[str, Any]
+    weights: Mapping[str, Any] = field(
+        default_factory=lambda: {
+            "latency": 1.0,
+            "pin_delay": 1.0,
+            "pin_io": 1.0,
+            "normalize": True,
+        }
+    )
+    solver: str = "auto"
+    solver_options: Mapping[str, Any] = field(default_factory=dict)
+    capacity_mode: str = "strict"
+    port_estimation: str = "paper"
+    warm_start: bool = True
+    warm_retries: bool = True
+    mode: str = "pipeline"
+    label: str = ""
+    #: Per-job wall-clock budget in seconds (tightens the solver limit).
+    timeout: Optional[float] = None
+    #: Queue priority; higher runs earlier.  Ties keep submission order.
+    priority: int = 0
+    #: Milliseconds the job may wait in the queue before the service gives
+    #: up and reports it ``expired`` instead of solving it late.
+    deadline_ms: Optional[float] = None
+
+    @classmethod
+    def from_objects(cls, board, design, **kwargs) -> "JobSubmission":
+        """Build a submission from live ``Board``/``Design`` objects."""
+        return cls(
+            board=board_to_dict(board), design=design_to_dict(design), **kwargs
+        )
+
+    def display_label(self) -> str:
+        if self.label:
+            return self.label
+        board = self.board.get("name", "?") if isinstance(self.board, Mapping) else "?"
+        design = (
+            self.design.get("name", "?") if isinstance(self.design, Mapping) else "?"
+        )
+        return f"{design}@{board}"
+
+
+@dataclass
+class JobStatus:
+    """Where one served job currently is, as reported by the service."""
+
+    job_id: str
+    state: str
+    label: str = ""
+    priority: int = 0
+    #: Canonical input hash of the underlying mapping job (the engine's
+    #: cache key); equal keys mean the service solved them once.
+    cache_key: str = ""
+    #: The submission attached to an identical job already in flight
+    #: instead of enqueueing a duplicate solve.
+    deduped: bool = False
+    #: The result came straight from the in-memory or on-disk store.
+    cache_hit: bool = False
+    #: Unix timestamps (seconds); ``None`` until the phase is reached.
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: Engine-level outcome once ``state == "done"``:
+    #: ``ok``/``failed``/``error``/``timeout``.
+    result_status: str = ""
+    objective: Optional[float] = None
+    fingerprint: Optional[str] = None
+    error: str = ""
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    @property
+    def latency_ms(self) -> Optional[float]:
+        """Submission-to-finish latency in milliseconds, once finished."""
+        if self.finished_at is None:
+            return None
+        return (self.finished_at - self.submitted_at) * 1000.0
+
+    def advanced(self, **changes) -> "JobStatus":
+        return replace(self, **changes)
+
+
+def job_submission_to_dict(submission: JobSubmission) -> Dict[str, Any]:
+    """Serialise a :class:`JobSubmission` into a JSON-compatible dict."""
+    return {
+        "kind": "job_submission",
+        "schema_version": SCHEMA_VERSION,
+        "board": dict(submission.board),
+        "design": dict(submission.design),
+        "weights": dict(submission.weights),
+        "solver": submission.solver,
+        "solver_options": dict(submission.solver_options),
+        "capacity_mode": submission.capacity_mode,
+        "port_estimation": submission.port_estimation,
+        "warm_start": submission.warm_start,
+        "warm_retries": submission.warm_retries,
+        "mode": submission.mode,
+        "label": submission.label,
+        "timeout": submission.timeout,
+        "priority": submission.priority,
+        "deadline_ms": submission.deadline_ms,
+    }
+
+
+def _number(data: Mapping[str, Any], key: str, cast, default, context: str):
+    value = data.get(key, default)
+    if value is None or value is default:
+        return value
+    try:
+        return cast(value)
+    except (TypeError, ValueError):
+        raise SerializationError(f"{context}: field {key!r} must be a number, "
+                                 f"got {value!r}")
+
+
+def job_submission_from_dict(data: Mapping[str, Any]) -> JobSubmission:
+    """Rebuild a :class:`JobSubmission` from its serialised form.
+
+    Any malformed shape — a non-object document, a non-numeric priority,
+    a string where a board document belongs — raises
+    :class:`SerializationError`, which the HTTP layer reports as a 400:
+    client garbage must never read as a server bug.
+    """
+    if not isinstance(data, Mapping):
+        raise SerializationError(
+            f"job_submission: expected a JSON object, got {type(data).__name__}"
+        )
+    _check_kind(data, "job_submission")
+    board = _require(data, "board", "job_submission")
+    design = _require(data, "design", "job_submission")
+    if not isinstance(board, Mapping) or not isinstance(design, Mapping):
+        raise SerializationError(
+            "job_submission: board and design must be serialised documents"
+        )
+    weights = data.get("weights") or {
+        "latency": 1.0, "pin_delay": 1.0, "pin_io": 1.0, "normalize": True
+    }
+    solver_options = data.get("solver_options") or {}
+    if not isinstance(weights, Mapping) or not isinstance(solver_options, Mapping):
+        raise SerializationError(
+            "job_submission: weights and solver_options must be objects"
+        )
+    mode = data.get("mode", "pipeline")
+    if mode not in ("pipeline", "complete"):
+        raise SerializationError(f"job_submission: unknown mode {mode!r}")
+    return JobSubmission(
+        board=dict(board),
+        design=dict(design),
+        weights=dict(weights),
+        solver=str(data.get("solver", "auto")),
+        solver_options=dict(solver_options),
+        capacity_mode=str(data.get("capacity_mode", "strict")),
+        port_estimation=str(data.get("port_estimation", "paper")),
+        warm_start=bool(data.get("warm_start", True)),
+        warm_retries=bool(data.get("warm_retries", True)),
+        mode=mode,
+        label=str(data.get("label", "")),
+        timeout=_number(data, "timeout", float, None, "job_submission"),
+        priority=_number(data, "priority", int, 0, "job_submission") or 0,
+        deadline_ms=_number(data, "deadline_ms", float, None, "job_submission"),
+    )
+
+
+def job_status_to_dict(status: JobStatus) -> Dict[str, Any]:
+    """Serialise a :class:`JobStatus` into a JSON-compatible dict."""
+    return {
+        "kind": "job_status",
+        "schema_version": SCHEMA_VERSION,
+        "job_id": status.job_id,
+        "state": status.state,
+        "label": status.label,
+        "priority": status.priority,
+        "cache_key": status.cache_key,
+        "deduped": status.deduped,
+        "cache_hit": status.cache_hit,
+        "submitted_at": status.submitted_at,
+        "started_at": status.started_at,
+        "finished_at": status.finished_at,
+        "result_status": status.result_status,
+        "objective": status.objective,
+        "fingerprint": status.fingerprint,
+        "error": status.error,
+        "latency_ms": status.latency_ms,
+    }
+
+
+def job_status_from_dict(data: Mapping[str, Any]) -> JobStatus:
+    """Rebuild a :class:`JobStatus` from its serialised form."""
+    if not isinstance(data, Mapping):
+        raise SerializationError(
+            f"job_status: expected a JSON object, got {type(data).__name__}"
+        )
+    _check_kind(data, "job_status")
+    state = _require(data, "state", "job_status")
+    if state not in JOB_STATES:
+        raise SerializationError(f"job_status: unknown state {state!r}")
+    started = data.get("started_at")
+    finished = data.get("finished_at")
+    objective = data.get("objective")
+    return JobStatus(
+        job_id=str(_require(data, "job_id", "job_status")),
+        state=state,
+        label=str(data.get("label", "")),
+        priority=int(data.get("priority", 0)),
+        cache_key=str(data.get("cache_key", "")),
+        deduped=bool(data.get("deduped", False)),
+        cache_hit=bool(data.get("cache_hit", False)),
+        submitted_at=float(data.get("submitted_at", 0.0)),
+        started_at=None if started is None else float(started),
+        finished_at=None if finished is None else float(finished),
+        result_status=str(data.get("result_status", "")),
+        objective=None if objective is None else float(objective),
+        fingerprint=data.get("fingerprint"),
+        error=str(data.get("error", "")),
+    )

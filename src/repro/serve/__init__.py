@@ -1,0 +1,31 @@
+"""Mapping-as-a-service: an asyncio job API over the batch engine.
+
+``repro serve`` turns the one-shot mapping pipeline into a long-lived
+service: submissions arrive as JSON over HTTP, coalesce into
+micro-batches, run on a persistent :class:`~repro.engine.MappingEngine`
+worker pool, and come back with the same fingerprints the CLI computes —
+while duplicate requests (in flight or repeated) are answered from one
+solve via canonical-hash dedupe and a two-tier result store.
+"""
+
+from .batcher import MicroBatcher
+from .client import ServeClient, ServeClientError
+from .protocol import HttpRequest, ProtocolError
+from .queue import JobQueue, QueuedTicket
+from .server import MappingServer
+from .service import MappingService, ServeError
+from .store import ResultStore
+
+__all__ = [
+    "JobQueue",
+    "QueuedTicket",
+    "MicroBatcher",
+    "ResultStore",
+    "MappingService",
+    "ServeError",
+    "MappingServer",
+    "ServeClient",
+    "ServeClientError",
+    "HttpRequest",
+    "ProtocolError",
+]

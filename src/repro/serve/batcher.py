@@ -1,0 +1,67 @@
+"""Micro-batch coalescing of queued mapping requests.
+
+The service amortizes its fixed per-batch costs (thread hop, engine
+dispatch, pool scheduling) by grouping requests that arrive close
+together into one engine batch:
+
+* the batcher **blocks** until at least one ticket is available — an idle
+  server burns no CPU;
+* once the first ticket arrives it keeps collecting for at most
+  ``max_wait_ms`` more milliseconds, up to ``max_batch`` tickets — the
+  tail of a burst rides in the same batch as its head instead of paying
+  one dispatch each;
+* whatever arrived when the window closes ships immediately — a lone
+  request is never held back longer than the window.
+
+``max_wait_ms=0`` degenerates to "take whatever is already queued",
+which keeps latency minimal under light load while still coalescing
+back-to-back submissions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import List
+
+from .queue import JobQueue, QueuedTicket
+
+__all__ = ["MicroBatcher"]
+
+
+class MicroBatcher:
+    """Collects queued tickets into bounded, time-windowed batches."""
+
+    def __init__(self, queue: JobQueue, max_batch: int, max_wait_ms: float) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        self.queue = queue
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+
+    async def collect(self) -> List[QueuedTicket]:
+        """Return the next micro-batch (waits for the first ticket).
+
+        The returned batch preserves queue (priority) order and may
+        contain cancelled/expired tickets; admission filtering is the
+        caller's job.
+        """
+        first = await self.queue.get()
+        batch = [first]
+        deadline = time.monotonic() + self.max_wait_ms / 1000.0
+        while len(batch) < self.max_batch:
+            ticket = self.queue.get_nowait()
+            if ticket is not None:
+                batch.append(ticket)
+                continue
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                ticket = await asyncio.wait_for(self.queue.get(), timeout=remaining)
+            except asyncio.TimeoutError:
+                break
+            batch.append(ticket)
+        return batch

@@ -1,0 +1,224 @@
+"""The asyncio HTTP front end of the mapping service.
+
+Routes (all JSON, one request per connection):
+
+========================  =====================================================
+``GET  /healthz``          service liveness + queue/worker/cache statistics
+``POST /v1/jobs``          submit one ``job_submission`` document — or a JSON
+                           array of them — returns ``job_status`` document(s)
+``GET  /v1/jobs/<id>``     current ``job_status`` of one job
+``GET  /v1/jobs/<id>/result``  the finished job's full result document
+``DELETE /v1/jobs/<id>``   cancel a queued job (409 once running/finished)
+``POST /v1/shutdown``      acknowledge, then stop the server gracefully
+========================  =====================================================
+
+Errors are JSON too: ``{"error": ..., "status": <code>}`` with 400 for
+malformed input, 404 for unknown ids/paths, 405 for bad methods, 409
+for state conflicts and 500 for bugs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Optional, Tuple
+
+from ..io.serve import job_status_to_dict, job_submission_from_dict
+from ..io.serialize import SerializationError
+from .protocol import (
+    HttpRequest,
+    ProtocolError,
+    format_response,
+    json_response,
+    parse_json_body,
+    read_request,
+)
+from .service import MappingService, ServeError
+
+__all__ = ["MappingServer"]
+
+
+class MappingServer:
+    """Binds a :class:`MappingService` to a TCP port."""
+
+    def __init__(
+        self,
+        service: MappingService,
+        host: str = "127.0.0.1",
+        port: int = 8347,
+        request_timeout: float = 30.0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        #: Seconds a connection may take to deliver its full request.  A
+        #: peer that connects and stalls (crashed client, slowloris, TCP
+        #: probe held open) is dropped instead of pinning a handler task
+        #: and a file descriptor forever.
+        self.request_timeout = request_timeout
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown = asyncio.Event()
+
+    # ------------------------------------------------------------- lifecycle
+    async def start(self) -> None:
+        """Start the service and begin accepting connections."""
+        await self.service.start()
+        try:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=self.host, port=self.port
+            )
+        except OSError:
+            # Bind failed: don't leak the dispatcher/engine we just started.
+            await self.service.stop()
+            raise
+        # Port 0 binds an ephemeral port; reflect the real one.
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Serve until :meth:`request_shutdown` (or task cancellation)."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self._shutdown.wait()
+        finally:
+            await self.stop()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.stop()
+
+    def request_shutdown(self) -> None:
+        self._shutdown.set()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -------------------------------------------------------------- handling
+    async def _handle_connection(self, reader, writer) -> None:
+        response: Optional[Tuple[int, bytes]] = None
+        try:
+            request = await asyncio.wait_for(
+                read_request(reader), timeout=self.request_timeout
+            )
+            if request is not None:
+                response = await self._route(request)
+            # request is None: the peer connected and left without a
+            # request (port scan, TCP health probe) — answer nothing.
+        except asyncio.TimeoutError:
+            pass  # stalled peer: close without a response
+        except ProtocolError as exc:
+            response = _error(exc.status, str(exc))
+        except (ServeError, SerializationError) as exc:
+            response = _error(400, str(exc))
+        except Exception as exc:  # never kill the acceptor on a bug
+            response = _error(500, f"{type(exc).__name__}: {exc}")
+        finally:
+            try:
+                if response is not None:
+                    writer.write(format_response(*response))
+                    await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _route(self, request: HttpRequest) -> Tuple[int, bytes]:
+        path, method = request.path.rstrip("/") or "/", request.method
+
+        if path == "/healthz":
+            if method != "GET":
+                return _error(405, "healthz supports GET only")
+            return json_response(200, self.service.health())
+
+        if path == "/v1/jobs":
+            if method != "POST":
+                return _error(405, "submit jobs with POST /v1/jobs")
+            return self._submit(parse_json_body(request))
+
+        if path == "/v1/shutdown":
+            if method != "POST":
+                return _error(405, "shutdown with POST /v1/shutdown")
+            # Acknowledge first; serve_forever tears down right after.
+            asyncio.get_running_loop().call_soon(self.request_shutdown)
+            return json_response(202, {"status": "shutting down"})
+
+        if path.startswith("/v1/jobs/"):
+            remainder = path[len("/v1/jobs/"):]
+            if remainder.endswith("/result"):
+                job_id = remainder[: -len("/result")]
+                if method != "GET":
+                    return _error(405, "fetch results with GET")
+                return self._result(job_id)
+            job_id = remainder
+            if method == "GET":
+                return self._status(job_id)
+            if method == "DELETE":
+                return self._cancel(job_id)
+            return _error(405, "job endpoints support GET and DELETE")
+
+        return _error(404, f"unknown path {path!r}")
+
+    # --------------------------------------------------------------- actions
+    def _submit(self, body: Any) -> Tuple[int, bytes]:
+        if isinstance(body, list):
+            # Deserialise and validate the whole list before admitting
+            # anything: a bad entry mid-batch must 400 without leaving
+            # earlier entries enqueued as orphans the client has no id for.
+            submissions = [job_submission_from_dict(entry) for entry in body]
+            statuses = self.service.submit_many(submissions)
+            return json_response(
+                202, [job_status_to_dict(status) for status in statuses]
+            )
+        status = self.service.submit(job_submission_from_dict(body))
+        return json_response(202, job_status_to_dict(status))
+
+    def _status(self, job_id: str) -> Tuple[int, bytes]:
+        status = self.service.status(job_id)
+        if status is None:
+            return _error(404, f"unknown job {job_id!r}")
+        return json_response(200, job_status_to_dict(status))
+
+    def _result(self, job_id: str) -> Tuple[int, bytes]:
+        status = self.service.status(job_id)
+        if status is None:
+            return _error(404, f"unknown job {job_id!r}")
+        if status.state != "done":
+            return json_response(
+                409,
+                {
+                    "error": f"job {job_id!r} is {status.state}, not done",
+                    "status": 409,
+                    "job": job_status_to_dict(status),
+                },
+            )
+        document = self.service.result(job_id)
+        if document is None:
+            return _error(404, f"result of job {job_id!r} is no longer retained")
+        return json_response(200, document)
+
+    def _cancel(self, job_id: str) -> Tuple[int, bytes]:
+        status = self.service.cancel(job_id)
+        if status is None:
+            return _error(404, f"unknown job {job_id!r}")
+        if status.state != "cancelled":
+            return json_response(
+                409,
+                {
+                    "error": f"job {job_id!r} is {status.state} and can no "
+                             "longer be cancelled",
+                    "status": 409,
+                    "job": job_status_to_dict(status),
+                },
+            )
+        return json_response(200, job_status_to_dict(status))
+
+
+def _error(status: int, message: str) -> Tuple[int, bytes]:
+    body = (json.dumps({"error": message, "status": status}) + "\n").encode("utf-8")
+    return status, body

@@ -1,0 +1,87 @@
+"""Two-tier result store of the mapping service.
+
+Finished results are kept under their canonical cache key (the engine's
+:func:`~repro.engine.jobs.payload_cache_key`) in two tiers:
+
+* an **in-memory LRU** of serialised :class:`~repro.engine.jobs.JobResult`
+  documents, answering repeat submissions without touching the engine at
+  all, and
+* the engine's **on-disk** :class:`~repro.engine.cache.ResultCache`,
+  which the engine consults and fills itself during ``run()`` — a
+  restart-surviving tier shared with the ``repro batch`` CLI (the same
+  key space, so a job solved by a batch run is a disk hit for the
+  service and vice versa).
+
+The store only ever holds *terminal, deterministic* outcomes (``ok`` and
+``failed``); timeouts and crashes are never memoized.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+from ..engine.cache import ResultCache
+from ..engine.jobs import STATUS_FAILED, STATUS_OK
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """In-memory LRU of result documents over an optional disk tier."""
+
+    def __init__(
+        self,
+        memory_entries: int = 256,
+        disk: Optional[ResultCache] = None,
+    ) -> None:
+        if memory_entries < 1:
+            raise ValueError("memory_entries must be >= 1")
+        self.memory_entries = memory_entries
+        self.disk = disk
+        self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Return the memoized result document for ``key``, or ``None``.
+
+        Only the in-memory tier is consulted: the disk tier belongs to
+        the engine, which checks it per job inside ``run()`` (a disk hit
+        comes back as a normal ``cache_hit`` result and is then promoted
+        into memory by :meth:`put`).
+        """
+        document = self._memory.get(key)
+        if document is None:
+            self.misses += 1
+            return None
+        self._memory.move_to_end(key)
+        self.hits += 1
+        return document
+
+    def put(self, key: str, document: Dict[str, Any]) -> bool:
+        """Memoize a finished job's serialised result document.
+
+        Returns ``True`` when stored; non-deterministic outcomes
+        (timeout, crash) are refused so a transiently broken job is
+        re-attempted on resubmission.
+        """
+        if document.get("status") not in (STATUS_OK, STATUS_FAILED):
+            return False
+        self._memory[key] = document
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_entries:
+            self._memory.popitem(last=False)
+        return True
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "memory_entries": len(self._memory),
+            "memory_capacity": self.memory_entries,
+            "memory_hits": self.hits,
+            "memory_misses": self.misses,
+            "disk": self.disk.stats() if self.disk is not None else None,
+        }

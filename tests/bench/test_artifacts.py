@@ -35,6 +35,94 @@ class TestBatchArtifact:
                                   cache_stats={"hits": 1, "misses": 2}))
 
 
+class TestLatencyPercentiles:
+    def test_empty_samples_report_none(self):
+        from repro.bench import latency_percentiles
+
+        stats = latency_percentiles([])
+        assert stats == {"p50": None, "p90": None, "p99": None,
+                         "mean": None, "max": None}
+
+    def test_nearest_rank_on_known_samples(self):
+        from repro.bench import latency_percentiles
+
+        stats = latency_percentiles(list(range(1, 101)))  # 1..100
+        assert stats["p50"] == 50
+        assert stats["p90"] == 90
+        assert stats["p99"] == 99
+        assert stats["max"] == 100
+        assert stats["mean"] == 50.5
+
+    def test_single_sample_is_every_percentile(self):
+        from repro.bench import latency_percentiles
+
+        stats = latency_percentiles([42.0])
+        assert stats["p50"] == stats["p90"] == stats["p99"] == 42.0
+
+    def test_percentiles_are_observed_values(self):
+        from repro.bench import latency_percentiles
+
+        samples = [1.0, 100.0, 5.0]
+        stats = latency_percentiles(samples)
+        assert stats["p50"] in samples
+        assert stats["p99"] in samples
+
+
+class TestServeArtifact:
+    def records(self):
+        return [
+            {"label": "a", "status": "ok", "latency_ms": 10.0, "solve_ms": 8.0,
+             "cache_hit": False, "deduped": False, "fingerprint": "f1"},
+            {"label": "b", "status": "ok", "latency_ms": 30.0, "solve_ms": 25.0,
+             "cache_hit": False, "deduped": True, "fingerprint": "f1"},
+            {"label": "c", "status": "ok", "latency_ms": 2.0, "solve_ms": 0.0,
+             "cache_hit": True, "deduped": False, "fingerprint": "f2"},
+        ]
+
+    def test_summarises_throughput_and_percentiles(self):
+        from repro.bench import serve_artifact
+
+        artifact = serve_artifact(
+            records=self.records(), elapsed=2.0, jobs=1, max_batch=4,
+            max_wait_ms=25.0, counters={"submitted": 3}, batch_sizes=[2, 1],
+        )
+        assert artifact["kind"] == "bench_artifact"
+        assert artifact["name"] == "serve"
+        assert artifact["num_jobs"] == 3
+        assert artifact["throughput_jobs_per_s"] == 1.5
+        assert artifact["latency_ms"]["p50"] == 10.0
+        assert artifact["latency_ms"]["max"] == 30.0
+        assert artifact["solve_ms"]["p99"] == 25.0
+        assert artifact["batches"] == {"count": 2, "mean_size": 1.5,
+                                       "max_size": 2}
+        assert artifact["counters"] == {"submitted": 3}
+
+    def test_cumulative_counter_drives_throughput_not_the_window(self):
+        # The records list is a bounded recency window; headline numbers
+        # must come from the cumulative completed counter.
+        from repro.bench import serve_artifact
+
+        artifact = serve_artifact(
+            records=self.records(), elapsed=10.0, jobs=1, max_batch=4,
+            max_wait_ms=25.0, counters={"completed": 50}, batch_sizes=[],
+        )
+        assert artifact["num_jobs"] == 50
+        assert artifact["throughput_jobs_per_s"] == 5.0
+        # Percentiles still describe the window.
+        assert artifact["latency_ms"]["p50"] == 10.0
+
+    def test_zero_elapsed_has_no_throughput(self):
+        from repro.bench import serve_artifact
+
+        artifact = serve_artifact(
+            records=[], elapsed=0.0, jobs=1, max_batch=1, max_wait_ms=0.0,
+            counters={}, batch_sizes=[],
+        )
+        assert artifact["throughput_jobs_per_s"] is None
+        assert artifact["latency_ms"]["p50"] is None
+        assert artifact["batches"]["mean_size"] is None
+
+
 class TestWriteBenchArtifact:
     def test_writes_named_file(self, tmp_path):
         path = write_bench_artifact("demo", {"kind": "bench_artifact"}, tmp_path)

@@ -87,3 +87,87 @@ class TestResultCache:
         assert cache.clear() == 2
         assert len(cache) == 0
         assert list(cache.keys()) == []
+
+
+class TestCorruptEntries:
+    """Every broken on-disk shape must read as a miss, never an error."""
+
+    def test_non_dict_json_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.path_for("listy").write_text("[1, 2, 3]", encoding="utf-8")
+        assert cache.get("listy") is None
+        assert cache.stats()["misses"] == 1
+
+    def test_dict_without_result_document_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.path_for("hollow").write_text(
+            json.dumps({"cache_schema_version": 1, "result": "not a dict"}),
+            encoding="utf-8",
+        )
+        assert cache.get("hollow") is None
+
+    def test_non_utf8_bytes_are_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.path_for("binary").write_bytes(b"\xff\xfe\x00garbage")
+        assert cache.get("binary") is None
+
+    def test_unreadable_entry_is_a_miss(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path)
+        cache.put("locked", {"status": "ok"})
+        path = cache.path_for("locked")
+        os.chmod(path, 0o000)
+        try:
+            if path.exists() and not os.access(path, os.R_OK):
+                assert cache.get("locked") is None
+        finally:
+            os.chmod(path, 0o644)
+
+    def test_corrupt_entry_is_overwritten_by_the_next_put(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.path_for("heal").write_text("{broken", encoding="utf-8")
+        assert cache.get("heal") is None
+        cache.put("heal", {"status": "ok", "objective": 1.0})
+        assert cache.get("heal") == {"status": "ok", "objective": 1.0}
+
+
+class TestEviction:
+    def test_trim_keeps_the_newest_entries(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path)
+        for index in range(5):
+            cache.put(f"key{index}", {"status": "ok", "n": index})
+            # Deterministic ages regardless of filesystem timestamp
+            # granularity.
+            os.utime(cache.path_for(f"key{index}"), (index, index))
+        assert cache.trim(2) == 3
+        assert len(cache) == 2
+        assert cache.get("key4") is not None
+        assert cache.get("key3") is not None
+        assert cache.get("key0") is None
+        assert cache.stats()["evictions"] == 3
+
+    def test_trim_is_a_noop_under_the_limit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("only", {"status": "ok"})
+        assert cache.trim(5) == 0
+        assert len(cache) == 1
+
+    def test_bounded_cache_evicts_on_put(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path, max_entries=2)
+        for index in range(4):
+            cache.put(f"key{index}", {"status": "ok", "n": index})
+            os.utime(cache.path_for(f"key{index}"), (index, index))
+        assert len(cache) == 2
+        assert cache.get("key0") is None
+        assert cache.get("key3") is not None
+
+    def test_rejects_nonpositive_max_entries(self, tmp_path):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path, max_entries=0)

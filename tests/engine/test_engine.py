@@ -181,6 +181,125 @@ class TestExecutePayload:
         assert document["wall_time"] < 30.0
 
 
+class TestInBatchDedupe:
+    def test_duplicate_jobs_in_one_batch_solve_once(self, monkeypatch):
+        import repro.engine.engine as engine_module
+
+        calls = {"n": 0}
+        real = engine_module.execute_payload
+
+        def counting(payload):
+            calls["n"] += 1
+            return real(payload)
+
+        monkeypatch.setattr(engine_module, "execute_payload", counting)
+        job = MappingJob(board=virtex_board("XCV1000"),
+                         design=fir_filter_design(), solver="bnb-pure")
+        results = MappingEngine(jobs=1).run([job, job, job])
+        assert calls["n"] == 1
+        assert [r.deduped for r in results] == [False, True, True]
+        assert len({r.fingerprint for r in results}) == 1
+        assert [r.index for r in results] == [0, 1, 2]
+
+    def test_replicas_do_not_share_mutable_state_with_the_primary(self):
+        job = MappingJob(board=virtex_board("XCV1000"),
+                         design=fir_filter_design(), solver="bnb-pure")
+        primary, replica = MappingEngine(jobs=1).run([job, job])
+        replica.assignment["poison"] = "nope"
+        replica.result["poison"] = "nope"
+        assert "poison" not in primary.assignment
+        assert "poison" not in primary.result
+
+    def test_distinct_jobs_are_not_coalesced(self):
+        results = MappingEngine(jobs=1).run(small_batch())
+        assert not any(r.deduped for r in results)
+
+    def test_dedupe_round_trips_through_job_result_schema(self):
+        job = MappingJob(board=virtex_board("XCV1000"),
+                         design=fir_filter_design(), solver="bnb-pure")
+        _, replica = MappingEngine(jobs=1).run([job, job])
+        rebuilt = JobResult.from_dict(replica.to_dict())
+        assert rebuilt.deduped is True
+
+
+class TestRetryContextPropagation:
+    """A job that errors out of all its attempts must still pass its
+    inherited warm-chain state downstream (regression: the error document
+    used to drop it, silently cold-starting the rest of a sweep)."""
+
+    def make_chain(self):
+        seeded = MappingJob(
+            board=virtex_board("XCV1000"), design=fir_filter_design(),
+            solver="bnb-pure", export_context=True,
+        )
+        result = MappingEngine(jobs=1).run([seeded])[0]
+        assert result.chain_context is not None
+        return result.chain_context
+
+    def test_error_after_retries_exports_inherited_context(self):
+        chain = self.make_chain()
+        doomed = MappingJob(
+            board=virtex_board("XCV1000"), design=fir_filter_design(),
+            solver="no-such-backend", chain_context=chain, export_context=True,
+        )
+        result = MappingEngine(jobs=1, retries=2).run([doomed])[0]
+        assert result.status == "error"
+        assert result.attempts == 3
+        assert result.chain_context == chain
+
+    def test_execute_with_retries_error_document_carries_context(self):
+        engine = MappingEngine(jobs=1, retries=1)
+        chain = {"kind": "chain", "incumbent": {"a": "sram"}}
+        # A payload with no board/design crashes execute_payload outright.
+        document = engine._execute_with_retries(
+            {"mode": "pipeline", "chain_context": chain}
+        )
+        assert document["status"] == "error"
+        assert document["attempts"] == 2
+        assert document["chain_context"] == chain
+
+
+def _sleepy_payload(payload):
+    import time as _time
+
+    _time.sleep(payload.get("solver_options", {}).get("nap", 3.0))
+    return {"status": STATUS_OK, "wall_time": 0.0, "result": None}
+
+
+class TestPoolTimeouts:
+    def test_stuck_worker_reports_timeout_and_keeps_context(self, monkeypatch):
+        import repro.engine.engine as engine_module
+
+        monkeypatch.setattr(engine_module, "_TIMEOUT_GRACE", 0.2)
+        monkeypatch.setattr(engine_module, "execute_payload", _sleepy_payload)
+        chain = {"kind": "chain", "incumbent": {"a": "sram"}}
+        jobs = [
+            # Distinct nap values keep the payloads distinct, so the two
+            # jobs are not coalesced and genuinely exercise the pool path.
+            MappingJob(
+                board=virtex_board("XCV1000"), design=fir_filter_design(),
+                solver="bnb-pure", timeout=0.1, label=f"stuck-{index}",
+                chain_context=chain, export_context=True,
+                solver_options={"nap": 3.0 + index},
+            )
+            for index in range(2)
+        ]
+        results = MappingEngine(jobs=2).run(jobs)
+        assert [r.status for r in results] == ["timeout", "timeout"]
+        assert all("budget" in r.error for r in results)
+        # The inherited chain state survives the timeout verdict.
+        assert all(r.chain_context == chain for r in results)
+
+    def test_mp_context_validation(self):
+        with pytest.raises(ValueError):
+            MappingEngine(jobs=2, mp_context="quantum-fork")
+
+    def test_spawn_context_produces_identical_fingerprints(self):
+        serial = MappingEngine(jobs=1).run(small_batch()[:2])
+        spawned = MappingEngine(jobs=2, mp_context="spawn").run(small_batch()[:2])
+        assert [r.fingerprint for r in spawned] == [r.fingerprint for r in serial]
+
+
 class TestPersistentPool:
     def test_pool_is_reused_across_runs(self):
         engine = MappingEngine(jobs=2)

@@ -1,0 +1,163 @@
+"""Round-trip tests of the serving request/response schema."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import virtex_board
+from repro.design import fir_filter_design
+from repro.io import SerializationError, board_to_dict, design_to_dict
+from repro.io.serve import (
+    STATE_DONE,
+    STATE_QUEUED,
+    JobStatus,
+    JobSubmission,
+    job_status_from_dict,
+    job_status_to_dict,
+    job_submission_from_dict,
+    job_submission_to_dict,
+)
+
+
+def example_submission(**overrides) -> JobSubmission:
+    defaults = dict(
+        board=board_to_dict(virtex_board("XCV1000")),
+        design=design_to_dict(fir_filter_design()),
+        solver="bnb-pure",
+        label="fir",
+        priority=3,
+        deadline_ms=1500.0,
+        timeout=30.0,
+        solver_options={"node_limit": 1000},
+    )
+    defaults.update(overrides)
+    return JobSubmission(**defaults)
+
+
+class TestJobSubmissionSchema:
+    def test_round_trips_through_dict(self):
+        submission = example_submission()
+        rebuilt = job_submission_from_dict(job_submission_to_dict(submission))
+        assert rebuilt == submission
+
+    def test_from_objects_embeds_serialised_documents(self):
+        submission = JobSubmission.from_objects(
+            virtex_board("XCV1000"), fir_filter_design(), label="x"
+        )
+        assert submission.board["kind"] == "board"
+        assert submission.design["kind"] == "design"
+
+    def test_defaults_round_trip(self):
+        submission = JobSubmission(
+            board=board_to_dict(virtex_board("XCV1000")),
+            design=design_to_dict(fir_filter_design()),
+        )
+        rebuilt = job_submission_from_dict(job_submission_to_dict(submission))
+        assert rebuilt == submission
+        assert rebuilt.priority == 0
+        assert rebuilt.deadline_ms is None
+
+    def test_display_label_falls_back_to_design_at_board(self):
+        board_name = virtex_board("XCV1000").name
+        assert (
+            example_submission(label="").display_label()
+            == f"fir-filter@{board_name}"
+        )
+        assert example_submission().display_label() == "fir"
+
+    def test_rejects_wrong_kind(self):
+        document = job_submission_to_dict(example_submission())
+        document["kind"] = "board"
+        with pytest.raises(SerializationError):
+            job_submission_from_dict(document)
+
+    def test_rejects_missing_board_or_design(self):
+        document = job_submission_to_dict(example_submission())
+        del document["board"]
+        with pytest.raises(SerializationError):
+            job_submission_from_dict(document)
+
+    def test_rejects_non_document_board(self):
+        document = job_submission_to_dict(example_submission())
+        document["design"] = "fir-filter"
+        with pytest.raises(SerializationError):
+            job_submission_from_dict(document)
+
+    def test_rejects_unknown_mode(self):
+        document = job_submission_to_dict(example_submission())
+        document["mode"] = "quantum"
+        with pytest.raises(SerializationError):
+            job_submission_from_dict(document)
+
+    @pytest.mark.parametrize("body", [None, "a string", [1, 2], 7])
+    def test_non_object_documents_are_serialization_errors(self, body):
+        # Client garbage must surface as SerializationError (an HTTP 400),
+        # never AttributeError/ValueError (an HTTP 500).
+        with pytest.raises(SerializationError):
+            job_submission_from_dict(body)
+        with pytest.raises(SerializationError):
+            job_status_from_dict(body)
+
+    @pytest.mark.parametrize("key,value", [
+        ("priority", "high"), ("timeout", "soon"), ("deadline_ms", "never"),
+    ])
+    def test_non_numeric_fields_are_serialization_errors(self, key, value):
+        document = job_submission_to_dict(example_submission())
+        document[key] = value
+        with pytest.raises(SerializationError):
+            job_submission_from_dict(document)
+
+    def test_non_object_weights_are_a_serialization_error(self):
+        document = job_submission_to_dict(example_submission())
+        document["weights"] = "balanced"
+        with pytest.raises(SerializationError):
+            job_submission_from_dict(document)
+
+
+class TestJobStatusSchema:
+    def test_round_trips_through_dict(self):
+        status = JobStatus(
+            job_id="j1-abc",
+            state=STATE_DONE,
+            label="fir",
+            priority=2,
+            cache_key="deadbeef",
+            deduped=True,
+            cache_hit=True,
+            submitted_at=100.0,
+            started_at=100.5,
+            finished_at=101.25,
+            result_status="ok",
+            objective=1.5,
+            fingerprint="f" * 64,
+            error="",
+        )
+        rebuilt = job_status_from_dict(job_status_to_dict(status))
+        assert rebuilt == status
+
+    def test_latency_is_reported_once_finished(self):
+        status = JobStatus(
+            job_id="j", state=STATE_DONE, submitted_at=10.0, finished_at=10.25
+        )
+        assert status.latency_ms == pytest.approx(250.0)
+        queued = JobStatus(job_id="j", state=STATE_QUEUED, submitted_at=10.0)
+        assert queued.latency_ms is None
+        assert job_status_to_dict(status)["latency_ms"] == pytest.approx(250.0)
+
+    def test_terminal_states(self):
+        assert JobStatus(job_id="j", state="done").terminal
+        assert JobStatus(job_id="j", state="cancelled").terminal
+        assert JobStatus(job_id="j", state="expired").terminal
+        assert not JobStatus(job_id="j", state="queued").terminal
+        assert not JobStatus(job_id="j", state="running").terminal
+
+    def test_rejects_unknown_state(self):
+        with pytest.raises(SerializationError):
+            job_status_from_dict(
+                {"kind": "job_status", "job_id": "j", "state": "floating"}
+            )
+
+    def test_rejects_wrong_kind(self):
+        with pytest.raises(SerializationError):
+            job_status_from_dict({"kind": "job_result", "job_id": "j",
+                                  "state": "done"})

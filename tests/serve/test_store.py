@@ -1,0 +1,60 @@
+"""Unit tests of the two-tier result store."""
+
+from __future__ import annotations
+
+from repro.engine.cache import ResultCache
+from repro.serve import ResultStore
+
+
+def document(status: str = "ok", tag: str = "x") -> dict:
+    return {"status": status, "fingerprint": tag, "objective": 1.0}
+
+
+class TestMemoryTier:
+    def test_put_then_get(self):
+        store = ResultStore(memory_entries=4)
+        assert store.put("k1", document()) is True
+        assert store.get("k1")["fingerprint"] == "x"
+        assert store.stats()["memory_hits"] == 1
+
+    def test_miss_is_counted(self):
+        store = ResultStore(memory_entries=4)
+        assert store.get("nope") is None
+        assert store.stats()["memory_misses"] == 1
+
+    def test_lru_evicts_the_coldest_entry(self):
+        store = ResultStore(memory_entries=2)
+        store.put("a", document(tag="a"))
+        store.put("b", document(tag="b"))
+        store.get("a")  # touch: a is now warmer than b
+        store.put("c", document(tag="c"))
+        assert store.get("b") is None
+        assert store.get("a") is not None
+        assert store.get("c") is not None
+        assert len(store) == 2
+
+    def test_nondeterministic_outcomes_are_refused(self):
+        store = ResultStore(memory_entries=4)
+        assert store.put("t", document(status="timeout")) is False
+        assert store.put("e", document(status="error")) is False
+        assert store.get("t") is None
+        # Deterministic failures are memoized like successes.
+        assert store.put("f", document(status="failed")) is True
+
+    def test_rejects_bad_capacity(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ResultStore(memory_entries=0)
+
+
+class TestDiskTier:
+    def test_stats_include_disk_when_attached(self, tmp_path):
+        disk = ResultCache(tmp_path)
+        store = ResultStore(memory_entries=4, disk=disk)
+        stats = store.stats()
+        assert stats["disk"] is not None
+        assert stats["disk"]["entries"] == 0
+
+    def test_stats_without_disk(self):
+        assert ResultStore(memory_entries=4).stats()["disk"] is None

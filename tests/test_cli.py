@@ -252,6 +252,133 @@ class TestExploreCommand:
         assert first["fingerprint"] == second["fingerprint"]
 
 
+class TestServeCommandUsage:
+    def test_bad_max_batch_is_a_usage_error(self, capsys):
+        assert main(["serve", "--max-batch", "0"]) == 2
+        assert "max-batch" in capsys.readouterr().err
+
+    def test_bad_max_wait_is_a_usage_error(self, capsys):
+        assert main(["serve", "--max-wait-ms", "-5"]) == 2
+        assert "max-wait-ms" in capsys.readouterr().err
+
+    def test_zero_jobs_is_a_usage_error(self, capsys):
+        assert main(["serve", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_bad_memory_entries_is_a_usage_error(self, capsys):
+        assert main(["serve", "--memory-entries", "0"]) == 2
+        assert "memory-entries" in capsys.readouterr().err
+
+    def test_bad_cache_entries_is_a_usage_error(self, capsys):
+        assert main(["serve", "--cache-entries", "0"]) == 2
+        assert "cache-entries" in capsys.readouterr().err
+
+    def test_port_in_use_is_a_usage_error(self, capsys):
+        import socket
+
+        blocker = socket.socket()
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            port = blocker.getsockname()[1]
+            assert main(["serve", "--port", str(port)]) == 2
+            assert "cannot serve" in capsys.readouterr().err
+        finally:
+            blocker.close()
+
+
+class TestSubmitCommand:
+    def test_without_designs_is_a_usage_error(self, capsys):
+        assert main(["submit"]) == 2
+        assert "--design" in capsys.readouterr().err
+
+    def test_unreachable_server_is_a_usage_error(self, capsys):
+        assert main([
+            "submit", "--url", "http://127.0.0.1:1",
+            "--design", "fir-filter", "--connect-timeout", "0.5",
+        ]) == 2
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_bad_repeat_is_a_usage_error(self, capsys):
+        assert main([
+            "submit", "--design", "fir-filter", "--repeat", "0",
+            "--url", "http://127.0.0.1:1",
+        ]) == 2
+        assert "--repeat" in capsys.readouterr().err
+
+    def test_end_to_end_against_live_server(self, capsys, tmp_path):
+        import asyncio
+        import threading
+
+        from repro.serve import MappingServer, MappingService, ServeClient
+
+        service = MappingService(jobs=1, max_batch=4, max_wait_ms=10.0)
+        server = MappingServer(service, port=0)
+        started = threading.Event()
+
+        def run():
+            async def body():
+                await server.start()
+                started.set()
+                await server.serve_forever()
+
+            asyncio.run(body())
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert started.wait(10)
+        try:
+            # Duplicate submissions (via --repeat) dedupe server-side; the
+            # served fingerprints must equal the direct batch-CLI ones.
+            code = main([
+                "submit", "--url", server.url,
+                "--board", "virtex-xcv1000",
+                "--design", "fir-filter", "--repeat", "2",
+                "--solver", "bnb-pure", "--json",
+            ])
+            assert code == 0
+            submit_doc = json.loads(capsys.readouterr().out)
+            assert submit_doc["num_jobs"] == 2
+            assert submit_doc["num_failed"] == 0
+            states = [job["state"] for job in submit_doc["jobs"]]
+            assert states == ["done", "done"]
+            assert submit_doc["jobs"][1]["deduped"] is True
+
+            code = main([
+                "batch", "--board", "virtex-xcv1000",
+                "--design", "fir-filter", "--solver", "bnb-pure", "--json",
+            ])
+            assert code == 0
+            batch_doc = json.loads(capsys.readouterr().out)
+            direct = batch_doc["results"][0]["fingerprint"]
+            assert direct is not None
+            assert all(
+                job["fingerprint"] == direct for job in submit_doc["jobs"]
+            )
+
+            assert main(["submit", "--url", server.url, "--health"]) == 0
+            health = json.loads(capsys.readouterr().out)
+            assert health["counters"]["deduped"] >= 1
+
+            # Fire-and-forget succeeds: queued/running jobs are not
+            # failures (regression: --no-wait used to exit 1).
+            code = main([
+                "submit", "--url", server.url,
+                "--board", "virtex-xcv1000", "--design", "matrix-multiply",
+                "--solver", "bnb-pure", "--no-wait", "--json",
+            ])
+            assert code == 0
+            nowait_doc = json.loads(capsys.readouterr().out)
+            assert nowait_doc["num_failed"] == 0
+        finally:
+            client = ServeClient(server.url)
+            try:
+                client.shutdown()
+            except Exception:
+                pass
+            thread.join(10)
+
+
 class TestTable3Command:
     def test_scaled_subset_runs(self, capsys):
         assert main(["table3", "--points", "1", "--skip-complete"]) == 0
