@@ -39,11 +39,19 @@ TOTAL_KEYS = (
     "total_lp_solves",
     "total_nodes_explored",
     "total_simplex_iterations",
+    "total_warm_lp_solves",
+    "total_basis_reuses",
+    "total_refactorizations",
     "total_global_solves",
     "total_retries",
     "total_presolve_rows_dropped",
     "total_presolve_cols_fixed",
 )
+
+#: Solver-work keys a table3 artifact must carry since the revised-simplex
+#: kernel landed (the bench-smoke job gates on their presence).
+TABLE3_KEYS = ("total_warm_lp_solves", "total_basis_reuses",
+               "total_refactorizations")
 
 
 def load_artifact(path: Path) -> Dict[str, Any]:
@@ -91,6 +99,10 @@ def validate(document: Any) -> List[str]:
                 break
     if document.get("name") == "explore":
         problems.extend(_validate_explore(document))
+    if document.get("name") == "table3":
+        for key in TABLE3_KEYS:
+            if key not in document:
+                problems.append(f"table3 artifact missing key {key!r}")
     return problems
 
 

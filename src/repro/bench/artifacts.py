@@ -118,6 +118,9 @@ def explore_artifact(result: "ExploreResult") -> Dict[str, Any]:
         "total_lp_solves": total("lp_solves"),
         "total_nodes_explored": total("nodes_explored"),
         "total_simplex_iterations": total("simplex_iterations"),
+        "total_warm_lp_solves": total("warm_lp_solves"),
+        "total_basis_reuses": total("basis_reuses"),
+        "total_refactorizations": total("refactorizations"),
         "total_retries": total("retries"),
         "cache": dict(result.cache_stats) if result.cache_stats is not None else None,
         "grid": scenario_grid_to_dict(result.grid),

@@ -351,6 +351,9 @@ class Table3Harness:
             "total_lp_solves": stat_total("lp_solves"),
             "total_nodes_explored": stat_total("nodes_explored"),
             "total_simplex_iterations": stat_total("simplex_iterations"),
+            "total_warm_lp_solves": stat_total("warm_lp_solves"),
+            "total_basis_reuses": stat_total("basis_reuses"),
+            "total_refactorizations": stat_total("refactorizations"),
             "total_global_solves": stat_total("global_solves"),
             "total_retries": stat_total("retries"),
             "total_presolve_rows_dropped": stat_total("presolve_rows_dropped"),

@@ -227,6 +227,9 @@ class MemoryMapper:
             "lp_solves": total("lp_solves"),
             "nodes_explored": total("nodes_explored"),
             "simplex_iterations": total("simplex_iterations"),
+            "warm_lp_solves": total("warm_lp_solves"),
+            "basis_reuses": total("basis_reuses"),
+            "refactorizations": total("refactorizations"),
             "incumbent_updates": total("incumbent_updates"),
             "presolve_rows_dropped": presolve_rows,
             "presolve_cols_fixed": presolve_cols,

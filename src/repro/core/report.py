@@ -152,6 +152,15 @@ def render_full_report(result: MappingResult) -> str:
                 cols=stats.get("presolve_cols_fixed", 0),
             )
         )
+        if stats.get("basis_reuses"):
+            header.append(
+                "basis reuse       : {warm} warm LP re-solves from {reuses} "
+                "inherited bases ({refac} refactorizations)".format(
+                    warm=stats.get("warm_lp_solves", 0),
+                    reuses=stats.get("basis_reuses", 0),
+                    refac=stats.get("refactorizations", 0),
+                )
+            )
     header.append("")
     body = [
         render_assignment(result.design, result.board, result.global_mapping),

@@ -53,6 +53,9 @@ class ExplorePointResult:
     lp_solves: int = 0
     nodes_explored: int = 0
     simplex_iterations: int = 0
+    warm_lp_solves: int = 0
+    basis_reuses: int = 0
+    refactorizations: int = 0
     retries: int = 0
     fingerprint: Optional[str] = None
     cache_hit: bool = False
@@ -76,6 +79,9 @@ class ExplorePointResult:
             "lp_solves": self.lp_solves,
             "nodes_explored": self.nodes_explored,
             "simplex_iterations": self.simplex_iterations,
+            "warm_lp_solves": self.warm_lp_solves,
+            "basis_reuses": self.basis_reuses,
+            "refactorizations": self.refactorizations,
             "retries": self.retries,
             "fingerprint": self.fingerprint,
             "cache_hit": self.cache_hit,
@@ -311,6 +317,9 @@ class DesignSpaceExplorer:
             lp_solves=int(stats.get("lp_solves", 0) or 0),
             nodes_explored=int(stats.get("nodes_explored", 0) or 0),
             simplex_iterations=int(stats.get("simplex_iterations", 0) or 0),
+            warm_lp_solves=int(stats.get("warm_lp_solves", 0) or 0),
+            basis_reuses=int(stats.get("basis_reuses", 0) or 0),
+            refactorizations=int(stats.get("refactorizations", 0) or 0),
             retries=int(stats.get("retries", 0) or 0),
             fingerprint=result.fingerprint,
             cache_hit=result.cache_hit,

@@ -50,6 +50,12 @@ from .backends import (
     register_backend,
     resolve_backend,
 )
+from .revised_simplex import (
+    BasisState,
+    RevisedOptions,
+    RevisedSimplex,
+    solve_lp_revised,
+)
 from .scipy_backend import ScipyMilpSolver, highs_available, solve_lp_highs
 from .simplex import SimplexOptions, solve_lp_simplex
 from .solution import (
@@ -98,6 +104,10 @@ __all__ = [
     "solve_lp_highs",
     "solve_lp_simplex",
     "SimplexOptions",
+    "solve_lp_revised",
+    "RevisedSimplex",
+    "RevisedOptions",
+    "BasisState",
     # results
     "Solution",
     "SolveStats",

@@ -210,7 +210,7 @@ class PortfolioBackend:
             if label in ("bnb-pure", "bnb"):
                 options = dict(self.bnb_options)
                 if label == "bnb-pure":
-                    options.setdefault("lp_backend", "simplex")
+                    options.setdefault("lp_backend", "revised")
                 if bnb_seen:
                     # A SolveContext is not safe to share between two
                     # concurrently racing branch-and-bound entrants.
@@ -345,7 +345,10 @@ class PortfolioBackend:
 # ---------------------------------------------------------------------------
 
 _BNB_OPTIONS: Dict[str, str] = {
-    "lp_backend": "LP relaxation kernel: auto, highs or simplex",
+    "lp_backend": "LP relaxation kernel: auto, highs, revised or simplex",
+    "simplex_options": "SimplexOptions for the dense tableau kernel",
+    "revised_options": "RevisedOptions for the revised simplex kernel",
+    "reuse_basis": "dual-simplex warm starts from the parent node's basis",
     "branching": "branching strategy: auto, sos1 or variable",
     "time_limit": "wall-clock limit in seconds",
     "node_limit": "maximum number of branch-and-bound nodes",
@@ -374,6 +377,13 @@ def _bnb_factory(**options):
 def _bnb_pure_factory(**options):
     from .branch_bound import BranchAndBoundSolver
 
+    options.setdefault("lp_backend", "revised")
+    return BranchAndBoundSolver(**options)
+
+
+def _bnb_tableau_factory(**options):
+    from .branch_bound import BranchAndBoundSolver
+
     options.setdefault("lp_backend", "simplex")
     return BranchAndBoundSolver(**options)
 
@@ -392,12 +402,24 @@ def _register_builtin_backends() -> None:
     register_backend(BackendInfo(
         name="bnb-pure",
         factory=_bnb_pure_factory,
-        description="branch-and-bound pinned to the pure-Python dense "
-                    "simplex (no third-party dependencies)",
+        description="branch-and-bound pinned to the pure-Python revised "
+                    "simplex with dual warm re-solves (no third-party "
+                    "dependencies)",
+        capabilities=frozenset({"milp", "sos1-branching", "warm-start",
+                                "basis-reuse", "time-limit", "node-limit",
+                                "pure-python"}),
+        options=_BNB_OPTIONS,
+        aliases=("pure", "simplex"),
+    ))
+    register_backend(BackendInfo(
+        name="bnb-tableau",
+        factory=_bnb_tableau_factory,
+        description="branch-and-bound pinned to the legacy dense "
+                    "two-phase tableau simplex (kernel-ablation baseline)",
         capabilities=frozenset({"milp", "sos1-branching", "warm-start",
                                 "time-limit", "node-limit", "pure-python"}),
         options=_BNB_OPTIONS,
-        aliases=("pure", "simplex"),
+        aliases=("tableau",),
     ))
     register_backend(BackendInfo(
         name="scipy-milp",
@@ -427,6 +449,7 @@ def _register_builtin_backends() -> None:
             "fix_zero": "variable indices forced to zero (all entrants)",
             "presolve": "presolve toggle for the branch-and-bound entrant",
             "objective_cutoff": "cutoff-filter toggle for the branch-and-bound entrant",
+            "reuse_basis": "basis-reuse toggle for the branch-and-bound entrant",
             "context": "SolveContext for the branch-and-bound entrant",
         },
         aliases=("race",),

@@ -51,6 +51,7 @@ from .errors import ModelError, SolverError
 from .heuristics import round_with_sos, sos_greedy_assignment
 from .model import Model
 from .presolve import Postsolve, presolve as run_presolve, propagate_bounds
+from .revised_simplex import BasisState, RevisedOptions, RevisedSimplex
 from .scipy_backend import highs_available, solve_lp_highs
 from .simplex import SimplexOptions, solve_lp_simplex
 from .solution import (
@@ -74,7 +75,8 @@ class BnBOptions:
     """Tuning parameters for :class:`BranchAndBoundSolver`."""
 
     #: "auto" picks HiGHS when SciPy is importable, otherwise the built-in
-    #: simplex; "highs" and "simplex" force a specific LP kernel.
+    #: revised simplex; "highs", "revised" and "simplex" (the legacy
+    #: dense tableau) force a specific LP kernel.
     lp_backend: str = "auto"
     #: "auto" uses SOS-1 branching when groups exist; "sos1" requires them;
     #: "variable" always branches on a single fractional variable.
@@ -112,6 +114,16 @@ class BnBOptions:
     #: incumbent found so far (used by the portfolio backend to cancel a
     #: race loser without killing its thread).
     stop_check: Optional[Callable[[], bool]] = None
+    #: per-solve options of the dense tableau kernel (``lp_backend=
+    #: "simplex"``); built once per solve instead of per node, so
+    #: ``max_iterations``/``tolerance`` are configurable from backends.
+    simplex_options: Optional[SimplexOptions] = None
+    #: per-solve options of the revised kernel (``lp_backend="revised"``).
+    revised_options: Optional[RevisedOptions] = None
+    #: thread the parent node's optimal basis into child re-solves (the
+    #: revised kernel's dual-simplex warm start); fingerprints must be
+    #: identical with this off — it only changes solver effort.
+    reuse_basis: bool = True
     log: bool = False
 
 
@@ -129,6 +141,8 @@ class _Node:
     branch_dir: str = field(compare=False, default="")
     branch_frac: float = field(compare=False, default=0.0)
     parent_bound: float = field(compare=False, default=-math.inf)
+    #: parent's optimal basis (revised kernel): dual-simplex warm start.
+    basis: Optional[BasisState] = field(compare=False, default=None)
 
 
 class BranchAndBoundSolver:
@@ -138,14 +152,45 @@ class BranchAndBoundSolver:
         self.options = BnBOptions(**options)
 
     # ------------------------------------------------------------------ LP
-    def _solve_relaxation(self, form: StandardForm, stats: SolveStats) -> LpResult:
+    def _solve_relaxation(
+        self,
+        form: StandardForm,
+        stats: SolveStats,
+        basis: Optional[BasisState] = None,
+    ) -> LpResult:
         stats.lp_solves += 1
         if self._lp_backend == "highs":
             result = solve_lp_highs(form)
+        elif self._lp_backend == "revised":
+            engine = self._revised_engine(form)
+            result = engine.solve(form.lb, form.ub, basis=basis)
+            stats.refactorizations += result.refactorizations
+            if result.status == ERROR:
+                # Numerical trouble in the revised kernel: one dense
+                # tableau solve as a safety net for this node.  The
+                # discarded attempt's work is still accounted (its own
+                # LP solve and iterations), but it does not count as a
+                # basis reuse — its result was thrown away.
+                stats.simplex_iterations += result.iterations
+                stats.lp_solves += 1
+                result = solve_lp_simplex(form, self._simplex_options)
+            else:
+                if result.basis_reused:
+                    stats.basis_reuses += 1
+                if result.warm:
+                    stats.warm_lp_solves += 1
         else:
-            result = solve_lp_simplex(form, SimplexOptions())
+            result = solve_lp_simplex(form, self._simplex_options)
         stats.simplex_iterations += result.iterations
         return result
+
+    def _revised_engine(self, form: StandardForm) -> RevisedSimplex:
+        """One engine per (matrices, costs) triple, shared by all nodes."""
+        engine = self._engine
+        if engine is None or not engine.matches(form):
+            engine = RevisedSimplex(form, self._revised_options)
+            self._engine = engine
+        return engine
 
     # ------------------------------------------------------------ branching
     def _select_sos_group(
@@ -256,14 +301,21 @@ class BranchAndBoundSolver:
         context = options.context if options.context is not None else SolveContext()
 
         if options.lp_backend == "auto":
-            self._lp_backend = "highs" if highs_available() else "simplex"
-        elif options.lp_backend in ("highs", "simplex"):
+            self._lp_backend = "highs" if highs_available() else "revised"
+        elif options.lp_backend in ("highs", "simplex", "revised"):
             if options.lp_backend == "highs" and not highs_available():
                 raise SolverError("HiGHS LP backend requested but SciPy is missing")
             self._lp_backend = options.lp_backend
         else:
             raise ModelError(f"unknown lp_backend {options.lp_backend!r}")
         stats.backend = f"bnb+{self._lp_backend}"
+        # Hoisted per-solve LP options: built once here instead of per
+        # node, so callers can actually tune ``max_iterations``/
+        # ``tolerance`` through the backend registry.
+        self._simplex_options = options.simplex_options or SimplexOptions()
+        self._revised_options = options.revised_options or RevisedOptions()
+        self._engine: Optional[RevisedSimplex] = None
+        reuse_basis = options.reuse_basis and self._lp_backend == "revised"
 
         branching = options.branching
         if branching == "auto":
@@ -278,11 +330,18 @@ class BranchAndBoundSolver:
         def internal_objective(x: np.ndarray) -> float:
             return float(form.c @ x) + form.objective_offset
 
+        root_basis_holder: List[Optional[BasisState]] = [None]
+
         def finish(status: str, incumbent, incumbent_obj, best_bound) -> Solution:
             stats.wall_time = time.perf_counter() - start
             stats.best_bound = (
                 form.objective_scale * best_bound if math.isfinite(best_bound) else best_bound
             )
+            if root_basis_holder[0] is not None:
+                # Remember the root relaxation's optimal basis: the next
+                # solve under this context (a Section 4.1 retry, or a
+                # warm-chained sweep point) starts its root LP from it.
+                context.note_basis(root_basis_holder[0])
             context.record(stats)
             if incumbent is not None and math.isfinite(incumbent_obj):
                 context.note_incumbent(incumbent)
@@ -463,8 +522,15 @@ class BranchAndBoundSolver:
             try_incumbent(sos_greedy_assignment(model, root_form))
 
         # ------------------------------------------------------------ root node
+        root_basis: Optional[BasisState] = None
+        if reuse_basis and context.warm_basis is not None:
+            # A previous solve's root basis (retry loop / chained sweep);
+            # the kernel validates dimensions and silently cold-starts on
+            # a mismatch, so this is best-effort by construction.
+            root_basis = context.warm_basis
         root = _Node(bound=-math.inf, sequence=0,
-                     lb=rform.lb.copy(), ub=rform.ub.copy())
+                     lb=rform.lb.copy(), ub=rform.ub.copy(),
+                     basis=root_basis)
         counter = itertools.count(1)
         queue: List[_Node] = [root]
         best_bound = -math.inf
@@ -532,7 +598,9 @@ class BranchAndBoundSolver:
                     continue
                 node.lb, node.ub = node_lb, node_ub
             node_form = rform.with_bounds(node_lb, node_ub)
-            relaxation = self._solve_relaxation(node_form, stats)
+            relaxation = self._solve_relaxation(
+                node_form, stats, basis=node.basis if reuse_basis else None
+            )
 
             if relaxation.status == INFEASIBLE:
                 stats.nodes_pruned += 1
@@ -546,6 +614,8 @@ class BranchAndBoundSolver:
                 return finish(ERROR, incumbent, incumbent_obj, best_bound)
 
             x = relaxation.x
+            if node.depth == 0 and relaxation.basis is not None:
+                root_basis_holder[0] = relaxation.basis
             bound = relaxation.objective + rform.objective_offset
             if node.branch_name is not None and math.isfinite(node.parent_bound):
                 context.pseudocost(node.branch_name).update(
@@ -591,6 +661,7 @@ class BranchAndBoundSolver:
             if not children:
                 # Numerically integral but missed by the tolerance test above.
                 continue
+            child_basis = relaxation.basis if reuse_basis else None
             for child_lb, child_ub, child_name, child_dir, child_frac in children:
                 heapq.heappush(
                     queue,
@@ -604,6 +675,7 @@ class BranchAndBoundSolver:
                         branch_dir=child_dir,
                         branch_frac=child_frac,
                         parent_bound=bound,
+                        basis=child_basis,
                     ),
                 )
 

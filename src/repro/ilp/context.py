@@ -41,6 +41,7 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
+from .revised_simplex import BasisState
 from .standard_form import StandardForm, to_standard_form
 
 __all__ = ["PseudoCost", "SolveContext"]
@@ -103,11 +104,18 @@ class SolveContext:
         #: meaningful for a *different* model too, which is what lets the
         #: explore subsystem chain adjacent design points together.
         self.seed_assignment: Optional[Dict[str, str]] = None
+        #: root-relaxation basis of the most recent revised-kernel solve;
+        #: the next solve's root LP dual-warm-starts from it (validated
+        #: against the new form's dimensions by the kernel itself).
+        self.warm_basis: Optional[BasisState] = None
         # ---- aggregate counters over every solve run under this context
         self.solves: int = 0
         self.total_lp_solves: int = 0
         self.total_nodes: int = 0
         self.total_simplex_iterations: int = 0
+        self.total_warm_lp_solves: int = 0
+        self.total_basis_reuses: int = 0
+        self.total_refactorizations: int = 0
         self.presolve_rows_dropped: int = 0
         self.presolve_cols_fixed: int = 0
         self.warm_start_hits: int = 0
@@ -158,6 +166,11 @@ class SolveContext:
         if assignment:
             self.seed_assignment = dict(assignment)
 
+    def note_basis(self, basis: Optional[BasisState]) -> None:
+        """Remember a solve's root basis as the next solve's warm start."""
+        if basis is not None:
+            self.warm_basis = basis.copy()
+
     # ------------------------------------------------------------- statistics
     def record(self, stats) -> None:
         """Fold one solve's :class:`~repro.ilp.solution.SolveStats` in."""
@@ -165,6 +178,9 @@ class SolveContext:
         self.total_lp_solves += stats.lp_solves
         self.total_nodes += stats.nodes_explored
         self.total_simplex_iterations += stats.simplex_iterations
+        self.total_warm_lp_solves += getattr(stats, "warm_lp_solves", 0)
+        self.total_basis_reuses += getattr(stats, "basis_reuses", 0)
+        self.total_refactorizations += getattr(stats, "refactorizations", 0)
         pres = stats.presolve or {}
         self.presolve_rows_dropped += int(pres.get("rows_dropped_ub", 0))
         self.presolve_rows_dropped += int(pres.get("rows_dropped_eq", 0))
@@ -177,6 +193,9 @@ class SolveContext:
             "lp_solves": self.total_lp_solves,
             "nodes": self.total_nodes,
             "simplex_iterations": self.total_simplex_iterations,
+            "warm_lp_solves": self.total_warm_lp_solves,
+            "basis_reuses": self.total_basis_reuses,
+            "refactorizations": self.total_refactorizations,
             "presolve_rows_dropped": self.presolve_rows_dropped,
             "presolve_cols_fixed": self.presolve_cols_fixed,
             "warm_start_hits": self.warm_start_hits,
@@ -196,6 +215,9 @@ class SolveContext:
             "seed_assignment": (
                 None if self.seed_assignment is None else dict(self.seed_assignment)
             ),
+            "warm_basis": (
+                None if self.warm_basis is None else self.warm_basis.as_dict()
+            ),
         }
 
     @classmethod
@@ -206,6 +228,9 @@ class SolveContext:
         ctx.total_lp_solves = int(summary.get("lp_solves", 0))
         ctx.total_nodes = int(summary.get("nodes", 0))
         ctx.total_simplex_iterations = int(summary.get("simplex_iterations", 0))
+        ctx.total_warm_lp_solves = int(summary.get("warm_lp_solves", 0))
+        ctx.total_basis_reuses = int(summary.get("basis_reuses", 0))
+        ctx.total_refactorizations = int(summary.get("refactorizations", 0))
         ctx.presolve_rows_dropped = int(summary.get("presolve_rows_dropped", 0))
         ctx.presolve_cols_fixed = int(summary.get("presolve_cols_fixed", 0))
         ctx.warm_start_hits = int(summary.get("warm_start_hits", 0))
@@ -218,6 +243,8 @@ class SolveContext:
         ctx.warm_values = None if warm is None else np.asarray(warm, dtype=np.float64)
         seed = data.get("seed_assignment")
         ctx.seed_assignment = None if seed is None else dict(seed)
+        basis = data.get("warm_basis")
+        ctx.warm_basis = None if basis is None else BasisState.from_dict(basis)
         return ctx
 
     # ---------------------------------------------------------------- chaining
@@ -237,6 +264,13 @@ class SolveContext:
             "seed_assignment": (
                 None if self.seed_assignment is None else dict(self.seed_assignment)
             ),
+            # The root basis crosses the chain too: adjacent design
+            # points frequently share the exact model shape, and the
+            # kernel validates dimensions before reusing it (a mismatch
+            # silently cold-starts, so a stale basis can never mislead).
+            "warm_basis": (
+                None if self.warm_basis is None else self.warm_basis.as_dict()
+            ),
         }
 
     @classmethod
@@ -249,6 +283,8 @@ class SolveContext:
         }
         seed = data.get("seed_assignment")
         ctx.seed_assignment = None if seed is None else dict(seed)
+        basis = data.get("warm_basis")
+        ctx.warm_basis = None if basis is None else BasisState.from_dict(basis)
         return ctx
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,0 +1,748 @@
+"""Bounded-variable revised simplex with a dual mode for warm re-solves.
+
+This is the second-generation LP kernel behind the built-in
+branch-and-bound solver.  Compared with the dense two-phase tableau of
+:mod:`repro.ilp.simplex` it changes three things that matter for the
+mapping workloads:
+
+* **Bounds are native.**  Variables live in ``[lb, ub]`` inside the
+  algorithm (nonbasic variables sit at one of their bounds), so finite
+  upper bounds no longer inflate the row count — a 0/1 model with ``n``
+  variables loses ``n`` constraint rows compared with the tableau, and
+  every pivot works on the smaller system.
+* **The basis is an explicit object.**  The kernel maintains ``B⁻¹`` as
+  a factorized inverse, refactorized from scratch every
+  ``refactor_interval`` pivots to keep ``‖B·B⁻¹ − I‖`` small, and the
+  (basis, nonbasic-status) pair is exported as a :class:`BasisState`
+  that callers can hand to a later solve.
+* **A dual simplex mode restores feasibility after bound changes.**
+  Branch-and-bound children differ from their parent by a few tightened
+  bounds: the parent's optimal basis stays *dual* feasible, so the child
+  re-solve starts from it and performs a handful of dual pivots instead
+  of a full phase-1 + phase-2 run.  The same applies to the pipeline's
+  Section 4.1 retries (one more variable fixed to zero) and to
+  warm-chained explore sweeps.
+
+Computational form
+------------------
+The :class:`~repro.ilp.standard_form.StandardForm` rows are lifted into
+equalities by one slack column per row::
+
+    A_ub x + s_ub = b_ub     0 <= s_ub < inf
+    A_eq x + s_eq = b_eq     s_eq = 0
+
+so ``W = [A | I]`` and a basis is any nonsingular m-column subset of
+``W``.  Cold solves start from the all-slack basis and run a primal
+phase 1 (minimising the total bound violation of the basic variables
+with short-step blocking) followed by a primal phase 2; both phases use
+Dantzig pricing with a Bland's-rule anti-cycling fallback after a
+stall, mirroring the tableau kernel's termination guarantee.
+
+Warm solves (:meth:`RevisedSimplex.solve` with a ``basis``) refactorize
+the supplied basis, repair dual feasibility by bound flips where
+possible, and run the bounded-variable dual simplex; any numerical
+trouble (singular basis, unrepairable dual infeasibility, stalling)
+falls back to the cold primal path rather than failing the solve.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from .solution import ERROR, INFEASIBLE, OPTIMAL, UNBOUNDED, LpResult
+from .standard_form import StandardForm
+
+__all__ = ["BasisState", "RevisedOptions", "RevisedSimplex", "solve_lp_revised"]
+
+# Nonbasic / basic variable statuses.
+BASIC = 0
+AT_LOWER = 1
+AT_UPPER = 2
+FREE = 3  # nonbasic at value zero (no finite bound to rest on)
+
+#: primal feasibility tolerance (solution values, not pivot eligibility)
+_PTOL = 1e-7
+#: dual feasibility tolerance used when accepting a warm basis
+_DTOL = 1e-7
+
+
+@dataclass
+class RevisedOptions:
+    """Tuning knobs for the revised simplex kernel."""
+
+    max_iterations: int = 20000
+    #: switch from Dantzig to Bland's anti-cycling rule after this many
+    #: iterations without objective (or infeasibility) improvement.
+    stall_iterations: int = 200
+    tolerance: float = 1e-9
+    #: recompute ``B⁻¹`` from scratch every this many pivots (numerical
+    #: drift control; the refactorization-drift test pins the residual).
+    refactor_interval: int = 64
+    #: after optimality, pivot along the optimal face (zero-reduced-cost
+    #: columns only — provably objective-preserving) to the vertex
+    #: minimising a fixed generic secondary objective.  This makes the
+    #: returned vertex independent of the solve path, so a dual warm
+    #: re-solve and a cold solve of the same node give byte-identical
+    #: solutions — the property the warm-vs-cold fingerprint tests pin.
+    canonicalize: bool = True
+
+
+@dataclass
+class BasisState:
+    """A reusable snapshot of one solve's optimal basis.
+
+    ``basis`` holds the basic column index per row of the computational
+    form ``[structural | slacks]``; ``status`` holds the
+    :data:`AT_LOWER` / :data:`AT_UPPER` / :data:`FREE` resting place of
+    every nonbasic column (:data:`BASIC` for basic ones).  The state is
+    only meaningful for a form with the same row/column counts — the
+    kernel re-validates and silently cold-starts on a mismatch.
+    """
+
+    basis: np.ndarray
+    status: np.ndarray
+
+    def matches(self, num_rows: int, num_cols: int) -> bool:
+        return (
+            self.basis.shape == (num_rows,)
+            and self.status.shape == (num_cols,)
+        )
+
+    def copy(self) -> "BasisState":
+        return BasisState(self.basis.copy(), self.status.copy())
+
+    # ------------------------------------------------------------ round trip
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (crosses process boundaries with contexts)."""
+        return {
+            "kind": "basis_state",
+            "basis": self.basis.tolist(),
+            "status": self.status.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BasisState":
+        return cls(
+            basis=np.asarray(data.get("basis") or [], dtype=np.int64),
+            status=np.asarray(data.get("status") or [], dtype=np.int8),
+        )
+
+
+class RevisedSimplex:
+    """Revised simplex engine bound to one constraint matrix.
+
+    The engine is constructed from a :class:`StandardForm` and assembles
+    the dense computational matrix ``W = [A | I]`` once; every
+    :meth:`solve` call then supplies (possibly different) variable
+    bounds, which is exactly the branch-and-bound node pattern — the
+    matrices never change between nodes, only the bound vectors do.
+    :meth:`matches` lets callers reuse one engine across all node forms
+    created by :meth:`StandardForm.with_bounds`.
+    """
+
+    def __init__(self, form: StandardForm, options: Optional[RevisedOptions] = None) -> None:
+        self.options = options or RevisedOptions()
+        self._A_ub_sparse = form.A_ub_sparse
+        self._A_eq_sparse = form.A_eq_sparse
+        self._c_structural = form.c
+        self.n = form.num_variables
+        self.m_ub = form.num_ub_rows
+        self.m_eq = form.num_eq_rows
+        self.m = self.m_ub + self.m_eq
+        self.total = self.n + self.m
+        # Dense computational matrix [A | I] (built once, reused per node).
+        W = np.zeros((self.m, self.total), dtype=np.float64)
+        if self.m_ub:
+            W[: self.m_ub, : self.n] = form.A_ub
+        if self.m_eq:
+            W[self.m_ub :, : self.n] = form.A_eq
+        if self.m:
+            W[:, self.n :] = np.eye(self.m)
+        self.W = W
+        self.b = np.concatenate([form.b_ub, form.b_eq]) if self.m else np.zeros(0)
+        c = np.zeros(self.total)
+        c[: self.n] = form.c
+        self.c = c
+        # Fixed generic secondary objective for vertex canonicalization:
+        # strictly positive, strictly decreasing, no two subset sums
+        # likely to tie on a face edge.
+        self._secondary = 1.0 / (np.arange(self.total, dtype=np.float64) + 2.0)
+        # ---- cumulative counters exposed for stats plumbing and tests
+        self.refactorizations = 0
+        self.bland_switches = 0
+        self.warm_attempts = 0
+        self.warm_accepted = 0
+        self.warm_fallbacks = 0
+        # ---- per-solve state (set up by _cold_start / _warm_start)
+        self.basis = np.zeros(0, dtype=np.int64)
+        self.status = np.zeros(0, dtype=np.int8)
+        self.binv = np.zeros((0, 0))
+        self.x_basic = np.zeros(0)
+        self.lower = np.zeros(0)
+        self.upper = np.zeros(0)
+        self._pivots_since_refactor = 0
+        self._refactors_this_solve = 0
+
+    # ------------------------------------------------------------------ reuse
+    def matches(self, form: StandardForm) -> bool:
+        """True when ``form`` shares this engine's matrices (bounds may differ)."""
+        return (
+            form.A_ub_sparse is self._A_ub_sparse
+            and form.A_eq_sparse is self._A_eq_sparse
+            and form.c is self._c_structural
+        )
+
+    # ------------------------------------------------------------- diagnostics
+    def factor_residual(self) -> float:
+        """``‖W_B · B⁻¹ − I‖_max`` of the current factorization (drift probe)."""
+        if self.m == 0 or self.basis.shape[0] != self.m:
+            return 0.0
+        product = self.W[:, self.basis] @ self.binv
+        return float(np.max(np.abs(product - np.eye(self.m))))
+
+    # ------------------------------------------------------------------ solve
+    def solve(
+        self,
+        lb: np.ndarray,
+        ub: np.ndarray,
+        basis: Optional[BasisState] = None,
+    ) -> LpResult:
+        """Solve ``min c·x`` over the engine's rows and the bounds ``[lb, ub]``.
+
+        ``basis`` (optional) warm-starts the dual simplex from a previous
+        solve's :class:`BasisState`; incompatible or numerically unusable
+        bases silently fall back to a cold primal solve.  The returned
+        :class:`LpResult` carries the optimal basis (``result.basis``)
+        for the caller to reuse, plus ``result.warm`` (the dual warm path
+        completed) and ``result.basis_reused`` (a supplied basis was
+        accepted) for the statistics plumbing.
+        """
+        self._refactors_this_solve = 0
+        self.lower = np.concatenate([np.asarray(lb, dtype=np.float64), self._slack_lower()])
+        self.upper = np.concatenate([np.asarray(ub, dtype=np.float64), self._slack_upper()])
+        if np.any(self.lower > self.upper + _PTOL):
+            return LpResult(INFEASIBLE)
+
+        if self.m == 0:
+            return self._solve_unconstrained(lb, ub)
+
+        iterations = 0
+        reused = False
+        if basis is not None:
+            self.warm_attempts += 1
+            if self._warm_start(basis):
+                self.warm_accepted += 1
+                reused = True
+                status, iterations = self._dual_loop()
+                if status == "optimal":
+                    iterations += self._canonicalize()
+                    return self._result(OPTIMAL, iterations, warm=True, reused=True)
+                if status == "infeasible":
+                    # Dual unboundedness proves primal infeasibility — the
+                    # installed basis was dual feasible, so this is sound.
+                    return self._result(INFEASIBLE, iterations, warm=True,
+                                        reused=True)
+                # Stall / iteration limit: solve cold instead of failing.
+                self.warm_fallbacks += 1
+
+        self._cold_start()
+        status, more = self._primal_phase1()
+        iterations += more
+        if status == "infeasible":
+            return self._result(INFEASIBLE, iterations, reused=reused)
+        if status != "feasible":
+            return self._result(ERROR, iterations, reused=reused)
+        status, more = self._primal_loop(self.c)
+        iterations += more
+        if status == "unbounded":
+            return self._result(UNBOUNDED, iterations, reused=reused)
+        if status != "optimal":
+            return self._result(ERROR, iterations, reused=reused)
+        iterations += self._canonicalize()
+        return self._result(OPTIMAL, iterations, reused=reused)
+
+    # --------------------------------------------------------------- plumbing
+    def _slack_lower(self) -> np.ndarray:
+        return np.zeros(self.m)
+
+    def _slack_upper(self) -> np.ndarray:
+        upper = np.full(self.m, np.inf)
+        upper[self.m_ub :] = 0.0  # == rows: slack fixed at zero
+        return upper
+
+    def _solve_unconstrained(self, lb, ub) -> LpResult:
+        c = self._c_structural
+        # Zero-cost variables take any feasible value: zero clipped into
+        # the box (which is the lower bound when that is finite).
+        indifferent = np.clip(np.zeros_like(c), lb, ub)
+        x = np.where(c > 0, lb, np.where(c < 0, ub, indifferent))
+        if np.any(~np.isfinite(x)):
+            return LpResult(UNBOUNDED)
+        return LpResult(OPTIMAL, x=np.asarray(x, dtype=np.float64),
+                        objective=float(c @ x), iterations=0)
+
+    def _nonbasic_values(self) -> np.ndarray:
+        """Full-length value vector with basic entries zeroed."""
+        values = np.zeros(self.total)
+        at_lower = self.status == AT_LOWER
+        at_upper = self.status == AT_UPPER
+        values[at_lower] = self.lower[at_lower]
+        values[at_upper] = self.upper[at_upper]
+        values[self.basis] = 0.0
+        return values
+
+    def _recompute_basics(self) -> None:
+        rhs = self.b - self.W @ self._nonbasic_values()
+        self.x_basic = self.binv @ rhs
+
+    def _refactorize(self) -> bool:
+        try:
+            self.binv = np.linalg.inv(self.W[:, self.basis])
+        except np.linalg.LinAlgError:
+            return False
+        self.refactorizations += 1
+        self._refactors_this_solve += 1
+        self._pivots_since_refactor = 0
+        return True
+
+    def _cold_start(self) -> None:
+        """All-slack basis; structural variables rest on their nearest bound."""
+        self.basis = np.arange(self.n, self.n + self.m, dtype=np.int64)
+        status = np.full(self.total, AT_LOWER, dtype=np.int8)
+        no_lower = ~np.isfinite(self.lower)
+        has_upper = np.isfinite(self.upper)
+        status[no_lower & has_upper] = AT_UPPER
+        status[no_lower & ~has_upper] = FREE
+        status[self.basis] = BASIC
+        self.status = status
+        self.binv = np.eye(self.m)
+        self.refactorizations += 1
+        self._refactors_this_solve += 1
+        self._pivots_since_refactor = 0
+        self._recompute_basics()
+
+    def _warm_start(self, state: BasisState) -> bool:
+        """Install ``state`` and verify it is usable for a dual solve."""
+        if not state.matches(self.m, self.total):
+            return False
+        # Copy: the node's BasisState is shared by every sibling, and the
+        # solve mutates the installed arrays in place.
+        basis = np.array(state.basis, dtype=np.int64, copy=True)
+        if np.any(basis < 0) or np.any(basis >= self.total):
+            return False
+        if np.unique(basis).shape[0] != self.m:
+            return False
+        status = np.asarray(state.status, dtype=np.int8).copy()
+        is_basic = np.zeros(self.total, dtype=bool)
+        is_basic[basis] = True
+        # Columns recorded basic that are not in the basis (a state from
+        # a foreign model) rest on a bound like any other nonbasic.
+        status[(status == BASIC) & ~is_basic] = AT_LOWER
+        status[basis] = BASIC
+        # Re-anchor nonbasic columns whose recorded bound does not exist
+        # under the current bound vectors (chained contexts may cross
+        # models; branching only ever tightens, but stay defensive).
+        nonbasic = status != BASIC
+        at_lower = nonbasic & (status == AT_LOWER) & ~np.isfinite(self.lower)
+        status[at_lower & np.isfinite(self.upper)] = AT_UPPER
+        status[at_lower & ~np.isfinite(self.upper)] = FREE
+        at_upper = nonbasic & (status == AT_UPPER) & ~np.isfinite(self.upper)
+        status[at_upper & np.isfinite(self.lower)] = AT_LOWER
+        status[at_upper & ~np.isfinite(self.lower)] = FREE
+        free = nonbasic & (status == FREE) & np.isfinite(self.lower)
+        status[free] = AT_LOWER
+        self.basis = basis
+        self.status = status
+        if not self._refactorize():
+            return False
+        # Dual feasibility: repair by bound flips where a finite opposite
+        # bound exists; give up (cold start) when it does not.
+        d = self.c - (self.c[self.basis] @ self.binv) @ self.W
+        movable = (self.upper - self.lower > self.options.tolerance) & (self.status != BASIC)
+        bad_lower = movable & (self.status == AT_LOWER) & (d < -_DTOL)
+        if np.any(bad_lower & ~np.isfinite(self.upper)):
+            return False
+        bad_upper = movable & (self.status == AT_UPPER) & (d > _DTOL)
+        if np.any(bad_upper & ~np.isfinite(self.lower)):
+            return False
+        if np.any(movable & (self.status == FREE) & (np.abs(d) > _DTOL)):
+            return False
+        self.status[bad_lower] = AT_UPPER
+        self.status[bad_upper] = AT_LOWER
+        self._recompute_basics()
+        return True
+
+    # ----------------------------------------------------------------- pivots
+    def _pivot_update(self, row: int, alpha: np.ndarray) -> bool:
+        """Update ``B⁻¹`` after the basis change of ``row``.
+
+        Returns True when a periodic refactorization replaced the updated
+        inverse (in which case ``x_basic`` was recomputed exactly).
+        """
+        pivot = alpha[row]
+        self.binv[row, :] /= pivot
+        col = alpha.copy()
+        col[row] = 0.0
+        self.binv -= np.outer(col, self.binv[row, :])
+        self._pivots_since_refactor += 1
+        if self._pivots_since_refactor >= self.options.refactor_interval:
+            if self._refactorize():
+                self._recompute_basics()
+                return True
+        return False
+
+    # ----------------------------------------------------------------- primal
+    def _primal_phase1(self) -> Tuple[str, int]:
+        """Drive the basic variables inside their bounds (short-step).
+
+        Minimises the total bound violation of the basic variables with a
+        piecewise-linear cost that is refreshed every iteration; blocking
+        is short-step (an infeasible basic stops the ratio test when it
+        *reaches* its violated bound), so the violation sum never
+        increases and every pivot keeps the remaining pieces linear.
+        """
+        opts = self.options
+        iterations = 0
+        stall = 0
+        bland = False
+        best = math.inf
+        while iterations < opts.max_iterations:
+            lowerB = self.lower[self.basis]
+            upperB = self.upper[self.basis]
+            below = self.x_basic < lowerB - _PTOL
+            above = self.x_basic > upperB + _PTOL
+            infeasibility = float(
+                np.sum(lowerB[below] - self.x_basic[below])
+                + np.sum(self.x_basic[above] - upperB[above])
+            )
+            if infeasibility <= _PTOL:
+                return "feasible", iterations
+            if infeasibility < best - opts.tolerance:
+                best = infeasibility
+                stall = 0
+            elif stall > opts.stall_iterations and not bland:
+                bland = True
+                self.bland_switches += 1
+            else:
+                stall += 1
+            # Phase-1 cost: -1 per below-bound basic, +1 per above-bound.
+            w = np.zeros(self.total)
+            w[self.basis[below]] = -1.0
+            w[self.basis[above]] = 1.0
+            entering, direction = self._price(w, bland)
+            if entering < 0:
+                return "infeasible", iterations
+            alpha = self.binv @ self.W[:, entering]
+            step, blocker, land_upper = self._ratio_test(
+                entering, direction, alpha, bland, phase_one=(below, above)
+            )
+            if step is None:
+                # Numerically unbounded phase-1 descent: give up cleanly.
+                return "error", iterations
+            self._apply_step(entering, direction, alpha, step, blocker, land_upper)
+            iterations += 1
+        return "error", iterations
+
+    def _canonicalize(self) -> int:
+        """Pivot to the deterministic vertex of the optimal face.
+
+        Only columns with zero reduced cost (w.r.t. the real objective)
+        may enter, which keeps ``c·x`` exactly invariant: pivoting on a
+        zero-reduced-cost column leaves every reduced cost unchanged.
+        Minimising the fixed generic secondary objective over that face
+        lands on one well-defined vertex no matter how the solve got to
+        optimality — warm dual path and cold primal path included.
+        """
+        if not self.options.canonicalize:
+            return 0
+        status, iterations = self._primal_loop(self._secondary, face_costs=self.c)
+        # "unbounded" (an unbounded optimal face) and "error" both simply
+        # keep the current — already optimal — vertex.
+        return iterations
+
+    def _primal_loop(
+        self,
+        costs: np.ndarray,
+        face_costs: Optional[np.ndarray] = None,
+    ) -> Tuple[str, int]:
+        """Phase-2 primal iterations under the static cost vector ``costs``.
+
+        With ``face_costs`` the loop is restricted to the optimal face of
+        that vector (entering columns must price to zero under it).
+        """
+        opts = self.options
+        iterations = 0
+        stall = 0
+        bland = False
+        best = math.inf
+        limit = opts.max_iterations if face_costs is None else 2 * self.total + 16
+        while iterations < limit:
+            entering, direction = self._price(costs, bland, face_costs=face_costs)
+            if entering < 0:
+                return "optimal", iterations
+            alpha = self.binv @ self.W[:, entering]
+            step, blocker, land_upper = self._ratio_test(entering, direction, alpha, bland)
+            if step is None:
+                return "unbounded", iterations
+            self._apply_step(entering, direction, alpha, step, blocker, land_upper)
+            iterations += 1
+            objective = float(costs @ self._current_values())
+            if objective < best - opts.tolerance:
+                best = objective
+                stall = 0
+            elif stall > opts.stall_iterations and not bland:
+                bland = True
+                self.bland_switches += 1
+            else:
+                stall += 1
+        return "error", iterations
+
+    def _price(
+        self,
+        costs: np.ndarray,
+        bland: bool,
+        face_costs: Optional[np.ndarray] = None,
+    ) -> Tuple[int, int]:
+        """Pick the entering column (Dantzig, or Bland under ``bland``)."""
+        tol = self.options.tolerance
+        y = costs[self.basis] @ self.binv
+        d = costs - y @ self.W
+        movable = self.upper - self.lower > tol
+        nonbasic = (self.status != BASIC) & movable
+        if face_costs is not None:
+            y_face = face_costs[self.basis] @ self.binv
+            d_face = face_costs - y_face @ self.W
+            nonbasic &= np.abs(d_face) <= _DTOL
+        increase = nonbasic & (
+            ((self.status == AT_LOWER) | (self.status == FREE)) & (d < -tol)
+        )
+        decrease = nonbasic & (
+            ((self.status == AT_UPPER) | (self.status == FREE)) & (d > tol)
+        )
+        eligible = np.where(increase | decrease)[0]
+        if eligible.size == 0:
+            return -1, 0
+        if bland:
+            entering = int(eligible[0])
+        else:
+            entering = int(eligible[np.argmax(np.abs(d[eligible]))])
+        return entering, (1 if increase[entering] else -1)
+
+    def _ratio_test(
+        self,
+        entering: int,
+        direction: int,
+        alpha: np.ndarray,
+        bland: bool,
+        phase_one: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    ):
+        """Largest step the entering variable can take.
+
+        Returns ``(step, blocker, land_upper)`` where ``blocker`` is
+        ``-1`` for a bound flip of the entering variable, otherwise the
+        blocking basis row, and ``land_upper`` says which bound the
+        leaving variable rests on.  ``(None, None, None)`` signals an
+        unbounded step.  In phase 1 (``phase_one`` carries the
+        below/above masks) infeasible basics only block when they reach
+        the bound they violate; feasible basics block as usual.
+        """
+        tol = self.options.tolerance
+        delta = -direction * alpha  # d(x_B) per unit step of the entering var
+        lowerB = self.lower[self.basis]
+        upperB = self.upper[self.basis]
+        ratios = np.full(self.m, np.inf)
+        land_upper_mask = np.zeros(self.m, dtype=bool)
+        if phase_one is not None:
+            below, above = phase_one
+            feasible = ~(below | above)
+        else:
+            below = above = None
+            feasible = np.ones(self.m, dtype=bool)
+
+        shrink = feasible & (delta < -tol) & np.isfinite(lowerB)
+        ratios[shrink] = (self.x_basic[shrink] - lowerB[shrink]) / (-delta[shrink])
+        grow = feasible & (delta > tol) & np.isfinite(upperB)
+        ratios[grow] = (upperB[grow] - self.x_basic[grow]) / delta[grow]
+        land_upper_mask[grow] = True
+        if below is not None:
+            rising = below & (delta > tol)
+            ratios[rising] = (lowerB[rising] - self.x_basic[rising]) / delta[rising]
+            land_upper_mask[rising] = False
+            falling = above & (delta < -tol)
+            ratios[falling] = (self.x_basic[falling] - upperB[falling]) / (-delta[falling])
+            land_upper_mask[falling] = True
+        np.maximum(ratios, 0.0, out=ratios)
+
+        span = self.upper[entering] - self.lower[entering]
+        bound_step = span if math.isfinite(span) else np.inf
+
+        best = float(np.min(ratios))
+        if bound_step < best - tol:
+            return bound_step, -1, False
+        if not math.isfinite(best):
+            if math.isfinite(bound_step):
+                return bound_step, -1, False
+            return None, None, None
+        candidates = np.where(ratios <= best + tol)[0]
+        if bland:
+            blocker = int(candidates[np.argmin(self.basis[candidates])])
+        else:
+            blocker = int(candidates[np.argmax(np.abs(delta[candidates]))])
+        return float(ratios[blocker]), blocker, bool(land_upper_mask[blocker])
+
+    def _apply_step(self, entering, direction, alpha, step, blocker, land_upper) -> None:
+        """Move the entering variable by ``step`` and pivot/flip accordingly."""
+        if step:
+            self.x_basic -= direction * step * alpha
+        if blocker == -1:
+            # Bound flip: the entering variable crosses to its other bound.
+            self.status[entering] = AT_UPPER if direction > 0 else AT_LOWER
+            return
+        if self.status[entering] == AT_LOWER:
+            value = self.lower[entering] + direction * step
+        elif self.status[entering] == AT_UPPER:
+            value = self.upper[entering] + direction * step
+        else:  # FREE enters from zero
+            value = direction * step
+        leaving = int(self.basis[blocker])
+        self.status[leaving] = AT_UPPER if land_upper else AT_LOWER
+        self.basis[blocker] = entering
+        self.status[entering] = BASIC
+        if not self._pivot_update(blocker, alpha):
+            self.x_basic[blocker] = value
+
+    def _current_values(self) -> np.ndarray:
+        values = self._nonbasic_values()
+        values[self.basis] = self.x_basic
+        return values
+
+    # ------------------------------------------------------------------- dual
+    def _dual_loop(self) -> Tuple[str, int]:
+        """Bounded-variable dual simplex from the installed (dual-feasible) basis."""
+        opts = self.options
+        tol = opts.tolerance
+        iterations = 0
+        stall = 0
+        bland = False
+        # The monotone quantity of the dual simplex is the objective
+        # (nondecreasing every pivot); total primal violation may
+        # oscillate on the way to feasibility, so stall detection keys
+        # on the objective, not the violation.
+        best_obj = -math.inf
+        while iterations < opts.max_iterations:
+            lowerB = self.lower[self.basis]
+            upperB = self.upper[self.basis]
+            with np.errstate(invalid="ignore"):
+                viol_low = lowerB - self.x_basic
+                viol_up = self.x_basic - upperB
+                violation = np.maximum(np.maximum(viol_low, viol_up), 0.0)
+            violation[~np.isfinite(violation)] = 0.0
+            total_viol = float(np.sum(violation))
+            if total_viol <= _PTOL * max(1, self.m):
+                return "optimal", iterations
+            objective = float(self.c @ self._current_values())
+            if objective > best_obj + tol:
+                best_obj = objective
+                stall = 0
+            else:
+                stall += 1
+                if not bland and stall > opts.stall_iterations:
+                    bland = True
+                    self.bland_switches += 1
+                    stall = 0
+                elif bland and stall > 4 * max(1, opts.stall_iterations):
+                    # Bland's rule should terminate on its own; this is
+                    # the belt-and-braces exit to the cold fallback.
+                    return "stalled", iterations
+            if bland:
+                row = int(np.where(violation > _PTOL)[0][0])
+            else:
+                row = int(np.argmax(violation))
+            leaving_below = bool(viol_low[row] >= viol_up[row])
+
+            rho = self.binv[row, :]
+            alpha_row = rho @ self.W
+            # sigma orients the row so eligible entering columns raise a
+            # below-bound basic / lower an above-bound one.
+            sigma = -1.0 if leaving_below else 1.0
+            alpha_eff = sigma * alpha_row
+            movable = (self.upper - self.lower > tol) & (self.status != BASIC)
+            eligible = movable & (
+                ((self.status == AT_LOWER) & (alpha_eff > tol))
+                | ((self.status == AT_UPPER) & (alpha_eff < -tol))
+                | ((self.status == FREE) & (np.abs(alpha_eff) > tol))
+            )
+            idx = np.where(eligible)[0]
+            if idx.size == 0:
+                return "infeasible", iterations
+            y = self.c[self.basis] @ self.binv
+            d = self.c - y @ self.W
+            # Dual ratio: d_j / alpha_eff_j is >= 0 for every eligible
+            # column (AT_LOWER has d >= 0, alpha_eff > 0; AT_UPPER has
+            # d <= 0, alpha_eff < 0; FREE has d ~ 0).
+            ratios = d[idx] / alpha_eff[idx]
+            np.maximum(ratios, 0.0, out=ratios)
+            best_ratio = float(np.min(ratios))
+            ties = idx[ratios <= best_ratio + tol]
+            if bland:
+                entering = int(ties[0])
+            else:
+                entering = int(ties[np.argmax(np.abs(alpha_row[ties]))])
+
+            target = lowerB[row] if leaving_below else upperB[row]
+            step = (self.x_basic[row] - target) / alpha_row[entering]
+            alpha = self.binv @ self.W[:, entering]
+            if self.status[entering] == AT_LOWER:
+                value = self.lower[entering] + step
+            elif self.status[entering] == AT_UPPER:
+                value = self.upper[entering] + step
+            else:
+                value = step
+            self.x_basic -= step * alpha
+            leaving = int(self.basis[row])
+            self.status[leaving] = AT_LOWER if leaving_below else AT_UPPER
+            self.basis[row] = entering
+            self.status[entering] = BASIC
+            if not self._pivot_update(row, alpha):
+                self.x_basic[row] = value
+            iterations += 1
+        return "stalled", iterations
+
+    # ----------------------------------------------------------------- result
+    def _result(self, status: str, iterations: int, warm: bool = False,
+                reused: bool = False) -> LpResult:
+        refactors = self._refactors_this_solve
+        if status != OPTIMAL:
+            return LpResult(status, iterations=iterations, warm=warm,
+                            basis_reused=reused, refactorizations=refactors)
+        values = self._current_values()
+        x = values[: self.n]
+        lb = self.lower[: self.n]
+        ub = self.upper[: self.n]
+        # Clip pivot fuzz back into the box (np.clip handles infinite
+        # bounds on either side).
+        x = np.clip(x, lb, ub)
+        return LpResult(
+            OPTIMAL,
+            x=x,
+            objective=float(self._c_structural @ x),
+            iterations=iterations,
+            basis=BasisState(self.basis.copy(), self.status.copy()),
+            warm=warm,
+            basis_reused=reused,
+            refactorizations=refactors,
+        )
+
+
+def solve_lp_revised(
+    form: StandardForm,
+    options: Optional[RevisedOptions] = None,
+    basis: Optional[BasisState] = None,
+) -> LpResult:
+    """One-shot convenience wrapper: build an engine and solve ``form``."""
+    engine = RevisedSimplex(form, options)
+    return engine.solve(form.lb, form.ub, basis=basis)

@@ -265,7 +265,8 @@ def solve_lp_simplex(
         if basis[i] < total_cols:
             y[basis[i]] = tableau[i, -1]
     x = y[:n] + lb
-    # Clip fuzz from the pivots back into the bounds.
-    x = np.minimum(np.maximum(x, form.lb), np.where(np.isfinite(form.ub), form.ub, x))
+    # Clip fuzz from the pivots back into the bounds (np.clip handles an
+    # infinite upper bound, which the previous min/max dance did not).
+    x = np.clip(x, form.lb, form.ub)
     objective = float(form.c @ x)
     return LpResult(OPTIMAL, x=x, objective=objective, iterations=iterations)

@@ -33,6 +33,12 @@ class SolveStats:
     nodes_pruned: int = 0
     lp_solves: int = 0
     simplex_iterations: int = 0
+    #: LP solves completed in the revised kernel's dual warm mode.
+    warm_lp_solves: int = 0
+    #: node re-solves that accepted an inherited/parent basis.
+    basis_reuses: int = 0
+    #: basis refactorizations performed by the revised kernel.
+    refactorizations: int = 0
     incumbent_updates: int = 0
     best_bound: float = float("nan")
     gap: float = float("nan")
@@ -50,6 +56,9 @@ class SolveStats:
             "nodes_pruned": self.nodes_pruned,
             "lp_solves": self.lp_solves,
             "simplex_iterations": self.simplex_iterations,
+            "warm_lp_solves": self.warm_lp_solves,
+            "basis_reuses": self.basis_reuses,
+            "refactorizations": self.refactorizations,
             "incumbent_updates": self.incumbent_updates,
             "best_bound": self.best_bound,
             "gap": self.gap,
@@ -67,6 +76,15 @@ class LpResult:
     x: Optional[np.ndarray] = None
     objective: float = float("nan")
     iterations: int = 0
+    #: optimal basis snapshot (revised kernel only) for warm re-solves.
+    basis: Optional[Any] = None
+    #: the solve completed in the dual-simplex warm mode.
+    warm: bool = False
+    #: a supplied warm basis was accepted (even if the solve later fell
+    #: back to the cold primal path).
+    basis_reused: bool = False
+    #: basis refactorizations this solve performed.
+    refactorizations: int = 0
 
     @property
     def is_optimal(self) -> bool:

@@ -52,7 +52,7 @@ class TestRegistry:
         assert isinstance(create_solver(None), BranchAndBoundSolver)
         assert isinstance(create_solver("auto"), BranchAndBoundSolver)
         pure = create_solver("bnb-pure")
-        assert pure.options.lp_backend == "simplex"
+        assert pure.options.lp_backend == "revised"
         if highs_available():
             assert isinstance(create_solver("scipy-milp"), ScipyMilpSolver)
 

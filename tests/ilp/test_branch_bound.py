@@ -183,8 +183,12 @@ class TestCreateSolver:
         assert isinstance(create_solver(None), BranchAndBoundSolver)
         assert isinstance(create_solver("auto"), BranchAndBoundSolver)
 
-    def test_pure_factory_forces_simplex(self):
+    def test_pure_factory_forces_revised(self):
         solver = create_solver("bnb-pure")
+        assert solver.options.lp_backend == "revised"
+
+    def test_tableau_factory_forces_simplex(self):
+        solver = create_solver("bnb-tableau")
         assert solver.options.lp_backend == "simplex"
 
     @pytest.mark.skipif(not highs_available(), reason="SciPy/HiGHS not installed")

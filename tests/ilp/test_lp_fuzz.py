@@ -1,0 +1,272 @@
+"""Differential LP fuzzing suite: three kernels, one answer.
+
+A seeded generator builds random :class:`StandardForm` instances —
+mixed ``==``/``<=`` rows, free/fixed/bounded variables, degenerate,
+infeasible and unbounded cases — and cross-checks the revised simplex
+against the legacy dense tableau and (when SciPy is present) HiGHS.
+Statuses must agree exactly; objectives to 1e-6.  The corpus is a fixed
+seed list so the suite is deterministic and runs as part of tier-1;
+when a fuzz failure is found in the wild, append its seed to the
+matching corpus tuple below so it becomes a permanent regression case
+(see CONTRIBUTING.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ilp import (
+    Model,
+    RevisedOptions,
+    SimplexOptions,
+    highs_available,
+    quicksum,
+    solve_lp_highs,
+    solve_lp_revised,
+    solve_lp_simplex,
+    to_standard_form,
+)
+
+INF = float("inf")
+
+# --------------------------------------------------------------------------
+# Seed corpus.  Every seed is one deterministic LP; append the seed of any
+# newly-found fuzz failure to keep it as a regression case forever.
+# --------------------------------------------------------------------------
+FEASIBLE_SEEDS = tuple(range(1, 21)) + (911, 4242)
+MIXED_VAR_SEEDS = tuple(range(100, 116))
+INFEASIBLE_SEEDS = tuple(range(200, 210))
+UNBOUNDED_SEEDS = tuple(range(300, 308))
+DEGENERATE_SEEDS = tuple(range(400, 406))
+
+
+def feasible_box_lp(seed: int):
+    """Finite-box LP, feasible by construction (rows pass an interior point).
+
+    All lower bounds are finite, so every kernel — including the tableau,
+    which requires finite ``lb`` — can solve it.
+    """
+    rng = np.random.RandomState(seed)
+    n = int(rng.randint(2, 9))
+    model = Model(f"fuzz-feasible-{seed}")
+    upper = rng.uniform(1.0, 10.0, size=n)
+    x = [model.add_continuous(f"x{i}", lb=0.0, ub=float(upper[i]))
+         for i in range(n)]
+    interior = rng.uniform(0.1, 0.9) * upper
+    for row in range(int(rng.randint(1, 9))):
+        coeffs = rng.uniform(-2.0, 2.0, size=n)
+        rhs = float(coeffs @ interior)
+        kind = rng.randint(3)
+        expr = quicksum(float(c) * v for c, v in zip(coeffs, x))
+        if kind == 0:
+            model.add_constraint(expr <= rhs + float(rng.uniform(0.2, 2.0)),
+                                 name=f"ub{row}")
+        elif kind == 1:
+            model.add_constraint(expr >= rhs - float(rng.uniform(0.2, 2.0)),
+                                 name=f"ge{row}")
+        else:
+            model.add_constraint(expr == rhs, name=f"eq{row}")
+    cost = rng.uniform(-5.0, 5.0, size=n)
+    model.set_objective(quicksum(float(c) * v for c, v in zip(cost, x)))
+    return to_standard_form(model)
+
+
+def mixed_variable_lp(seed: int):
+    """Free, fixed, negative-lower and box variables in one instance.
+
+    Lower bounds may be infinite, which the tableau kernel rejects — this
+    family cross-checks revised against HiGHS only.
+    """
+    rng = np.random.RandomState(seed)
+    n = int(rng.randint(2, 7))
+    model = Model(f"fuzz-mixed-{seed}")
+    x = []
+    for i in range(n):
+        kind = rng.randint(4)
+        if kind == 0:
+            v = model.add_continuous(f"x{i}", lb=-INF, ub=INF)  # free
+        elif kind == 1:
+            v = model.add_continuous(f"x{i}", lb=float(rng.uniform(-5.0, 0.0)),
+                                     ub=float(rng.uniform(1.0, 6.0)))
+        elif kind == 2:
+            fixed = float(rng.uniform(-2.0, 2.0))
+            v = model.add_continuous(f"x{i}", lb=fixed, ub=fixed)
+        else:
+            v = model.add_continuous(f"x{i}", lb=0.0,
+                                     ub=float(rng.uniform(1.0, 8.0)))
+        x.append(v)
+    lbs = np.array([max(-6.0, v.lb) for v in x])
+    ubs = np.array([min(6.0, v.ub) for v in x])
+    point = lbs + rng.uniform(0.2, 0.8, size=n) * (ubs - lbs)
+    for row in range(int(rng.randint(1, 7))):
+        coeffs = rng.uniform(-2.0, 2.0, size=n)
+        value = float(coeffs @ point)
+        kind = rng.randint(3)
+        expr = quicksum(float(c) * v for c, v in zip(coeffs, x))
+        if kind == 0:
+            model.add_constraint(expr <= value + float(rng.uniform(0.2, 2.0)),
+                                 name=f"ub{row}")
+        elif kind == 1:
+            model.add_constraint(expr >= value - float(rng.uniform(0.2, 2.0)),
+                                 name=f"ge{row}")
+        else:
+            model.add_constraint(expr == value, name=f"eq{row}")
+    cost = rng.uniform(-4.0, 4.0, size=n)
+    model.set_objective(quicksum(float(c) * v for c, v in zip(cost, x)))
+    return to_standard_form(model)
+
+
+def infeasible_lp(seed: int):
+    """Unambiguously infeasible: a row demands more than the box can give."""
+    rng = np.random.RandomState(seed)
+    n = int(rng.randint(2, 7))
+    model = Model(f"fuzz-infeasible-{seed}")
+    upper = rng.uniform(1.0, 5.0, size=n)
+    x = [model.add_continuous(f"x{i}", lb=0.0, ub=float(upper[i]))
+         for i in range(n)]
+    model.add_constraint(
+        quicksum(x) >= float(upper.sum() + rng.uniform(0.5, 3.0)),
+        name="impossible",
+    )
+    if seed % 2:  # a few satisfiable side rows to keep presight honest
+        coeffs = rng.uniform(0.1, 1.0, size=n)
+        model.add_constraint(
+            quicksum(float(c) * v for c, v in zip(coeffs, x))
+            <= float(coeffs @ upper),
+            name="fine",
+        )
+    model.set_objective(quicksum(x))
+    return to_standard_form(model)
+
+
+def unbounded_lp(seed: int):
+    """Unambiguously unbounded: a paying ray no ``<=`` row ever blocks."""
+    rng = np.random.RandomState(seed)
+    n = int(rng.randint(2, 6))
+    model = Model(f"fuzz-unbounded-{seed}")
+    ray = model.add_continuous("ray", lb=0.0, ub=INF)
+    others = [model.add_continuous(f"x{i}", lb=0.0, ub=float(rng.uniform(1, 4)))
+              for i in range(n - 1)]
+    for row in range(int(rng.randint(1, 4))):
+        # Non-positive coefficient on the ray: growing it never violates.
+        ray_coeff = float(rng.uniform(-1.0, 0.0))
+        coeffs = rng.uniform(-1.0, 1.0, size=n - 1)
+        rhs = float(rng.uniform(1.0, 4.0))
+        model.add_constraint(
+            ray_coeff * ray
+            + quicksum(float(c) * v for c, v in zip(coeffs, others))
+            <= rhs,
+            name=f"row{row}",
+        )
+    model.set_objective(-ray + quicksum(others) if others else -ray)
+    return to_standard_form(model)
+
+
+def degenerate_lp(seed: int):
+    """Transportation-style LP with stacked redundant rows (primal degeneracy)."""
+    rng = np.random.RandomState(seed)
+    model = Model(f"fuzz-degenerate-{seed}")
+    k = int(rng.randint(4, 7))
+    x = [model.add_continuous(f"x{i}", lb=0.0, ub=2.0) for i in range(k)]
+    for i in range(k):
+        model.add_constraint(x[i] + x[(i + 1) % k] <= 2.0, name=f"ring{i}")
+    model.add_constraint(quicksum(x) <= float(k), name="redundant-total")
+    model.add_constraint(x[0] + x[k // 2] <= 2.0, name="redundant-chord")
+    model.set_objective(-quicksum(x))
+    return to_standard_form(model)
+
+
+# --------------------------------------------------------------------------
+# Differential oracles
+# --------------------------------------------------------------------------
+
+def _assert_agree(form, expected_status=None, check_tableau=True):
+    """Solve with every available kernel and demand one answer."""
+    results = {"revised": solve_lp_revised(form, RevisedOptions())}
+    if check_tableau:
+        results["simplex"] = solve_lp_simplex(form, SimplexOptions())
+    if highs_available():
+        results["highs"] = solve_lp_highs(form)
+    statuses = {name: r.status for name, r in results.items()}
+    assert len(set(statuses.values())) == 1, f"status mismatch: {statuses}"
+    status = results["revised"].status
+    if expected_status is not None:
+        assert status == expected_status, statuses
+    if status == "optimal":
+        objectives = {name: r.objective for name, r in results.items()}
+        reference = objectives["revised"]
+        for name, value in objectives.items():
+            assert value == pytest.approx(reference, abs=1e-6), objectives
+    return results["revised"]
+
+
+class TestFuzzFeasible:
+    @pytest.mark.parametrize("seed", FEASIBLE_SEEDS)
+    def test_three_kernels_agree(self, seed):
+        _assert_agree(feasible_box_lp(seed), expected_status="optimal")
+
+
+class TestFuzzMixedVariables:
+    @pytest.mark.parametrize("seed", MIXED_VAR_SEEDS)
+    def test_revised_matches_highs_on_free_and_fixed_vars(self, seed):
+        # Infinite lower bounds are outside the tableau kernel's contract.
+        _assert_agree(mixed_variable_lp(seed), check_tableau=False)
+
+
+class TestFuzzInfeasible:
+    @pytest.mark.parametrize("seed", INFEASIBLE_SEEDS)
+    def test_all_kernels_prove_infeasibility(self, seed):
+        _assert_agree(infeasible_lp(seed), expected_status="infeasible")
+
+
+class TestFuzzUnbounded:
+    @pytest.mark.parametrize("seed", UNBOUNDED_SEEDS)
+    def test_all_kernels_detect_the_ray(self, seed):
+        _assert_agree(unbounded_lp(seed), expected_status="unbounded")
+
+
+class TestFuzzDegenerate:
+    @pytest.mark.parametrize("seed", DEGENERATE_SEEDS)
+    def test_degenerate_instances_agree(self, seed):
+        _assert_agree(degenerate_lp(seed), expected_status="optimal")
+
+    @pytest.mark.parametrize("seed", DEGENERATE_SEEDS[:3])
+    def test_bland_mode_from_the_first_pivot(self, seed):
+        """Anti-cycling pricing must reach the same optimum."""
+        form = degenerate_lp(seed)
+        aggressive = solve_lp_revised(
+            form, RevisedOptions(stall_iterations=0)
+        )
+        reference = solve_lp_revised(form, RevisedOptions())
+        assert aggressive.status == reference.status == "optimal"
+        assert aggressive.objective == pytest.approx(reference.objective, abs=1e-9)
+
+
+class TestFuzzWarmEqualsCold:
+    """A reused basis may change effort, never the answer."""
+
+    @pytest.mark.parametrize("seed", FEASIBLE_SEEDS[:8])
+    def test_warm_resolve_after_bound_tightening(self, seed):
+        from repro.ilp import RevisedSimplex
+
+        form = feasible_box_lp(seed)
+        engine = RevisedSimplex(form)
+        first = engine.solve(form.lb, form.ub)
+        if first.status != "optimal":
+            pytest.skip("generator produced a non-optimal base case")
+        rng = np.random.RandomState(seed + 77)
+        lb2, ub2 = form.lb.copy(), form.ub.copy()
+        for j in rng.choice(form.num_variables,
+                            size=max(1, form.num_variables // 3),
+                            replace=False):
+            ub2[j] = lb2[j] if rng.rand() < 0.5 else max(
+                lb2[j], float(first.x[j]) * 0.5
+            )
+        warm = engine.solve(lb2, ub2, basis=first.basis)
+        cold = engine.solve(lb2, ub2)
+        assert warm.status == cold.status
+        if warm.status == "optimal":
+            assert warm.objective == pytest.approx(cold.objective, abs=1e-7)
+            # Canonicalization makes the vertex itself path-independent.
+            np.testing.assert_allclose(warm.x, cold.x, atol=1e-6)
