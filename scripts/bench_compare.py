@@ -11,7 +11,9 @@ Two modes:
     Diff two artifacts of the same benchmark: per-label wall-time and
     solver-work deltas plus the aggregate totals.  With
     ``--fail-over PCT`` the script exits 1 when the candidate's total
-    wall time regressed by more than PCT percent over the baseline.
+    wall time regressed by more than PCT percent over the baseline —
+    except for ``lp_kernel`` artifacts, which gate on total pivots (a
+    deterministic counter, comparable across machines) instead.
 
 Examples::
 
@@ -42,6 +44,10 @@ TOTAL_KEYS = (
     "total_warm_lp_solves",
     "total_basis_reuses",
     "total_refactorizations",
+    "total_etas_applied",
+    "total_ftran_nnz",
+    "total_btran_nnz",
+    "total_pivots",
     "total_global_solves",
     "total_retries",
     "total_presolve_rows_dropped",
@@ -52,6 +58,14 @@ TOTAL_KEYS = (
 #: kernel landed (the bench-smoke job gates on their presence).
 TABLE3_KEYS = ("total_warm_lp_solves", "total_basis_reuses",
                "total_refactorizations")
+
+#: Aggregate counters an lp_kernel artifact (the LP kernel
+#: micro-benchmark, ``benchmarks/bench_lp_kernel.py``) must carry.
+#: These are deterministic — same corpus, same counts on any machine —
+#: which is why the regression gate for this artifact runs on pivots,
+#: not wall time.
+LP_KERNEL_KEYS = ("total_pivots", "total_etas_applied",
+                  "total_refactorizations", "all_objectives_match")
 
 
 def load_artifact(path: Path) -> Dict[str, Any]:
@@ -103,6 +117,13 @@ def validate(document: Any) -> List[str]:
         for key in TABLE3_KEYS:
             if key not in document:
                 problems.append(f"table3 artifact missing key {key!r}")
+    if document.get("name") == "lp_kernel":
+        for key in LP_KERNEL_KEYS:
+            if key not in document:
+                problems.append(f"lp_kernel artifact missing key {key!r}")
+        if document.get("all_objectives_match") is False:
+            problems.append("lp_kernel artifact records a kernel that "
+                            "disagreed with the dense-inverse reference")
     return problems
 
 
@@ -195,10 +216,14 @@ def compare(baseline: Dict[str, Any], candidate: Dict[str, Any],
             if isinstance(b_obj, (int, float)) and isinstance(c_obj, (int, float)):
                 scale = max(1e-9, abs(b_obj))
                 match = "same" if abs(b_obj - c_obj) / scale <= 1e-6 else "DIFFER"
-            b_lp = (b.get("solve_stats") or {}).get("lp_solves", "-")
-            c_lp = (c.get("solve_stats") or {}).get("lp_solves", "-")
-            b_s = b.get("global_detailed_seconds", b.get("wall_time", 0.0)) or 0.0
-            c_s = c.get("global_detailed_seconds", c.get("wall_time", 0.0)) or 0.0
+            b_lp = (b.get("solve_stats") or {}).get("lp_solves",
+                                                    b.get("pivots", "-"))
+            c_lp = (c.get("solve_stats") or {}).get("lp_solves",
+                                                    c.get("pivots", "-"))
+            b_s = b.get("global_detailed_seconds",
+                        b.get("wall_time", b.get("wall_seconds", 0.0))) or 0.0
+            c_s = c.get("global_detailed_seconds",
+                        c.get("wall_time", c.get("wall_seconds", 0.0))) or 0.0
             print(f"{label:<34} {b_s:>9.3f} {c_s:>9.3f} "
                   f"{str(b_lp):>8} {str(c_lp):>8} {match:>11}")
     missing = sorted(set(base_rows) ^ set(cand_rows))
@@ -206,6 +231,18 @@ def compare(baseline: Dict[str, Any], candidate: Dict[str, Any],
         print(f"\nwarning: labels present in only one artifact: {missing}")
 
     if fail_over is not None:
+        if baseline.get("name") == candidate.get("name") == "lp_kernel":
+            # Kernel artifacts gate on total pivots: deterministic on any
+            # machine (same corpus, same counts), unlike wall time.
+            base_pivots = float(baseline.get("total_pivots") or 0.0)
+            cand_pivots = float(candidate.get("total_pivots") or 0.0)
+            if base_pivots > 0 and \
+                    cand_pivots > base_pivots * (1.0 + fail_over / 100.0):
+                print(f"\nFAIL: candidate total pivots {cand_pivots:.0f} "
+                      f"exceed baseline {base_pivots:.0f} by more than "
+                      f"{fail_over:.0f}%")
+                return 1
+            return 0
         base_wall = float(baseline.get("wall_seconds") or 0.0)
         cand_wall = float(candidate.get("wall_seconds") or 0.0)
         if base_wall > 0 and cand_wall > base_wall * (1.0 + fail_over / 100.0):
@@ -223,8 +260,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--check", type=Path, default=None,
                         help="only validate this artifact and exit")
     parser.add_argument("--fail-over", type=float, default=None, metavar="PCT",
-                        help="exit 1 when candidate wall time regresses by "
-                             "more than PCT percent")
+                        help="exit 1 when candidate wall time (total pivots "
+                             "for lp_kernel artifacts) regresses by more "
+                             "than PCT percent")
     args = parser.parse_args(argv)
 
     if args.check is not None:

@@ -214,6 +214,15 @@ class MemoryMapper:
         def total(key: str) -> int:
             return int(sum(int(s.get(key, 0) or 0) for s in stage_stats))
 
+        def merge_counts(key: str) -> Dict[str, int]:
+            merged: Dict[str, int] = {}
+            for s in stage_stats:
+                mapping = s.get(key) or {}
+                if isinstance(mapping, dict):
+                    for name, count in mapping.items():
+                        merged[name] = merged.get(name, 0) + int(count)
+            return merged
+
         presolve_rows = presolve_cols = 0
         for s in stage_stats:
             pres = s.get("presolve") or {}
@@ -230,6 +239,11 @@ class MemoryMapper:
             "warm_lp_solves": total("warm_lp_solves"),
             "basis_reuses": total("basis_reuses"),
             "refactorizations": total("refactorizations"),
+            "etas_applied": total("etas_applied"),
+            "ftran_nnz": total("ftran_nnz"),
+            "btran_nnz": total("btran_nnz"),
+            "refactor_triggers": merge_counts("refactor_triggers"),
+            "pricing_pivots": merge_counts("pricing_pivots"),
             "incumbent_updates": total("incumbent_updates"),
             "presolve_rows_dropped": presolve_rows,
             "presolve_cols_fixed": presolve_cols,

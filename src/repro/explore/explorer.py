@@ -56,6 +56,7 @@ class ExplorePointResult:
     warm_lp_solves: int = 0
     basis_reuses: int = 0
     refactorizations: int = 0
+    etas_applied: int = 0
     retries: int = 0
     fingerprint: Optional[str] = None
     cache_hit: bool = False
@@ -82,6 +83,7 @@ class ExplorePointResult:
             "warm_lp_solves": self.warm_lp_solves,
             "basis_reuses": self.basis_reuses,
             "refactorizations": self.refactorizations,
+            "etas_applied": self.etas_applied,
             "retries": self.retries,
             "fingerprint": self.fingerprint,
             "cache_hit": self.cache_hit,
@@ -320,6 +322,7 @@ class DesignSpaceExplorer:
             warm_lp_solves=int(stats.get("warm_lp_solves", 0) or 0),
             basis_reuses=int(stats.get("basis_reuses", 0) or 0),
             refactorizations=int(stats.get("refactorizations", 0) or 0),
+            etas_applied=int(stats.get("etas_applied", 0) or 0),
             retries=int(stats.get("retries", 0) or 0),
             fingerprint=result.fingerprint,
             cache_hit=result.cache_hit,

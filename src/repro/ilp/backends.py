@@ -348,6 +348,8 @@ _BNB_OPTIONS: Dict[str, str] = {
     "lp_backend": "LP relaxation kernel: auto, highs, revised or simplex",
     "simplex_options": "SimplexOptions for the dense tableau kernel",
     "revised_options": "RevisedOptions for the revised simplex kernel",
+    "lp_pricing": "revised-kernel pricing rule: dantzig, partial or devex",
+    "lp_factorization": "revised-kernel basis representation: auto, dense or lu",
     "reuse_basis": "dual-simplex warm starts from the parent node's basis",
     "branching": "branching strategy: auto, sos1 or variable",
     "time_limit": "wall-clock limit in seconds",
@@ -450,6 +452,8 @@ def _register_builtin_backends() -> None:
             "presolve": "presolve toggle for the branch-and-bound entrant",
             "objective_cutoff": "cutoff-filter toggle for the branch-and-bound entrant",
             "reuse_basis": "basis-reuse toggle for the branch-and-bound entrant",
+            "lp_pricing": "revised-kernel pricing rule for the branch-and-bound entrant",
+            "lp_factorization": "revised-kernel basis representation for the branch-and-bound entrant",
             "context": "SolveContext for the branch-and-bound entrant",
         },
         aliases=("race",),

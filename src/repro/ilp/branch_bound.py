@@ -41,7 +41,7 @@ import heapq
 import itertools
 import math
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -120,6 +120,14 @@ class BnBOptions:
     simplex_options: Optional[SimplexOptions] = None
     #: per-solve options of the revised kernel (``lp_backend="revised"``).
     revised_options: Optional[RevisedOptions] = None
+    #: revised-kernel pricing rule override ("dantzig", "partial",
+    #: "devex"); ``None`` keeps the kernel default.  A convenience knob
+    #: so backends/serve configs can switch rules without building a full
+    #: :class:`RevisedOptions`.
+    lp_pricing: Optional[str] = None
+    #: revised-kernel basis representation override ("auto", "dense",
+    #: "lu"); ``None`` keeps the kernel default.
+    lp_factorization: Optional[str] = None
     #: thread the parent node's optimal basis into child re-solves (the
     #: revised kernel's dual-simplex warm start); fingerprints must be
     #: identical with this off — it only changes solver effort.
@@ -165,6 +173,17 @@ class BranchAndBoundSolver:
             engine = self._revised_engine(form)
             result = engine.solve(form.lb, form.ub, basis=basis)
             stats.refactorizations += result.refactorizations
+            stats.etas_applied += result.etas_applied
+            stats.ftran_nnz += result.ftran_nnz
+            stats.btran_nnz += result.btran_nnz
+            for trigger, count in result.refactor_triggers.items():
+                stats.refactor_triggers[trigger] = (
+                    stats.refactor_triggers.get(trigger, 0) + count
+                )
+            if result.pricing:
+                stats.pricing_pivots[result.pricing] = (
+                    stats.pricing_pivots.get(result.pricing, 0) + result.iterations
+                )
             if result.status == ERROR:
                 # Numerical trouble in the revised kernel: one dense
                 # tableau solve as a safety net for this node.  The
@@ -314,6 +333,15 @@ class BranchAndBoundSolver:
         # ``tolerance`` through the backend registry.
         self._simplex_options = options.simplex_options or SimplexOptions()
         self._revised_options = options.revised_options or RevisedOptions()
+        overrides = {}
+        if options.lp_pricing is not None:
+            overrides["pricing"] = options.lp_pricing
+        if options.lp_factorization is not None:
+            overrides["factorization"] = options.lp_factorization
+        if overrides:
+            # replace() re-runs validation-by-construction in the engine;
+            # a bad name surfaces as the kernel's own ValueError.
+            self._revised_options = replace(self._revised_options, **overrides)
         self._engine: Optional[RevisedSimplex] = None
         reuse_basis = options.reuse_basis and self._lp_backend == "revised"
 

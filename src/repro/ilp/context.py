@@ -116,6 +116,7 @@ class SolveContext:
         self.total_warm_lp_solves: int = 0
         self.total_basis_reuses: int = 0
         self.total_refactorizations: int = 0
+        self.total_etas_applied: int = 0
         self.presolve_rows_dropped: int = 0
         self.presolve_cols_fixed: int = 0
         self.warm_start_hits: int = 0
@@ -181,6 +182,7 @@ class SolveContext:
         self.total_warm_lp_solves += getattr(stats, "warm_lp_solves", 0)
         self.total_basis_reuses += getattr(stats, "basis_reuses", 0)
         self.total_refactorizations += getattr(stats, "refactorizations", 0)
+        self.total_etas_applied += getattr(stats, "etas_applied", 0)
         pres = stats.presolve or {}
         self.presolve_rows_dropped += int(pres.get("rows_dropped_ub", 0))
         self.presolve_rows_dropped += int(pres.get("rows_dropped_eq", 0))
@@ -196,6 +198,7 @@ class SolveContext:
             "warm_lp_solves": self.total_warm_lp_solves,
             "basis_reuses": self.total_basis_reuses,
             "refactorizations": self.total_refactorizations,
+            "etas_applied": self.total_etas_applied,
             "presolve_rows_dropped": self.presolve_rows_dropped,
             "presolve_cols_fixed": self.presolve_cols_fixed,
             "warm_start_hits": self.warm_start_hits,
@@ -231,6 +234,7 @@ class SolveContext:
         ctx.total_warm_lp_solves = int(summary.get("warm_lp_solves", 0))
         ctx.total_basis_reuses = int(summary.get("basis_reuses", 0))
         ctx.total_refactorizations = int(summary.get("refactorizations", 0))
+        ctx.total_etas_applied = int(summary.get("etas_applied", 0))
         ctx.presolve_rows_dropped = int(summary.get("presolve_rows_dropped", 0))
         ctx.presolve_cols_fixed = int(summary.get("presolve_cols_fixed", 0))
         ctx.warm_start_hits = int(summary.get("warm_start_hits", 0))

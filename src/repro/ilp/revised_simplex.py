@@ -10,9 +10,14 @@ mapping workloads:
   upper bounds no longer inflate the row count — a 0/1 model with ``n``
   variables loses ``n`` constraint rows compared with the tableau, and
   every pivot works on the smaller system.
-* **The basis is an explicit object.**  The kernel maintains ``B⁻¹`` as
-  a factorized inverse, refactorized from scratch every
-  ``refactor_interval`` pivots to keep ``‖B·B⁻¹ − I‖`` small, and the
+* **The basis is a factorization, not a matrix.**  All basis solves go
+  through FTRAN/BTRAN against a factorization object plus a product-form
+  *eta file* of post-factorization pivots (:mod:`repro.ilp.lu`).  Small
+  bases keep the dense explicit-inverse representation (one NumPy
+  mat-vec beats any Python bookkeeping at ``m`` in the tens); larger
+  bases switch to a Markowitz-pivot sparse LU whose solves touch only
+  the structural non-zeros.  Refactorization is adaptive — triggered by
+  eta-file length, eta fill-in, or a sampled residual breach — and the
   (basis, nonbasic-status) pair is exported as a :class:`BasisState`
   that callers can hand to a later solve.
 * **A dual simplex mode restores feasibility after bound changes.**
@@ -32,11 +37,22 @@ equalities by one slack column per row::
     A_eq x + s_eq = b_eq     s_eq = 0
 
 so ``W = [A | I]`` and a basis is any nonsingular m-column subset of
-``W``.  Cold solves start from the all-slack basis and run a primal
-phase 1 (minimising the total bound violation of the basic variables
-with short-step blocking) followed by a primal phase 2; both phases use
-Dantzig pricing with a Bland's-rule anti-cycling fallback after a
-stall, mirroring the tableau kernel's termination guarantee.
+``W``.  ``W`` itself is never materialised: the engine keeps the
+structural block as a CSC view of the standard form's CSR matrices
+(slack columns are implicit unit vectors), and pricing, ratio tests and
+basis solves all work off that view.  Cold solves start from the
+all-slack basis and run a primal phase 1 (minimising the total bound
+violation of the basic variables with short-step blocking) followed by
+a primal phase 2.
+
+Pricing is selectable (``RevisedOptions.pricing``): classic full
+Dantzig scans, *partial pricing* that cycles a candidate-list window
+over the column blocks and prices only one window per pivot, or a
+primal *Devex* mode using reference-framework weights.  The dual loop
+has its own optional Devex row weighting (``dual_pricing``).  Every
+rule shares the Bland's-rule anti-cycling fallback after a stall, and
+post-optimality canonicalization always uses the full Dantzig scan so
+the returned vertex is identical across pricing rules and solve paths.
 
 Warm solves (:meth:`RevisedSimplex.solve` with a ``basis``) refactorize
 the supplied basis, repair dual feasibility by bound flips where
@@ -53,6 +69,7 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
+from .lu import DenseFactors, factorize_markowitz
 from .solution import ERROR, INFEASIBLE, OPTIMAL, UNBOUNDED, LpResult
 from .standard_form import StandardForm
 
@@ -69,18 +86,26 @@ _PTOL = 1e-7
 #: dual feasibility tolerance used when accepting a warm basis
 _DTOL = 1e-7
 
+_FACTORIZATIONS = ("auto", "dense", "lu")
+_PRICINGS = ("dantzig", "partial", "devex")
+_DUAL_PRICINGS = ("violation", "devex")
+
 
 @dataclass
 class RevisedOptions:
     """Tuning knobs for the revised simplex kernel."""
 
     max_iterations: int = 20000
-    #: switch from Dantzig to Bland's anti-cycling rule after this many
-    #: iterations without objective (or infeasibility) improvement.
+    #: switch from the pricing rule to Bland's anti-cycling rule after
+    #: this many iterations without objective (or infeasibility)
+    #: improvement.
     stall_iterations: int = 200
     tolerance: float = 1e-9
-    #: recompute ``B⁻¹`` from scratch every this many pivots (numerical
-    #: drift control; the refactorization-drift test pins the residual).
+    #: hard cap on pivots (dense mode) / update etas (LU mode) between
+    #: refactorizations — the numerical-drift backstop the
+    #: refactorization-drift tests pin.  Adaptive triggers (fill-in,
+    #: residual breach) may refactorize sooner; this never lets the eta
+    #: file grow past the cap.
     refactor_interval: int = 64
     #: after optimality, pivot along the optimal face (zero-reduced-cost
     #: columns only — provably objective-preserving) to the vertex
@@ -89,6 +114,39 @@ class RevisedOptions:
     #: re-solve and a cold solve of the same node give byte-identical
     #: solutions — the property the warm-vs-cold fingerprint tests pin.
     canonicalize: bool = True
+    #: basis representation: ``"dense"`` keeps an explicit ``B⁻¹``
+    #: (fastest for tiny bases), ``"lu"`` a Markowitz sparse LU with a
+    #: product-form eta file (scales with non-zeros, not ``m²``), and
+    #: ``"auto"`` picks by row count against ``lu_threshold``.
+    factorization: str = "auto"
+    #: ``auto`` switches from dense to LU at this many rows — the
+    #: measured wall-clock crossover for sparse standard forms (below
+    #: it, one vectorised dense mat-vec still beats sparse
+    #: substitution; above it the O(m²) updates dominate).
+    lu_threshold: int = 500
+    #: primal entering-column rule: ``"dantzig"`` (full most-negative
+    #: scan), ``"partial"`` (candidate-list cycling over column blocks),
+    #: or ``"devex"`` (reference-framework weights).  Anti-cycling and
+    #: canonicalization behave identically under every rule.
+    pricing: str = "dantzig"
+    #: partial-pricing window size; ``0`` sizes it automatically
+    #: (``max(32, total/8)``).
+    pricing_block: int = 0
+    #: dual leaving-row rule for warm re-solves: ``"violation"``
+    #: (largest bound violation) or ``"devex"`` (violation² over
+    #: steepest-edge reference weights).
+    dual_pricing: str = "violation"
+    #: adaptive trigger — refactorize when the eta file's non-zeros
+    #: exceed this multiple of the base factorization's fill (LU mode).
+    refactor_fill_factor: float = 8.0
+    #: adaptive trigger — probe ``‖B·x − v‖`` on a sampled right-hand
+    #: side every this many etas and refactorize on a breach (LU mode;
+    #: ``0`` disables the probe).
+    residual_interval: int = 16
+    #: residual magnitude that counts as a breach.
+    residual_tol: float = 1e-6
+    #: Markowitz threshold-pivoting stability factor (LU mode).
+    markowitz_tol: float = 0.01
 
 
 @dataclass
@@ -136,7 +194,7 @@ class RevisedSimplex:
     """Revised simplex engine bound to one constraint matrix.
 
     The engine is constructed from a :class:`StandardForm` and assembles
-    the dense computational matrix ``W = [A | I]`` once; every
+    a column-compressed view of the structural matrix once; every
     :meth:`solve` call then supplies (possibly different) variable
     bounds, which is exactly the branch-and-bound node pattern — the
     matrices never change between nodes, only the bound vectors do.
@@ -146,6 +204,21 @@ class RevisedSimplex:
 
     def __init__(self, form: StandardForm, options: Optional[RevisedOptions] = None) -> None:
         self.options = options or RevisedOptions()
+        if self.options.factorization not in _FACTORIZATIONS:
+            raise ValueError(
+                f"unknown factorization {self.options.factorization!r} "
+                f"(expected one of {_FACTORIZATIONS})"
+            )
+        if self.options.pricing not in _PRICINGS:
+            raise ValueError(
+                f"unknown pricing rule {self.options.pricing!r} "
+                f"(expected one of {_PRICINGS})"
+            )
+        if self.options.dual_pricing not in _DUAL_PRICINGS:
+            raise ValueError(
+                f"unknown dual pricing rule {self.options.dual_pricing!r} "
+                f"(expected one of {_DUAL_PRICINGS})"
+            )
         self._A_ub_sparse = form.A_ub_sparse
         self._A_eq_sparse = form.A_eq_sparse
         self._c_structural = form.c
@@ -154,15 +227,10 @@ class RevisedSimplex:
         self.m_eq = form.num_eq_rows
         self.m = self.m_ub + self.m_eq
         self.total = self.n + self.m
-        # Dense computational matrix [A | I] (built once, reused per node).
-        W = np.zeros((self.m, self.total), dtype=np.float64)
-        if self.m_ub:
-            W[: self.m_ub, : self.n] = form.A_ub
-        if self.m_eq:
-            W[self.m_ub :, : self.n] = form.A_eq
-        if self.m:
-            W[:, self.n :] = np.eye(self.m)
-        self.W = W
+        # CSC view of the structural block [A_ub; A_eq] — eq rows offset
+        # below the ub rows.  Slack columns are implicit unit vectors, so
+        # W = [A | I] is never materialised.
+        self._build_csc(form)
         self.b = np.concatenate([form.b_ub, form.b_eq]) if self.m else np.zeros(0)
         c = np.zeros(self.total)
         c[: self.n] = form.c
@@ -171,21 +239,72 @@ class RevisedSimplex:
         # strictly positive, strictly decreasing, no two subset sums
         # likely to tie on a face edge.
         self._secondary = 1.0 / (np.arange(self.total, dtype=np.float64) + 2.0)
+        # Dense B⁻¹ below the LU threshold, sparse LU above it.
+        if self.options.factorization == "auto":
+            self.mode = "lu" if self.m >= self.options.lu_threshold else "dense"
+        else:
+            self.mode = self.options.factorization
+        # Deterministic ±1 sampled right-hand side for the residual probe.
+        self._probe = np.where(np.arange(self.m) % 2 == 0, 1.0, -1.0)
         # ---- cumulative counters exposed for stats plumbing and tests
         self.refactorizations = 0
+        self.refactor_triggers: Dict[str, int] = {}
         self.bland_switches = 0
         self.warm_attempts = 0
         self.warm_accepted = 0
         self.warm_fallbacks = 0
+        self.etas_created = 0
+        self.etas_applied = 0
+        self.ftran_nnz = 0
+        self.btran_nnz = 0
         # ---- per-solve state (set up by _cold_start / _warm_start)
         self.basis = np.zeros(0, dtype=np.int64)
         self.status = np.zeros(0, dtype=np.int8)
-        self.binv = np.zeros((0, 0))
         self.x_basic = np.zeros(0)
         self.lower = np.zeros(0)
         self.upper = np.zeros(0)
+        self._factor = None
+        self._etas: list = []
+        self._eta_nnz = 0
         self._pivots_since_refactor = 0
         self._refactors_this_solve = 0
+        self._solve_triggers: Dict[str, int] = {}
+        self._solve_etas_applied = 0
+        self._solve_ftran_nnz = 0
+        self._solve_btran_nnz = 0
+        self._partial_cursor = 0
+        self._devex_w: Optional[np.ndarray] = None
+        self._dual_w: Optional[np.ndarray] = None
+
+    def _build_csc(self, form: StandardForm) -> None:
+        ub, eq = form.A_ub_sparse, form.A_eq_sparse
+        parts = []
+        if ub.nnz:
+            parts.append((ub.rows_of_nonzeros(), ub.indices, ub.data))
+        if eq.nnz:
+            parts.append((eq.rows_of_nonzeros() + self.m_ub, eq.indices, eq.data))
+        if parts:
+            rows = np.concatenate([p[0] for p in parts])
+            cols = np.concatenate([p[1] for p in parts])
+            vals = np.concatenate([p[2] for p in parts])
+            order = np.lexsort((rows, cols))
+            self._csc_rows = rows[order]
+            self._csc_cols = cols[order]
+            self._csc_vals = vals[order]
+            counts = np.bincount(cols, minlength=self.n)
+        else:
+            self._csc_rows = np.zeros(0, dtype=np.int64)
+            self._csc_cols = np.zeros(0, dtype=np.int64)
+            self._csc_vals = np.zeros(0)
+            counts = np.zeros(self.n, dtype=np.int64)
+        self._csc_ptr = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(counts, dtype=np.int64)]
+        )
+        # Slack columns as ready-made (rows, vals) pairs.
+        one = np.ones(1)
+        self._slack_columns = [
+            (np.array([i], dtype=np.int64), one) for i in range(self.m)
+        ]
 
     # ------------------------------------------------------------------ reuse
     def matches(self, form: StandardForm) -> bool:
@@ -196,13 +315,165 @@ class RevisedSimplex:
             and form.c is self._c_structural
         )
 
+    # --------------------------------------------------------------- columns
+    def _column(self, j: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(rows, values)`` of computational column ``j`` — O(nnz(column))."""
+        if j >= self.n:
+            return self._slack_columns[j - self.n]
+        lo, hi = int(self._csc_ptr[j]), int(self._csc_ptr[j + 1])
+        return self._csc_rows[lo:hi], self._csc_vals[lo:hi]
+
+    def _w_matvec(self, values: np.ndarray) -> np.ndarray:
+        """``W @ values`` off the CSC view, without materialising ``W``."""
+        out = np.zeros(self.m)
+        if self._csc_vals.size:
+            out += np.bincount(
+                self._csc_rows,
+                weights=self._csc_vals * values[self._csc_cols],
+                minlength=self.m,
+            )
+        if self.m:
+            out += values[self.n :]
+        return out
+
+    def _pi_row(self, rho: np.ndarray) -> np.ndarray:
+        """``rhoᵀ W`` over every column (a full row of ``B⁻¹W``)."""
+        out = np.empty(self.total)
+        if self._csc_vals.size:
+            out[: self.n] = np.bincount(
+                self._csc_cols,
+                weights=self._csc_vals * rho[self._csc_rows],
+                minlength=self.n,
+            )
+        else:
+            out[: self.n] = 0.0
+        out[self.n :] = rho
+        return out
+
+    def _reduced_costs(self, costs: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """``costs − yᵀW`` for every column, vectorised off the CSC view."""
+        d = costs.copy()
+        if self._csc_vals.size:
+            d[: self.n] -= np.bincount(
+                self._csc_cols,
+                weights=self._csc_vals * y[self._csc_rows],
+                minlength=self.n,
+            )
+        if self.m:
+            d[self.n :] -= y
+        return d
+
+    def _reduced_costs_range(
+        self, costs: np.ndarray, y: np.ndarray, lo: int, hi: int
+    ) -> np.ndarray:
+        """``costs − yᵀW`` restricted to columns ``[lo, hi)`` (partial pricing)."""
+        d = costs[lo:hi].copy()
+        n = self.n
+        if lo < n:
+            chi = min(hi, n)
+            p0, p1 = int(self._csc_ptr[lo]), int(self._csc_ptr[chi])
+            if p1 > p0:
+                d[: chi - lo] -= np.bincount(
+                    self._csc_cols[p0:p1] - lo,
+                    weights=self._csc_vals[p0:p1] * y[self._csc_rows[p0:p1]],
+                    minlength=chi - lo,
+                )
+        if hi > n:
+            slo = max(lo, n)
+            d[slo - lo :] -= y[slo - n : hi - n]
+        return d
+
+    # ---------------------------------------------------------- FTRAN / BTRAN
+    def _ftran(self, rhs: np.ndarray, count: bool = True) -> np.ndarray:
+        """Solve ``B x = rhs`` through the factorization plus the eta file."""
+        x = self._factor.ftran(rhs)
+        etas = self._etas
+        if etas:
+            for r, piv, rows, vals in etas:
+                xr = x[r]
+                if xr != 0.0:
+                    xr /= piv
+                    x[r] = xr
+                    if rows.size:
+                        x[rows] -= vals * xr
+            if count:
+                applied = len(etas)
+                self.etas_applied += applied
+                self._solve_etas_applied += applied
+        if count:
+            nnz = int(np.count_nonzero(x))
+            self.ftran_nnz += nnz
+            self._solve_ftran_nnz += nnz
+        return x
+
+    def _btran(self, cb: np.ndarray, count: bool = True) -> np.ndarray:
+        """Solve ``Bᵀ y = cb`` through the eta file plus the factorization."""
+        etas = self._etas
+        if etas:
+            v = np.array(cb, dtype=np.float64, copy=True)
+            for r, piv, rows, vals in reversed(etas):
+                vr = v[r]
+                if rows.size:
+                    vr -= float(vals @ v[rows])
+                v[r] = vr / piv
+            if count:
+                applied = len(etas)
+                self.etas_applied += applied
+                self._solve_etas_applied += applied
+        else:
+            v = cb
+        y = self._factor.btran(v)
+        if count:
+            nnz = int(np.count_nonzero(y))
+            self.btran_nnz += nnz
+            self._solve_btran_nnz += nnz
+        return y
+
+    def _btran_unit(self, row: int) -> np.ndarray:
+        """Row ``row`` of ``B⁻¹`` (a BTRAN of the unit vector)."""
+        if not self._etas and self._factor.kind == "dense":
+            rho = self._factor.binv[row, :].copy()
+            nnz = int(np.count_nonzero(rho))
+            self.btran_nnz += nnz
+            self._solve_btran_nnz += nnz
+            return rho
+        e = np.zeros(self.m)
+        e[row] = 1.0
+        return self._btran(e)
+
+    def _ftran_column(self, j: int) -> np.ndarray:
+        """``B⁻¹ W[:, j]`` — the entering column in basis coordinates."""
+        rows, vals = self._column(j)
+        rhs = np.zeros(self.m)
+        rhs[rows] = vals
+        return self._ftran(rhs)
+
+    def _basis_matvec(self, x_pos: np.ndarray) -> np.ndarray:
+        """``B @ x_pos`` accumulated column-by-column — O(nnz(B))."""
+        out = np.zeros(self.m)
+        for k in range(self.m):
+            xv = x_pos[k]
+            if xv == 0.0:
+                continue
+            rows, vals = self._column(int(self.basis[k]))
+            out[rows] += vals * xv
+        return out
+
     # ------------------------------------------------------------- diagnostics
     def factor_residual(self) -> float:
-        """``‖W_B · B⁻¹ − I‖_max`` of the current factorization (drift probe)."""
-        if self.m == 0 or self.basis.shape[0] != self.m:
+        """``‖B·x − v‖_max`` for a sampled FTRAN solve (drift probe).
+
+        The probe right-hand side is a fixed ±1 pattern, the solve goes
+        through the current factorization *and* eta file, and the
+        product ``B·x`` is accumulated column-sparsely — O(nnz) total,
+        never a dense rebuild.
+        """
+        if self.m == 0 or self.basis.shape[0] != self.m or self._factor is None:
             return 0.0
-        product = self.W[:, self.basis] @ self.binv
-        return float(np.max(np.abs(product - np.eye(self.m))))
+        x = self._ftran(self._probe, count=False)
+        residual = self._basis_matvec(x)
+        residual -= self._probe
+        return float(np.max(np.abs(residual)))
 
     # ------------------------------------------------------------------ solve
     def solve(
@@ -222,6 +493,13 @@ class RevisedSimplex:
         accepted) for the statistics plumbing.
         """
         self._refactors_this_solve = 0
+        self._solve_triggers = {}
+        self._solve_etas_applied = 0
+        self._solve_ftran_nnz = 0
+        self._solve_btran_nnz = 0
+        self._partial_cursor = 0
+        self._devex_w = None
+        self._dual_w = None
         self.lower = np.concatenate([np.asarray(lb, dtype=np.float64), self._slack_lower()])
         self.upper = np.concatenate([np.asarray(ub, dtype=np.float64), self._slack_upper()])
         if np.any(self.lower > self.upper + _PTOL):
@@ -296,16 +574,34 @@ class RevisedSimplex:
         return values
 
     def _recompute_basics(self) -> None:
-        rhs = self.b - self.W @ self._nonbasic_values()
-        self.x_basic = self.binv @ rhs
+        rhs = self.b - self._w_matvec(self._nonbasic_values())
+        self.x_basic = self._ftran(rhs)
 
-    def _refactorize(self) -> bool:
-        try:
-            self.binv = np.linalg.inv(self.W[:, self.basis])
-        except np.linalg.LinAlgError:
+    def _refactorize(self, trigger: str = "start") -> bool:
+        """Factorize the current basis from scratch; count by ``trigger``.
+
+        On failure (singular basis) the previous factorization and eta
+        file — still a valid representation — are left installed.
+        """
+        columns = [self._column(int(j)) for j in self.basis]
+        if self.mode == "dense":
+            matrix = np.zeros((self.m, self.m))
+            for k, (rows, vals) in enumerate(columns):
+                matrix[rows, k] = vals
+            factor = DenseFactors.from_matrix(matrix)
+        else:
+            factor = factorize_markowitz(
+                columns, self.m, self.options.markowitz_tol
+            )
+        if factor is None:
             return False
+        self._factor = factor
+        self._etas = []
+        self._eta_nnz = 0
         self.refactorizations += 1
         self._refactors_this_solve += 1
+        self.refactor_triggers[trigger] = self.refactor_triggers.get(trigger, 0) + 1
+        self._solve_triggers[trigger] = self._solve_triggers.get(trigger, 0) + 1
         self._pivots_since_refactor = 0
         return True
 
@@ -319,9 +615,19 @@ class RevisedSimplex:
         status[no_lower & ~has_upper] = FREE
         status[self.basis] = BASIC
         self.status = status
-        self.binv = np.eye(self.m)
+        # The all-slack basis is the identity — no need to eliminate.
+        if self.mode == "dense":
+            self._factor = DenseFactors.identity(self.m)
+        else:
+            self._factor = factorize_markowitz(
+                [self._slack_columns[i] for i in range(self.m)], self.m
+            )
+        self._etas = []
+        self._eta_nnz = 0
         self.refactorizations += 1
         self._refactors_this_solve += 1
+        self.refactor_triggers["start"] = self.refactor_triggers.get("start", 0) + 1
+        self._solve_triggers["start"] = self._solve_triggers.get("start", 0) + 1
         self._pivots_since_refactor = 0
         self._recompute_basics()
 
@@ -357,11 +663,13 @@ class RevisedSimplex:
         status[free] = AT_LOWER
         self.basis = basis
         self.status = status
+        self._factor = None
         if not self._refactorize():
             return False
         # Dual feasibility: repair by bound flips where a finite opposite
         # bound exists; give up (cold start) when it does not.
-        d = self.c - (self.c[self.basis] @ self.binv) @ self.W
+        y = self._btran(self.c[self.basis])
+        d = self._reduced_costs(self.c, y)
         movable = (self.upper - self.lower > self.options.tolerance) & (self.status != BASIC)
         bad_lower = movable & (self.status == AT_LOWER) & (d < -_DTOL)
         if np.any(bad_lower & ~np.isfinite(self.upper)):
@@ -378,21 +686,46 @@ class RevisedSimplex:
 
     # ----------------------------------------------------------------- pivots
     def _pivot_update(self, row: int, alpha: np.ndarray) -> bool:
-        """Update ``B⁻¹`` after the basis change of ``row``.
+        """Absorb the basis change of ``row`` into the factorization.
 
-        Returns True when a periodic refactorization replaced the updated
-        inverse (in which case ``x_basic`` was recomputed exactly).
+        Dense mode applies the classic rank-1 inverse update; LU mode
+        appends a product-form eta recording the (genuinely sparse)
+        entering column.  Either mode may then refactorize — on the
+        pivot/eta-count cap, on eta fill-in, or on a sampled residual
+        breach — in which case ``x_basic`` is recomputed exactly and
+        True is returned.
         """
-        pivot = alpha[row]
-        self.binv[row, :] /= pivot
-        col = alpha.copy()
-        col[row] = 0.0
-        self.binv -= np.outer(col, self.binv[row, :])
+        opts = self.options
         self._pivots_since_refactor += 1
-        if self._pivots_since_refactor >= self.options.refactor_interval:
-            if self._refactorize():
-                self._recompute_basics()
-                return True
+        if self.mode == "dense":
+            self._factor.update(row, alpha)
+            if self._pivots_since_refactor >= opts.refactor_interval:
+                if self._refactorize("interval"):
+                    self._recompute_basics()
+                    return True
+            return False
+        # LU mode: product-form update eta.  FTRAN through sparse LU
+        # leaves unreached entries exactly 0.0, so nonzero extraction
+        # recovers the true sparsity of the entering column.
+        rows = np.flatnonzero(alpha)
+        rows = rows[rows != row]
+        self._etas.append((int(row), float(alpha[row]), rows, alpha[rows]))
+        self._eta_nnz += rows.size + 1
+        self.etas_created += 1
+        trigger = None
+        if len(self._etas) >= opts.refactor_interval:
+            trigger = "interval"
+        elif self._eta_nnz > opts.refactor_fill_factor * max(self.m, self._factor.nnz):
+            trigger = "fill"
+        elif (
+            opts.residual_interval
+            and len(self._etas) % opts.residual_interval == 0
+            and self.factor_residual() > opts.residual_tol
+        ):
+            trigger = "residual"
+        if trigger is not None and self._refactorize(trigger):
+            self._recompute_basics()
+            return True
         return False
 
     # ----------------------------------------------------------------- primal
@@ -436,7 +769,7 @@ class RevisedSimplex:
             entering, direction = self._price(w, bland)
             if entering < 0:
                 return "infeasible", iterations
-            alpha = self.binv @ self.W[:, entering]
+            alpha = self._ftran_column(entering)
             step, blocker, land_upper = self._ratio_test(
                 entering, direction, alpha, bland, phase_one=(below, above)
             )
@@ -455,7 +788,9 @@ class RevisedSimplex:
         zero-reduced-cost column leaves every reduced cost unchanged.
         Minimising the fixed generic secondary objective over that face
         lands on one well-defined vertex no matter how the solve got to
-        optimality — warm dual path and cold primal path included.
+        optimality — warm dual path and cold primal path included.  The
+        face walk always uses the full Dantzig scan, so the vertex is
+        also independent of the configured pricing rule.
         """
         if not self.options.canonicalize:
             return 0
@@ -480,26 +815,60 @@ class RevisedSimplex:
         bland = False
         best = math.inf
         limit = opts.max_iterations if face_costs is None else 2 * self.total + 16
-        while iterations < limit:
-            entering, direction = self._price(costs, bland, face_costs=face_costs)
-            if entering < 0:
-                return "optimal", iterations
-            alpha = self.binv @ self.W[:, entering]
-            step, blocker, land_upper = self._ratio_test(entering, direction, alpha, bland)
-            if step is None:
-                return "unbounded", iterations
-            self._apply_step(entering, direction, alpha, step, blocker, land_upper)
-            iterations += 1
-            objective = float(costs @ self._current_values())
-            if objective < best - opts.tolerance:
-                best = objective
-                stall = 0
-            elif stall > opts.stall_iterations and not bland:
-                bland = True
-                self.bland_switches += 1
-            else:
-                stall += 1
-        return "error", iterations
+        if opts.pricing == "devex" and face_costs is None:
+            self._devex_w = np.ones(self.total)
+        try:
+            while iterations < limit:
+                entering, direction = self._price(costs, bland, face_costs=face_costs)
+                if entering < 0:
+                    return "optimal", iterations
+                alpha = self._ftran_column(entering)
+                step, blocker, land_upper = self._ratio_test(entering, direction, alpha, bland)
+                if step is None:
+                    return "unbounded", iterations
+                if (
+                    self._devex_w is not None
+                    and face_costs is None
+                    and blocker != -1
+                ):
+                    self._devex_update(entering, blocker, alpha)
+                self._apply_step(entering, direction, alpha, step, blocker, land_upper)
+                iterations += 1
+                objective = float(costs @ self._current_values())
+                if objective < best - opts.tolerance:
+                    best = objective
+                    stall = 0
+                elif stall > opts.stall_iterations and not bland:
+                    bland = True
+                    self.bland_switches += 1
+                else:
+                    stall += 1
+            return "error", iterations
+        finally:
+            if face_costs is None:
+                self._devex_w = None
+
+    def _devex_update(self, entering: int, blocker: int, alpha: np.ndarray) -> None:
+        """Devex reference-weight update for the pivot about to happen.
+
+        Must run *before* the basis arrays change: it needs the leaving
+        variable at ``basis[blocker]`` and the pre-pivot ``B⁻¹``.
+        """
+        ar = alpha[blocker]
+        if abs(ar) <= 1e-12:
+            return
+        rho = self._btran_unit(blocker)
+        alpha_row = self._pi_row(rho)
+        wq = max(float(self._devex_w[entering]), 1.0)
+        candidate = (alpha_row / ar) ** 2 * wq
+        np.maximum(self._devex_w, candidate, out=self._devex_w)
+        leaving = int(self.basis[blocker])
+        self._devex_w[leaving] = max(wq / (ar * ar), 1.0)
+        self._devex_w[entering] = 1.0
+        if float(self._devex_w.max()) > 1e8:
+            # Reference-framework reset: weights have drifted too far to
+            # steer reliably; restart from the unit frame.
+            self._devex_w[:] = 1.0
 
     def _price(
         self,
@@ -507,15 +876,27 @@ class RevisedSimplex:
         bland: bool,
         face_costs: Optional[np.ndarray] = None,
     ) -> Tuple[int, int]:
-        """Pick the entering column (Dantzig, or Bland under ``bland``)."""
+        """Pick the entering column under the configured pricing rule.
+
+        Bland mode and canonicalization face walks always run the full
+        scan (termination guarantee / path independence); otherwise the
+        rule is ``dantzig``, ``partial`` (candidate-list cycling), or
+        ``devex`` when a weight frame is active.
+        """
         tol = self.options.tolerance
-        y = costs[self.basis] @ self.binv
-        d = costs - y @ self.W
+        y = self._btran(costs[self.basis])
+        if (
+            face_costs is None
+            and not bland
+            and self.options.pricing == "partial"
+        ):
+            return self._price_partial(costs, y)
+        d = self._reduced_costs(costs, y)
         movable = self.upper - self.lower > tol
         nonbasic = (self.status != BASIC) & movable
         if face_costs is not None:
-            y_face = face_costs[self.basis] @ self.binv
-            d_face = face_costs - y_face @ self.W
+            y_face = self._btran(face_costs[self.basis])
+            d_face = self._reduced_costs(face_costs, y_face)
             nonbasic &= np.abs(d_face) <= _DTOL
         increase = nonbasic & (
             ((self.status == AT_LOWER) | (self.status == FREE)) & (d < -tol)
@@ -528,9 +909,49 @@ class RevisedSimplex:
             return -1, 0
         if bland:
             entering = int(eligible[0])
+        elif self._devex_w is not None and face_costs is None:
+            scores = d[eligible] ** 2 / self._devex_w[eligible]
+            entering = int(eligible[np.argmax(scores)])
         else:
             entering = int(eligible[np.argmax(np.abs(d[eligible]))])
         return entering, (1 if increase[entering] else -1)
+
+    def _price_partial(self, costs: np.ndarray, y: np.ndarray) -> Tuple[int, int]:
+        """Candidate-list partial pricing: cycle column blocks, price one.
+
+        Blocks are fixed contiguous windows; the cursor remembers which
+        window produced the last entering column and resumes there, so a
+        solve sweeps the whole column space only when pickings are slim.
+        Returning ``(-1, 0)`` required pricing *every* window — a full
+        scan's worth of evidence — so optimality claims are as strong as
+        Dantzig's.
+        """
+        tol = self.options.tolerance
+        total = self.total
+        block = self.options.pricing_block
+        if block <= 0:
+            block = max(32, -(-total // 8))
+        nblocks = -(-total // block)
+        for offset in range(nblocks):
+            index = (self._partial_cursor + offset) % nblocks
+            lo = index * block
+            hi = min(total, lo + block)
+            d = self._reduced_costs_range(costs, y, lo, hi)
+            status = self.status[lo:hi]
+            movable = self.upper[lo:hi] - self.lower[lo:hi] > tol
+            nonbasic = (status != BASIC) & movable
+            increase = nonbasic & (
+                ((status == AT_LOWER) | (status == FREE)) & (d < -tol)
+            )
+            decrease = nonbasic & (
+                ((status == AT_UPPER) | (status == FREE)) & (d > tol)
+            )
+            eligible = np.where(increase | decrease)[0]
+            if eligible.size:
+                self._partial_cursor = index
+                local = int(eligible[np.argmax(np.abs(d[eligible]))])
+                return lo + local, (1 if increase[local] else -1)
+        return -1, 0
 
     def _ratio_test(
         self,
@@ -628,6 +1049,8 @@ class RevisedSimplex:
         iterations = 0
         stall = 0
         bland = False
+        if opts.dual_pricing == "devex":
+            self._dual_w = np.ones(self.m)
         # The monotone quantity of the dual simplex is the objective
         # (nondecreasing every pivot); total primal violation may
         # oscillate on the way to feasibility, so stall detection keys
@@ -660,12 +1083,14 @@ class RevisedSimplex:
                     return "stalled", iterations
             if bland:
                 row = int(np.where(violation > _PTOL)[0][0])
+            elif self._dual_w is not None:
+                row = int(np.argmax(violation * violation / self._dual_w))
             else:
                 row = int(np.argmax(violation))
             leaving_below = bool(viol_low[row] >= viol_up[row])
 
-            rho = self.binv[row, :]
-            alpha_row = rho @ self.W
+            rho = self._btran_unit(row)
+            alpha_row = self._pi_row(rho)
             # sigma orients the row so eligible entering columns raise a
             # below-bound basic / lower an above-bound one.
             sigma = -1.0 if leaving_below else 1.0
@@ -679,8 +1104,8 @@ class RevisedSimplex:
             idx = np.where(eligible)[0]
             if idx.size == 0:
                 return "infeasible", iterations
-            y = self.c[self.basis] @ self.binv
-            d = self.c - y @ self.W
+            y = self._btran(self.c[self.basis])
+            d = self._reduced_costs(self.c, y)
             # Dual ratio: d_j / alpha_eff_j is >= 0 for every eligible
             # column (AT_LOWER has d >= 0, alpha_eff > 0; AT_UPPER has
             # d <= 0, alpha_eff < 0; FREE has d ~ 0).
@@ -695,7 +1120,9 @@ class RevisedSimplex:
 
             target = lowerB[row] if leaving_below else upperB[row]
             step = (self.x_basic[row] - target) / alpha_row[entering]
-            alpha = self.binv @ self.W[:, entering]
+            alpha = self._ftran_column(entering)
+            if self._dual_w is not None:
+                self._dual_devex_update(row, alpha)
             if self.status[entering] == AT_LOWER:
                 value = self.lower[entering] + step
             elif self.status[entering] == AT_UPPER:
@@ -712,13 +1139,32 @@ class RevisedSimplex:
             iterations += 1
         return "stalled", iterations
 
+    def _dual_devex_update(self, row: int, alpha: np.ndarray) -> None:
+        """Dual Devex row-weight update from the entering column ``alpha``."""
+        ar = alpha[row]
+        if abs(ar) <= 1e-12:
+            return
+        candidate = (alpha / ar) ** 2 * self._dual_w[row]
+        np.maximum(self._dual_w, candidate, out=self._dual_w)
+        self._dual_w[row] = max(float(self._dual_w[row]) / (ar * ar), 1.0)
+        if float(self._dual_w.max()) > 1e8:
+            self._dual_w[:] = 1.0
+
     # ----------------------------------------------------------------- result
     def _result(self, status: str, iterations: int, warm: bool = False,
                 reused: bool = False) -> LpResult:
         refactors = self._refactors_this_solve
+        counters = dict(
+            refactorizations=refactors,
+            etas_applied=self._solve_etas_applied,
+            ftran_nnz=self._solve_ftran_nnz,
+            btran_nnz=self._solve_btran_nnz,
+            refactor_triggers=dict(self._solve_triggers),
+            pricing=self.options.pricing,
+        )
         if status != OPTIMAL:
             return LpResult(status, iterations=iterations, warm=warm,
-                            basis_reused=reused, refactorizations=refactors)
+                            basis_reused=reused, **counters)
         values = self._current_values()
         x = values[: self.n]
         lb = self.lower[: self.n]
@@ -734,7 +1180,7 @@ class RevisedSimplex:
             basis=BasisState(self.basis.copy(), self.status.copy()),
             warm=warm,
             basis_reused=reused,
-            refactorizations=refactors,
+            **counters,
         )
 
 

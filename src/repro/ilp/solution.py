@@ -39,6 +39,18 @@ class SolveStats:
     basis_reuses: int = 0
     #: basis refactorizations performed by the revised kernel.
     refactorizations: int = 0
+    #: product-form update etas applied across all FTRAN/BTRAN solves
+    #: (revised kernel, LU mode; each application is one eta transform).
+    etas_applied: int = 0
+    #: non-zeros produced by FTRAN solves (sparsity-of-work measure).
+    ftran_nnz: int = 0
+    #: non-zeros produced by BTRAN solves.
+    btran_nnz: int = 0
+    #: refactorization counts keyed by what triggered them
+    #: ("start", "interval", "fill", "residual").
+    refactor_triggers: Dict[str, int] = field(default_factory=dict)
+    #: simplex pivots keyed by the pricing rule that chose them.
+    pricing_pivots: Dict[str, int] = field(default_factory=dict)
     incumbent_updates: int = 0
     best_bound: float = float("nan")
     gap: float = float("nan")
@@ -59,6 +71,11 @@ class SolveStats:
             "warm_lp_solves": self.warm_lp_solves,
             "basis_reuses": self.basis_reuses,
             "refactorizations": self.refactorizations,
+            "etas_applied": self.etas_applied,
+            "ftran_nnz": self.ftran_nnz,
+            "btran_nnz": self.btran_nnz,
+            "refactor_triggers": dict(self.refactor_triggers),
+            "pricing_pivots": dict(self.pricing_pivots),
             "incumbent_updates": self.incumbent_updates,
             "best_bound": self.best_bound,
             "gap": self.gap,
@@ -85,6 +102,16 @@ class LpResult:
     basis_reused: bool = False
     #: basis refactorizations this solve performed.
     refactorizations: int = 0
+    #: update etas applied across this solve's FTRAN/BTRAN calls.
+    etas_applied: int = 0
+    #: non-zeros produced by this solve's FTRAN calls.
+    ftran_nnz: int = 0
+    #: non-zeros produced by this solve's BTRAN calls.
+    btran_nnz: int = 0
+    #: this solve's refactorizations keyed by trigger.
+    refactor_triggers: Dict[str, int] = field(default_factory=dict)
+    #: pricing rule the solve ran under ("" for non-revised kernels).
+    pricing: str = ""
 
     @property
     def is_optimal(self) -> bool:

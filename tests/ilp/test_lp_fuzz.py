@@ -1,14 +1,19 @@
 """Differential LP fuzzing suite: three kernels, one answer.
 
-A seeded generator builds random :class:`StandardForm` instances —
-mixed ``==``/``<=`` rows, free/fixed/bounded variables, degenerate,
-infeasible and unbounded cases — and cross-checks the revised simplex
-against the legacy dense tableau and (when SciPy is present) HiGHS.
-Statuses must agree exactly; objectives to 1e-6.  The corpus is a fixed
-seed list so the suite is deterministic and runs as part of tier-1;
-when a fuzz failure is found in the wild, append its seed to the
-matching corpus tuple below so it becomes a permanent regression case
-(see CONTRIBUTING.md).
+A seeded generator (shared with the kernel micro-benchmark via
+:mod:`repro.ilp.instances`) builds random :class:`StandardForm`
+instances — mixed ``==``/``<=`` rows, free/fixed/bounded variables,
+degenerate, infeasible, unbounded and large sparse cases — and
+cross-checks the revised simplex against the legacy dense tableau and
+(when SciPy is present) HiGHS.  Statuses must agree exactly; objectives
+to 1e-6.  On top of the kernel cross-check, every pricing rule
+(Dantzig / partial / Devex) and both basis representations (dense
+inverse / sparse LU) must agree with each other — the canonicalization
+step pins the final vertex, so even the *solution vectors* are
+compared.  The corpus is a fixed seed list so the suite is
+deterministic and runs as part of tier-1; when a fuzz failure is found
+in the wild, append its seed to the matching corpus tuple below so it
+becomes a permanent regression case (see CONTRIBUTING.md).
 """
 
 from __future__ import annotations
@@ -17,18 +22,22 @@ import numpy as np
 import pytest
 
 from repro.ilp import (
-    Model,
     RevisedOptions,
+    RevisedSimplex,
     SimplexOptions,
     highs_available,
-    quicksum,
     solve_lp_highs,
     solve_lp_revised,
     solve_lp_simplex,
-    to_standard_form,
 )
-
-INF = float("inf")
+from repro.ilp.instances import (
+    degenerate_lp,
+    feasible_box_lp,
+    infeasible_lp,
+    large_sparse_lp,
+    mixed_variable_lp,
+    unbounded_lp,
+)
 
 # --------------------------------------------------------------------------
 # Seed corpus.  Every seed is one deterministic LP; append the seed of any
@@ -39,142 +48,19 @@ MIXED_VAR_SEEDS = tuple(range(100, 116))
 INFEASIBLE_SEEDS = tuple(range(200, 210))
 UNBOUNDED_SEEDS = tuple(range(300, 308))
 DEGENERATE_SEEDS = tuple(range(400, 406))
+LARGE_SPARSE_SEEDS = (500, 501, 502)
 
-
-def feasible_box_lp(seed: int):
-    """Finite-box LP, feasible by construction (rows pass an interior point).
-
-    All lower bounds are finite, so every kernel — including the tableau,
-    which requires finite ``lb`` — can solve it.
-    """
-    rng = np.random.RandomState(seed)
-    n = int(rng.randint(2, 9))
-    model = Model(f"fuzz-feasible-{seed}")
-    upper = rng.uniform(1.0, 10.0, size=n)
-    x = [model.add_continuous(f"x{i}", lb=0.0, ub=float(upper[i]))
-         for i in range(n)]
-    interior = rng.uniform(0.1, 0.9) * upper
-    for row in range(int(rng.randint(1, 9))):
-        coeffs = rng.uniform(-2.0, 2.0, size=n)
-        rhs = float(coeffs @ interior)
-        kind = rng.randint(3)
-        expr = quicksum(float(c) * v for c, v in zip(coeffs, x))
-        if kind == 0:
-            model.add_constraint(expr <= rhs + float(rng.uniform(0.2, 2.0)),
-                                 name=f"ub{row}")
-        elif kind == 1:
-            model.add_constraint(expr >= rhs - float(rng.uniform(0.2, 2.0)),
-                                 name=f"ge{row}")
-        else:
-            model.add_constraint(expr == rhs, name=f"eq{row}")
-    cost = rng.uniform(-5.0, 5.0, size=n)
-    model.set_objective(quicksum(float(c) * v for c, v in zip(cost, x)))
-    return to_standard_form(model)
-
-
-def mixed_variable_lp(seed: int):
-    """Free, fixed, negative-lower and box variables in one instance.
-
-    Lower bounds may be infinite, which the tableau kernel rejects — this
-    family cross-checks revised against HiGHS only.
-    """
-    rng = np.random.RandomState(seed)
-    n = int(rng.randint(2, 7))
-    model = Model(f"fuzz-mixed-{seed}")
-    x = []
-    for i in range(n):
-        kind = rng.randint(4)
-        if kind == 0:
-            v = model.add_continuous(f"x{i}", lb=-INF, ub=INF)  # free
-        elif kind == 1:
-            v = model.add_continuous(f"x{i}", lb=float(rng.uniform(-5.0, 0.0)),
-                                     ub=float(rng.uniform(1.0, 6.0)))
-        elif kind == 2:
-            fixed = float(rng.uniform(-2.0, 2.0))
-            v = model.add_continuous(f"x{i}", lb=fixed, ub=fixed)
-        else:
-            v = model.add_continuous(f"x{i}", lb=0.0,
-                                     ub=float(rng.uniform(1.0, 8.0)))
-        x.append(v)
-    lbs = np.array([max(-6.0, v.lb) for v in x])
-    ubs = np.array([min(6.0, v.ub) for v in x])
-    point = lbs + rng.uniform(0.2, 0.8, size=n) * (ubs - lbs)
-    for row in range(int(rng.randint(1, 7))):
-        coeffs = rng.uniform(-2.0, 2.0, size=n)
-        value = float(coeffs @ point)
-        kind = rng.randint(3)
-        expr = quicksum(float(c) * v for c, v in zip(coeffs, x))
-        if kind == 0:
-            model.add_constraint(expr <= value + float(rng.uniform(0.2, 2.0)),
-                                 name=f"ub{row}")
-        elif kind == 1:
-            model.add_constraint(expr >= value - float(rng.uniform(0.2, 2.0)),
-                                 name=f"ge{row}")
-        else:
-            model.add_constraint(expr == value, name=f"eq{row}")
-    cost = rng.uniform(-4.0, 4.0, size=n)
-    model.set_objective(quicksum(float(c) * v for c, v in zip(cost, x)))
-    return to_standard_form(model)
-
-
-def infeasible_lp(seed: int):
-    """Unambiguously infeasible: a row demands more than the box can give."""
-    rng = np.random.RandomState(seed)
-    n = int(rng.randint(2, 7))
-    model = Model(f"fuzz-infeasible-{seed}")
-    upper = rng.uniform(1.0, 5.0, size=n)
-    x = [model.add_continuous(f"x{i}", lb=0.0, ub=float(upper[i]))
-         for i in range(n)]
-    model.add_constraint(
-        quicksum(x) >= float(upper.sum() + rng.uniform(0.5, 3.0)),
-        name="impossible",
-    )
-    if seed % 2:  # a few satisfiable side rows to keep presight honest
-        coeffs = rng.uniform(0.1, 1.0, size=n)
-        model.add_constraint(
-            quicksum(float(c) * v for c, v in zip(coeffs, x))
-            <= float(coeffs @ upper),
-            name="fine",
-        )
-    model.set_objective(quicksum(x))
-    return to_standard_form(model)
-
-
-def unbounded_lp(seed: int):
-    """Unambiguously unbounded: a paying ray no ``<=`` row ever blocks."""
-    rng = np.random.RandomState(seed)
-    n = int(rng.randint(2, 6))
-    model = Model(f"fuzz-unbounded-{seed}")
-    ray = model.add_continuous("ray", lb=0.0, ub=INF)
-    others = [model.add_continuous(f"x{i}", lb=0.0, ub=float(rng.uniform(1, 4)))
-              for i in range(n - 1)]
-    for row in range(int(rng.randint(1, 4))):
-        # Non-positive coefficient on the ray: growing it never violates.
-        ray_coeff = float(rng.uniform(-1.0, 0.0))
-        coeffs = rng.uniform(-1.0, 1.0, size=n - 1)
-        rhs = float(rng.uniform(1.0, 4.0))
-        model.add_constraint(
-            ray_coeff * ray
-            + quicksum(float(c) * v for c, v in zip(coeffs, others))
-            <= rhs,
-            name=f"row{row}",
-        )
-    model.set_objective(-ray + quicksum(others) if others else -ray)
-    return to_standard_form(model)
-
-
-def degenerate_lp(seed: int):
-    """Transportation-style LP with stacked redundant rows (primal degeneracy)."""
-    rng = np.random.RandomState(seed)
-    model = Model(f"fuzz-degenerate-{seed}")
-    k = int(rng.randint(4, 7))
-    x = [model.add_continuous(f"x{i}", lb=0.0, ub=2.0) for i in range(k)]
-    for i in range(k):
-        model.add_constraint(x[i] + x[(i + 1) % k] <= 2.0, name=f"ring{i}")
-    model.add_constraint(quicksum(x) <= float(k), name="redundant-total")
-    model.add_constraint(x[0] + x[k // 2] <= 2.0, name="redundant-chord")
-    model.set_objective(-quicksum(x))
-    return to_standard_form(model)
+#: every (pricing, factorization) pair the kernel supports, exercised
+#: against the references below.  Devex under both representations,
+#: partial pricing under LU (its motivating combination), Dantzig under
+#: forced LU (the auto default at fuzz sizes is dense).
+PRICING_VARIANTS = (
+    ("dantzig", "lu"),
+    ("partial", "dense"),
+    ("partial", "lu"),
+    ("devex", "dense"),
+    ("devex", "lu"),
+)
 
 
 # --------------------------------------------------------------------------
@@ -201,10 +87,41 @@ def _assert_agree(form, expected_status=None, check_tableau=True):
     return results["revised"]
 
 
+def _assert_pricing_rules_agree(form, reference=None):
+    """Every pricing rule × factorization must reproduce the reference.
+
+    The post-optimality canonicalization step runs under a full Dantzig
+    scan regardless of the pricing rule, so on optimal instances the
+    final vertex — not just the objective — is rule-independent.
+    """
+    if reference is None:
+        reference = solve_lp_revised(form, RevisedOptions())
+    for pricing, factorization in PRICING_VARIANTS:
+        variant = solve_lp_revised(
+            form, RevisedOptions(pricing=pricing, factorization=factorization)
+        )
+        label = f"{pricing}/{factorization}"
+        assert variant.status == reference.status, (
+            f"{label}: {variant.status} != {reference.status}"
+        )
+        if reference.status == "optimal":
+            assert variant.objective == pytest.approx(
+                reference.objective, abs=1e-6
+            ), label
+            np.testing.assert_allclose(
+                variant.x, reference.x, atol=1e-6, err_msg=label
+            )
+    return reference
+
+
 class TestFuzzFeasible:
     @pytest.mark.parametrize("seed", FEASIBLE_SEEDS)
     def test_three_kernels_agree(self, seed):
         _assert_agree(feasible_box_lp(seed), expected_status="optimal")
+
+    @pytest.mark.parametrize("seed", FEASIBLE_SEEDS[:10])
+    def test_pricing_rules_reach_the_same_vertex(self, seed):
+        _assert_pricing_rules_agree(feasible_box_lp(seed))
 
 
 class TestFuzzMixedVariables:
@@ -213,11 +130,19 @@ class TestFuzzMixedVariables:
         # Infinite lower bounds are outside the tableau kernel's contract.
         _assert_agree(mixed_variable_lp(seed), check_tableau=False)
 
+    @pytest.mark.parametrize("seed", MIXED_VAR_SEEDS[:6])
+    def test_pricing_rules_agree_on_mixed_variables(self, seed):
+        _assert_pricing_rules_agree(mixed_variable_lp(seed))
+
 
 class TestFuzzInfeasible:
     @pytest.mark.parametrize("seed", INFEASIBLE_SEEDS)
     def test_all_kernels_prove_infeasibility(self, seed):
         _assert_agree(infeasible_lp(seed), expected_status="infeasible")
+
+    @pytest.mark.parametrize("seed", INFEASIBLE_SEEDS[:3])
+    def test_pricing_rules_agree_on_infeasibility(self, seed):
+        _assert_pricing_rules_agree(infeasible_lp(seed))
 
 
 class TestFuzzUnbounded:
@@ -225,11 +150,19 @@ class TestFuzzUnbounded:
     def test_all_kernels_detect_the_ray(self, seed):
         _assert_agree(unbounded_lp(seed), expected_status="unbounded")
 
+    @pytest.mark.parametrize("seed", UNBOUNDED_SEEDS[:3])
+    def test_pricing_rules_agree_on_unboundedness(self, seed):
+        _assert_pricing_rules_agree(unbounded_lp(seed))
+
 
 class TestFuzzDegenerate:
     @pytest.mark.parametrize("seed", DEGENERATE_SEEDS)
     def test_degenerate_instances_agree(self, seed):
         _assert_agree(degenerate_lp(seed), expected_status="optimal")
+
+    @pytest.mark.parametrize("seed", DEGENERATE_SEEDS)
+    def test_pricing_rules_survive_degeneracy(self, seed):
+        _assert_pricing_rules_agree(degenerate_lp(seed))
 
     @pytest.mark.parametrize("seed", DEGENERATE_SEEDS[:3])
     def test_bland_mode_from_the_first_pivot(self, seed):
@@ -243,13 +176,40 @@ class TestFuzzDegenerate:
         assert aggressive.objective == pytest.approx(reference.objective, abs=1e-9)
 
 
+class TestFuzzLargeSparse:
+    """The LU kernel's home turf: m, n ≥ 100 at <5% density.
+
+    The dense tableau is excluded (it is quadratic in the row count and
+    contributes nothing at this scale); dense-inverse revised, LU
+    revised under every pricing rule, and HiGHS must all agree.
+    """
+
+    @pytest.mark.parametrize("seed", LARGE_SPARSE_SEEDS)
+    def test_lu_matches_dense_inverse_and_highs(self, seed):
+        form = large_sparse_lp(seed, m=120, n=150)
+        dense = solve_lp_revised(form, RevisedOptions(factorization="dense"))
+        lu = solve_lp_revised(form, RevisedOptions(factorization="lu"))
+        assert dense.status == lu.status == "optimal"
+        assert lu.objective == pytest.approx(dense.objective, abs=1e-6)
+        np.testing.assert_allclose(lu.x, dense.x, atol=1e-6)
+        # The LU solve really ran on the eta file, not on refactorizations.
+        assert lu.etas_applied > 10 * max(1, lu.refactorizations)
+        if highs_available():
+            highs = solve_lp_highs(form)
+            assert highs.status == "optimal"
+            assert highs.objective == pytest.approx(dense.objective, abs=1e-6)
+
+    @pytest.mark.parametrize("seed", LARGE_SPARSE_SEEDS[:2])
+    def test_pricing_rules_agree_at_scale(self, seed):
+        form = large_sparse_lp(seed, m=100, n=120)
+        _assert_pricing_rules_agree(form)
+
+
 class TestFuzzWarmEqualsCold:
     """A reused basis may change effort, never the answer."""
 
     @pytest.mark.parametrize("seed", FEASIBLE_SEEDS[:8])
     def test_warm_resolve_after_bound_tightening(self, seed):
-        from repro.ilp import RevisedSimplex
-
         form = feasible_box_lp(seed)
         engine = RevisedSimplex(form)
         first = engine.solve(form.lb, form.ub)
@@ -270,3 +230,39 @@ class TestFuzzWarmEqualsCold:
             assert warm.objective == pytest.approx(cold.objective, abs=1e-7)
             # Canonicalization makes the vertex itself path-independent.
             np.testing.assert_allclose(warm.x, cold.x, atol=1e-6)
+
+    @pytest.mark.parametrize("pricing,factorization", PRICING_VARIANTS)
+    @pytest.mark.parametrize("seed", FEASIBLE_SEEDS[:3])
+    def test_warm_equals_cold_for_every_pricing_rule(
+        self, seed, pricing, factorization
+    ):
+        form = feasible_box_lp(seed)
+        options = RevisedOptions(pricing=pricing, factorization=factorization)
+        engine = RevisedSimplex(form, options)
+        first = engine.solve(form.lb, form.ub)
+        if first.status != "optimal":
+            pytest.skip("generator produced a non-optimal base case")
+        ub2 = form.ub.copy()
+        ub2[0] = max(form.lb[0], float(first.x[0]) * 0.5)
+        warm = engine.solve(form.lb, ub2, basis=first.basis)
+        cold = engine.solve(form.lb, ub2)
+        assert warm.status == cold.status
+        if warm.status == "optimal":
+            assert warm.objective == pytest.approx(cold.objective, abs=1e-7)
+            np.testing.assert_allclose(warm.x, cold.x, atol=1e-6)
+
+    @pytest.mark.parametrize("seed", LARGE_SPARSE_SEEDS[:1])
+    def test_warm_equals_cold_on_large_sparse_lu(self, seed):
+        form = large_sparse_lp(seed, m=100, n=120)
+        engine = RevisedSimplex(form, RevisedOptions(factorization="lu"))
+        first = engine.solve(form.lb, form.ub)
+        assert first.status == "optimal"
+        ub2 = form.ub.copy()
+        rng = np.random.RandomState(seed + 13)
+        for j in rng.choice(form.num_variables, size=10, replace=False):
+            ub2[j] = max(form.lb[j], float(first.x[j]) * 0.5)
+        warm = engine.solve(form.lb, ub2, basis=first.basis)
+        cold = engine.solve(form.lb, ub2)
+        assert warm.status == cold.status == "optimal"
+        assert warm.objective == pytest.approx(cold.objective, abs=1e-7)
+        np.testing.assert_allclose(warm.x, cold.x, atol=1e-6)
