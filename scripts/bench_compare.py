@@ -52,6 +52,11 @@ TOTAL_KEYS = (
     "total_retries",
     "total_presolve_rows_dropped",
     "total_presolve_cols_fixed",
+    "total_exact_nodes",
+    "total_heuristic_incumbents",
+    "total_dive_pivots",
+    "total_lns_rounds",
+    "num_fast_certified",
 )
 
 #: Solver-work keys a table3 artifact must carry since the revised-simplex
@@ -66,6 +71,14 @@ TABLE3_KEYS = ("total_warm_lp_solves", "total_basis_reuses",
 #: not wall time.
 LP_KERNEL_KEYS = ("total_pivots", "total_etas_applied",
                   "total_refactorizations", "all_objectives_match")
+
+#: Aggregate counters a heuristics artifact
+#: (``benchmarks/bench_heuristics.py``) must carry.  Like the kernel
+#: benchmark, its gate runs on deterministic counters — exact node
+#: counts and the gap contract — not wall time.
+HEURISTICS_KEYS = ("gap_limit", "total_exact_nodes",
+                   "total_heuristic_incumbents", "num_fast_certified",
+                   "all_gaps_ok")
 
 
 def load_artifact(path: Path) -> Dict[str, Any]:
@@ -124,6 +137,13 @@ def validate(document: Any) -> List[str]:
         if document.get("all_objectives_match") is False:
             problems.append("lp_kernel artifact records a kernel that "
                             "disagreed with the dense-inverse reference")
+    if document.get("name") == "heuristics":
+        for key in HEURISTICS_KEYS:
+            if key not in document:
+                problems.append(f"heuristics artifact missing key {key!r}")
+        if document.get("all_gaps_ok") is False:
+            problems.append("heuristics artifact records a fast run that "
+                            "violated its optimality-gap contract")
     return problems
 
 
@@ -210,20 +230,24 @@ def compare(baseline: Dict[str, Any], candidate: Dict[str, Any],
               f"{'base lp':>8} {'cand lp':>8} {'objectives':>11}")
         for label in shared:
             b, c = base_rows[label], cand_rows[label]
-            b_obj = b.get("global_objective", b.get("objective"))
-            c_obj = c.get("global_objective", c.get("objective"))
+            b_obj = b.get("global_objective",
+                          b.get("objective", b.get("exact_objective")))
+            c_obj = c.get("global_objective",
+                          c.get("objective", c.get("exact_objective")))
             match = "-"
             if isinstance(b_obj, (int, float)) and isinstance(c_obj, (int, float)):
                 scale = max(1e-9, abs(b_obj))
                 match = "same" if abs(b_obj - c_obj) / scale <= 1e-6 else "DIFFER"
-            b_lp = (b.get("solve_stats") or {}).get("lp_solves",
-                                                    b.get("pivots", "-"))
-            c_lp = (c.get("solve_stats") or {}).get("lp_solves",
-                                                    c.get("pivots", "-"))
+            b_lp = (b.get("solve_stats") or {}).get(
+                "lp_solves", b.get("pivots", b.get("exact_nodes", "-")))
+            c_lp = (c.get("solve_stats") or {}).get(
+                "lp_solves", c.get("pivots", c.get("exact_nodes", "-")))
             b_s = b.get("global_detailed_seconds",
-                        b.get("wall_time", b.get("wall_seconds", 0.0))) or 0.0
+                        b.get("wall_time", b.get("wall_seconds",
+                              b.get("exact_wall_seconds", 0.0)))) or 0.0
             c_s = c.get("global_detailed_seconds",
-                        c.get("wall_time", c.get("wall_seconds", 0.0))) or 0.0
+                        c.get("wall_time", c.get("wall_seconds",
+                              c.get("exact_wall_seconds", 0.0)))) or 0.0
             print(f"{label:<34} {b_s:>9.3f} {c_s:>9.3f} "
                   f"{str(b_lp):>8} {str(c_lp):>8} {match:>11}")
     missing = sorted(set(base_rows) ^ set(cand_rows))
@@ -231,6 +255,25 @@ def compare(baseline: Dict[str, Any], candidate: Dict[str, Any],
         print(f"\nwarning: labels present in only one artifact: {missing}")
 
     if fail_over is not None:
+        if baseline.get("name") == candidate.get("name") == "heuristics":
+            # Heuristics artifacts gate on the exact tree's node counts
+            # and the fast lane's certification rate — both deterministic
+            # under the seeded portfolio — never on wall time.
+            base_nodes = float(baseline.get("total_exact_nodes") or 0.0)
+            cand_nodes = float(candidate.get("total_exact_nodes") or 0.0)
+            if base_nodes > 0 and \
+                    cand_nodes > base_nodes * (1.0 + fail_over / 100.0):
+                print(f"\nFAIL: candidate exact node count {cand_nodes:.0f} "
+                      f"exceeds baseline {base_nodes:.0f} by more than "
+                      f"{fail_over:.0f}%")
+                return 1
+            base_cert = int(baseline.get("num_fast_certified") or 0)
+            cand_cert = int(candidate.get("num_fast_certified") or 0)
+            if cand_cert < base_cert:
+                print(f"\nFAIL: fast lane certified only {cand_cert} "
+                      f"point(s), baseline certified {base_cert}")
+                return 1
+            return 0
         if baseline.get("name") == candidate.get("name") == "lp_kernel":
             # Kernel artifacts gate on total pivots: deterministic on any
             # machine (same corpus, same counts), unlike wall time.

@@ -12,7 +12,10 @@ makes:
 3. every served fingerprint equals the fingerprint of the equivalent
    direct ``repro batch`` run — the service changes *where* mappings are
    computed, never *what* they are;
-4. the server shuts down cleanly on request (bounded by a timeout, with
+4. a mixed exact/fast burst keeps both contracts: fast responses carry a
+   certified optimality gap within the requested limit, and the exact
+   jobs' fingerprints are untouched by the fast lane;
+5. the server shuts down cleanly on request (bounded by a timeout, with
    SIGKILL as the fallback so CI never hangs).
 
 Exit code 0 on success, 1 on any violated expectation.  Run it locally::
@@ -115,6 +118,42 @@ def main() -> int:
             )
         print(f"[smoke] all {len(jobs)} served fingerprints match the "
               "direct `repro batch` run")
+
+        # Mixed exact/fast burst: fast jobs must carry a certified gap
+        # within the contract, and re-submitted exact jobs must keep the
+        # fingerprints of the first burst (fast mode is a separate cache
+        # lane, never a silent substitute for an exact answer).
+        mixed = cli(
+            "submit", "--url", URL, "--board", BOARD, "--solver", SOLVER,
+            *[arg for design in DESIGNS for arg in ("--design", design)],
+            "--fast", "--gap", "0.05", "--json",
+        )
+        fast_jobs = json.loads(mixed.stdout)["jobs"]
+        assert all(job["state"] == "done" for job in fast_jobs), fast_jobs
+        for job in fast_jobs:
+            gap = job["gap"]
+            assert isinstance(gap, (int, float)) and 0.0 <= gap <= 0.05, (
+                f"fast job {job['label']} reported gap {gap!r}, expected a "
+                "certified value within the 5% contract"
+            )
+        exact_again = cli(
+            "submit", "--url", URL, "--board", BOARD, "--solver", SOLVER,
+            *[arg for design in DESIGNS for arg in ("--design", design)],
+            "--json",
+        )
+        for job in json.loads(exact_again.stdout)["jobs"]:
+            design = job["label"].split("@")[0]
+            assert job["gap"] is None, (
+                f"exact job {design} unexpectedly carries a gap: {job['gap']}"
+            )
+            assert job["fingerprint"] == reference[design], (
+                f"exact fingerprint of {design} changed after the fast "
+                f"burst: {job['fingerprint']} != {reference[design]}"
+            )
+        health = json.loads(cli("submit", "--url", URL, "--health").stdout)
+        assert health["counters"]["fast_jobs"] == len(DESIGNS), health["counters"]
+        print(f"[smoke] mixed burst ok: {len(fast_jobs)} fast jobs within "
+              "the gap contract, exact fingerprints unchanged")
 
         cli("submit", "--url", URL, "--shutdown")
         try:

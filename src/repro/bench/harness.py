@@ -372,6 +372,9 @@ class Table3Harness:
             "total_retries": stat_total("retries"),
             "total_presolve_rows_dropped": stat_total("presolve_rows_dropped"),
             "total_presolve_cols_fixed": stat_total("presolve_cols_fixed"),
+            "total_heuristic_incumbents": stat_total("heuristic_incumbents"),
+            "total_dive_pivots": stat_total("dive_pivots"),
+            "total_lns_rounds": stat_total("lns_rounds"),
             "results": [
                 {
                     "label": row.point.label(),

@@ -65,7 +65,7 @@ from .design import (
     motion_estimation_design,
     random_design,
 )
-from .engine import MappingEngine, MappingJob
+from .engine import MODE_FAST, MODE_PIPELINE, MappingEngine, MappingJob
 from .explore import (
     DesignSpaceExplorer,
     ExploreError,
@@ -225,6 +225,8 @@ def _cmd_map(args: argparse.Namespace) -> int:
     board = _resolve_board(args.board)
     design = _resolve_design(args.design, seed=args.seed)
     weights = _WEIGHT_PRESETS[args.weights]()
+    if args.gap is not None and not args.fast:
+        raise CliError("--gap only applies with --fast")
     mapper = MemoryMapper(
         board,
         weights=weights,
@@ -232,6 +234,8 @@ def _cmd_map(args: argparse.Namespace) -> int:
         solver_options={"time_limit": args.time_limit} if args.time_limit else None,
         capacity_mode=args.capacity_mode,
         port_estimation=args.port_estimation,
+        mode="fast" if args.fast else "exact",
+        gap_limit=args.gap,
     )
     try:
         result = mapper.map(design)
@@ -301,6 +305,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     solver = _resolve_solver(args.solver) or default_solver_backend()
     jobs = _resolve_jobs(args.jobs)
     solver_options = {"time_limit": args.time_limit} if args.time_limit else {}
+    if args.gap is not None and not args.fast:
+        raise CliError("--gap only applies with --fast")
+    mode = MODE_FAST if args.fast else MODE_PIPELINE
+    gap_limit = args.gap if args.fast else None
 
     batch: List[MappingJob] = []
     if args.sweep:
@@ -309,7 +317,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             batch.append(MappingJob(
                 board=board, design=design, weights=weights, solver=solver,
                 solver_options=solver_options, label=point.label(),
-                timeout=args.time_limit,
+                timeout=args.time_limit, mode=mode, gap_limit=gap_limit,
             ))
     if args.design:
         board = _resolve_board(args.board)
@@ -318,6 +326,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             batch.append(MappingJob(
                 board=board, design=design, weights=weights, solver=solver,
                 solver_options=solver_options, timeout=args.time_limit,
+                mode=mode, gap_limit=gap_limit,
             ))
     if not batch:
         raise CliError("batch needs --design and/or --sweep N")
@@ -530,6 +539,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             raise CliError("submit needs --design (or --health / --shutdown)")
         if args.repeat < 1:
             raise CliError("--repeat must be at least 1")
+        if args.gap is not None and not args.fast:
+            raise CliError("--gap only applies with --fast")
         board = _resolve_board(args.board)
         weights = _WEIGHT_PRESETS[args.weights]()
         submissions = []
@@ -549,6 +560,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                     timeout=args.time_limit,
                     priority=args.priority,
                     deadline_ms=args.deadline_ms,
+                    mode="fast" if args.fast else "pipeline",
+                    gap_limit=args.gap if args.fast else None,
                 ))
 
         statuses = client.submit(submissions)
@@ -582,6 +595,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                     s.state,
                     s.result_status or "-",
                     "-" if s.objective is None else f"{s.objective:.4f}",
+                    "-" if s.gap is None else f"{s.gap:.3f}",
                     "-" if s.latency_ms is None else f"{s.latency_ms:.0f}ms",
                     ("hit" if s.cache_hit else "dedup" if s.deduped else "-"),
                     (s.fingerprint or "")[:12] or "-",
@@ -590,7 +604,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                 for s in statuses
             ]
             print(ascii_table(
-                ["job", "state", "result", "objective", "latency",
+                ["job", "state", "result", "objective", "gap", "latency",
                  "reuse", "fingerprint", "detail"],
                 rows,
                 title=f"{len(statuses)} job(s) via {client.url}",
@@ -700,6 +714,12 @@ def build_parser() -> argparse.ArgumentParser:
                          default="paper", help="port charge model")
     map_cmd.add_argument("--time-limit", type=float, default=None,
                          help="per-solve time limit in seconds")
+    map_cmd.add_argument("--fast", action="store_true",
+                         help="heuristic fast mode: return the first mapping "
+                              "certified within --gap of a lower bound")
+    map_cmd.add_argument("--gap", type=float, default=None, metavar="FRAC",
+                         help="relative optimality-gap contract for --fast "
+                              "(default 0.05)")
     map_cmd.add_argument("--seed", type=int, default=0,
                          help="seed for random:<n> designs")
     map_cmd.add_argument("--output", help="write the mapping result to this JSON file")
@@ -727,6 +747,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "see 'repro backends')")
     batch.add_argument("--time-limit", type=float, default=None,
                        help="per-job wall-clock budget in seconds")
+    batch.add_argument("--fast", action="store_true",
+                       help="heuristic fast mode for every job in the batch")
+    batch.add_argument("--gap", type=float, default=None, metavar="FRAC",
+                       help="relative optimality-gap contract for --fast "
+                            "(default 0.05)")
     batch.add_argument("--retries", type=int, default=0,
                        help="re-runs of a crashed job before reporting an error")
     batch.add_argument("--cache-dir",
@@ -838,6 +863,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="max milliseconds a job may wait in the queue")
     submit.add_argument("--time-limit", type=float, default=None,
                         help="per-job wall-clock budget in seconds")
+    submit.add_argument("--fast", action="store_true",
+                        help="submit as heuristic fast-mode jobs (result "
+                             "carries the certified gap)")
+    submit.add_argument("--gap", type=float, default=None, metavar="FRAC",
+                        help="relative optimality-gap contract for --fast "
+                             "(default 0.05)")
     submit.add_argument("--seed", type=int, default=0,
                         help="seed for random:<n> designs")
     submit.add_argument("--no-wait", action="store_true",

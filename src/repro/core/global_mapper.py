@@ -28,6 +28,7 @@ The objective is the weighted latency / pin-delay / pin-I/O cost of
 
 from __future__ import annotations
 
+import math
 import time
 from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
@@ -35,7 +36,18 @@ import numpy as np
 
 from ..arch.board import Board
 from ..design.design import Design
-from ..ilp import Model, Solution, SolveContext, Variable, create_solver, quicksum
+from ..ilp import (
+    FEASIBLE,
+    OPTIMAL,
+    Model,
+    Solution,
+    SolveContext,
+    SolveStats,
+    Variable,
+    certified_gap,
+    create_solver,
+    quicksum,
+)
 from .mapping import GlobalMapping, MappingError
 from .objective import CostModel, CostWeights
 from .preprocess import Preprocessor
@@ -178,6 +190,16 @@ class GlobalMapper:
         ``"paper"`` (default) uses the Figure 3 port estimate; ``"refined"``
         uses the tighter future-work charge for banks with more than two
         ports (see :class:`repro.core.Preprocessor`).
+    mode:
+        ``"exact"`` (default) proves optimality.  ``"fast"`` trades the
+        proof for speed under an optimality-gap contract: a greedy
+        assignment that certifies within ``gap_limit`` of a structural
+        lower bound is returned without ever building the ILP; otherwise
+        the exact solver runs with the same ``gap_limit`` so the tree
+        search may stop at the first incumbent meeting the contract.
+    gap_limit:
+        Relative optimality-gap contract for ``mode="fast"`` (default
+        0.05, i.e. within 5% of the lower bound).  Ignored in exact mode.
     """
 
     def __init__(
@@ -188,15 +210,25 @@ class GlobalMapper:
         solver_options: Optional[Dict[str, object]] = None,
         capacity_mode: str = "strict",
         port_estimation: str = "paper",
+        mode: str = "exact",
+        gap_limit: Optional[float] = None,
     ) -> None:
         if capacity_mode not in ("strict", "clique"):
             raise ValueError(f"unknown capacity_mode {capacity_mode!r}")
+        if mode not in ("exact", "fast"):
+            raise ValueError(f"unknown mode {mode!r} (expected 'exact' or 'fast')")
+        if gap_limit is not None and gap_limit < 0:
+            raise ValueError("gap_limit must be non-negative")
         self.board = board
         self.weights = weights or CostWeights()
         self.solver = solver
         self.solver_options = dict(solver_options or {})
         self.capacity_mode = capacity_mode
         self.port_estimation = port_estimation
+        self.mode = mode
+        self.gap_limit = (
+            gap_limit if gap_limit is not None else (0.05 if mode == "fast" else None)
+        )
         #: memoized constraint skeletons keyed by design identity
         self._skeletons: Dict[int, _GlobalSkeleton] = {}
         self.skeleton_builds = 0
@@ -474,6 +506,277 @@ class GlobalMapper:
             return None
         return merged, vector
 
+    # -------------------------------------------------------------- fast lane
+    _FAST_BIG = 1e18
+    #: subgradient-ascent budget of the fast lane's Lagrangian bound.
+    _FAST_DUAL_ITERS = 300
+    #: how often (in dual iterations) the guided construction re-runs.
+    _FAST_PRIMAL_EVERY = 25
+
+    def _fast_tables(
+        self,
+        design: Design,
+        skeleton: _GlobalSkeleton,
+        forbidden: Set[Pair],
+    ) -> Tuple[np.ndarray, ...]:
+        """Numpy views of the fast lane's data: costs, feasibility, loads."""
+        coefficients = np.asarray(skeleton.coefficients, dtype=float)
+        num_types = len(self.board.bank_types)
+        feasible = np.zeros((design.num_segments, num_types), dtype=bool)
+        for d_index, row in enumerate(skeleton.candidates):
+            ds = design.data_structures[d_index]
+            for bank_name, _, t_index in row:
+                if (ds.name, bank_name) not in forbidden:
+                    feasible[d_index, t_index] = True
+            if not feasible[d_index].any():
+                raise MappingError(
+                    f"structure {ds.name!r} has no admissible bank type left "
+                    "(all candidates are infeasible or forbidden)"
+                )
+        ports = np.asarray(skeleton.port_coeff, dtype=float)
+        bits = np.asarray(skeleton.footprint, dtype=float)
+        port_budget = np.array(
+            [bank.total_ports for bank in self.board.bank_types], dtype=float
+        )
+        bit_budget = np.array(
+            [bank.total_capacity_bits for bank in self.board.bank_types], dtype=float
+        )
+        return coefficients, feasible, ports, bits, port_budget, bit_budget
+
+    @staticmethod
+    def _fast_construct(
+        order: np.ndarray,
+        score: np.ndarray,
+        cost: np.ndarray,
+        feasible: np.ndarray,
+        ports: np.ndarray,
+        bits: np.ndarray,
+        port_budget: np.ndarray,
+        bit_budget: np.ndarray,
+    ) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Largest-first greedy by ``score``, then descent on ``cost``.
+
+        The descent repeatedly moves one structure to the cheapest type
+        with budget left until no single move improves; every visited
+        state satisfies the strict port/capacity budgets, so the result
+        is feasible in both capacity modes (strict budgets are a subset
+        of the clique relaxation).
+        """
+        big = GlobalMapper._FAST_BIG
+        ports_left = port_budget.copy()
+        bits_left = bit_budget.copy()
+        assign = np.full(order.shape[0], -1, dtype=int)
+        for d in order:
+            open_types = (
+                feasible[d] & (ports[d] <= ports_left) & (bits[d] <= bits_left)
+            )
+            if not open_types.any():
+                return None
+            choice = int(np.where(open_types, score[d], big).argmin())
+            assign[d] = choice
+            ports_left[choice] -= ports[d, choice]
+            bits_left[choice] -= bits[d, choice]
+        improved = True
+        while improved:
+            improved = False
+            for d in range(assign.shape[0]):
+                current = int(assign[d])
+                trial_ports = ports_left.copy()
+                trial_bits = bits_left.copy()
+                trial_ports[current] += ports[d, current]
+                trial_bits[current] += bits[d, current]
+                open_types = (
+                    feasible[d]
+                    & (ports[d] <= trial_ports)
+                    & (bits[d] <= trial_bits)
+                )
+                candidate = np.where(open_types, cost[d], big)
+                target = int(candidate.argmin())
+                if candidate[target] < cost[d, current] - 1e-12:
+                    ports_left = trial_ports
+                    bits_left = trial_bits
+                    ports_left[target] -= ports[d, target]
+                    bits_left[target] -= bits[d, target]
+                    assign[d] = target
+                    improved = True
+        return assign, ports_left, bits_left
+
+    def _fast_mapping(
+        self,
+        design: Design,
+        skeleton: _GlobalSkeleton,
+        forbidden: Set[Pair],
+    ) -> Optional[GlobalMapping]:
+        """Model-free fast lane: Lagrangian bound + guided greedy descent.
+
+        Dualising the port and capacity rows leaves one independent
+        ``min`` per structure (the uniqueness rows), so each dual value
+        is a valid lower bound and subgradient ascent with Polyak steps
+        tightens it toward the LP bound without ever building the ILP.
+        The primal side runs the largest-first greedy twice — once on
+        raw costs, periodically on the dual's reduced costs, which price
+        in resource scarcity — each followed by a single-move descent.
+        As soon as the incumbent certifies within ``gap_limit`` of the
+        best bound the mapping is returned; if the contract is still
+        unmet after the iteration budget, ``None`` sends the caller to
+        the exact solver (which inherits the same ``gap_limit``).
+        """
+        start = time.perf_counter()
+        tables = self._fast_tables(design, skeleton, forbidden)
+        cost, feasible, ports, bits, port_budget, bit_budget = tables
+        num_structs, num_types = cost.shape
+        big = self._FAST_BIG
+        order = np.argsort(
+            -np.array([ds.size_bits for ds in design.data_structures])
+        )
+        idx = np.arange(num_structs)
+
+        best_assign: Optional[np.ndarray] = None
+        best_obj = math.inf
+        incumbents = 0
+
+        def adopt(result) -> None:
+            nonlocal best_assign, best_obj, incumbents
+            if result is None:
+                return
+            assign = result[0]
+            obj = float(cost[idx, assign].sum())
+            if obj < best_obj - 1e-12:
+                best_assign = assign
+                best_obj = obj
+                incumbents += 1
+
+        adopt(
+            self._fast_construct(
+                order, cost, cost, feasible, ports, bits, port_budget, bit_budget
+            )
+        )
+
+        # Lagrangian dual on budget-normalised rows (sum_d a_dt z_dt <= 1):
+        # normalising keeps the port (units) and capacity (megabit)
+        # subgradients on one scale, which Polyak steps need to converge.
+        masked = np.where(feasible, cost, big)
+        port_load = ports / np.maximum(port_budget, 1e-12)[None, :]
+        bit_load = bits / np.maximum(bit_budget, 1e-12)[None, :]
+        lam = np.zeros(num_types)
+        mu = np.zeros(num_types)
+        best_bound = float(masked.min(axis=1).sum())  # lam = mu = 0
+        best_lam = lam.copy()
+        best_mu = mu.copy()
+        theta = 1.0
+        stall = 0
+        dual_iters = 0
+
+        def certified(obj: float, bound: float) -> bool:
+            return (
+                self.gap_limit is not None
+                and math.isfinite(obj)
+                and certified_gap(obj, bound) <= self.gap_limit
+            )
+
+        if not certified(best_obj, best_bound):
+            for iteration in range(self._FAST_DUAL_ITERS):
+                dual_iters = iteration + 1
+                reduced = (
+                    masked + lam[None, :] * port_load + mu[None, :] * bit_load
+                )
+                chosen = reduced.argmin(axis=1)
+                value = float(
+                    reduced[idx, chosen].sum() - lam.sum() - mu.sum()
+                )
+                if value > best_bound + 1e-12:
+                    best_bound = value
+                    best_lam = lam.copy()
+                    best_mu = mu.copy()
+                    stall = 0
+                else:
+                    stall += 1
+                    if stall >= 20:
+                        theta *= 0.5
+                        stall = 0
+                if certified(best_obj, best_bound):
+                    break
+                over_ports = (
+                    np.bincount(
+                        chosen,
+                        weights=port_load[idx, chosen],
+                        minlength=num_types,
+                    )
+                    - 1.0
+                )
+                over_bits = (
+                    np.bincount(
+                        chosen,
+                        weights=bit_load[idx, chosen],
+                        minlength=num_types,
+                    )
+                    - 1.0
+                )
+                norm2 = float(over_ports @ over_ports + over_bits @ over_bits)
+                if norm2 < 1e-18:
+                    break  # dual optimum: the relaxed choice fits all budgets
+                target = best_obj if math.isfinite(best_obj) else best_bound + 1.0
+                step = theta * max(target - value, 1e-12) / norm2
+                lam = np.maximum(0.0, lam + step * over_ports)
+                mu = np.maximum(0.0, mu + step * over_bits)
+                if (iteration + 1) % self._FAST_PRIMAL_EVERY == 0 or theta < 1e-4:
+                    guided = (
+                        masked
+                        + best_lam[None, :] * port_load
+                        + best_mu[None, :] * bit_load
+                    )
+                    adopt(
+                        self._fast_construct(
+                            order, guided, cost, feasible, ports, bits,
+                            port_budget, bit_budget,
+                        )
+                    )
+                    if certified(best_obj, best_bound) or theta < 1e-4:
+                        break
+
+        if best_assign is not None and not certified(best_obj, best_bound):
+            # One last guided pass at the best multipliers found.
+            guided = (
+                masked + best_lam[None, :] * port_load + best_mu[None, :] * bit_load
+            )
+            adopt(
+                self._fast_construct(
+                    order, guided, cost, feasible, ports, bits,
+                    port_budget, bit_budget,
+                )
+            )
+
+        if best_assign is None or not certified(best_obj, best_bound):
+            return None  # contract unmet structurally; exact solver decides
+
+        assignment = {
+            design.data_structures[d].name: self.board.bank_types[int(t)].name
+            for d, t in enumerate(best_assign)
+        }
+        gap = certified_gap(best_obj, best_bound)
+        elapsed = time.perf_counter() - start
+        stats = SolveStats(
+            wall_time=elapsed,
+            incumbent_updates=incumbents,
+            heuristic_incumbents=incumbents,
+            best_bound=best_bound,
+            gap=gap,
+            backend="fast-heuristic",
+        ).as_dict()
+        stats["mode"] = "fast"
+        stats["extra"]["dual_iterations"] = dual_iters
+        breakdown = skeleton.cost_model.evaluate_assignment(assignment)
+        return GlobalMapping(
+            design_name=design.name,
+            board_name=self.board.name,
+            assignment=assignment,
+            objective=breakdown.weighted_total,
+            cost=breakdown,
+            solver_status=FEASIBLE,
+            solve_time=elapsed,
+            solver_stats=stats,
+        )
+
     # ---------------------------------------------------------------- solving
     def solve(
         self,
@@ -493,6 +796,17 @@ class GlobalMapper:
         """
         forbidden: Set[Pair] = set(forbidden_pairs)
         solver_options = dict(self.solver_options)
+
+        if self.mode == "fast":
+            skeleton = self._skeleton(design, preprocessor, cost_model)
+            fast = self._fast_mapping(design, skeleton, forbidden)
+            if fast is not None:
+                if context is not None:
+                    context.note_assignment(dict(fast.assignment))
+                return fast
+            # Contract not met structurally: run the exact tree, but let
+            # it stop at the first incumbent certifying within the gap.
+            solver_options.setdefault("gap_limit", self.gap_limit)
 
         if isinstance(self.solver, str) or self.solver is None:
             skeleton = self._skeleton(design, preprocessor, cost_model)
@@ -551,6 +865,16 @@ class GlobalMapper:
             # solve of an adjacent design point can reuse as its seed.
             context.note_assignment(assignment)
         breakdown = artifacts.cost_model.evaluate_assignment(assignment)
+        solver_stats = solution.stats.as_dict()
+        if self.mode == "fast":
+            solver_stats["mode"] = "fast"
+            gap = solver_stats.get("gap")
+            if solution.status == OPTIMAL and not (
+                isinstance(gap, float) and math.isfinite(gap)
+            ):
+                # The exact fallback proved optimality, so the certified
+                # gap is zero even for backends that never report one.
+                solver_stats["gap"] = 0.0
         return GlobalMapping(
             design_name=design.name,
             board_name=self.board.name,
@@ -559,5 +883,5 @@ class GlobalMapper:
             cost=breakdown,
             solver_status=solution.status,
             solve_time=elapsed,
-            solver_stats=solution.stats.as_dict(),
+            solver_stats=solver_stats,
         )

@@ -61,6 +61,13 @@ class MemoryMapper:
     validate:
         When true (default) both stages are checked by the validators and a
         :class:`repro.core.mapping.MappingError` is raised on any violation.
+    mode:
+        ``"exact"`` (default) or ``"fast"`` — see
+        :class:`repro.core.GlobalMapper`.  Fast mode returns the first
+        mapping certifying within ``gap_limit`` of a lower bound instead
+        of proving optimality.
+    gap_limit:
+        Relative optimality-gap contract for fast mode (default 0.05).
     """
 
     def __init__(
@@ -75,6 +82,8 @@ class MemoryMapper:
         warm_start: bool = True,
         warm_retries: bool = True,
         validate: bool = True,
+        mode: str = "exact",
+        gap_limit: Optional[float] = None,
     ) -> None:
         self.board = board
         self.weights = weights or CostWeights()
@@ -93,7 +102,11 @@ class MemoryMapper:
             solver_options=self.solver_options,
             capacity_mode=capacity_mode,
             port_estimation=port_estimation,
+            mode=mode,
+            gap_limit=gap_limit,
         )
+        self.mode = self.global_mapper.mode
+        self.gap_limit = self.global_mapper.gap_limit
         self.detailed_mapper = DetailedMapper(board)
 
     # ------------------------------------------------------------------ api
@@ -199,8 +212,8 @@ class MemoryMapper:
                 solve_stats=self._solve_stats(stage_stats, context, retries),
             )
 
-    @staticmethod
     def _solve_stats(
+        self,
         stage_stats: List[Dict[str, object]],
         context: Optional[SolveContext],
         retries: int,
@@ -245,11 +258,23 @@ class MemoryMapper:
             "refactor_triggers": merge_counts("refactor_triggers"),
             "pricing_pivots": merge_counts("pricing_pivots"),
             "incumbent_updates": total("incumbent_updates"),
+            "heuristic_incumbents": total("heuristic_incumbents"),
+            "dive_lp_solves": total("dive_lp_solves"),
+            "dive_pivots": total("dive_pivots"),
+            "lns_rounds": total("lns_rounds"),
             "presolve_rows_dropped": presolve_rows,
             "presolve_cols_fixed": presolve_cols,
             "warm_retries": context is not None,
             "backend": str(stage_stats[-1].get("backend", "")) if stage_stats else "",
+            "mode": self.mode,
         }
+        if stage_stats:
+            # The achieved gap of the final (winning) global solve; NaN
+            # for backends that never compute one (exact proves 0 but the
+            # pure tree only fills this under a gap contract).
+            gap = stage_stats[-1].get("gap")
+            if isinstance(gap, (int, float)):
+                stats["gap"] = float(gap)
         if context is not None:
             stats["warm_start_hits"] = context.warm_start_hits
             stats["form_reuses"] = context.form_reuses
@@ -275,7 +300,12 @@ class MemoryMapper:
         the mapper to have been configured with a solver backend *name*
         (instances cannot cross process boundaries).
         """
-        from ..engine import MappingEngine, MappingJob  # local: io -> core cycle
+        from ..engine import (  # local: io -> core cycle
+            MODE_FAST,
+            MODE_PIPELINE,
+            MappingEngine,
+            MappingJob,
+        )
 
         solver = self.solver if isinstance(self.solver, str) else None
         if solver is None:
@@ -293,6 +323,8 @@ class MemoryMapper:
                 port_estimation=self.port_estimation,
                 warm_start=self.warm_start,
                 warm_retries=self.warm_retries,
+                mode=MODE_FAST if self.mode == "fast" else MODE_PIPELINE,
+                gap_limit=self.gap_limit if self.mode == "fast" else None,
             )
             for design in designs
         ]

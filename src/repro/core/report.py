@@ -137,6 +137,14 @@ def render_full_report(result: MappingResult) -> str:
         f"detailed map time : {result.detailed_time:.3f}s",
     ]
     stats = result.solve_stats
+    if stats and stats.get("mode") == "fast":
+        gap = stats.get("gap")
+        header.insert(
+            2,
+            "mode              : fast (certified gap "
+            + (f"{float(gap) * 100.0:.2f}%" if isinstance(gap, (int, float)) else "n/a")
+            + ")",
+        )
     if stats:
         header.append(
             "solver work       : {lp} LP solves / {nodes} nodes across {solves} "
@@ -152,6 +160,15 @@ def render_full_report(result: MappingResult) -> str:
                 cols=stats.get("presolve_cols_fixed", 0),
             )
         )
+        if stats.get("heuristic_incumbents") or stats.get("lns_rounds"):
+            header.append(
+                "heuristics        : {inc} incumbent(s) from the portfolio "
+                "({dives} dive pivots, {lns} LNS rounds)".format(
+                    inc=stats.get("heuristic_incumbents", 0),
+                    dives=stats.get("dive_pivots", 0),
+                    lns=stats.get("lns_rounds", 0),
+                )
+            )
         if stats.get("basis_reuses"):
             header.append(
                 "basis reuse       : {warm} warm LP re-solves from {reuses} "

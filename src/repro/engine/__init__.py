@@ -11,6 +11,7 @@ from .cache import ResultCache, canonical_hash, canonical_json, result_fingerpri
 from .engine import MappingEngine, execute_payload
 from .jobs import (
     MODE_COMPLETE,
+    MODE_FAST,
     MODE_PIPELINE,
     STATUS_ERROR,
     STATUS_FAILED,
@@ -35,4 +36,5 @@ __all__ = [
     "STATUS_TIMEOUT",
     "MODE_PIPELINE",
     "MODE_COMPLETE",
+    "MODE_FAST",
 ]

@@ -47,6 +47,7 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
 from .cache import ResultCache, result_fingerprint
 from .jobs import (
     MODE_COMPLETE,
+    MODE_FAST,
     STATUS_ERROR,
     STATUS_FAILED,
     STATUS_OK,
@@ -150,6 +151,8 @@ def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
                 port_estimation=payload.get("port_estimation", "paper"),
                 warm_start=bool(payload.get("warm_start", True)),
                 warm_retries=bool(payload.get("warm_retries", True)),
+                mode="fast" if payload["mode"] == MODE_FAST else "exact",
+                gap_limit=payload.get("gap_limit"),
             )
             result = mapper.map(design, context=context)
             artifacts = mapper.global_mapper.build_model(design)

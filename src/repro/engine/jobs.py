@@ -24,7 +24,8 @@ from ..io.serialize import SCHEMA_VERSION, board_to_dict, design_to_dict
 from .cache import canonical_hash
 
 __all__ = ["MappingJob", "JobResult",
-           "STATUS_OK", "STATUS_FAILED", "STATUS_ERROR", "STATUS_TIMEOUT"]
+           "STATUS_OK", "STATUS_FAILED", "STATUS_ERROR", "STATUS_TIMEOUT",
+           "MODE_PIPELINE", "MODE_COMPLETE", "MODE_FAST"]
 
 #: Job completed with a valid mapping.
 STATUS_OK = "ok"
@@ -37,11 +38,13 @@ STATUS_ERROR = "error"
 #: The job exceeded its wall-clock budget.
 STATUS_TIMEOUT = "timeout"
 
-#: Two pipeline flavours the engine can execute: the paper's two-stage
-#: global/detailed flow and the flat single-ILP formulation it compares
-#: against (used by the Table 3 harness).
+#: Three pipeline flavours the engine can execute: the paper's two-stage
+#: global/detailed flow, the flat single-ILP formulation it compares
+#: against (used by the Table 3 harness), and the two-stage flow in fast
+#: mode (heuristic-first, bound-certified within ``gap_limit``).
 MODE_PIPELINE = "pipeline"
 MODE_COMPLETE = "complete"
+MODE_FAST = "fast"
 
 
 def _weights_to_dict(weights: CostWeights) -> Dict[str, Any]:
@@ -73,6 +76,11 @@ class MappingJob:
     #: warm-starts from retry N-1 (pipeline mode).
     warm_retries: bool = True
     mode: str = MODE_PIPELINE
+    #: Relative optimality-gap contract of fast-mode jobs (``None`` uses
+    #: the pipeline default, 0.05).  Part of the cache key: the same
+    #: design under a looser contract may legitimately return a different
+    #: (cheaper-to-find) mapping.
+    gap_limit: Optional[float] = None
     #: Display / artifact label; not part of the cache key.
     label: str = ""
     #: Per-job wall-clock budget in seconds (cooperative: it tightens the
@@ -94,8 +102,10 @@ class MappingJob:
                 "MappingJob.solver must be a backend name (jobs are shipped "
                 "to worker processes; pass the registry name, not an instance)"
             )
-        if self.mode not in (MODE_PIPELINE, MODE_COMPLETE):
+        if self.mode not in (MODE_PIPELINE, MODE_COMPLETE, MODE_FAST):
             raise ValueError(f"unknown job mode {self.mode!r}")
+        if self.gap_limit is not None and self.gap_limit < 0:
+            raise ValueError("gap_limit must be non-negative")
 
     def display_label(self) -> str:
         return self.label or f"{self.design.name}@{self.board.name}"
@@ -114,6 +124,7 @@ class MappingJob:
             "warm_start": self.warm_start,
             "warm_retries": self.warm_retries,
             "mode": self.mode,
+            "gap_limit": self.gap_limit,
             "timeout": self.timeout,
             "chain_context": (
                 None if self.chain_context is None else dict(self.chain_context)

@@ -39,6 +39,8 @@ from .presolve import (
     presolve,
 )
 from .branch_bound import BnBOptions, BranchAndBoundSolver, create_solver
+from .diving import DIVE_STRATEGIES, DiveResult, dive, rins_dive
+from .lns import NEIGHBORHOODS, LnsOptions, LnsResult, certified_gap, lns_search
 from .backends import (
     DEFAULT_BACKEND,
     BackendInfo,
@@ -89,6 +91,16 @@ __all__ = [
     "BranchAndBoundSolver",
     "BnBOptions",
     "create_solver",
+    # primal heuristics
+    "dive",
+    "rins_dive",
+    "DiveResult",
+    "DIVE_STRATEGIES",
+    "lns_search",
+    "LnsOptions",
+    "LnsResult",
+    "NEIGHBORHOODS",
+    "certified_gap",
     # backend registry
     "SolverBackend",
     "BackendInfo",

@@ -358,6 +358,10 @@ _BNB_OPTIONS: Dict[str, str] = {
     "abs_gap": "absolute optimality gap",
     "integrality_tol": "integrality tolerance",
     "root_heuristic": "seed the incumbent with the greedy SOS heuristic",
+    "heuristics": "primal heuristic portfolio: auto, root or off",
+    "heuristic_freq": "re-run a cheap dive every N explored nodes (0 = root only)",
+    "heuristic_seed": "seed of the LNS destroy/repair schedule",
+    "gap_limit": "stop once the incumbent is within this relative gap (fast mode)",
     "node_rounding": "try rounding every node relaxation",
     "warm_start": "initial incumbent assignment (variable-indexed vector)",
     "stop_check": "callable polled between nodes to cancel the solve",
@@ -454,6 +458,10 @@ def _register_builtin_backends() -> None:
             "reuse_basis": "basis-reuse toggle for the branch-and-bound entrant",
             "lp_pricing": "revised-kernel pricing rule for the branch-and-bound entrant",
             "lp_factorization": "revised-kernel basis representation for the branch-and-bound entrant",
+            "heuristics": "heuristic portfolio mode for the branch-and-bound entrant",
+            "heuristic_freq": "periodic dive interval for the branch-and-bound entrant",
+            "heuristic_seed": "LNS schedule seed for the branch-and-bound entrant",
+            "gap_limit": "fast-mode gap contract for the branch-and-bound entrant",
             "context": "SolveContext for the branch-and-bound entrant",
         },
         aliases=("race",),

@@ -47,8 +47,10 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .context import SolveContext
+from .diving import dive, rins_dive
 from .errors import ModelError, SolverError
 from .heuristics import round_with_sos, sos_greedy_assignment
+from .lns import LnsOptions, lns_search
 from .model import Model
 from .presolve import Postsolve, presolve as run_presolve, propagate_bounds
 from .revised_simplex import BasisState, RevisedOptions, RevisedSimplex
@@ -56,6 +58,7 @@ from .scipy_backend import highs_available, solve_lp_highs
 from .simplex import SimplexOptions, solve_lp_simplex
 from .solution import (
     ERROR,
+    FEASIBLE,
     INFEASIBLE,
     NODE_LIMIT,
     OPTIMAL,
@@ -106,6 +109,22 @@ class BnBOptions:
     context: Optional[SolveContext] = None
     #: run the greedy SOS heuristic at the root to obtain an incumbent.
     root_heuristic: bool = True
+    #: primal heuristic portfolio (diving + RINS + LNS off the warm LP
+    #: kernel): "auto" enables it on SOS models, "root" forces it on,
+    #: "off" disables it.  The portfolio only *injects* incumbents through
+    #: the strict improvement filter, so the proved optimum is unchanged —
+    #: a better incumbent just prunes more of the tree.
+    heuristics: str = "auto"
+    #: additionally re-run a cheap dive every N explored nodes
+    #: (0 = root portfolio only).
+    heuristic_freq: int = 0
+    #: seed of the LNS destroy/repair schedule (deterministic per seed).
+    heuristic_seed: int = 0
+    #: stop with status "feasible" once the incumbent objective is within
+    #: this relative gap of the best bound — the ``--fast`` contract:
+    #: ``objective <= bound * (1 + gap_limit)``.  ``None`` (default)
+    #: solves to proved optimality.
+    gap_limit: Optional[float] = None
     #: try rounding the relaxation of every node into an incumbent.
     node_rounding: bool = True
     #: optional warm-start assignment (indexed by variable index).
@@ -351,6 +370,12 @@ class BranchAndBoundSolver:
         if branching == "sos1" and not model.sos1_groups:
             raise ModelError("SOS-1 branching requested but the model has no groups")
 
+        if options.heuristics not in ("auto", "off", "root"):
+            raise ModelError(f"unknown heuristics mode {options.heuristics!r}")
+        heuristics_on = options.heuristics == "root" or (
+            options.heuristics == "auto" and bool(model.sos1_groups)
+        )
+
         form = context.standard_form(model)
         names = {i: n for i, n in enumerate(form.variable_names)}
         n = form.num_variables
@@ -374,8 +399,15 @@ class BranchAndBoundSolver:
             if incumbent is not None and math.isfinite(incumbent_obj):
                 context.note_incumbent(incumbent)
                 user_obj = form.objective_scale * incumbent_obj
-                denom = max(1.0, abs(incumbent_obj))
-                stats.gap = abs(incumbent_obj - best_bound) / denom
+                if options.gap_limit is not None and math.isfinite(best_bound):
+                    # Fast-mode contract semantics: certify the incumbent
+                    # against the lower bound (obj <= bound * (1 + gap)).
+                    stats.gap = max(0.0, incumbent_obj - best_bound) / max(
+                        abs(best_bound), 1e-9
+                    )
+                else:
+                    denom = max(1.0, abs(incumbent_obj))
+                    stats.gap = abs(incumbent_obj - best_bound) / denom
                 return Solution(
                     status=status,
                     objective=user_obj,
@@ -549,6 +581,130 @@ class BranchAndBoundSolver:
             # incumbent means more objective-cutoff pruning below.
             try_incumbent(sos_greedy_assignment(model, root_form))
 
+        # ---------------------------------------------------- gap contract
+        def meets_gap(obj: float, bound: float) -> bool:
+            """True when ``obj`` certifies against ``bound`` within the limit."""
+            return (
+                options.gap_limit is not None
+                and math.isfinite(obj)
+                and math.isfinite(bound)
+                and obj - bound <= options.gap_limit * max(abs(bound), 1e-9) + 1e-12
+            )
+
+        def structural_floor(lb: np.ndarray, ub: np.ndarray) -> float:
+            """Valid lower bound from bounds + exactly-one groups, no LP.
+
+            The same floor the objective-cutoff filter computes: every
+            group contributes at least its cheapest selectable member,
+            everything else its interval minimum.
+            """
+            c = rform.c
+            base = float(np.where(c >= 0, c * lb, c * ub)[~in_group].sum())
+            for members in group_members:
+                selectable = members[ub[members] > 0.5]
+                if selectable.size == 0:
+                    return math.inf
+                forced = selectable[lb[selectable] > 0.5]
+                base += (
+                    float(c[forced].sum())
+                    if forced.size
+                    else float(c[selectable].min())
+                )
+            return base + rform.objective_offset
+
+        if options.gap_limit is not None and incumbent is not None:
+            # Fast lane: a warm/greedy incumbent that already certifies
+            # against the structural floor returns before any LP is built.
+            floor = structural_floor(rform.lb, rform.ub)
+            if meets_gap(incumbent_obj, floor):
+                return finish(FEASIBLE, incumbent, incumbent_obj, floor)
+
+        # ------------------------------------------------ heuristic portfolio
+        def heuristic_solve_lp(
+            lb: np.ndarray, ub: np.ndarray, basis: Optional[BasisState] = None
+        ) -> LpResult:
+            """LP re-solves for the dive/LNS heuristics.
+
+            Counted separately from the tree's ``lp_solves`` so the node
+            scoreboard stays comparable across heuristic settings.
+            """
+            stats.dive_lp_solves += 1
+            if self._lp_backend == "revised":
+                result = self._revised_engine(rform).solve(lb, ub, basis=basis)
+                if result.status == ERROR:
+                    result = solve_lp_simplex(
+                        rform.with_bounds(lb, ub), self._simplex_options
+                    )
+            elif self._lp_backend == "highs":
+                result = solve_lp_highs(rform.with_bounds(lb, ub))
+            else:
+                result = solve_lp_simplex(
+                    rform.with_bounds(lb, ub), self._simplex_options
+                )
+            stats.dive_pivots += result.iterations
+            return result
+
+        def adopt_heuristic(candidate: np.ndarray, source: str) -> None:
+            updates = stats.incumbent_updates
+            try_incumbent(post.restore(candidate))
+            if stats.incumbent_updates > updates:
+                stats.heuristic_incumbents += 1
+                sources = stats.extra.setdefault("heuristic_sources", {})
+                sources[source] = sources.get(source, 0) + 1
+
+        def run_portfolio(
+            x: np.ndarray,
+            basis: Optional[BasisState],
+            lb: np.ndarray,
+            ub: np.ndarray,
+            bound: float,
+            *,
+            full: bool,
+        ) -> None:
+            """Dive/RINS (and at the root, LNS) from a fractional point."""
+            reference = incumbent[post.kept] if incumbent is not None else None
+            runs = []
+            strategies = ("fractional", "coefficient") if full else ("fractional",)
+            for strategy in strategies:
+                runs.append(
+                    dive(
+                        rform, group_members, heuristic_solve_lp, lb, ub, x,
+                        basis, strategy=strategy, integrality_tol=integrality_tol,
+                    )
+                )
+            if reference is not None:
+                if full:
+                    runs.append(
+                        dive(
+                            rform, group_members, heuristic_solve_lp, lb, ub, x,
+                            basis, strategy="guided", reference=reference,
+                            integrality_tol=integrality_tol,
+                        )
+                    )
+                runs.append(
+                    rins_dive(
+                        rform, group_members, heuristic_solve_lp, lb, ub, x,
+                        reference, basis, integrality_tol=integrality_tol,
+                    )
+                )
+            for run in sorted(
+                (r for r in runs if r.x is not None),
+                key=lambda r: (r.objective, r.source),
+            ):
+                adopt_heuristic(run.x, run.source)
+            if full and incumbent is not None and group_members:
+                improved = lns_search(
+                    rform, group_members, heuristic_solve_lp, lb, ub,
+                    incumbent[post.kept], bound,
+                    LnsOptions(seed=options.heuristic_seed),
+                    basis0=basis,
+                    accept=lambda xr, _obj: admissible(post.restore(xr)),
+                    integrality_tol=integrality_tol,
+                )
+                stats.lns_rounds += improved.rounds
+                if improved.improvements and improved.x is not None:
+                    adopt_heuristic(improved.x, "lns")
+
         # ------------------------------------------------------------ root node
         root_basis: Optional[BasisState] = None
         if reuse_basis and context.warm_basis is not None:
@@ -577,6 +733,10 @@ class BranchAndBoundSolver:
             # Best-first: the node bound is a global lower bound once popped.
             if math.isfinite(node.bound):
                 best_bound = node.bound
+            if incumbent is not None and meets_gap(incumbent_obj, best_bound):
+                # Fast-mode contract met: the incumbent certifies against
+                # the best open bound, stop without proving optimality.
+                return finish(FEASIBLE, incumbent, incumbent_obj, best_bound)
             if node.bound >= incumbent_obj - options.abs_gap:
                 stats.nodes_pruned += 1
                 continue
@@ -667,6 +827,94 @@ class BranchAndBoundSolver:
             if options.node_rounding:
                 try_incumbent(round_with_sos(model, root_form, post.restore(x)))
 
+            if heuristics_on and group_members and (
+                node.depth == 0
+                or (
+                    options.heuristic_freq > 0
+                    and stats.nodes_explored % options.heuristic_freq == 0
+                )
+            ):
+                # Root: full dive portfolio + RINS + LNS off this node's
+                # relaxation (its basis makes every step a dual warm
+                # re-solve).  Periodic nodes: one cheap fractional dive
+                # (plus RINS when an incumbent exists).
+                run_portfolio(
+                    x,
+                    relaxation.basis if reuse_basis else None,
+                    node_lb,
+                    node_ub,
+                    bound,
+                    full=node.depth == 0,
+                )
+                if incumbent is not None and meets_gap(incumbent_obj, best_bound):
+                    return finish(FEASIBLE, incumbent, incumbent_obj, best_bound)
+
+            if (
+                node.depth == 0
+                and heuristics_on
+                and options.objective_cutoff
+                and incumbent is not None
+            ):
+                # Root tighten-and-resolve probe: the portfolio's incumbent
+                # lets the cutoff filter remove members from the *root*
+                # box; re-solving the root LP on the tightened box (a warm
+                # bound-change re-solve) can certify the incumbent outright.
+                # The probe is fathom-only: unless it proves optimality (or
+                # lands on an integral vertex) the original vertex, box and
+                # bound are kept for branching — adopting a merely-improved
+                # bound swaps in a different optimal vertex whose branching
+                # decisions routinely cost more nodes than the bound saves.
+                probe_lb, probe_ub = node_lb, node_ub
+                fathomed = False
+                for _ in range(3):
+                    feasible, tight_lb, tight_ub = apply_objective_cutoff(
+                        incumbent_obj - options.abs_gap, probe_lb, probe_ub
+                    )
+                    if not feasible:
+                        # Even the cheapest completion of the root box
+                        # cannot beat the incumbent: it is optimal.
+                        return finish(
+                            OPTIMAL, incumbent, incumbent_obj, incumbent_obj
+                        )
+                    if tight_ub is probe_ub or (
+                        bool(np.array_equal(tight_lb, probe_lb))
+                        and bool(np.array_equal(tight_ub, probe_ub))
+                    ):
+                        break
+                    resolved = self._solve_relaxation(
+                        rform.with_bounds(tight_lb, tight_ub),
+                        stats,
+                        basis=relaxation.basis if reuse_basis else None,
+                    )
+                    if resolved.status == INFEASIBLE:
+                        return finish(
+                            OPTIMAL, incumbent, incumbent_obj, incumbent_obj
+                        )
+                    if resolved.status != OPTIMAL:
+                        break
+                    probe_lb, probe_ub = tight_lb, tight_ub
+                    resolved_bound = resolved.objective + rform.objective_offset
+                    if resolved_bound >= incumbent_obj - options.abs_gap:
+                        return finish(
+                            OPTIMAL, incumbent, incumbent_obj, incumbent_obj
+                        )
+                    frac = np.abs(resolved.x - np.round(resolved.x))
+                    if bool(np.all(frac[rform.integrality] <= integrality_tol)):
+                        # The tightened box's LP vertex is integral: record
+                        # it and fathom the root (its children are covered
+                        # by the cutoff filter on the next pops).
+                        reduced = resolved.x.copy()
+                        reduced[rform.integrality] = np.round(
+                            reduced[rform.integrality]
+                        )
+                        try_incumbent(post.restore(reduced))
+                        fathomed = True
+                        break
+                    if resolved_bound <= bound + 1e-12:
+                        break
+                if fathomed:
+                    continue
+
             # Check the optimality gap against the best open bound.
             if incumbent is not None and math.isfinite(bound):
                 denom = max(1.0, abs(incumbent_obj))
@@ -690,11 +938,55 @@ class BranchAndBoundSolver:
                 # Numerically integral but missed by the tolerance test above.
                 continue
             child_basis = relaxation.basis if reuse_basis else None
+            reduced_costs = relaxation.reduced_costs
             for child_lb, child_ub, child_name, child_dir, child_frac in children:
+                child_bound = bound
+                if options.objective_cutoff and incumbent is not None:
+                    # Push-time pruning: the structural floor of the child
+                    # box (cheapest selectable member per group + interval
+                    # minima) is a valid bound, so a child that cannot beat
+                    # the incumbent is discarded before it ever costs a
+                    # node.  This is where a heuristic incumbent pays off
+                    # twice — it prunes at the pop *and* at the push.
+                    floor = structural_floor(child_lb, child_ub)
+                    if floor > child_bound:
+                        child_bound = floor
+                    if reduced_costs is not None:
+                        # Reduced-cost penalty (Driebeek): with the parent's
+                        # dual prices (y, d), any x in the child box obeys
+                        # c.x >= y.b + sum(d+ * lb') + sum(d- * ub'), i.e.
+                        # the parent bound lifts by d+ per raised lower
+                        # bound and -d- per lowered upper bound.  A small
+                        # slop absorbs complementarity noise at tolerance
+                        # level so the lift stays a valid bound.
+                        raised = child_lb > node_lb
+                        lowered = child_ub < node_ub
+                        lift = 0.0
+                        if bool(raised.any()):
+                            d = reduced_costs[raised]
+                            lift += float(
+                                (np.maximum(d, 0.0)
+                                 * (child_lb[raised] - node_lb[raised])).sum()
+                            )
+                        if bool(lowered.any()):
+                            d = reduced_costs[lowered]
+                            lift += float(
+                                (np.maximum(-d, 0.0)
+                                 * (node_ub[lowered] - child_ub[lowered])).sum()
+                            )
+                        lift -= 1e-6 * (1.0 + abs(bound))
+                        if lift > 0 and bound + lift > child_bound:
+                            child_bound = bound + lift
+                    if child_bound >= incumbent_obj - options.abs_gap:
+                        stats.nodes_pruned += 1
+                        stats.extra["push_floor_prunes"] = (
+                            stats.extra.get("push_floor_prunes", 0) + 1
+                        )
+                        continue
                 heapq.heappush(
                     queue,
                     _Node(
-                        bound=bound,
+                        bound=child_bound,
                         sequence=next(counter),
                         lb=child_lb,
                         ub=child_ub,

@@ -1,0 +1,265 @@
+"""Diving heuristics driven off the warm LP kernel.
+
+A *dive* walks from a fractional LP relaxation down to an integral point
+by repeatedly fixing one SOS-1 group to a single member and re-solving
+the relaxation.  Because only bounds change between steps, the revised
+simplex re-solves each step as a dual-simplex warm start from the
+previous step's :class:`~repro.ilp.revised_simplex.BasisState` — a few
+pivots per step instead of a cold solve, which is what makes a whole
+portfolio of dives cheaper than exploring a handful of tree nodes.
+
+Three member-selection strategies are provided (the classic trio):
+
+``fractional``
+    fix the member carrying the largest fractional LP value — follow the
+    relaxation where it already leans;
+``coefficient``
+    fix the cheapest selectable member — chase the objective directly;
+``guided``
+    fix the member a *reference* incumbent uses, falling back to the
+    fractional choice where the reference is not selectable — the
+    machinery RINS-style improvement reuses.
+
+:func:`rins_dive` layers the RINS idea on top: variables on which the
+LP relaxation and the incumbent agree are fixed first (that sub-space
+almost always contains a good point), and only the disagreement set is
+dived on, guided by the incumbent.
+
+Everything here operates on the *reduced* (post-presolve) standard form
+and reduced group index arrays; callers restore candidates to the full
+space through their :class:`~repro.ilp.presolve.Postsolve`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from .revised_simplex import BasisState
+from .solution import OPTIMAL, LpResult
+
+__all__ = ["DiveResult", "DIVE_STRATEGIES", "dive", "rins_dive"]
+
+#: Member-selection strategies :func:`dive` understands.
+DIVE_STRATEGIES = ("fractional", "coefficient", "guided")
+
+#: A dive re-solve is bound-change only, so the dual warm path usually
+#: finishes in a handful of pivots; cap the steps anyway so a degenerate
+#: instance cannot turn the heuristic into a second tree search.
+_MAX_RETRIES_PER_STEP = 1
+
+
+@dataclass
+class DiveResult:
+    """Outcome of one dive (or RINS) run, in reduced variable space."""
+
+    #: integral candidate, or ``None`` when the dive dead-ended.
+    x: Optional[np.ndarray] = None
+    #: internal objective ``c·x + offset`` of the candidate.
+    objective: float = math.inf
+    #: LP re-solves performed while diving.
+    lp_solves: int = 0
+    #: simplex pivots those re-solves cost.
+    pivots: int = 0
+    #: re-solves that completed on the dual warm path.
+    warm_solves: int = 0
+    #: strategy label ("fractional", "coefficient", "guided", "rins").
+    source: str = ""
+    #: final basis of the dive (a good warm start for a follow-up dive).
+    basis: Optional[BasisState] = field(default=None, repr=False)
+
+
+def _pick_group(
+    groups: Sequence[np.ndarray],
+    x: np.ndarray,
+    lb: np.ndarray,
+    ub: np.ndarray,
+    tol: float,
+) -> Optional[np.ndarray]:
+    """The undecided group with the most fractional LP mass (ties: first)."""
+    best: Optional[np.ndarray] = None
+    best_score = -1.0
+    for members in groups:
+        if bool(np.any(lb[members] > 0.5)):
+            continue  # already forced to a member on this branch
+        selectable = members[ub[members] > 0.5]
+        if selectable.size == 0:
+            continue
+        frac = np.minimum(x[members], 1.0 - x[members])
+        score = float(frac.sum())
+        if score > best_score + 1e-12:
+            best_score = score
+            best = members
+    if best is None or best_score <= tol:
+        return None
+    return best
+
+
+def _pick_member(
+    strategy: str,
+    members: np.ndarray,
+    x: np.ndarray,
+    c: np.ndarray,
+    ub: np.ndarray,
+    reference: Optional[np.ndarray],
+) -> List[int]:
+    """Selectable members of one group, best candidate first."""
+    selectable = members[ub[members] > 0.5]
+    if selectable.size == 0:
+        return []
+    # Deterministic orderings: value/cost first, column index as the
+    # final tie-break so equal scores never depend on iteration order.
+    if strategy == "coefficient":
+        order = np.lexsort((selectable, -x[selectable], c[selectable]))
+    else:
+        order = np.lexsort((selectable, c[selectable], -x[selectable]))
+    ranked = [int(selectable[i]) for i in order]
+    if strategy == "guided" and reference is not None:
+        preferred = [j for j in ranked if reference[j] > 0.5]
+        if preferred:
+            ranked = preferred + [j for j in ranked if reference[j] <= 0.5]
+    return ranked
+
+
+def _fix_group(
+    lb: np.ndarray, ub: np.ndarray, members: np.ndarray, chosen: int
+) -> None:
+    lb[members] = 0.0
+    ub[members] = 0.0
+    lb[chosen] = 1.0
+    ub[chosen] = 1.0
+
+
+def dive(
+    form,
+    groups: Sequence[np.ndarray],
+    solve_lp: Callable[[np.ndarray, np.ndarray, Optional[BasisState]], LpResult],
+    lb: np.ndarray,
+    ub: np.ndarray,
+    x0: np.ndarray,
+    basis0: Optional[BasisState] = None,
+    strategy: str = "fractional",
+    reference: Optional[np.ndarray] = None,
+    integrality_tol: float = 1e-6,
+    max_steps: Optional[int] = None,
+) -> DiveResult:
+    """Dive from the relaxation point ``x0`` to an integral candidate.
+
+    ``solve_lp(lb, ub, basis)`` re-solves the relaxation under new
+    bounds; the revised kernel turns the supplied basis into a dual
+    warm start.  Returns a :class:`DiveResult` whose ``x`` is ``None``
+    when a step went infeasible beyond the per-step retry budget or a
+    non-group integer stayed fractional.
+    """
+    if strategy not in DIVE_STRATEGIES:
+        raise ValueError(f"unknown dive strategy {strategy!r}")
+    result = DiveResult(source=strategy)
+    lb = np.asarray(lb, dtype=float).copy()
+    ub = np.asarray(ub, dtype=float).copy()
+    x = np.asarray(x0, dtype=float)
+    basis = basis0
+    steps = max_steps if max_steps is not None else 2 * len(groups) + 4
+
+    for _ in range(steps):
+        members = _pick_group(groups, x, lb, ub, integrality_tol)
+        if members is None:
+            break
+        ranked = _pick_member(strategy, members, x, form.c, ub, reference)
+        if not ranked:
+            return result
+        placed = False
+        for attempt, chosen in enumerate(ranked[: _MAX_RETRIES_PER_STEP + 1]):
+            step_lb, step_ub = lb.copy(), ub.copy()
+            _fix_group(step_lb, step_ub, members, chosen)
+            relaxation = solve_lp(step_lb, step_ub, basis)
+            result.lp_solves += 1
+            result.pivots += relaxation.iterations
+            if relaxation.warm:
+                result.warm_solves += 1
+            if relaxation.status == OPTIMAL:
+                lb, ub = step_lb, step_ub
+                x = relaxation.x
+                basis = relaxation.basis if relaxation.basis is not None else basis
+                placed = True
+                break
+        if not placed:
+            return result  # dead end: every tried member is infeasible
+
+    frac = np.abs(x - np.round(x))
+    if bool(np.any(frac[form.integrality] > integrality_tol)):
+        return result  # fractional residue outside the groups: give up
+    candidate = x.copy()
+    candidate[form.integrality] = np.round(candidate[form.integrality])
+    result.x = candidate
+    result.objective = float(form.c @ candidate) + form.objective_offset
+    result.basis = basis
+    return result
+
+
+def rins_dive(
+    form,
+    groups: Sequence[np.ndarray],
+    solve_lp: Callable[[np.ndarray, np.ndarray, Optional[BasisState]], LpResult],
+    lb: np.ndarray,
+    ub: np.ndarray,
+    x_lp: np.ndarray,
+    incumbent: np.ndarray,
+    basis0: Optional[BasisState] = None,
+    integrality_tol: float = 1e-6,
+    agree_tol: float = 0.5,
+) -> DiveResult:
+    """RINS-style fix-and-solve: fix LP/incumbent agreement, dive the rest.
+
+    Groups whose incumbent member already carries at least ``agree_tol``
+    of LP mass are fixed to that member (the classic relaxation-induced
+    neighbourhood); the remaining groups form a small sub-MIP that one
+    guided dive settles on the warm kernel.  Cheap by construction —
+    the neighbourhood usually fixes most of the model.
+    """
+    result = DiveResult(source="rins")
+    sub_lb = np.asarray(lb, dtype=float).copy()
+    sub_ub = np.asarray(ub, dtype=float).copy()
+    free_groups: List[np.ndarray] = []
+    for members in groups:
+        if bool(np.any(sub_lb[members] > 0.5)):
+            continue
+        chosen = members[
+            (incumbent[members] > 0.5) & (sub_ub[members] > 0.5)
+        ]
+        if chosen.size == 1 and float(x_lp[int(chosen[0])]) >= agree_tol:
+            _fix_group(sub_lb, sub_ub, members, int(chosen[0]))
+        else:
+            free_groups.append(members)
+    if not free_groups:
+        return result  # full agreement: the incumbent is the RINS point
+
+    relaxation = solve_lp(sub_lb, sub_ub, basis0)
+    result.lp_solves += 1
+    result.pivots += relaxation.iterations
+    if relaxation.warm:
+        result.warm_solves += 1
+    if relaxation.status != OPTIMAL:
+        return result
+    basis = relaxation.basis if relaxation.basis is not None else basis0
+    inner = dive(
+        form,
+        free_groups,
+        solve_lp,
+        sub_lb,
+        sub_ub,
+        relaxation.x,
+        basis,
+        strategy="guided",
+        reference=incumbent,
+        integrality_tol=integrality_tol,
+    )
+    result.lp_solves += inner.lp_solves
+    result.pivots += inner.pivots
+    result.warm_solves += inner.warm_solves
+    result.x = inner.x
+    result.objective = inner.objective
+    result.basis = inner.basis
+    return result

@@ -136,9 +136,13 @@ def sos_greedy_assignment(
         if forced:
             members = forced  # a fixed-to-one member leaves no choice
         else:
+            # Tie-break equal costs on the variable *name* (stable across
+            # presolve/column permutations) so greedy incumbents — and the
+            # fast-mode fingerprints derived from them — are reproducible
+            # regardless of model construction order or --jobs scheduling.
             members = sorted(
                 (idx for idx in group.members if form.ub[idx] >= 0.5),
-                key=lambda idx: form.c[idx],
+                key=lambda idx: (form.c[idx], model.variables[idx].name),
             )
         placed = False
         for idx in members:

@@ -1,0 +1,236 @@
+"""Large-neighbourhood search over SOS-1 groups on the warm LP kernel.
+
+LNS improves an incumbent by repeatedly *destroying* a small set of SOS-1
+groups (un-fixing their members) while pinning every other group to its
+incumbent choice, then *repairing* the freed sub-problem with one LP
+solve plus a guided dive (:mod:`repro.ilp.diving`).  Each repair is a
+bound-change-only re-solve, so the revised kernel runs it as a
+dual-simplex warm start — the whole search costs pivots, not cold
+solves.
+
+Three neighbourhood shapes rotate on a deterministic seeded schedule:
+
+``random``
+    a uniformly drawn subset of groups — undirected exploration;
+``conflict``
+    the groups whose incumbent members sit on the *tightest* ``<=`` rows
+    (smallest slack under the incumbent) — reassigning them is what can
+    relieve a binding port/capacity constraint;
+``cost``
+    the groups paying the largest regret over their cheapest selectable
+    member — the directest objective levers.
+
+The search is deterministic for a fixed seed: the only randomness is a
+``numpy`` PCG64 generator seeded once, and all scores break ties by
+group index.  It returns the best incumbent found plus a certified
+optimality gap against the supplied lower bound (normally the root LP
+relaxation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from .diving import dive
+from .revised_simplex import BasisState
+from .solution import OPTIMAL, LpResult
+
+__all__ = ["LnsOptions", "LnsResult", "NEIGHBORHOODS", "lns_search", "certified_gap"]
+
+#: Destroy-set shapes the schedule rotates through.
+NEIGHBORHOODS = ("random", "conflict", "cost")
+
+
+@dataclass
+class LnsOptions:
+    """Tuning knobs of :func:`lns_search`."""
+
+    #: destroy/repair rounds to run (the schedule cycles neighbourhoods).
+    rounds: int = 6
+    #: fraction of groups freed per round (at least one, at most all).
+    destroy_fraction: float = 0.3
+    #: PCG64 seed of the deterministic schedule.
+    seed: int = 0
+    #: neighbourhood rotation; any subset/ordering of :data:`NEIGHBORHOODS`.
+    neighborhoods: Sequence[str] = NEIGHBORHOODS
+    #: stop early once the gap against the lower bound closes to this.
+    gap_tolerance: float = 1e-9
+
+
+@dataclass
+class LnsResult:
+    """Best incumbent the search reached, in reduced variable space."""
+
+    x: Optional[np.ndarray]
+    objective: float
+    #: certified gap of ``objective`` against the supplied lower bound.
+    gap: float
+    rounds: int = 0
+    improvements: int = 0
+    lp_solves: int = 0
+    pivots: int = 0
+
+
+def certified_gap(objective: float, bound: float) -> float:
+    """Relative optimality gap of ``objective`` against a valid ``bound``.
+
+    Defined so that ``objective <= bound * (1 + gap)`` for positive
+    bounds — the contract fast mode promises its callers.  Infinite when
+    no finite bound is available.
+    """
+    if not (math.isfinite(objective) and math.isfinite(bound)):
+        return math.inf
+    return max(0.0, objective - bound) / max(abs(bound), 1e-9)
+
+
+def _destroy_set(
+    neighborhood: str,
+    rng: np.random.Generator,
+    groups: Sequence[np.ndarray],
+    open_groups: List[int],
+    x: np.ndarray,
+    form,
+    count: int,
+) -> List[int]:
+    """Indices (into ``groups``) of the groups to free this round."""
+    if neighborhood == "random":
+        picked = rng.choice(len(open_groups), size=count, replace=False)
+        return [open_groups[int(i)] for i in np.sort(picked)]
+    if neighborhood == "cost":
+        regrets = []
+        for g in open_groups:
+            members = groups[g]
+            chosen = members[x[members] > 0.5]
+            if chosen.size != 1:
+                continue
+            floor = float(form.c[members].min())
+            regrets.append((float(form.c[int(chosen[0])]) - floor, g))
+        regrets.sort(key=lambda pair: (-pair[0], pair[1]))
+        return [g for _, g in regrets[:count]]
+    # conflict: groups whose chosen member loads the tightest <= rows.
+    slack = form.b_ub.astype(float) - (
+        form.A_ub_sparse.matvec(x) if form.A_ub_sparse.nnz else 0.0
+    )
+    scored = []
+    for g in open_groups:
+        members = groups[g]
+        chosen = members[x[members] > 0.5]
+        if chosen.size != 1:
+            continue
+        column = (
+            form.A_ub_sparse.column(int(chosen[0]))
+            if form.A_ub_sparse.nnz
+            else np.zeros(0)
+        )
+        rows = np.where(column != 0.0)[0]
+        tightest = float(slack[rows].min()) if rows.size else math.inf
+        scored.append((tightest, g))
+    scored.sort(key=lambda pair: (pair[0], pair[1]))
+    return [g for _, g in scored[:count]]
+
+
+def lns_search(
+    form,
+    groups: Sequence[np.ndarray],
+    solve_lp: Callable[[np.ndarray, np.ndarray, Optional[BasisState]], LpResult],
+    lb: np.ndarray,
+    ub: np.ndarray,
+    incumbent: np.ndarray,
+    bound: float,
+    options: Optional[LnsOptions] = None,
+    basis0: Optional[BasisState] = None,
+    accept: Optional[Callable[[np.ndarray, float], bool]] = None,
+    integrality_tol: float = 1e-6,
+) -> LnsResult:
+    """Destroy/repair ``incumbent`` over the SOS groups; keep improvements.
+
+    ``bound`` is a valid lower bound on the problem (the root LP
+    relaxation in the solver's use); the result's ``gap`` certifies the
+    returned incumbent against it.  ``accept(x, objective)`` (optional)
+    vets an improving candidate — the branch-and-bound caller passes its
+    full-space admissibility check so the search can never adopt a point
+    the model itself rejects.
+    """
+    options = options or LnsOptions()
+    for name in options.neighborhoods:
+        if name not in NEIGHBORHOODS:
+            raise ValueError(f"unknown LNS neighborhood {name!r}")
+    rng = np.random.default_rng(np.random.PCG64(options.seed))
+    lb = np.asarray(lb, dtype=float)
+    ub = np.asarray(ub, dtype=float)
+    best = np.asarray(incumbent, dtype=float).copy()
+    best_obj = float(form.c @ best) + form.objective_offset
+    result = LnsResult(x=best, objective=best_obj, gap=certified_gap(best_obj, bound))
+    basis = basis0
+
+    # Only groups still open in this node's box can be destroyed; fully
+    # decided groups (branching fixings) must keep their assignment.
+    open_groups = [
+        g
+        for g, members in enumerate(groups)
+        if not bool(np.any(lb[members] > 0.5))
+        and int((ub[members] > 0.5).sum()) >= 2
+    ]
+    if not open_groups:
+        return result
+
+    schedule = tuple(options.neighborhoods) or NEIGHBORHOODS
+    count = max(1, min(len(open_groups),
+                       int(round(options.destroy_fraction * len(groups)))))
+    for round_index in range(options.rounds):
+        if result.gap <= options.gap_tolerance:
+            break
+        neighborhood = schedule[round_index % len(schedule)]
+        freed = _destroy_set(
+            neighborhood, rng, groups, open_groups, best, form, count
+        )
+        if not freed:
+            continue
+        result.rounds += 1
+        sub_lb, sub_ub = lb.copy(), ub.copy()
+        freed_set = set(freed)
+        for g, members in enumerate(groups):
+            if g in freed_set or g not in set(open_groups):
+                continue
+            chosen = members[best[members] > 0.5]
+            if chosen.size == 1:
+                sub_lb[members] = 0.0
+                sub_ub[members] = 0.0
+                sub_lb[int(chosen[0])] = 1.0
+                sub_ub[int(chosen[0])] = 1.0
+        relaxation = solve_lp(sub_lb, sub_ub, basis)
+        result.lp_solves += 1
+        result.pivots += relaxation.iterations
+        if relaxation.status != OPTIMAL:
+            continue
+        basis = relaxation.basis if relaxation.basis is not None else basis
+        repaired = dive(
+            form,
+            [groups[g] for g in freed],
+            solve_lp,
+            sub_lb,
+            sub_ub,
+            relaxation.x,
+            basis,
+            strategy="guided",
+            reference=best,
+            integrality_tol=integrality_tol,
+        )
+        result.lp_solves += repaired.lp_solves
+        result.pivots += repaired.pivots
+        if repaired.x is None:
+            continue
+        if repaired.objective < best_obj - 1e-9 and (
+            accept is None or accept(repaired.x, repaired.objective)
+        ):
+            best = repaired.x
+            best_obj = repaired.objective
+            result.improvements += 1
+            result.x = best
+            result.objective = best_obj
+            result.gap = certified_gap(best_obj, bound)
+    return result

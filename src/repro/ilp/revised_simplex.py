@@ -1172,6 +1172,11 @@ class RevisedSimplex:
         # Clip pivot fuzz back into the box (np.clip handles infinite
         # bounds on either side).
         x = np.clip(x, lb, ub)
+        # Structural reduced costs at the optimal basis: one extra BTRAN
+        # (after the counters snapshot, so per-solve accounting is not
+        # disturbed) buys branch-and-bound its reduced-cost penalties.
+        y = self._btran(self.c[self.basis])
+        reduced = self._reduced_costs(self.c, y)[: self.n].copy()
         return LpResult(
             OPTIMAL,
             x=x,
@@ -1180,6 +1185,7 @@ class RevisedSimplex:
             basis=BasisState(self.basis.copy(), self.status.copy()),
             warm=warm,
             basis_reused=reused,
+            reduced_costs=reduced,
             **counters,
         )
 

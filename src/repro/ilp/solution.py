@@ -52,6 +52,14 @@ class SolveStats:
     #: simplex pivots keyed by the pricing rule that chose them.
     pricing_pivots: Dict[str, int] = field(default_factory=dict)
     incumbent_updates: int = 0
+    #: incumbents injected by the primal heuristic portfolio (dives/LNS).
+    heuristic_incumbents: int = 0
+    #: simplex pivots spent inside diving heuristics (outside the tree).
+    dive_pivots: int = 0
+    #: LP re-solves performed by diving heuristics (not in ``lp_solves``).
+    dive_lp_solves: int = 0
+    #: destroy/repair rounds run by the LNS improvement search.
+    lns_rounds: int = 0
     best_bound: float = float("nan")
     gap: float = float("nan")
     backend: str = ""
@@ -77,6 +85,10 @@ class SolveStats:
             "refactor_triggers": dict(self.refactor_triggers),
             "pricing_pivots": dict(self.pricing_pivots),
             "incumbent_updates": self.incumbent_updates,
+            "heuristic_incumbents": self.heuristic_incumbents,
+            "dive_pivots": self.dive_pivots,
+            "dive_lp_solves": self.dive_lp_solves,
+            "lns_rounds": self.lns_rounds,
             "best_bound": self.best_bound,
             "gap": self.gap,
             "backend": self.backend,
@@ -112,6 +124,10 @@ class LpResult:
     refactor_triggers: Dict[str, int] = field(default_factory=dict)
     #: pricing rule the solve ran under ("" for non-revised kernels).
     pricing: str = ""
+    #: structural reduced costs at the optimal basis (revised kernel
+    #: only).  Branch-and-bound turns these into valid child-bound lifts
+    #: (reduced-cost penalties) that prune children before any LP.
+    reduced_costs: Optional[np.ndarray] = None
 
     @property
     def is_optimal(self) -> bool:

@@ -91,6 +91,9 @@ class JobSubmission:
     warm_start: bool = True
     warm_retries: bool = True
     mode: str = "pipeline"
+    #: Relative optimality-gap contract of fast-mode jobs (``None`` keeps
+    #: the pipeline default, 0.05).  Ignored outside ``mode="fast"``.
+    gap_limit: Optional[float] = None
     label: str = ""
     #: Per-job wall-clock budget in seconds (tightens the solver limit).
     timeout: Optional[float] = None
@@ -141,6 +144,9 @@ class JobStatus:
     #: ``ok``/``failed``/``error``/``timeout``.
     result_status: str = ""
     objective: Optional[float] = None
+    #: Certified optimality gap of a fast-mode result (``objective``
+    #: versus the solver's lower bound); ``None`` for exact jobs.
+    gap: Optional[float] = None
     fingerprint: Optional[str] = None
     error: str = ""
 
@@ -174,6 +180,7 @@ def job_submission_to_dict(submission: JobSubmission) -> Dict[str, Any]:
         "warm_start": submission.warm_start,
         "warm_retries": submission.warm_retries,
         "mode": submission.mode,
+        "gap_limit": submission.gap_limit,
         "label": submission.label,
         "timeout": submission.timeout,
         "priority": submission.priority,
@@ -220,8 +227,11 @@ def job_submission_from_dict(data: Mapping[str, Any]) -> JobSubmission:
             "job_submission: weights and solver_options must be objects"
         )
     mode = data.get("mode", "pipeline")
-    if mode not in ("pipeline", "complete"):
+    if mode not in ("pipeline", "complete", "fast"):
         raise SerializationError(f"job_submission: unknown mode {mode!r}")
+    gap_limit = _number(data, "gap_limit", float, None, "job_submission")
+    if gap_limit is not None and gap_limit < 0:
+        raise SerializationError("job_submission: gap_limit must be >= 0")
     return JobSubmission(
         board=dict(board),
         design=dict(design),
@@ -233,6 +243,7 @@ def job_submission_from_dict(data: Mapping[str, Any]) -> JobSubmission:
         warm_start=bool(data.get("warm_start", True)),
         warm_retries=bool(data.get("warm_retries", True)),
         mode=mode,
+        gap_limit=gap_limit,
         label=str(data.get("label", "")),
         timeout=_number(data, "timeout", float, None, "job_submission"),
         priority=_number(data, "priority", int, 0, "job_submission") or 0,
@@ -257,6 +268,7 @@ def job_status_to_dict(status: JobStatus) -> Dict[str, Any]:
         "finished_at": status.finished_at,
         "result_status": status.result_status,
         "objective": status.objective,
+        "gap": status.gap,
         "fingerprint": status.fingerprint,
         "error": status.error,
         "latency_ms": status.latency_ms,
@@ -276,6 +288,7 @@ def job_status_from_dict(data: Mapping[str, Any]) -> JobStatus:
     started = data.get("started_at")
     finished = data.get("finished_at")
     objective = data.get("objective")
+    gap = data.get("gap")
     return JobStatus(
         job_id=str(_require(data, "job_id", "job_status")),
         state=state,
@@ -289,6 +302,7 @@ def job_status_from_dict(data: Mapping[str, Any]) -> JobStatus:
         finished_at=None if finished is None else float(finished),
         result_status=str(data.get("result_status", "")),
         objective=None if objective is None else float(objective),
+        gap=None if gap is None else float(gap),
         fingerprint=data.get("fingerprint"),
         error=str(data.get("error", "")),
     )

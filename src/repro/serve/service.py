@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import math
 import time
 from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
@@ -65,6 +66,19 @@ _METRICS_WINDOW = 4096
 
 class ServeError(Exception):
     """A submission the service refuses (bad board/design/solver/mode)."""
+
+
+def _document_gap(document: Optional[Dict[str, Any]]) -> Optional[float]:
+    """Certified gap of a fast-mode result document (``None`` otherwise)."""
+    if not document:
+        return None
+    stats = document.get("solve_stats") or {}
+    if not isinstance(stats, dict) or stats.get("mode") != "fast":
+        return None
+    gap = stats.get("gap")
+    if isinstance(gap, (int, float)) and math.isfinite(gap):
+        return float(gap)
+    return None
 
 
 class MappingService:
@@ -129,6 +143,7 @@ class MappingService:
             "result_failed": 0,
             "result_error": 0,
             "result_timeout": 0,
+            "fast_jobs": 0,
         }
         self.batch_sizes: deque = deque(maxlen=_METRICS_WINDOW)
         self.job_records: deque = deque(maxlen=_METRICS_WINDOW)
@@ -210,6 +225,8 @@ class MappingService:
         job_id = f"j{next(self._ids):06d}-{key[:8]}"
         now = time.time()
         self.counters["submitted"] += 1
+        if submission.mode == "fast":
+            self.counters["fast_jobs"] += 1
 
         status = JobStatus(
             job_id=job_id,
@@ -230,6 +247,7 @@ class MappingService:
             status.finished_at = time.time()
             status.result_status = document.get("status", "")
             status.objective = document.get("objective")
+            status.gap = _document_gap(document)
             status.fingerprint = document.get("fingerprint")
             status.error = document.get("error", "")
             self._records[job_id] = status
@@ -398,6 +416,7 @@ class MappingService:
                 warm_start=submission.warm_start,
                 warm_retries=submission.warm_retries,
                 mode=submission.mode,
+                gap_limit=submission.gap_limit,
                 label=submission.display_label(),
                 timeout=submission.timeout,
             )
@@ -531,6 +550,7 @@ class MappingService:
             record.finished_at = now
             record.result_status = result.status
             record.objective = result.objective
+            record.gap = _document_gap(document)
             record.fingerprint = result.fingerprint
             record.error = result.error
             record.cache_hit = result.cache_hit

@@ -101,3 +101,39 @@ class TestGreedyAssignment:
         m.add_constraint(extra.to_expr() == 1)
         form = to_standard_form(m)
         assert sos_greedy_assignment(m, form) is None
+
+    def test_equal_cost_ties_break_on_variable_name(self):
+        # Both members of every group cost the same; the greedy must pick
+        # the lexicographically-smallest variable name, not whichever
+        # index the model happened to create first.  Pins the stable
+        # ``(cost, name)`` sort that keeps fast-mode fingerprints
+        # reproducible across model construction orders.
+        m = Model("ties")
+        b = m.add_binary("z[0,b]")
+        a = m.add_binary("z[0,a]")
+        m.add_constraint(quicksum([a, b]) == 1)
+        m.add_sos1([b, a])
+        m.add_constraint(a + b <= 1)
+        m.set_objective(2.0 * a + 2.0 * b)
+        form = to_standard_form(m)
+        x = sos_greedy_assignment(m, form)
+        assert x is not None
+        assert x[a.index] == 1.0
+        assert x[b.index] == 0.0
+
+    def test_tie_break_is_construction_order_invariant(self):
+        # The same two-member group declared in opposite construction
+        # orders must produce the same winner.
+        def build(order):
+            m = Model("perm")
+            vs = {name: m.add_binary(name) for name in order}
+            pair = [vs["z[0,p]"], vs["z[0,q]"]]
+            m.add_constraint(quicksum(pair) == 1)
+            m.add_sos1(pair)
+            m.add_constraint(quicksum(pair) <= 1)
+            m.set_objective(quicksum(3.0 * v for v in pair))
+            x = sos_greedy_assignment(m, to_standard_form(m))
+            assert x is not None
+            return {name: x[vs[name].index] for name in vs}
+
+        assert build(["z[0,p]", "z[0,q]"]) == build(["z[0,q]", "z[0,p]"])

@@ -251,6 +251,59 @@ class TestFuzzWarmEqualsCold:
             assert warm.objective == pytest.approx(cold.objective, abs=1e-7)
             np.testing.assert_allclose(warm.x, cold.x, atol=1e-6)
 
+    @pytest.mark.parametrize("seed", FEASIBLE_SEEDS[:6])
+    def test_dive_chain_warm_equals_cold(self, seed):
+        """The diving heuristics' solve pattern: a chain of re-solves,
+        each fixing one more variable to a rounded value and warm-starting
+        from the previous step's basis.  Every link of the chain must
+        agree with a cold solve of the same bounds — a dive may never be
+        cheaper by being *wrong*."""
+        form = feasible_box_lp(seed)
+        engine = RevisedSimplex(form)
+        current = engine.solve(form.lb, form.ub)
+        if current.status != "optimal":
+            pytest.skip("generator produced a non-optimal base case")
+        lb, ub = form.lb.copy(), form.ub.copy()
+        rng = np.random.RandomState(seed + 31)
+        for _ in range(4):
+            open_vars = np.where(ub - lb > 1e-9)[0]
+            if open_vars.size == 0:
+                break
+            j = int(open_vars[rng.randint(open_vars.size)])
+            lb[j] = ub[j] = float(np.clip(np.round(current.x[j]), lb[j], ub[j]))
+            warm = engine.solve(lb, ub, basis=current.basis)
+            cold = engine.solve(lb, ub)
+            assert warm.status == cold.status
+            if warm.status != "optimal":
+                break  # the dive hit a dead end; both kernels agree it did
+            assert warm.objective == pytest.approx(cold.objective, abs=1e-7)
+            np.testing.assert_allclose(warm.x, cold.x, atol=1e-6)
+            current = warm
+
+    @pytest.mark.parametrize("seed", MIXED_VAR_SEEDS[:4])
+    def test_dive_chain_on_mixed_variables_lu(self, seed):
+        """Same chained-fixing pattern over free/fixed variables on the
+        LU kernel (the representation the portfolio dives actually run)."""
+        form = mixed_variable_lp(seed)
+        engine = RevisedSimplex(form, RevisedOptions(factorization="lu"))
+        current = engine.solve(form.lb, form.ub)
+        if current.status != "optimal":
+            pytest.skip("generator produced a non-optimal base case")
+        lb, ub = form.lb.copy(), form.ub.copy()
+        rng = np.random.RandomState(seed + 53)
+        finite = np.where(np.isfinite(lb) & np.isfinite(ub) & (ub - lb > 1e-9))[0]
+        for j in rng.choice(finite, size=min(3, finite.size), replace=False):
+            j = int(j)
+            lb[j] = ub[j] = float(np.clip(np.round(current.x[j]), lb[j], ub[j]))
+            warm = engine.solve(lb, ub, basis=current.basis)
+            cold = engine.solve(lb, ub)
+            assert warm.status == cold.status
+            if warm.status != "optimal":
+                break
+            assert warm.objective == pytest.approx(cold.objective, abs=1e-7)
+            np.testing.assert_allclose(warm.x, cold.x, atol=1e-6)
+            current = warm
+
     @pytest.mark.parametrize("seed", LARGE_SPARSE_SEEDS[:1])
     def test_warm_equals_cold_on_large_sparse_lu(self, seed):
         form = large_sparse_lp(seed, m=100, n=120)

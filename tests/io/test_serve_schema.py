@@ -89,6 +89,27 @@ class TestJobSubmissionSchema:
         with pytest.raises(SerializationError):
             job_submission_from_dict(document)
 
+    def test_fast_mode_round_trips_with_gap_limit(self):
+        submission = example_submission(mode="fast", gap_limit=0.05)
+        rebuilt = job_submission_from_dict(job_submission_to_dict(submission))
+        assert rebuilt == submission
+        assert rebuilt.mode == "fast"
+        assert rebuilt.gap_limit == 0.05
+
+    def test_rejects_negative_gap_limit(self):
+        document = job_submission_to_dict(
+            example_submission(mode="fast", gap_limit=0.05)
+        )
+        document["gap_limit"] = -0.1
+        with pytest.raises(SerializationError):
+            job_submission_from_dict(document)
+
+    def test_rejects_non_numeric_gap_limit(self):
+        document = job_submission_to_dict(example_submission())
+        document["gap_limit"] = "tiny"
+        with pytest.raises(SerializationError):
+            job_submission_from_dict(document)
+
     @pytest.mark.parametrize("body", [None, "a string", [1, 2], 7])
     def test_non_object_documents_are_serialization_errors(self, body):
         # Client garbage must surface as SerializationError (an HTTP 400),
@@ -134,6 +155,18 @@ class TestJobStatusSchema:
         )
         rebuilt = job_status_from_dict(job_status_to_dict(status))
         assert rebuilt == status
+
+    def test_gap_round_trips_and_defaults_to_none(self):
+        status = JobStatus(
+            job_id="j2", state=STATE_DONE, result_status="ok",
+            objective=2.5, gap=0.031,
+        )
+        rebuilt = job_status_from_dict(job_status_to_dict(status))
+        assert rebuilt.gap == 0.031
+        exact = job_status_from_dict(
+            job_status_to_dict(JobStatus(job_id="j3", state=STATE_QUEUED))
+        )
+        assert exact.gap is None
 
     def test_latency_is_reported_once_finished(self):
         status = JobStatus(

@@ -391,3 +391,56 @@ class TestTable3Command:
         out = capsys.readouterr().out
         assert "same optimum" in out
         assert "yes" in out
+
+
+class TestFastModeCli:
+    def test_map_fast_reports_certified_gap(self, capsys):
+        assert main(["map", "--board", "virtex-xcv1000",
+                     "--design", "fir-filter",
+                     "--fast", "--gap", "0.05", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        stats = document["solve_stats"]
+        assert stats["mode"] == "fast"
+        assert isinstance(stats["gap"], float)
+        assert 0.0 <= stats["gap"] <= 0.05 + 1e-9
+
+    def test_map_fast_report_shows_the_mode_line(self, capsys):
+        assert main(["map", "--board", "virtex-xcv1000",
+                     "--design", "fir-filter", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "mode              : fast" in out
+
+    def test_gap_without_fast_is_a_usage_error(self, capsys):
+        assert main(["map", "--board", "virtex-xcv1000",
+                     "--design", "fir-filter", "--gap", "0.05"]) == 2
+        assert "--gap only applies with --fast" in capsys.readouterr().err
+
+    def test_batch_gap_without_fast_is_a_usage_error(self, capsys):
+        assert main(["batch", "--board", "virtex-xcv1000",
+                     "--design", "fir-filter", "--gap", "0.01"]) == 2
+        assert "--gap only applies with --fast" in capsys.readouterr().err
+
+    def test_batch_fast_jobs_carry_fast_stats(self, capsys, tmp_path):
+        assert main(["batch", "--board", "virtex-xcv1000",
+                     "--design", "fir-filter", "--fast", "--json",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert all(r["status"] == "ok" for r in document["results"])
+        for row in document["results"]:
+            stats = row["solve_stats"]
+            assert stats["mode"] == "fast"
+            assert 0.0 <= stats["gap"] <= 0.05 + 1e-9
+
+    def test_fast_and_exact_batches_use_distinct_cache_keys(self, capsys,
+                                                            tmp_path):
+        cache = str(tmp_path / "cache")
+        assert main(["batch", "--board", "virtex-xcv1000",
+                     "--design", "fir-filter", "--json",
+                     "--cache-dir", cache]) == 0
+        exact = json.loads(capsys.readouterr().out)["results"][0]
+        assert main(["batch", "--board", "virtex-xcv1000",
+                     "--design", "fir-filter", "--fast", "--json",
+                     "--cache-dir", cache]) == 0
+        fast = json.loads(capsys.readouterr().out)["results"][0]
+        assert not fast["cache_hit"]
+        assert fast["cache_key"] != exact["cache_key"]
