@@ -16,7 +16,11 @@ makes:
    certified optimality gap within the requested limit, and the exact
    jobs' fingerprints are untouched by the fast lane;
 5. the server shuts down cleanly on request (bounded by a timeout, with
-   SIGKILL as the fallback so CI never hangs).
+   SIGKILL as the fallback so CI never hangs);
+6. a **replicated tier** (``repro serve --replicas 2``) answers the same
+   traffic with fingerprints identical to a direct run, spreads distinct
+   jobs across both shards, dedupes duplicates through the shared store,
+   and survives an open-loop ``repro loadgen`` burst with zero errors.
 
 Exit code 0 on success, 1 on any violated expectation.  Run it locally::
 
@@ -30,10 +34,13 @@ import os
 import signal
 import subprocess
 import sys
+import tempfile
 import time
 
 PORT = int(os.environ.get("SERVE_SMOKE_PORT", "18742"))
+ROUTER_PORT = PORT + 1
 URL = f"http://127.0.0.1:{PORT}"
+ROUTER_URL = f"http://127.0.0.1:{ROUTER_PORT}"
 BOARD = "virtex-xcv1000"
 DESIGNS = ["fir-filter", "matrix-multiply", "image-pipeline", "fft"]
 REPEAT = 2  # 4 designs x 2 = 8 concurrent submissions, 4 unique solves
@@ -53,13 +60,130 @@ def cli(*args: str, check: bool = True) -> subprocess.CompletedProcess:
     return completed
 
 
-def wait_for_health(deadline: float) -> None:
+def wait_for_health(deadline: float, url: str = URL) -> None:
     while time.monotonic() < deadline:
-        probe = cli("submit", "--url", URL, "--health", check=False)
+        probe = cli("submit", "--url", url, "--health", check=False)
         if probe.returncode == 0:
             return
         time.sleep(0.25)
-    raise AssertionError(f"server at {URL} did not answer /healthz in time")
+    raise AssertionError(f"server at {url} did not answer /healthz in time")
+
+
+def stop_server(server: subprocess.Popen, log_prefix: str) -> None:
+    if server.poll() is None:
+        server.send_signal(signal.SIGTERM)
+        try:
+            server.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            server.kill()
+            server.wait()
+    output = server.stdout.read() if server.stdout else ""
+    if output:
+        print(f"[{log_prefix}] server log:\n{output}")
+
+
+def direct_reference() -> dict:
+    """design name -> fingerprint from a direct ``repro batch`` run."""
+    batch = cli(
+        "batch", "--board", BOARD, "--solver", SOLVER,
+        *[arg for design in DESIGNS for arg in ("--design", design)],
+        "--json",
+    )
+    return {
+        result["label"].split("@")[0]: result["fingerprint"]
+        for result in json.loads(batch.stdout)["results"]
+    }
+
+
+def replicated_phase(reference: dict) -> None:
+    """Boot a 2-replica tier and hold it to the single-server contract."""
+    cache_dir = tempfile.mkdtemp(prefix="serve-smoke-cache-")
+    server = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--replicas", "2", "--port", str(ROUTER_PORT),
+            "--cache-dir", cache_dir,
+            "--max-batch", "4", "--max-wait-ms", "25",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        wait_for_health(time.monotonic() + STARTUP_TIMEOUT, url=ROUTER_URL)
+        print(f"[smoke/replicas] 2-replica tier is up at {ROUTER_URL}")
+
+        submit = cli(
+            "submit", "--url", ROUTER_URL, "--board", BOARD,
+            "--solver", SOLVER,
+            *[arg for design in DESIGNS for arg in ("--design", design)],
+            "--repeat", str(REPEAT), "--json",
+        )
+        submitted = json.loads(submit.stdout)
+        jobs = submitted["jobs"]
+        assert len(jobs) == len(DESIGNS) * REPEAT, submitted
+        assert submitted["num_failed"] == 0, submitted
+        deduped = sum(1 for job in jobs if job["deduped"] or job["cache_hit"])
+        assert deduped >= len(DESIGNS) * (REPEAT - 1), (
+            f"expected >= {len(DESIGNS)} deduped/cached jobs, got {deduped}"
+        )
+        for job in jobs:
+            design = job["label"].split("@")[0]
+            assert job["fingerprint"] == reference[design], (
+                f"replicated fingerprint of {design} differs from the "
+                f"direct run: {job['fingerprint']} != {reference[design]}"
+            )
+        replicas_used = {job["replica"] for job in jobs if job.get("replica")}
+        assert len(replicas_used) >= 2, (
+            f"4 distinct designs landed on one shard: {replicas_used}"
+        )
+        print(f"[smoke/replicas] {len(jobs)} submissions sharded across "
+              f"{sorted(replicas_used)}, {deduped} deduped, all "
+              "fingerprints match the direct run")
+
+        loadgen = cli(
+            "loadgen", "--url", ROUTER_URL, "--board", BOARD,
+            "--solver", SOLVER,
+            *[arg for design in DESIGNS[:3] for arg in ("--design", design)],
+            "--duration", "4", "--rate", "4", "--arrival", "bursty",
+            "--duplicate-ratio", "0.6", "--seed", "3", "--json",
+        )
+        report = json.loads(loadgen.stdout)
+        assert report["errors"] == 0, report
+        assert report["completed"] > 0, report
+        assert report["fingerprint_conflicts"] == 0, report
+        assert report["deduped"] + report["cache_hits"] > 0, (
+            "a 0.6-duplicate burst produced no dedupe/cache hits"
+        )
+        print(f"[smoke/replicas] loadgen burst ok: {report['completed']} "
+              f"completed, {report['deduped'] + report['cache_hits']} "
+              "answered without a duplicate solve, 0 errors")
+
+        health = json.loads(
+            cli("submit", "--url", ROUTER_URL, "--health").stdout
+        )
+        assert health["role"] == "router", health
+        details = health["details"]
+        assert details["healthy_replicas"] == 2, details
+        busy = [n for n, c in details["shard_counts"].items() if c > 0]
+        assert len(busy) >= 2, (
+            f"traffic never balanced across shards: {details['shard_counts']}"
+        )
+        assert health["counters"]["routed"] > 0, health["counters"]
+        print(f"[smoke/replicas] shard counts {details['shard_counts']}, "
+              f"warm {details['warm']}")
+
+        cli("submit", "--url", ROUTER_URL, "--shutdown")
+        try:
+            code = server.wait(timeout=SHUTDOWN_TIMEOUT)
+        except subprocess.TimeoutExpired:
+            raise AssertionError(
+                f"replicated tier did not exit within {SHUTDOWN_TIMEOUT:.0f}s"
+            )
+        assert code == 0, f"replicated tier exited {code} after shutdown"
+        print("[smoke/replicas] clean fleet shutdown")
+    finally:
+        stop_server(server, "smoke/replicas")
 
 
 def main() -> int:
@@ -101,15 +225,7 @@ def main() -> int:
         )
         print(f"[smoke] burst coalesced into {batches} engine batch(es)")
 
-        batch = cli(
-            "batch", "--board", BOARD, "--solver", SOLVER,
-            *[arg for design in DESIGNS for arg in ("--design", design)],
-            "--json",
-        )
-        reference = {
-            result["label"].split("@")[0]: result["fingerprint"]
-            for result in json.loads(batch.stdout)["results"]
-        }
+        reference = direct_reference()
         for job in jobs:
             design = job["label"].split("@")[0]
             assert job["fingerprint"] == reference[design], (
@@ -164,22 +280,16 @@ def main() -> int:
                 "POST /v1/shutdown"
             )
         assert code == 0, f"server exited {code} after graceful shutdown"
-        print("[smoke] clean shutdown — PASS")
+        print("[smoke] clean shutdown")
+
+        replicated_phase(reference)
+        print("[smoke] PASS")
         return 0
     except AssertionError as failure:
         print(f"[smoke] FAIL: {failure}", file=sys.stderr)
         return 1
     finally:
-        if server.poll() is None:
-            server.send_signal(signal.SIGTERM)
-            try:
-                server.wait(timeout=10)
-            except subprocess.TimeoutExpired:
-                server.kill()
-                server.wait()
-        output = server.stdout.read() if server.stdout else ""
-        if output:
-            print(f"[smoke] server log:\n{output}")
+        stop_server(server, "smoke")
 
 
 if __name__ == "__main__":

@@ -475,6 +475,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise CliError("--cache-entries must be at least 1")
     if args.memory_entries < 1:
         raise CliError("--memory-entries must be at least 1")
+    if args.replicas < 1:
+        raise CliError("--replicas must be at least 1")
+    if args.replicas > 1:
+        return _serve_replicated(args)
     service = MappingService(
         jobs=_resolve_jobs(args.jobs),
         max_batch=args.max_batch,
@@ -485,6 +489,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         retries=args.retries,
         default_timeout=args.time_limit,
         mp_context=args.mp_context,
+        instance_name=args.instance_name,
+        # A named instance is (part of) a fleet on a shared cache
+        # directory: turn on warm-state exchange with its siblings.
+        warm_sharing=bool(args.instance_name),
     )
     server = MappingServer(service, host=args.host, port=args.port)
 
@@ -521,15 +529,84 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _serve_replicated(args: argparse.Namespace) -> int:
+    """``repro serve --replicas N``: a router over N replica processes."""
+    import asyncio
+    import signal
+    import tempfile
+
+    from .serve.router import RouterServer, RouterService
+    from .serve.service import ReplicaSupervisor
+
+    cache_dir = args.cache_dir
+    if not cache_dir:
+        # The shared cache directory is what stitches the shards into one
+        # key space (dedupe + warm exchange), so a fleet always has one.
+        cache_dir = tempfile.mkdtemp(prefix="repro-serve-cache-")
+        print(f"[using shared cache directory {cache_dir}]", flush=True)
+    supervisor = ReplicaSupervisor(
+        count=args.replicas,
+        cache_dir=cache_dir,
+        jobs=_resolve_jobs(args.jobs),
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        time_limit=args.time_limit,
+        host=args.host,
+    )
+
+    async def _run() -> None:
+        endpoints = await supervisor.start()
+        for name, url in endpoints:
+            print(f"[{name} up at {url}]", flush=True)
+        router = RouterService(
+            endpoints,
+            max_inflight=args.max_inflight,
+            shed_priority=args.shed_priority,
+            supervisor=supervisor,
+        )
+        server = RouterServer(router, host=args.host, port=args.port)
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, server.request_shutdown)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        try:
+            await server.start()
+        except OSError:
+            await supervisor.stop()
+            raise
+        print(
+            f"serving mapping jobs on {server.url} "
+            f"({args.replicas} replicas, max_inflight={args.max_inflight})",
+            flush=True,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive teardown
+        pass
+    except RuntimeError as exc:
+        # A replica that never reported its serving URL is an
+        # environment/usage problem, not a traceback.
+        raise CliError(str(exc)) from exc
+    except OSError as exc:
+        raise CliError(
+            f"cannot serve on {args.host}:{args.port}: {exc}"
+        ) from exc
+    return EXIT_OK
+
+
 def _cmd_submit(args: argparse.Namespace) -> int:
-    from .io.serve import JobSubmission, job_status_to_dict
+    from .io.serve import JobSubmission
     from .serve import ServeClient, ServeClientError
 
     try:
         client = ServeClient(args.url, timeout=args.connect_timeout)
 
         if args.health:
-            print(json.dumps(client.health(), indent=2))
+            print(json.dumps(client.health().to_wire(), indent=2))
             return EXIT_OK
         if args.shutdown:
             print(json.dumps(client.shutdown(), indent=2))
@@ -584,7 +661,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                     "url": client.url,
                     "num_jobs": len(statuses),
                     "num_failed": failed,
-                    "jobs": [job_status_to_dict(s) for s in statuses],
+                    "jobs": [s.to_wire() for s in statuses],
                 },
                 indent=2,
             ))
@@ -612,7 +689,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         if args.output:
             documents = []
             for status in statuses:
-                entry = job_status_to_dict(status)
+                entry = status.to_wire()
                 if status.state == "done":
                     try:
                         entry["result"] = client.result(status.job_id)
@@ -625,6 +702,57 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         return EXIT_OK if failed == 0 else EXIT_MAPPING_FAILED
     except ServeClientError as exc:
         raise CliError(str(exc)) from exc
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from .bench.loadgen import LoadgenConfig, run_loadgen
+    from .io.serve import JobSubmission
+    from .serve import ServeClientError
+
+    if not args.design:
+        raise CliError("loadgen needs at least one --design")
+    if args.duration <= 0:
+        raise CliError("--duration must be > 0")
+    if args.rate <= 0:
+        raise CliError("--rate must be > 0")
+    board = _resolve_board(args.board)
+    weights = _WEIGHT_PRESETS[args.weights]()
+    templates = []
+    for spec in args.design:
+        design = _resolve_design(spec, seed=args.seed)
+        templates.append(JobSubmission.from_objects(
+            board,
+            design,
+            weights={
+                "latency": weights.latency,
+                "pin_delay": weights.pin_delay,
+                "pin_io": weights.pin_io,
+                "normalize": weights.normalize,
+            },
+            solver=args.solver,
+            timeout=args.time_limit,
+        ))
+    config = LoadgenConfig(
+        url=args.url,
+        templates=templates,
+        duration_s=args.duration,
+        rate=args.rate,
+        arrival=args.arrival,
+        duplicate_ratio=args.duplicate_ratio,
+        fast_ratio=args.fast_ratio,
+        low_priority_ratio=args.low_priority_ratio,
+        seed=args.seed,
+    )
+    try:
+        report = run_loadgen(config)
+    except ServeClientError as exc:
+        raise CliError(str(exc)) from exc
+    if args.output:
+        save_json(report, args.output)
+    if args.json or not args.output:
+        print(json.dumps(report, indent=2))
+    failed = int(report.get("errors", 0))
+    return EXIT_OK if failed == 0 else EXIT_MAPPING_FAILED
 
 
 def _cmd_table3(args: argparse.Namespace) -> int:
@@ -838,7 +966,62 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker start method (default: spawn when --jobs > 1)")
     serve.add_argument("--artifact-dir",
                        help="write a BENCH_serve.json artifact on shutdown")
+    serve.add_argument("--replicas", type=int, default=1,
+                       help="boot N replica processes behind a sharded "
+                            "router front end (default: 1, no router)")
+    serve.add_argument("--max-inflight", type=int, default=16,
+                       help="router-side in-flight budget per replica "
+                            "before backpressure kicks in")
+    serve.add_argument("--shed-priority", type=int, default=0,
+                       help="under overload, shed (503) submissions whose "
+                            "priority is below this instead of asking them "
+                            "to retry (429)")
+    serve.add_argument("--instance-name", default="",
+                       help="name of this replica in a sharded fleet; "
+                            "enables warm-state exchange through the shared "
+                            "cache directory")
     serve.set_defaults(func=_cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="open-loop traffic generator against a running 'repro serve'",
+    )
+    loadgen.add_argument("--url", default="http://127.0.0.1:8347",
+                         help="server URL (single service or router)")
+    loadgen.add_argument("--board", default="hierarchical",
+                         help="board for the generated jobs (name or JSON file)")
+    loadgen.add_argument("--design", action="append", default=[],
+                         help="design template (repeatable; arrivals draw "
+                              "from these)")
+    loadgen.add_argument("--duration", type=float, default=10.0,
+                         help="length of the traffic window in seconds")
+    loadgen.add_argument("--rate", type=float, default=8.0,
+                         help="mean arrival rate in jobs/second")
+    loadgen.add_argument("--arrival", choices=["poisson", "bursty", "uniform"],
+                         default="poisson",
+                         help="arrival process of the open-loop schedule")
+    loadgen.add_argument("--duplicate-ratio", type=float, default=0.5,
+                         help="fraction of arrivals that repeat an earlier "
+                              "submission verbatim (exercises dedupe)")
+    loadgen.add_argument("--fast-ratio", type=float, default=0.0,
+                         help="fraction of arrivals submitted as fast-mode "
+                              "jobs")
+    loadgen.add_argument("--low-priority-ratio", type=float, default=0.0,
+                         help="fraction of arrivals submitted at priority -1 "
+                              "(sheddable under overload)")
+    loadgen.add_argument("--weights", choices=sorted(_WEIGHT_PRESETS),
+                         default="balanced", help="objective weighting preset")
+    loadgen.add_argument("--solver", default="auto",
+                         help="ILP backend for the generated jobs")
+    loadgen.add_argument("--time-limit", type=float, default=None,
+                         help="per-job wall-clock budget in seconds")
+    loadgen.add_argument("--seed", type=int, default=0,
+                         help="seed of the arrival schedule and mix")
+    loadgen.add_argument("--output",
+                         help="write the loadgen report to this JSON file")
+    loadgen.add_argument("--json", action="store_true",
+                         help="emit the report on stdout even with --output")
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     submit = sub.add_parser(
         "submit", help="submit mapping jobs to a running 'repro serve'"

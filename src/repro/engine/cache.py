@@ -34,6 +34,10 @@ __all__ = [
 #: then simply miss instead of being misread.
 CACHE_SCHEMA_VERSION = 1
 
+#: How many bounded-cache puts may rely on the incremental entry counter
+#: before it is re-derived from the directory (multi-writer drift bound).
+_RESYNC_PUTS = 256
+
 #: Keys stripped (recursively) before fingerprinting a result document.
 #: Everything timing- or machine-dependent lives under these names, so two
 #: runs of the same job — serial or parallel, any worker count — produce
@@ -109,8 +113,14 @@ class ResultCache:
         self.evictions = 0
         #: Approximate entry count, maintained incrementally so the
         #: bounded-cache hot path does not scan the directory on every
-        #: put; ``trim`` re-derives the exact number when it runs.
+        #: put; ``trim`` re-derives the exact number when it runs.  The
+        #: counter only sees *this* process's writes, so with several
+        #: writers sharing the directory (serve replicas) it drifts low;
+        #: every :data:`_RESYNC_PUTS` puts it is re-derived from the
+        #: directory so a bounded cache still trims under multi-process
+        #: load.
         self._approx_entries: Optional[int] = None
+        self._puts_since_resync = 0
 
     def path_for(self, key: str) -> Path:
         return self.directory / f"{key}.json"
@@ -147,9 +157,18 @@ class ResultCache:
             "result": dict(document),
         }
         path = self.path_for(key)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=str(self.directory), prefix=".cache-", suffix=".tmp"
-        )
+        try:
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(self.directory), prefix=".cache-", suffix=".tmp"
+            )
+        except FileNotFoundError:
+            # Another process (a concurrent ``clear`` + rmdir, a test
+            # fixture teardown) removed the directory between our mkdir
+            # and this write; recreate and retry once.
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(self.directory), prefix=".cache-", suffix=".tmp"
+            )
         is_new = not path.exists()
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
@@ -164,6 +183,11 @@ class ResultCache:
             raise
         if is_new and self._approx_entries is not None:
             self._approx_entries += 1
+        if self.max_entries is not None:
+            self._puts_since_resync += 1
+            if self._puts_since_resync >= _RESYNC_PUTS:
+                self._puts_since_resync = 0
+                self._approx_entries = None  # re-derive on the next check
         if self.max_entries is not None and self._entry_count() > self.max_entries:
             # Directory scans are O(entries): only trim when the running
             # count says the bound was actually crossed.
@@ -209,10 +233,19 @@ class ResultCache:
         return sorted(p.stem for p in self.directory.glob("*.json"))
 
     def clear(self) -> int:
-        """Delete every entry; returns the number of files removed."""
+        """Delete every entry; returns the number of files removed.
+
+        Entries unlinked concurrently by another process sharing the
+        directory (a sibling replica's ``trim``, a parallel ``clear``)
+        are skipped, not errors: the post-condition — no entries left —
+        holds either way.
+        """
         removed = 0
         for path in self.directory.glob("*.json"):
-            path.unlink()
+            try:
+                path.unlink()
+            except OSError:
+                continue
             removed += 1
         self._approx_entries = 0
         return removed

@@ -1,34 +1,51 @@
-"""Request/response schema of the mapping service (:mod:`repro.serve`).
+"""The versioned wire API (v1) of the mapping serve tier.
 
-The serving layer speaks the same versioned JSON dialect as the rest of
-:mod:`repro.io`: a client submits a **job submission** (the board, design
-and solver configuration of one mapping request plus serving metadata —
-priority, deadline), the server answers with **job status** documents
-while the job moves through the queue, and the finished **result** is the
-exact :class:`repro.engine.jobs.JobResult` document the batch CLI emits,
-so a served mapping and a locally-run one can be compared field by field
-(most importantly by fingerprint).
+Everything that crosses the wire between clients, the router and the
+replicas speaks one schema: each document is a JSON object carrying its
+``kind`` and an explicit wire version ``"v": 1``.  The three document
+types are typed dataclasses with a single serialisation pair each —
+``to_wire()`` produces the JSON-compatible dict, ``from_wire()`` rebuilds
+the object:
 
-Round-tripping a submission or status through its ``*_to_dict`` /
-``*_from_dict`` pair reproduces an equal object; the test suite pins
-this the same way it pins the board/design schema.
+* :class:`JobSubmission` — one mapping request (board, design, solver
+  configuration, serving metadata),
+* :class:`JobStatus` — where a served job currently is,
+* :class:`HealthReport` — the ``/healthz`` document of a service or
+  router.
+
+Versioning rules (see CONTRIBUTING, "Evolving the wire schema"):
+
+* every document carries ``"v"``; a request missing it or claiming a
+  version this library does not support raises
+  :class:`WireVersionError`, which the HTTP layer answers with a
+  *structured* 400 listing ``supported_versions`` — never a crash;
+* readers are **unknown-field tolerant**: fields a peer added in a later
+  minor revision are ignored, so the schema can grow additively without
+  breaking older binaries.
+
+The finished **result** document is the exact
+:class:`repro.engine.jobs.JobResult` document the batch CLI emits
+(stamped with ``"v"`` by the HTTP layer), so a served mapping and a
+locally-run one compare field by field — most importantly by fingerprint.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .serialize import (
-    SCHEMA_VERSION,
     SerializationError,
-    _check_kind,
     _require,
     board_to_dict,
     design_to_dict,
 )
 
 __all__ = [
+    "WIRE_VERSION",
+    "SUPPORTED_WIRE_VERSIONS",
+    "WireVersionError",
+    "check_wire_version",
     "JOB_STATES",
     "STATE_QUEUED",
     "STATE_RUNNING",
@@ -37,11 +54,16 @@ __all__ = [
     "STATE_EXPIRED",
     "JobSubmission",
     "JobStatus",
-    "job_submission_to_dict",
-    "job_submission_from_dict",
-    "job_status_to_dict",
-    "job_status_from_dict",
+    "HealthReport",
 ]
+
+#: The wire-schema version this library speaks and emits.
+WIRE_VERSION = 1
+
+#: Every version this library can read.  Additive (minor) evolution keeps
+#: this a single entry; a breaking change appends a new version and keeps
+#: reading the old ones for a deprecation window.
+SUPPORTED_WIRE_VERSIONS: Tuple[int, ...] = (1,)
 
 #: Lifecycle states of a served job.  ``done`` is terminal in every case;
 #: the engine-level outcome (``ok``/``failed``/``error``/``timeout``) then
@@ -63,9 +85,68 @@ JOB_STATES = (
 TERMINAL_STATES = (STATE_DONE, STATE_CANCELLED, STATE_EXPIRED)
 
 
+class WireVersionError(SerializationError):
+    """A document missing the wire version or claiming an unsupported one.
+
+    The HTTP layer turns this into a structured 400 carrying
+    :attr:`supported_versions`, so an older server facing a future client
+    degrades into an actionable error instead of a crash or a silent
+    misread.
+    """
+
+    def __init__(self, message: str, got: Optional[Any] = None) -> None:
+        super().__init__(message)
+        self.got = got
+        self.supported_versions: Tuple[int, ...] = SUPPORTED_WIRE_VERSIONS
+
+
+def check_wire_version(data: Mapping[str, Any], context: str) -> None:
+    """Validate the ``"v"`` field of an incoming wire document."""
+    if "v" not in data:
+        raise WireVersionError(
+            f"{context}: document carries no wire version "
+            f"(expected \"v\" in {list(SUPPORTED_WIRE_VERSIONS)})"
+        )
+    version = data["v"]
+    if not isinstance(version, int) or isinstance(version, bool) \
+            or version not in SUPPORTED_WIRE_VERSIONS:
+        raise WireVersionError(
+            f"{context}: unsupported wire version {version!r} "
+            f"(supported: {list(SUPPORTED_WIRE_VERSIONS)})",
+            got=version,
+        )
+
+
+def _check_wire(data: Any, kind: str) -> None:
+    """Shared preamble of every ``from_wire``: shape, version, kind."""
+    if not isinstance(data, Mapping):
+        raise SerializationError(
+            f"{kind}: expected a JSON object, got {type(data).__name__}"
+        )
+    # Version first: a future-version document of *any* kind must surface
+    # as the structured version error, not as a kind mismatch.
+    check_wire_version(data, kind)
+    got = data.get("kind")
+    if got != kind:
+        raise SerializationError(
+            f"expected a {kind!r} document, got kind={got!r}"
+        )
+
+
+def _number(data: Mapping[str, Any], key: str, cast, default, context: str):
+    value = data.get(key, default)
+    if value is None or value is default:
+        return value
+    try:
+        return cast(value)
+    except (TypeError, ValueError):
+        raise SerializationError(f"{context}: field {key!r} must be a number, "
+                                 f"got {value!r}")
+
+
 @dataclass(frozen=True)
 class JobSubmission:
-    """One mapping request as a client hands it to the service.
+    """One mapping request as a client hands it to the serve tier.
 
     The board and design travel as their serialised documents (see
     :func:`repro.io.board_to_dict` / :func:`repro.io.design_to_dict`), so a
@@ -98,6 +179,8 @@ class JobSubmission:
     #: Per-job wall-clock budget in seconds (tightens the solver limit).
     timeout: Optional[float] = None
     #: Queue priority; higher runs earlier.  Ties keep submission order.
+    #: Under router overload, jobs below the shed threshold are the first
+    #: to be refused.
     priority: int = 0
     #: Milliseconds the job may wait in the queue before the service gives
     #: up and reports it ``expired`` instead of solving it late.
@@ -119,17 +202,89 @@ class JobSubmission:
         )
         return f"{design}@{board}"
 
+    # ------------------------------------------------------------------ wire
+    def to_wire(self) -> Dict[str, Any]:
+        """Serialise into the v1 wire document."""
+        return {
+            "kind": "job_submission",
+            "v": WIRE_VERSION,
+            "board": dict(self.board),
+            "design": dict(self.design),
+            "weights": dict(self.weights),
+            "solver": self.solver,
+            "solver_options": dict(self.solver_options),
+            "capacity_mode": self.capacity_mode,
+            "port_estimation": self.port_estimation,
+            "warm_start": self.warm_start,
+            "warm_retries": self.warm_retries,
+            "mode": self.mode,
+            "gap_limit": self.gap_limit,
+            "label": self.label,
+            "timeout": self.timeout,
+            "priority": self.priority,
+            "deadline_ms": self.deadline_ms,
+        }
+
+    @classmethod
+    def from_wire(cls, data: Any) -> "JobSubmission":
+        """Rebuild a submission from its wire document.
+
+        Any malformed shape — a non-object document, a non-numeric
+        priority, a string where a board document belongs — raises
+        :class:`SerializationError`, which the HTTP layer reports as a
+        400: client garbage must never read as a server bug.  Unknown
+        fields are ignored (forward compatibility).
+        """
+        _check_wire(data, "job_submission")
+        board = _require(data, "board", "job_submission")
+        design = _require(data, "design", "job_submission")
+        if not isinstance(board, Mapping) or not isinstance(design, Mapping):
+            raise SerializationError(
+                "job_submission: board and design must be serialised documents"
+            )
+        weights = data.get("weights") or {
+            "latency": 1.0, "pin_delay": 1.0, "pin_io": 1.0, "normalize": True
+        }
+        solver_options = data.get("solver_options") or {}
+        if not isinstance(weights, Mapping) or not isinstance(solver_options, Mapping):
+            raise SerializationError(
+                "job_submission: weights and solver_options must be objects"
+            )
+        mode = data.get("mode", "pipeline")
+        if mode not in ("pipeline", "complete", "fast"):
+            raise SerializationError(f"job_submission: unknown mode {mode!r}")
+        gap_limit = _number(data, "gap_limit", float, None, "job_submission")
+        if gap_limit is not None and gap_limit < 0:
+            raise SerializationError("job_submission: gap_limit must be >= 0")
+        return cls(
+            board=dict(board),
+            design=dict(design),
+            weights=dict(weights),
+            solver=str(data.get("solver", "auto")),
+            solver_options=dict(solver_options),
+            capacity_mode=str(data.get("capacity_mode", "strict")),
+            port_estimation=str(data.get("port_estimation", "paper")),
+            warm_start=bool(data.get("warm_start", True)),
+            warm_retries=bool(data.get("warm_retries", True)),
+            mode=mode,
+            gap_limit=gap_limit,
+            label=str(data.get("label", "")),
+            timeout=_number(data, "timeout", float, None, "job_submission"),
+            priority=_number(data, "priority", int, 0, "job_submission") or 0,
+            deadline_ms=_number(data, "deadline_ms", float, None, "job_submission"),
+        )
+
 
 @dataclass
 class JobStatus:
-    """Where one served job currently is, as reported by the service."""
+    """Where one served job currently is, as reported by the serve tier."""
 
     job_id: str
     state: str
     label: str = ""
     priority: int = 0
     #: Canonical input hash of the underlying mapping job (the engine's
-    #: cache key); equal keys mean the service solved them once.
+    #: cache key); equal keys mean the serve tier solved them once.
     cache_key: str = ""
     #: The submission attached to an identical job already in flight
     #: instead of enqueueing a duplicate solve.
@@ -148,6 +303,9 @@ class JobStatus:
     #: versus the solver's lower bound); ``None`` for exact jobs.
     gap: Optional[float] = None
     fingerprint: Optional[str] = None
+    #: Name of the replica that served the job (router deployments only;
+    #: empty for a single-process service).
+    replica: str = ""
     error: str = ""
 
     @property
@@ -164,145 +322,145 @@ class JobStatus:
     def advanced(self, **changes) -> "JobStatus":
         return replace(self, **changes)
 
+    # ------------------------------------------------------------------ wire
+    def to_wire(self) -> Dict[str, Any]:
+        """Serialise into the v1 wire document."""
+        return {
+            "kind": "job_status",
+            "v": WIRE_VERSION,
+            "job_id": self.job_id,
+            "state": self.state,
+            "label": self.label,
+            "priority": self.priority,
+            "cache_key": self.cache_key,
+            "deduped": self.deduped,
+            "cache_hit": self.cache_hit,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "result_status": self.result_status,
+            "objective": self.objective,
+            "gap": self.gap,
+            "fingerprint": self.fingerprint,
+            "replica": self.replica,
+            "error": self.error,
+            "latency_ms": self.latency_ms,
+        }
 
-def job_submission_to_dict(submission: JobSubmission) -> Dict[str, Any]:
-    """Serialise a :class:`JobSubmission` into a JSON-compatible dict."""
-    return {
-        "kind": "job_submission",
-        "schema_version": SCHEMA_VERSION,
-        "board": dict(submission.board),
-        "design": dict(submission.design),
-        "weights": dict(submission.weights),
-        "solver": submission.solver,
-        "solver_options": dict(submission.solver_options),
-        "capacity_mode": submission.capacity_mode,
-        "port_estimation": submission.port_estimation,
-        "warm_start": submission.warm_start,
-        "warm_retries": submission.warm_retries,
-        "mode": submission.mode,
-        "gap_limit": submission.gap_limit,
-        "label": submission.label,
-        "timeout": submission.timeout,
-        "priority": submission.priority,
-        "deadline_ms": submission.deadline_ms,
-    }
+    @classmethod
+    def from_wire(cls, data: Any) -> "JobStatus":
+        """Rebuild a status from its wire document (unknown fields ignored)."""
+        _check_wire(data, "job_status")
+        state = _require(data, "state", "job_status")
+        if state not in JOB_STATES:
+            raise SerializationError(f"job_status: unknown state {state!r}")
+        started = data.get("started_at")
+        finished = data.get("finished_at")
+        objective = data.get("objective")
+        gap = data.get("gap")
+        return cls(
+            job_id=str(_require(data, "job_id", "job_status")),
+            state=state,
+            label=str(data.get("label", "")),
+            priority=int(data.get("priority", 0)),
+            cache_key=str(data.get("cache_key", "")),
+            deduped=bool(data.get("deduped", False)),
+            cache_hit=bool(data.get("cache_hit", False)),
+            submitted_at=float(data.get("submitted_at", 0.0)),
+            started_at=None if started is None else float(started),
+            finished_at=None if finished is None else float(finished),
+            result_status=str(data.get("result_status", "")),
+            objective=None if objective is None else float(objective),
+            gap=None if gap is None else float(gap),
+            fingerprint=data.get("fingerprint"),
+            replica=str(data.get("replica", "")),
+            error=str(data.get("error", "")),
+        )
 
 
-def _number(data: Mapping[str, Any], key: str, cast, default, context: str):
-    value = data.get(key, default)
-    if value is None or value is default:
-        return value
-    try:
-        return cast(value)
-    except (TypeError, ValueError):
-        raise SerializationError(f"{context}: field {key!r} must be a number, "
-                                 f"got {value!r}")
+@dataclass
+class HealthReport:
+    """The ``/healthz`` document of one service replica or of the router.
 
-
-def job_submission_from_dict(data: Mapping[str, Any]) -> JobSubmission:
-    """Rebuild a :class:`JobSubmission` from its serialised form.
-
-    Any malformed shape — a non-object document, a non-numeric priority,
-    a string where a board document belongs — raises
-    :class:`SerializationError`, which the HTTP layer reports as a 400:
-    client garbage must never read as a server bug.
+    One typed shape for both roles: a replica reports its queue/engine
+    state, the router reports ring membership plus per-replica summaries
+    under :attr:`replicas` and the *aggregate* counters of the fleet.
+    Role-specific detail that does not need schema stability lives in
+    :attr:`details`; unknown top-level fields a newer peer might add are
+    preserved in :attr:`extra` (forward compatibility).
     """
-    if not isinstance(data, Mapping):
-        raise SerializationError(
-            f"job_submission: expected a JSON object, got {type(data).__name__}"
-        )
-    _check_kind(data, "job_submission")
-    board = _require(data, "board", "job_submission")
-    design = _require(data, "design", "job_submission")
-    if not isinstance(board, Mapping) or not isinstance(design, Mapping):
-        raise SerializationError(
-            "job_submission: board and design must be serialised documents"
-        )
-    weights = data.get("weights") or {
-        "latency": 1.0, "pin_delay": 1.0, "pin_io": 1.0, "normalize": True
-    }
-    solver_options = data.get("solver_options") or {}
-    if not isinstance(weights, Mapping) or not isinstance(solver_options, Mapping):
-        raise SerializationError(
-            "job_submission: weights and solver_options must be objects"
-        )
-    mode = data.get("mode", "pipeline")
-    if mode not in ("pipeline", "complete", "fast"):
-        raise SerializationError(f"job_submission: unknown mode {mode!r}")
-    gap_limit = _number(data, "gap_limit", float, None, "job_submission")
-    if gap_limit is not None and gap_limit < 0:
-        raise SerializationError("job_submission: gap_limit must be >= 0")
-    return JobSubmission(
-        board=dict(board),
-        design=dict(design),
-        weights=dict(weights),
-        solver=str(data.get("solver", "auto")),
-        solver_options=dict(solver_options),
-        capacity_mode=str(data.get("capacity_mode", "strict")),
-        port_estimation=str(data.get("port_estimation", "paper")),
-        warm_start=bool(data.get("warm_start", True)),
-        warm_retries=bool(data.get("warm_retries", True)),
-        mode=mode,
-        gap_limit=gap_limit,
-        label=str(data.get("label", "")),
-        timeout=_number(data, "timeout", float, None, "job_submission"),
-        priority=_number(data, "priority", int, 0, "job_submission") or 0,
-        deadline_ms=_number(data, "deadline_ms", float, None, "job_submission"),
-    )
 
+    status: str = "ok"
+    #: ``"service"`` (one replica / single-process server) or ``"router"``.
+    role: str = "service"
+    uptime_seconds: float = 0.0
+    queue_depth: int = 0
+    inflight: int = 0
+    workers: int = 0
+    counters: Dict[str, int] = field(default_factory=dict)
+    #: Result-store statistics (tiers, hits) of a service; ``None`` for a
+    #: router.
+    store: Optional[Dict[str, Any]] = None
+    #: Role-specific diagnostics (batching config, ring layout, records).
+    details: Dict[str, Any] = field(default_factory=dict)
+    #: Per-replica summaries, router role only.
+    replicas: Optional[List[Dict[str, Any]]] = None
+    #: Unknown top-level wire fields, preserved verbatim.
+    extra: Dict[str, Any] = field(default_factory=dict)
 
-def job_status_to_dict(status: JobStatus) -> Dict[str, Any]:
-    """Serialise a :class:`JobStatus` into a JSON-compatible dict."""
-    return {
-        "kind": "job_status",
-        "schema_version": SCHEMA_VERSION,
-        "job_id": status.job_id,
-        "state": status.state,
-        "label": status.label,
-        "priority": status.priority,
-        "cache_key": status.cache_key,
-        "deduped": status.deduped,
-        "cache_hit": status.cache_hit,
-        "submitted_at": status.submitted_at,
-        "started_at": status.started_at,
-        "finished_at": status.finished_at,
-        "result_status": status.result_status,
-        "objective": status.objective,
-        "gap": status.gap,
-        "fingerprint": status.fingerprint,
-        "error": status.error,
-        "latency_ms": status.latency_ms,
-    }
+    _KNOWN = frozenset({
+        "kind", "v", "status", "role", "uptime_seconds", "queue_depth",
+        "inflight", "workers", "counters", "store", "details", "replicas",
+    })
 
+    def to_wire(self) -> Dict[str, Any]:
+        """Serialise into the v1 wire document."""
+        document: Dict[str, Any] = {
+            "kind": "health_report",
+            "v": WIRE_VERSION,
+            "status": self.status,
+            "role": self.role,
+            "uptime_seconds": self.uptime_seconds,
+            "queue_depth": self.queue_depth,
+            "inflight": self.inflight,
+            "workers": self.workers,
+            "counters": dict(self.counters),
+            "store": self.store,
+            "details": dict(self.details),
+        }
+        if self.replicas is not None:
+            document["replicas"] = [dict(entry) for entry in self.replicas]
+        document.update(self.extra)
+        return document
 
-def job_status_from_dict(data: Mapping[str, Any]) -> JobStatus:
-    """Rebuild a :class:`JobStatus` from its serialised form."""
-    if not isinstance(data, Mapping):
-        raise SerializationError(
-            f"job_status: expected a JSON object, got {type(data).__name__}"
+    @classmethod
+    def from_wire(cls, data: Any) -> "HealthReport":
+        """Rebuild a report from its wire document (unknown fields kept)."""
+        _check_wire(data, "health_report")
+        replicas = data.get("replicas")
+        if replicas is not None and not isinstance(replicas, Sequence):
+            raise SerializationError("health_report: replicas must be a list")
+        store = data.get("store")
+        if store is not None and not isinstance(store, Mapping):
+            raise SerializationError("health_report: store must be an object")
+        details = data.get("details") or {}
+        counters = data.get("counters") or {}
+        if not isinstance(details, Mapping) or not isinstance(counters, Mapping):
+            raise SerializationError(
+                "health_report: counters and details must be objects"
+            )
+        return cls(
+            status=str(data.get("status", "ok")),
+            role=str(data.get("role", "service")),
+            uptime_seconds=float(data.get("uptime_seconds", 0.0)),
+            queue_depth=int(data.get("queue_depth", 0)),
+            inflight=int(data.get("inflight", 0)),
+            workers=int(data.get("workers", 0)),
+            counters=dict(counters),
+            store=None if store is None else dict(store),
+            details=dict(details),
+            replicas=(
+                None if replicas is None else [dict(entry) for entry in replicas]
+            ),
+            extra={k: v for k, v in data.items() if k not in cls._KNOWN},
         )
-    _check_kind(data, "job_status")
-    state = _require(data, "state", "job_status")
-    if state not in JOB_STATES:
-        raise SerializationError(f"job_status: unknown state {state!r}")
-    started = data.get("started_at")
-    finished = data.get("finished_at")
-    objective = data.get("objective")
-    gap = data.get("gap")
-    return JobStatus(
-        job_id=str(_require(data, "job_id", "job_status")),
-        state=state,
-        label=str(data.get("label", "")),
-        priority=int(data.get("priority", 0)),
-        cache_key=str(data.get("cache_key", "")),
-        deduped=bool(data.get("deduped", False)),
-        cache_hit=bool(data.get("cache_hit", False)),
-        submitted_at=float(data.get("submitted_at", 0.0)),
-        started_at=None if started is None else float(started),
-        finished_at=None if finished is None else float(finished),
-        result_status=str(data.get("result_status", "")),
-        objective=None if objective is None else float(objective),
-        gap=None if gap is None else float(gap),
-        fingerprint=data.get("fingerprint"),
-        error=str(data.get("error", "")),
-    )

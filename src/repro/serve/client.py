@@ -1,11 +1,15 @@
-"""Blocking client of the mapping service (what ``repro submit`` uses).
+"""Blocking client of the mapping serve tier (what ``repro submit`` uses).
 
 Pure stdlib (:mod:`http.client`): one connection per request, JSON in
-and out, mirroring the server's one-shot connection model.  The client
-re-raises transport problems and non-2xx answers as
-:class:`ServeClientError` with the server's error message when one was
-sent, so CLI users see "connection refused" or the actual 400 reason
-instead of a traceback.
+and out, mirroring the server's one-shot connection model.  All traffic
+speaks the v1 wire schema (:mod:`repro.io.serve`); transport problems
+and non-2xx answers re-raise as :class:`ServeClientError` carrying the
+server's structured error — message, machine-readable ``code``, the
+full error ``payload`` and, for 429 backpressure answers, the suggested
+``retry_after_ms`` — so callers can react without parsing prose.
+
+The same client talks to a single ``repro serve`` process or to the
+sharded router front end; the wire API is identical by construction.
 """
 
 from __future__ import annotations
@@ -16,12 +20,7 @@ import time
 from typing import Any, Dict, List, Optional, Union
 from urllib.parse import urlsplit
 
-from ..io.serve import (
-    JobStatus,
-    JobSubmission,
-    job_status_from_dict,
-    job_submission_to_dict,
-)
+from ..io.serve import HealthReport, JobStatus, JobSubmission
 
 __all__ = ["ServeClientError", "ServeClient"]
 
@@ -29,13 +28,35 @@ __all__ = ["ServeClientError", "ServeClient"]
 class ServeClientError(Exception):
     """The server was unreachable or answered with an error."""
 
-    def __init__(self, message: str, status: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        message: str,
+        status: Optional[int] = None,
+        code: str = "",
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
+        #: Machine-readable reason (``"UNSUPPORTED_VERSION"``,
+        #: ``"RETRY_AFTER"``, ``"SHED"``, ...); empty for transport errors.
+        self.code = code
+        #: The server's full structured error document, when one was sent.
+        self.payload = payload or {}
+
+    @property
+    def retry_after_ms(self) -> Optional[float]:
+        """Server-suggested backoff of a 429 answer; ``None`` otherwise."""
+        value = self.payload.get("retry_after_ms")
+        return None if value is None else float(value)
+
+    @property
+    def overloaded(self) -> bool:
+        """True when the request was refused by admission control."""
+        return self.status in (429, 503)
 
 
 class ServeClient:
-    """Talks to one ``repro serve`` instance."""
+    """Talks to one serve front end (single service or router)."""
 
     def __init__(self, url: str, timeout: float = 30.0) -> None:
         split = urlsplit(url if "//" in url else f"http://{url}")
@@ -57,26 +78,26 @@ class ServeClient:
     ) -> Union[JobStatus, List[JobStatus]]:
         """Submit one submission (or a batch); returns the job status(es)."""
         if isinstance(submission, list):
-            body = [job_submission_to_dict(entry) for entry in submission]
+            body = [entry.to_wire() for entry in submission]
             document = self._request("POST", "/v1/jobs", body)
-            return [job_status_from_dict(entry) for entry in document]
-        document = self._request(
-            "POST", "/v1/jobs", job_submission_to_dict(submission)
-        )
-        return job_status_from_dict(document)
+            return [JobStatus.from_wire(entry) for entry in document]
+        document = self._request("POST", "/v1/jobs", submission.to_wire())
+        return JobStatus.from_wire(document)
 
     def status(self, job_id: str) -> JobStatus:
-        return job_status_from_dict(self._request("GET", f"/v1/jobs/{job_id}"))
+        return JobStatus.from_wire(self._request("GET", f"/v1/jobs/{job_id}"))
 
     def result(self, job_id: str) -> Dict[str, Any]:
         """The finished job's full result document."""
         return self._request("GET", f"/v1/jobs/{job_id}/result")
 
     def cancel(self, job_id: str) -> JobStatus:
-        return job_status_from_dict(self._request("DELETE", f"/v1/jobs/{job_id}"))
+        return JobStatus.from_wire(
+            self._request("DELETE", f"/v1/jobs/{job_id}")
+        )
 
-    def health(self) -> Dict[str, Any]:
-        return self._request("GET", "/healthz")
+    def health(self) -> HealthReport:
+        return HealthReport.from_wire(self._request("GET", "/healthz"))
 
     def shutdown(self) -> Dict[str, Any]:
         return self._request("POST", "/v1/shutdown", {})
@@ -127,10 +148,14 @@ class ServeClient:
                 f"malformed response from {self.url}: {exc}"
             ) from exc
         if response.status >= 400:
-            message = (
-                document.get("error", f"HTTP {response.status}")
-                if isinstance(document, dict)
-                else f"HTTP {response.status}"
+            if isinstance(document, dict):
+                raise ServeClientError(
+                    document.get("error", f"HTTP {response.status}"),
+                    status=response.status,
+                    code=str(document.get("code", "")),
+                    payload=document,
+                )
+            raise ServeClientError(
+                f"HTTP {response.status}", status=response.status
             )
-            raise ServeClientError(message, status=response.status)
         return document

@@ -17,12 +17,15 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qsl, urlsplit
 
+from ..io.serve import WIRE_VERSION
+
 __all__ = [
     "HttpRequest",
     "ProtocolError",
     "read_request",
     "format_response",
     "json_response",
+    "error_response",
     "parse_json_body",
 ]
 
@@ -39,7 +42,9 @@ _REASONS = {
     405: "Method Not Allowed",
     409: "Conflict",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
+    502: "Bad Gateway",
     503: "Service Unavailable",
 }
 
@@ -149,19 +154,43 @@ def format_response(
     status: int,
     body: bytes,
     content_type: str = "application/json",
+    extra_headers: Optional[Dict[str, str]] = None,
 ) -> bytes:
     """Serialise one complete HTTP/1.1 response."""
     reason = _REASONS.get(status, "Unknown")
-    head = (
+    headers = (
         f"HTTP/1.1 {status} {reason}\r\n"
         f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"Connection: close\r\n"
-        f"\r\n"
     )
-    return head.encode("latin-1") + body
+    for name, value in (extra_headers or {}).items():
+        headers += f"{name}: {value}\r\n"
+    return (headers + "\r\n").encode("latin-1") + body
 
 
 def json_response(status: int, document: Any) -> Tuple[int, bytes]:
     """JSON-encode ``document`` for :func:`format_response`."""
     return status, (json.dumps(document, indent=2) + "\n").encode("utf-8")
+
+
+def error_response(
+    status: int, message: str, code: str = "", **extra: Any
+) -> Tuple[int, bytes]:
+    """A structured, versioned error body shared by every serve endpoint.
+
+    ``code`` is the machine-readable reason (``"UNSUPPORTED_VERSION"``,
+    ``"RETRY_AFTER"``, ``"SHED"``, ...); extra keyword fields — for
+    example ``supported_versions`` or ``retry_after_ms`` — ride along so
+    a client can act on the error without parsing prose.
+    """
+    document: Dict[str, Any] = {
+        "kind": "error",
+        "v": WIRE_VERSION,
+        "error": message,
+        "status": status,
+    }
+    if code:
+        document["code"] = code
+    document.update(extra)
+    return json_response(status, document)

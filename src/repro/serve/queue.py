@@ -56,6 +56,10 @@ class QueuedTicket:
     #: Set once the dispatcher hands the ticket to the engine; from then
     #: on cancellation and expiry are refused (the solve is in flight).
     running: bool = False
+    #: Warm-state key of the job's identity when warm sharing is active
+    #: (empty otherwise); the finished solve exports its chain context
+    #: under this key for sibling replicas to seed from.
+    warm_key: str = ""
 
     def job_ids(self) -> List[str]:
         return [self.job_id, *self.followers]

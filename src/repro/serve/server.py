@@ -1,9 +1,10 @@
 """The asyncio HTTP front end of the mapping service.
 
-Routes (all JSON, one request per connection):
+Routes (all JSON, one request per connection, every document versioned
+``"v": 1``):
 
 ========================  =====================================================
-``GET  /healthz``          service liveness + queue/worker/cache statistics
+``GET  /healthz``          ``health_report`` document (liveness + statistics)
 ``POST /v1/jobs``          submit one ``job_submission`` document — or a JSON
                            array of them — returns ``job_status`` document(s)
 ``GET  /v1/jobs/<id>``     current ``job_status`` of one job
@@ -12,22 +13,29 @@ Routes (all JSON, one request per connection):
 ``POST /v1/shutdown``      acknowledge, then stop the server gracefully
 ========================  =====================================================
 
-Errors are JSON too: ``{"error": ..., "status": <code>}`` with 400 for
-malformed input, 404 for unknown ids/paths, 405 for bad methods, 409
-for state conflicts and 500 for bugs.
+Errors are structured JSON (:func:`repro.serve.protocol.error_response`):
+400 for malformed input — including a missing or future wire version,
+which additionally carries ``supported_versions`` — 404 for unknown
+ids/paths, 405 for bad methods, 409 for state conflicts and 500 for bugs.
+
+:class:`BaseHttpServer` holds the transport plumbing (bind, accept,
+request framing, error normalisation); :class:`MappingServer` adds the
+job-API routes over one :class:`MappingService`.  The sharded router
+(:mod:`repro.serve.router`) subclasses the same base so both tiers speak
+byte-identical HTTP.
 """
 
 from __future__ import annotations
 
 import asyncio
-import json
 from typing import Any, Optional, Tuple
 
-from ..io.serve import job_status_to_dict, job_submission_from_dict
 from ..io.serialize import SerializationError
+from ..io.serve import WIRE_VERSION, JobSubmission, WireVersionError
 from .protocol import (
     HttpRequest,
     ProtocolError,
+    error_response,
     format_response,
     json_response,
     parse_json_body,
@@ -35,20 +43,25 @@ from .protocol import (
 )
 from .service import MappingService, ServeError
 
-__all__ = ["MappingServer"]
+__all__ = ["BaseHttpServer", "MappingServer"]
 
 
-class MappingServer:
-    """Binds a :class:`MappingService` to a TCP port."""
+class BaseHttpServer:
+    """Shared asyncio TCP/HTTP shell of the serve tier's front ends.
+
+    Subclasses implement :meth:`_route` (and optionally the service
+    lifecycle hooks); the base class owns connection handling, request
+    framing with a stall timeout, and the mapping of exception classes to
+    structured HTTP errors — the part that must behave identically on a
+    replica and on the router.
+    """
 
     def __init__(
         self,
-        service: MappingService,
         host: str = "127.0.0.1",
         port: int = 8347,
         request_timeout: float = 30.0,
     ) -> None:
-        self.service = service
         self.host = host
         self.port = port
         #: Seconds a connection may take to deliver its full request.  A
@@ -59,17 +72,24 @@ class MappingServer:
         self._server: Optional[asyncio.AbstractServer] = None
         self._shutdown = asyncio.Event()
 
+    # ------------------------------------------------------- lifecycle hooks
+    async def _start_service(self) -> None:
+        """Bring up whatever the routes dispatch onto (before binding)."""
+
+    async def _stop_service(self) -> None:
+        """Tear down what :meth:`_start_service` brought up."""
+
     # ------------------------------------------------------------- lifecycle
     async def start(self) -> None:
-        """Start the service and begin accepting connections."""
-        await self.service.start()
+        """Start the backing service and begin accepting connections."""
+        await self._start_service()
         try:
             self._server = await asyncio.start_server(
                 self._handle_connection, host=self.host, port=self.port
             )
         except OSError:
-            # Bind failed: don't leak the dispatcher/engine we just started.
-            await self.service.stop()
+            # Bind failed: don't leak what we just started.
+            await self._stop_service()
             raise
         # Port 0 binds an ephemeral port; reflect the real one.
         sockets = self._server.sockets or []
@@ -90,7 +110,7 @@ class MappingServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        await self.service.stop()
+        await self._stop_service()
 
     def request_shutdown(self) -> None:
         self._shutdown.set()
@@ -113,11 +133,22 @@ class MappingServer:
         except asyncio.TimeoutError:
             pass  # stalled peer: close without a response
         except ProtocolError as exc:
-            response = _error(exc.status, str(exc))
+            response = error_response(exc.status, str(exc), code="BAD_REQUEST")
+        except WireVersionError as exc:
+            # The one 400 a well-behaved future client must be able to
+            # machine-read: carries what this server *does* speak.
+            response = error_response(
+                400,
+                str(exc),
+                code="UNSUPPORTED_VERSION",
+                supported_versions=list(exc.supported_versions),
+            )
         except (ServeError, SerializationError) as exc:
-            response = _error(400, str(exc))
+            response = error_response(400, str(exc), code="BAD_REQUEST")
         except Exception as exc:  # never kill the acceptor on a bug
-            response = _error(500, f"{type(exc).__name__}: {exc}")
+            response = error_response(
+                500, f"{type(exc).__name__}: {exc}", code="INTERNAL"
+            )
         finally:
             try:
                 if response is not None:
@@ -129,40 +160,67 @@ class MappingServer:
                 pass
 
     async def _route(self, request: HttpRequest) -> Tuple[int, bytes]:
+        raise NotImplementedError
+
+
+class MappingServer(BaseHttpServer):
+    """Binds a :class:`MappingService` to a TCP port."""
+
+    def __init__(
+        self,
+        service: MappingService,
+        host: str = "127.0.0.1",
+        port: int = 8347,
+        request_timeout: float = 30.0,
+    ) -> None:
+        super().__init__(host=host, port=port, request_timeout=request_timeout)
+        self.service = service
+
+    async def _start_service(self) -> None:
+        await self.service.start()
+
+    async def _stop_service(self) -> None:
+        await self.service.stop()
+
+    # ---------------------------------------------------------------- routes
+    async def _route(self, request: HttpRequest) -> Tuple[int, bytes]:
         path, method = request.path.rstrip("/") or "/", request.method
 
         if path == "/healthz":
             if method != "GET":
-                return _error(405, "healthz supports GET only")
-            return json_response(200, self.service.health())
+                return error_response(405, "healthz supports GET only")
+            return json_response(200, self.service.health_report().to_wire())
 
         if path == "/v1/jobs":
             if method != "POST":
-                return _error(405, "submit jobs with POST /v1/jobs")
+                return error_response(405, "submit jobs with POST /v1/jobs")
             return self._submit(parse_json_body(request))
 
         if path == "/v1/shutdown":
             if method != "POST":
-                return _error(405, "shutdown with POST /v1/shutdown")
+                return error_response(405, "shutdown with POST /v1/shutdown")
             # Acknowledge first; serve_forever tears down right after.
             asyncio.get_running_loop().call_soon(self.request_shutdown)
-            return json_response(202, {"status": "shutting down"})
+            return json_response(
+                202, {"kind": "shutdown", "v": WIRE_VERSION,
+                      "status": "shutting down"}
+            )
 
         if path.startswith("/v1/jobs/"):
             remainder = path[len("/v1/jobs/"):]
             if remainder.endswith("/result"):
                 job_id = remainder[: -len("/result")]
                 if method != "GET":
-                    return _error(405, "fetch results with GET")
+                    return error_response(405, "fetch results with GET")
                 return self._result(job_id)
             job_id = remainder
             if method == "GET":
                 return self._status(job_id)
             if method == "DELETE":
                 return self._cancel(job_id)
-            return _error(405, "job endpoints support GET and DELETE")
+            return error_response(405, "job endpoints support GET and DELETE")
 
-        return _error(404, f"unknown path {path!r}")
+        return error_response(404, f"unknown path {path!r}")
 
     # --------------------------------------------------------------- actions
     def _submit(self, body: Any) -> Tuple[int, bytes]:
@@ -170,55 +228,49 @@ class MappingServer:
             # Deserialise and validate the whole list before admitting
             # anything: a bad entry mid-batch must 400 without leaving
             # earlier entries enqueued as orphans the client has no id for.
-            submissions = [job_submission_from_dict(entry) for entry in body]
+            submissions = [JobSubmission.from_wire(entry) for entry in body]
             statuses = self.service.submit_many(submissions)
-            return json_response(
-                202, [job_status_to_dict(status) for status in statuses]
-            )
-        status = self.service.submit(job_submission_from_dict(body))
-        return json_response(202, job_status_to_dict(status))
+            return json_response(202, [status.to_wire() for status in statuses])
+        status = self.service.submit(JobSubmission.from_wire(body))
+        return json_response(202, status.to_wire())
 
     def _status(self, job_id: str) -> Tuple[int, bytes]:
         status = self.service.status(job_id)
         if status is None:
-            return _error(404, f"unknown job {job_id!r}")
-        return json_response(200, job_status_to_dict(status))
+            return error_response(404, f"unknown job {job_id!r}")
+        return json_response(200, status.to_wire())
 
     def _result(self, job_id: str) -> Tuple[int, bytes]:
         status = self.service.status(job_id)
         if status is None:
-            return _error(404, f"unknown job {job_id!r}")
+            return error_response(404, f"unknown job {job_id!r}")
         if status.state != "done":
-            return json_response(
+            return error_response(
                 409,
-                {
-                    "error": f"job {job_id!r} is {status.state}, not done",
-                    "status": 409,
-                    "job": job_status_to_dict(status),
-                },
+                f"job {job_id!r} is {status.state}, not done",
+                code="NOT_DONE",
+                job=status.to_wire(),
             )
         document = self.service.result(job_id)
         if document is None:
-            return _error(404, f"result of job {job_id!r} is no longer retained")
-        return json_response(200, document)
+            return error_response(
+                404, f"result of job {job_id!r} is no longer retained"
+            )
+        # The result is the engine's own job_result document, stamped with
+        # the wire version here: all traffic carries "v", but the engine
+        # schema stays the single source of truth for its fields.
+        return json_response(200, {"v": WIRE_VERSION, **document})
 
     def _cancel(self, job_id: str) -> Tuple[int, bytes]:
         status = self.service.cancel(job_id)
         if status is None:
-            return _error(404, f"unknown job {job_id!r}")
+            return error_response(404, f"unknown job {job_id!r}")
         if status.state != "cancelled":
-            return json_response(
+            return error_response(
                 409,
-                {
-                    "error": f"job {job_id!r} is {status.state} and can no "
-                             "longer be cancelled",
-                    "status": 409,
-                    "job": job_status_to_dict(status),
-                },
+                f"job {job_id!r} is {status.state} and can no longer be "
+                "cancelled",
+                code="NOT_CANCELLABLE",
+                job=status.to_wire(),
             )
-        return json_response(200, job_status_to_dict(status))
-
-
-def _error(status: int, message: str) -> Tuple[int, bytes]:
-    body = (json.dumps({"error": message, "status": status}) + "\n").encode("utf-8")
-    return status, body
+        return json_response(200, status.to_wire())

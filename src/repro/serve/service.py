@@ -28,15 +28,17 @@ single worker thread and touches no service state.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import itertools
 import math
 import time
 from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
 from ..core.objective import CostWeights
 from ..engine import MappingEngine, MappingJob
+from ..engine.cache import canonical_hash
 from ..engine.jobs import payload_cache_key
 from ..ilp import resolve_backend
 from ..ilp.errors import ModelError
@@ -47,14 +49,20 @@ from ..io.serve import (
     STATE_EXPIRED,
     STATE_QUEUED,
     STATE_RUNNING,
+    HealthReport,
     JobStatus,
     JobSubmission,
 )
 from .batcher import MicroBatcher
 from .queue import JobQueue, QueuedTicket
-from .store import ResultStore
+from .store import TIER_MEMORY, ResultStore, WarmStateStore
 
-__all__ = ["ServeError", "MappingService"]
+__all__ = [
+    "ServeError",
+    "MappingService",
+    "ReplicaSupervisor",
+    "warm_state_key",
+]
 
 #: Finished job records (and their result documents) retained for client
 #: pickup; the oldest fall off first.
@@ -66,6 +74,32 @@ _METRICS_WINDOW = 4096
 
 class ServeError(Exception):
     """A submission the service refuses (bad board/design/solver/mode)."""
+
+
+#: Payload fields that define a job's *warm identity*: what must match for
+#: one job's exported solve state to be a sound seed for another.  Mode,
+#: gap contract, timeout and chaining are deliberately excluded — they
+#: change how hard the solver works, not which problem it solves.
+_WARM_IDENTITY_KEYS = (
+    "board",
+    "design",
+    "weights",
+    "solver",
+    "solver_options",
+    "capacity_mode",
+    "port_estimation",
+    "warm_start",
+    "warm_retries",
+)
+
+
+def warm_state_key(payload: Mapping[str, Any]) -> str:
+    """Warm-state key of an executable payload (see ``_WARM_IDENTITY_KEYS``)."""
+    identity: Dict[str, Any] = {
+        key: payload.get(key) for key in _WARM_IDENTITY_KEYS
+    }
+    identity["kind"] = "warm_state"
+    return canonical_hash(identity)
 
 
 def _document_gap(document: Optional[Dict[str, Any]]) -> Optional[float]:
@@ -97,6 +131,8 @@ class MappingService:
         default_timeout: Optional[float] = None,
         mp_context: Optional[str] = None,
         engine: Optional[MappingEngine] = None,
+        instance_name: str = "",
+        warm_sharing: bool = False,
     ) -> None:
         if engine is None:
             # The dispatcher runs the engine from a worker thread; forking
@@ -122,6 +158,18 @@ class MappingService:
         self.batcher = MicroBatcher(self.queue, max_batch, max_wait_ms)
         self.store = ResultStore(memory_entries=memory_entries, disk=engine.cache)
         self.record_entries = max(1, record_entries)
+        #: This replica's name in a sharded deployment (stamps warm-state
+        #: exports and the health report); empty for a standalone service.
+        self.instance = instance_name
+        #: Cross-replica warm-state exchange, enabled for sharded
+        #: deployments whose replicas share one cache directory.  Exact
+        #: pipeline jobs export their final chain context here and seed
+        #: their solves from whatever a sibling exported first.
+        self.warm: Optional[WarmStateStore] = None
+        if warm_sharing and self.engine.cache is not None:
+            self.warm = WarmStateStore(
+                self.engine.cache.directory / "_warm", instance=instance_name
+            )
 
         self._ids = itertools.count(1)
         self._records: Dict[str, JobStatus] = {}
@@ -144,6 +192,9 @@ class MappingService:
             "result_error": 0,
             "result_timeout": 0,
             "fast_jobs": 0,
+            "warm_seeded": 0,
+            "warm_imports": 0,
+            "warm_exports": 0,
         }
         self.batch_sizes: deque = deque(maxlen=_METRICS_WINDOW)
         self.job_records: deque = deque(maxlen=_METRICS_WINDOW)
@@ -237,10 +288,16 @@ class MappingService:
             submitted_at=now,
         )
 
-        document = self.store.get(key)
+        document, tier = self.store.lookup(key)
         if document is not None:
-            # Served straight from memory: the job never touches the queue.
-            self.counters["memory_hits"] += 1
+            # Served straight from the store: the job never touches the
+            # queue.  A disk-tier hit may be work another process finished
+            # (a batch CLI run, a sibling replica on the shared cache
+            # directory) — that is the cross-shard dedupe path.
+            if tier == TIER_MEMORY:
+                self.counters["memory_hits"] += 1
+            else:
+                self.counters["disk_hits"] += 1
             status.state = STATE_DONE
             status.cache_hit = True
             status.started_at = now
@@ -285,12 +342,36 @@ class MappingService:
         deadline_at = None
         if submission.deadline_ms is not None:
             deadline_at = time.monotonic() + submission.deadline_ms / 1000.0
+        # Warm seeding happens strictly *after* the admission key was
+        # computed from the unseeded payload: whether a warm seed is
+        # available varies per replica and over time, and must never
+        # change which submissions dedupe onto each other.  Only exact
+        # pipeline jobs participate — a fast-mode solve seeded with an
+        # imported incumbent could legitimately return a different
+        # (still-certified) mapping, and served fingerprints must stay
+        # identical to the direct ``repro batch`` path.
+        warm_key = ""
+        if self.warm is not None and job.mode == "pipeline":
+            warm_key = warm_state_key(payload)
+            warm = self.warm.get(warm_key)
+            if warm is not None:
+                self.counters["warm_seeded"] += 1
+                if warm.get("source") != self.instance:
+                    self.counters["warm_imports"] += 1
+                job = dataclasses.replace(
+                    job,
+                    chain_context=warm["chain_context"],
+                    export_context=True,
+                )
+            else:
+                job = dataclasses.replace(job, export_context=True)
         ticket = QueuedTicket(
             job_id=job_id,
             mapping_job=job,
             cache_key=key,
             priority=submission.priority,
             deadline_at=deadline_at,
+            warm_key=warm_key,
         )
         self._inflight[key] = ticket
         self._ticket_for[job_id] = ticket
@@ -351,29 +432,35 @@ class MappingService:
         self._note_finished(job_id, record, None)
         return record
 
-    def health(self) -> Dict[str, Any]:
-        """Liveness/diagnostics document of the ``/healthz`` endpoint."""
+    def health_report(self) -> HealthReport:
+        """Typed liveness/diagnostics report of the ``/healthz`` endpoint."""
         self._sweep_expired()
         sizes = list(self.batch_sizes)
-        return {
-            "kind": "serve_health",
-            "status": "ok",
-            "uptime_seconds": self.uptime_seconds,
-            "queue_depth": self.queue.depth,
-            "inflight": len(self._inflight),
-            "workers": self.engine.jobs,
-            "mp_context": self.engine.mp_context,
-            "max_batch": self.batcher.max_batch,
-            "max_wait_ms": self.batcher.max_wait_ms,
-            "counters": dict(self.counters),
-            "store": self.store.stats(),
-            "batches": {
-                "count": self.counters["batches"],
-                "mean_size": (sum(sizes) / len(sizes)) if sizes else None,
-                "max_size": max(sizes) if sizes else None,
+        store_stats = self.store.stats()
+        if self.warm is not None:
+            store_stats["warm"] = self.warm.stats()
+        return HealthReport(
+            status="ok",
+            role="service",
+            uptime_seconds=self.uptime_seconds,
+            queue_depth=self.queue.depth,
+            inflight=len(self._inflight),
+            workers=self.engine.jobs,
+            counters=dict(self.counters),
+            store=store_stats,
+            details={
+                "instance": self.instance,
+                "mp_context": self.engine.mp_context,
+                "max_batch": self.batcher.max_batch,
+                "max_wait_ms": self.batcher.max_wait_ms,
+                "batches": {
+                    "count": self.counters["batches"],
+                    "mean_size": (sum(sizes) / len(sizes)) if sizes else None,
+                    "max_size": max(sizes) if sizes else None,
+                },
+                "records": len(self._records),
             },
-            "records": len(self._records),
-        }
+        )
 
     def artifact(self) -> Dict[str, Any]:
         """Throughput/latency artifact document (``BENCH_serve.json``)."""
@@ -534,6 +621,17 @@ class MappingService:
     def _finish(self, ticket: QueuedTicket, result) -> None:
         document = result.to_dict()
         self.store.put(ticket.cache_key, document)
+        if (
+            self.warm is not None
+            and ticket.warm_key
+            and result.status == "ok"
+            and isinstance(document.get("chain_context"), dict)
+        ):
+            try:
+                if self.warm.put(ticket.warm_key, document["chain_context"]):
+                    self.counters["warm_exports"] += 1
+            except OSError:
+                pass  # warm sharing is an optimisation, never a failure
         if self._inflight.get(ticket.cache_key) is ticket:
             del self._inflight[ticket.cache_key]
         if result.cache_hit:
@@ -606,3 +704,186 @@ class MappingService:
             self._records.pop(evicted, None)
             self._documents.pop(evicted, None)
             self._ticket_for.pop(evicted, None)
+
+
+class ReplicaSupervisor:
+    """Spawns and supervises a fleet of ``repro serve`` replica processes.
+
+    Each replica is a full single-process :class:`MappingService` (own
+    engine, own event loop) started as ``python -m repro serve --port 0``
+    with a shared ``--cache-dir`` — the shared key space that makes
+    cross-shard dedupe and warm-state exchange work.  The supervisor
+    parses each replica's "serving mapping jobs on http://..." banner to
+    learn its ephemeral port, keeps draining its stdout, and can restart
+    a replica the router declared dead.
+    """
+
+    def __init__(
+        self,
+        count: int,
+        cache_dir: str,
+        jobs: int = 1,
+        max_batch: int = 4,
+        max_wait_ms: float = 25.0,
+        time_limit: Optional[float] = None,
+        host: str = "127.0.0.1",
+        boot_timeout: float = 60.0,
+        name_prefix: str = "replica",
+    ) -> None:
+        if count < 1:
+            raise ValueError("a fleet needs at least one replica")
+        self.count = count
+        self.cache_dir = cache_dir
+        self.jobs = jobs
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+        self.time_limit = time_limit
+        self.host = host
+        self.boot_timeout = boot_timeout
+        self.name_prefix = name_prefix
+        self._procs: Dict[str, asyncio.subprocess.Process] = {}
+        self._urls: Dict[str, str] = {}
+        self._drains: List[asyncio.Task] = []
+
+    def _command(self, name: str) -> List[str]:
+        import sys
+
+        command = [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--host",
+            self.host,
+            "--port",
+            "0",
+            "--cache-dir",
+            str(self.cache_dir),
+            "--jobs",
+            str(self.jobs),
+            "--max-batch",
+            str(self.max_batch),
+            "--max-wait-ms",
+            str(self.max_wait_ms),
+            "--instance-name",
+            name,
+        ]
+        if self.time_limit is not None:
+            command += ["--time-limit", str(self.time_limit)]
+        return command
+
+    def _env(self) -> Dict[str, str]:
+        """Child environment with the ``repro`` package importable."""
+        import os
+        import sys
+        from pathlib import Path
+
+        env = dict(os.environ)
+        package_root = str(Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH", "")
+        if package_root not in existing.split(os.pathsep):
+            env["PYTHONPATH"] = (
+                f"{package_root}{os.pathsep}{existing}"
+                if existing
+                else package_root
+            )
+        return env
+
+    async def _spawn(self, name: str) -> str:
+        process = await asyncio.create_subprocess_exec(
+            *self._command(name),
+            stdout=asyncio.subprocess.PIPE,
+            stderr=asyncio.subprocess.DEVNULL,
+            env=self._env(),
+        )
+        url = ""
+        deadline = time.monotonic() + self.boot_timeout
+        assert process.stdout is not None
+        while time.monotonic() < deadline:
+            try:
+                line = await asyncio.wait_for(
+                    process.stdout.readline(),
+                    timeout=max(0.1, deadline - time.monotonic()),
+                )
+            except asyncio.TimeoutError:
+                break
+            if not line:
+                break
+            text = line.decode("utf-8", "replace")
+            marker = "serving mapping jobs on "
+            if marker in text:
+                url = text.split(marker, 1)[1].split()[0]
+                break
+        if not url:
+            try:
+                process.terminate()
+            except ProcessLookupError:
+                pass
+            await process.wait()
+            raise RuntimeError(
+                f"replica {name} did not report a serving URL within "
+                f"{self.boot_timeout:.0f}s"
+            )
+        self._procs[name] = process
+        self._urls[name] = url
+        # Keep the pipe drained so a chatty replica never blocks on a
+        # full stdout buffer.
+        self._drains.append(
+            asyncio.create_task(self._drain(process), name=f"drain-{name}")
+        )
+        return url
+
+    @staticmethod
+    async def _drain(process: asyncio.subprocess.Process) -> None:
+        assert process.stdout is not None
+        try:
+            while await process.stdout.readline():
+                pass
+        except (asyncio.CancelledError, ConnectionError, OSError):
+            pass
+
+    async def start(self) -> List[Any]:
+        """Boot the fleet; returns ``[(name, url), ...]``."""
+        endpoints = []
+        for index in range(1, self.count + 1):
+            name = f"{self.name_prefix}-{index}"
+            endpoints.append((name, await self._spawn(name)))
+        return endpoints
+
+    def alive(self, name: str) -> bool:
+        process = self._procs.get(name)
+        return process is not None and process.returncode is None
+
+    async def restart(self, name: str) -> str:
+        """Restart a dead replica; returns its new URL ('' on failure)."""
+        process = self._procs.get(name)
+        if process is not None and process.returncode is None:
+            try:
+                process.terminate()
+            except ProcessLookupError:
+                pass
+            await process.wait()
+        try:
+            return await self._spawn(name)
+        except (RuntimeError, OSError):
+            return ""
+
+    async def stop(self) -> None:
+        """Terminate every replica and reap the processes."""
+        for task in self._drains:
+            task.cancel()
+        self._drains.clear()
+        for process in self._procs.values():
+            if process.returncode is None:
+                try:
+                    process.terminate()
+                except ProcessLookupError:
+                    pass
+        for process in self._procs.values():
+            try:
+                await asyncio.wait_for(process.wait(), timeout=10.0)
+            except asyncio.TimeoutError:
+                process.kill()
+                await process.wait()
+        self._procs.clear()
+        self._urls.clear()

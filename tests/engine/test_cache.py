@@ -171,3 +171,79 @@ class TestEviction:
 
         with pytest.raises(ValueError):
             ResultCache(tmp_path, max_entries=0)
+
+
+class TestMultiProcessWriters:
+    """The serve tier's replicas share one cache directory: every
+    combination of concurrent put/get/trim/clear on the same key space
+    must stay exception-free and leave only well-formed entries behind.
+    """
+
+    WORKER = r"""
+import json, sys
+from repro.engine import ResultCache
+
+directory, worker, rounds = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+cache = ResultCache(directory, max_entries=8)
+keys = [f"shared{i}" for i in range(4)]
+for round_no in range(rounds):
+    key = keys[(worker + round_no) % len(keys)]
+    cache.put(key, {"status": "ok", "worker": worker, "round": round_no})
+    cache.get(keys[round_no % len(keys)])
+    if round_no % 7 == worker % 7:
+        cache.trim(4)
+    if worker == 0 and round_no == rounds // 2:
+        cache.clear()
+print(json.dumps({"worker": worker, "ok": True}))
+"""
+
+    def test_two_process_same_key_hammer_is_exception_free(self, tmp_path):
+        # Regression: concurrent writers used to race clear()'s unlink
+        # against put()'s mkstemp (FileNotFoundError) and trim's stat
+        # of a vanishing sibling (OSError). Hammer the same key space
+        # from separate interpreters and require clean exits.
+        rounds = 150
+        workers = [
+            subprocess.Popen(
+                [sys.executable, "-c", self.WORKER,
+                 str(tmp_path), str(index), str(rounds)],
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            )
+            for index in range(2)
+        ]
+        for process in workers:
+            out, err = process.communicate(timeout=120)
+            assert process.returncode == 0, err
+            assert json.loads(out)["ok"] is True
+
+        # Survivors are all well-formed full documents under the bound.
+        cache = ResultCache(tmp_path)
+        survivors = list(cache.keys())
+        assert len(survivors) <= 8
+        for key in survivors:
+            document = cache.get(key)
+            assert document is not None
+            assert document["status"] == "ok"
+
+    def test_clear_during_concurrent_clear_is_tolerated(self, tmp_path):
+        # Both interpreters clear the same directory at once; both must
+        # exit cleanly and the post-condition (no entries) holds.
+        seed = ResultCache(tmp_path)
+        for index in range(20):
+            seed.put(f"key{index}", {"status": "ok", "n": index})
+        script = (
+            "import sys\nfrom repro.engine import ResultCache\n"
+            "ResultCache(sys.argv[1]).clear()\nprint('cleared')\n"
+        )
+        workers = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, str(tmp_path)],
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            )
+            for _ in range(2)
+        ]
+        for process in workers:
+            out, err = process.communicate(timeout=60)
+            assert process.returncode == 0, err
+            assert out.strip() == "cleared"
+        assert len(ResultCache(tmp_path)) == 0

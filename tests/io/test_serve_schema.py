@@ -1,4 +1,4 @@
-"""Round-trip tests of the serving request/response schema."""
+"""Round-trip and versioning tests of the v1 serve wire schema."""
 
 from __future__ import annotations
 
@@ -8,14 +8,15 @@ from repro.arch import virtex_board
 from repro.design import fir_filter_design
 from repro.io import SerializationError, board_to_dict, design_to_dict
 from repro.io.serve import (
+    SUPPORTED_WIRE_VERSIONS,
     STATE_DONE,
     STATE_QUEUED,
+    WIRE_VERSION,
+    HealthReport,
     JobStatus,
     JobSubmission,
-    job_status_from_dict,
-    job_status_to_dict,
-    job_submission_from_dict,
-    job_submission_to_dict,
+    WireVersionError,
+    check_wire_version,
 )
 
 
@@ -35,10 +36,15 @@ def example_submission(**overrides) -> JobSubmission:
 
 
 class TestJobSubmissionSchema:
-    def test_round_trips_through_dict(self):
+    def test_round_trips_through_wire(self):
         submission = example_submission()
-        rebuilt = job_submission_from_dict(job_submission_to_dict(submission))
+        rebuilt = JobSubmission.from_wire(submission.to_wire())
         assert rebuilt == submission
+
+    def test_wire_document_is_versioned(self):
+        document = example_submission().to_wire()
+        assert document["v"] == WIRE_VERSION
+        assert document["kind"] == "job_submission"
 
     def test_from_objects_embeds_serialised_documents(self):
         submission = JobSubmission.from_objects(
@@ -52,7 +58,7 @@ class TestJobSubmissionSchema:
             board=board_to_dict(virtex_board("XCV1000")),
             design=design_to_dict(fir_filter_design()),
         )
-        rebuilt = job_submission_from_dict(job_submission_to_dict(submission))
+        rebuilt = JobSubmission.from_wire(submission.to_wire())
         assert rebuilt == submission
         assert rebuilt.priority == 0
         assert rebuilt.deadline_ms is None
@@ -66,77 +72,129 @@ class TestJobSubmissionSchema:
         assert example_submission().display_label() == "fir"
 
     def test_rejects_wrong_kind(self):
-        document = job_submission_to_dict(example_submission())
+        document = example_submission().to_wire()
         document["kind"] = "board"
         with pytest.raises(SerializationError):
-            job_submission_from_dict(document)
+            JobSubmission.from_wire(document)
 
     def test_rejects_missing_board_or_design(self):
-        document = job_submission_to_dict(example_submission())
+        document = example_submission().to_wire()
         del document["board"]
         with pytest.raises(SerializationError):
-            job_submission_from_dict(document)
+            JobSubmission.from_wire(document)
 
     def test_rejects_non_document_board(self):
-        document = job_submission_to_dict(example_submission())
+        document = example_submission().to_wire()
         document["design"] = "fir-filter"
         with pytest.raises(SerializationError):
-            job_submission_from_dict(document)
+            JobSubmission.from_wire(document)
 
     def test_rejects_unknown_mode(self):
-        document = job_submission_to_dict(example_submission())
+        document = example_submission().to_wire()
         document["mode"] = "quantum"
         with pytest.raises(SerializationError):
-            job_submission_from_dict(document)
+            JobSubmission.from_wire(document)
 
     def test_fast_mode_round_trips_with_gap_limit(self):
         submission = example_submission(mode="fast", gap_limit=0.05)
-        rebuilt = job_submission_from_dict(job_submission_to_dict(submission))
+        rebuilt = JobSubmission.from_wire(submission.to_wire())
         assert rebuilt == submission
         assert rebuilt.mode == "fast"
         assert rebuilt.gap_limit == 0.05
 
     def test_rejects_negative_gap_limit(self):
-        document = job_submission_to_dict(
-            example_submission(mode="fast", gap_limit=0.05)
-        )
+        document = example_submission(mode="fast", gap_limit=0.05).to_wire()
         document["gap_limit"] = -0.1
         with pytest.raises(SerializationError):
-            job_submission_from_dict(document)
+            JobSubmission.from_wire(document)
 
     def test_rejects_non_numeric_gap_limit(self):
-        document = job_submission_to_dict(example_submission())
+        document = example_submission().to_wire()
         document["gap_limit"] = "tiny"
         with pytest.raises(SerializationError):
-            job_submission_from_dict(document)
+            JobSubmission.from_wire(document)
 
     @pytest.mark.parametrize("body", [None, "a string", [1, 2], 7])
     def test_non_object_documents_are_serialization_errors(self, body):
         # Client garbage must surface as SerializationError (an HTTP 400),
         # never AttributeError/ValueError (an HTTP 500).
         with pytest.raises(SerializationError):
-            job_submission_from_dict(body)
+            JobSubmission.from_wire(body)
         with pytest.raises(SerializationError):
-            job_status_from_dict(body)
+            JobStatus.from_wire(body)
+        with pytest.raises(SerializationError):
+            HealthReport.from_wire(body)
 
     @pytest.mark.parametrize("key,value", [
         ("priority", "high"), ("timeout", "soon"), ("deadline_ms", "never"),
     ])
     def test_non_numeric_fields_are_serialization_errors(self, key, value):
-        document = job_submission_to_dict(example_submission())
+        document = example_submission().to_wire()
         document[key] = value
         with pytest.raises(SerializationError):
-            job_submission_from_dict(document)
+            JobSubmission.from_wire(document)
 
     def test_non_object_weights_are_a_serialization_error(self):
-        document = job_submission_to_dict(example_submission())
+        document = example_submission().to_wire()
         document["weights"] = "balanced"
         with pytest.raises(SerializationError):
-            job_submission_from_dict(document)
+            JobSubmission.from_wire(document)
+
+    def test_unknown_fields_are_tolerated(self):
+        # Additive (forward-compatible) evolution: a newer peer may add
+        # fields; an older reader must ignore them, not crash.
+        document = example_submission().to_wire()
+        document["carbon_budget"] = {"grams": 3}
+        rebuilt = JobSubmission.from_wire(document)
+        assert rebuilt == example_submission()
+
+
+class TestWireVersioning:
+    @pytest.mark.parametrize("builder", [
+        lambda: example_submission().to_wire(),
+        lambda: JobStatus(job_id="j", state=STATE_QUEUED).to_wire(),
+        lambda: HealthReport().to_wire(),
+    ])
+    def test_missing_version_is_a_wire_version_error(self, builder):
+        document = builder()
+        del document["v"]
+        kind = document["kind"]
+        reader = {
+            "job_submission": JobSubmission,
+            "job_status": JobStatus,
+            "health_report": HealthReport,
+        }[kind]
+        with pytest.raises(WireVersionError):
+            reader.from_wire(document)
+
+    @pytest.mark.parametrize("version", [2, 99, 0, -1, "1", 1.0, True])
+    def test_unsupported_version_is_a_wire_version_error(self, version):
+        document = example_submission().to_wire()
+        document["v"] = version
+        with pytest.raises(WireVersionError) as caught:
+            JobSubmission.from_wire(document)
+        assert caught.value.supported_versions == SUPPORTED_WIRE_VERSIONS
+
+    def test_version_error_beats_kind_mismatch(self):
+        # A future-version document of any kind must surface as the
+        # structured version error, not as a kind mismatch.
+        document = example_submission().to_wire()
+        document["v"] = 99
+        document["kind"] = "job_status"
+        with pytest.raises(WireVersionError):
+            JobSubmission.from_wire(document)
+
+    def test_wire_version_error_is_a_serialization_error(self):
+        # The HTTP layer's 400 ladder catches SerializationError;
+        # version errors must stay inside that family.
+        assert issubclass(WireVersionError, SerializationError)
+
+    def test_check_wire_version_accepts_current(self):
+        check_wire_version({"v": WIRE_VERSION}, "test")
 
 
 class TestJobStatusSchema:
-    def test_round_trips_through_dict(self):
+    def test_round_trips_through_wire(self):
         status = JobStatus(
             job_id="j1-abc",
             state=STATE_DONE,
@@ -151,20 +209,22 @@ class TestJobStatusSchema:
             result_status="ok",
             objective=1.5,
             fingerprint="f" * 64,
+            replica="replica-2",
             error="",
         )
-        rebuilt = job_status_from_dict(job_status_to_dict(status))
+        rebuilt = JobStatus.from_wire(status.to_wire())
         assert rebuilt == status
+        assert rebuilt.replica == "replica-2"
 
     def test_gap_round_trips_and_defaults_to_none(self):
         status = JobStatus(
             job_id="j2", state=STATE_DONE, result_status="ok",
             objective=2.5, gap=0.031,
         )
-        rebuilt = job_status_from_dict(job_status_to_dict(status))
+        rebuilt = JobStatus.from_wire(status.to_wire())
         assert rebuilt.gap == 0.031
-        exact = job_status_from_dict(
-            job_status_to_dict(JobStatus(job_id="j3", state=STATE_QUEUED))
+        exact = JobStatus.from_wire(
+            JobStatus(job_id="j3", state=STATE_QUEUED).to_wire()
         )
         assert exact.gap is None
 
@@ -175,7 +235,7 @@ class TestJobStatusSchema:
         assert status.latency_ms == pytest.approx(250.0)
         queued = JobStatus(job_id="j", state=STATE_QUEUED, submitted_at=10.0)
         assert queued.latency_ms is None
-        assert job_status_to_dict(status)["latency_ms"] == pytest.approx(250.0)
+        assert status.to_wire()["latency_ms"] == pytest.approx(250.0)
 
     def test_terminal_states(self):
         assert JobStatus(job_id="j", state="done").terminal
@@ -186,11 +246,49 @@ class TestJobStatusSchema:
 
     def test_rejects_unknown_state(self):
         with pytest.raises(SerializationError):
-            job_status_from_dict(
-                {"kind": "job_status", "job_id": "j", "state": "floating"}
+            JobStatus.from_wire(
+                {"kind": "job_status", "v": WIRE_VERSION, "job_id": "j",
+                 "state": "floating"}
             )
 
     def test_rejects_wrong_kind(self):
         with pytest.raises(SerializationError):
-            job_status_from_dict({"kind": "job_result", "job_id": "j",
-                                  "state": "done"})
+            JobStatus.from_wire({"kind": "job_result", "v": WIRE_VERSION,
+                                 "job_id": "j", "state": "done"})
+
+
+class TestHealthReportSchema:
+    def test_round_trips_through_wire(self):
+        report = HealthReport(
+            status="ok",
+            role="router",
+            uptime_seconds=12.5,
+            queue_depth=3,
+            inflight=2,
+            workers=4,
+            counters={"submitted": 10, "completed": 8},
+            store=None,
+            details={"ring": ["replica-1", "replica-2"]},
+            replicas=[{"name": "replica-1", "healthy": True}],
+        )
+        rebuilt = HealthReport.from_wire(report.to_wire())
+        assert rebuilt == report
+
+    def test_service_report_has_no_replicas_key(self):
+        document = HealthReport(role="service").to_wire()
+        assert "replicas" not in document
+        assert HealthReport.from_wire(document).replicas is None
+
+    def test_unknown_fields_are_preserved_in_extra(self):
+        document = HealthReport().to_wire()
+        document["gpu_temperature"] = 71
+        rebuilt = HealthReport.from_wire(document)
+        assert rebuilt.extra == {"gpu_temperature": 71}
+        # ...and survive the next serialisation round trip verbatim.
+        assert rebuilt.to_wire()["gpu_temperature"] == 71
+
+    def test_malformed_counters_are_a_serialization_error(self):
+        document = HealthReport().to_wire()
+        document["counters"] = "lots"
+        with pytest.raises(SerializationError):
+            HealthReport.from_wire(document)

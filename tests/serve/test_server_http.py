@@ -82,13 +82,13 @@ class TestHttpRoundTrip:
         assert finals[0].fingerprint == finals[1].fingerprint
         assert statuses[1].deduped or finals[1].cache_hit
         health = client.health()
-        assert health["counters"]["deduped"] >= 1
+        assert health.counters["deduped"] >= 1
 
     def test_healthz_endpoint(self, live_server):
         health = ServeClient(live_server.url).health()
-        assert health["status"] == "ok"
-        assert health["workers"] == 1
-        assert "counters" in health and "store" in health
+        assert health.status == "ok"
+        assert health.workers == 1
+        assert health.counters is not None and health.store is not None
 
     def test_unknown_job_is_404(self, live_server):
         client = ServeClient(live_server.url)
@@ -136,12 +136,10 @@ class TestHttpRoundTrip:
         assert "error" in body
 
     def test_batch_with_a_bad_entry_is_rejected_atomically(self, live_server):
-        from repro.io.serve import job_submission_to_dict
-
         client = ServeClient(live_server.url)
-        before = client.health()["counters"]["submitted"]
-        good = job_submission_to_dict(submission())
-        bad = job_submission_to_dict(submission())
+        before = client.health().counters["submitted"]
+        good = submission().to_wire()
+        bad = submission().to_wire()
         bad["solver"] = "definitely-not-registered"
         request = urllib.request.Request(
             f"{live_server.url}/v1/jobs",
@@ -152,7 +150,64 @@ class TestHttpRoundTrip:
             urllib.request.urlopen(request, timeout=10)
         assert err.value.code == 400
         # The valid sibling was not admitted either: no orphan solves.
-        assert client.health()["counters"]["submitted"] == before
+        assert client.health().counters["submitted"] == before
+
+    def test_future_wire_version_is_a_structured_400(self, live_server):
+        # A client speaking a wire version this server does not support
+        # must get an actionable, machine-readable refusal — never a
+        # crash, never a silent misread.
+        from repro.io.serve import SUPPORTED_WIRE_VERSIONS
+
+        document = submission().to_wire()
+        document["v"] = 99
+        request = urllib.request.Request(
+            f"{live_server.url}/v1/jobs",
+            data=json.dumps(document).encode(),
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=10)
+        assert err.value.code == 400
+        body = json.loads(err.value.read())
+        assert body["code"] == "UNSUPPORTED_VERSION"
+        assert body["supported_versions"] == list(SUPPORTED_WIRE_VERSIONS)
+        # The server stays healthy for same-version clients.
+        assert ServeClient(live_server.url).health().status == "ok"
+
+    def test_unversioned_submission_is_a_structured_400(self, live_server):
+        document = submission().to_wire()
+        del document["v"]
+        request = urllib.request.Request(
+            f"{live_server.url}/v1/jobs",
+            data=json.dumps(document).encode(),
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=10)
+        assert err.value.code == 400
+        body = json.loads(err.value.read())
+        assert body["code"] == "UNSUPPORTED_VERSION"
+        assert "supported_versions" in body
+
+    def test_responses_carry_the_wire_version(self, live_server):
+        from repro.io.serve import WIRE_VERSION
+
+        client = ServeClient(live_server.url)
+        status = client.submit(submission())
+        final = client.wait(status.job_id, timeout=60)
+        assert final.state == "done"
+        raw_status = json.loads(urllib.request.urlopen(
+            f"{live_server.url}/v1/jobs/{status.job_id}", timeout=10
+        ).read())
+        raw_result = json.loads(urllib.request.urlopen(
+            f"{live_server.url}/v1/jobs/{status.job_id}/result", timeout=10
+        ).read())
+        raw_health = json.loads(urllib.request.urlopen(
+            f"{live_server.url}/healthz", timeout=10
+        ).read())
+        assert raw_status["v"] == WIRE_VERSION
+        assert raw_result["v"] == WIRE_VERSION
+        assert raw_health["v"] == WIRE_VERSION
 
     def test_non_object_submission_body_is_400_not_500(self, live_server):
         for payload in (b"null", b'"a string"', b"[null]"):
@@ -173,7 +228,7 @@ class TestHttpRoundTrip:
             # A clean EOF, not a 500 (load balancers probe this way).
             assert probe.recv(1024) == b""
         # The server is still healthy afterwards.
-        assert ServeClient(live_server.url).health()["status"] == "ok"
+        assert ServeClient(live_server.url).health().status == "ok"
 
     def test_stalled_connection_is_dropped_after_request_timeout(
         self, live_server
@@ -190,7 +245,7 @@ class TestHttpRoundTrip:
                 stalled.sendall(b"GET /healthz HTT")
                 stalled.settimeout(5)
                 assert stalled.recv(1024) == b""
-            assert ServeClient(live_server.url).health()["status"] == "ok"
+            assert ServeClient(live_server.url).health().status == "ok"
         finally:
             live_server.request_timeout = 30.0
 

@@ -89,7 +89,7 @@ class TestEndToEnd:
                 for _ in range(copies)
             ]
             finals = [await wait_done(service, s.job_id) for s in statuses]
-            return finals, service.health()
+            return finals, service.health_report().to_wire()
 
         finals, health = with_service(scenario, max_batch=4, max_wait_ms=50.0)
         assert all(f.state == "done" and f.result_status == "ok" for f in finals)
@@ -122,7 +122,7 @@ class TestEndToEnd:
             assert again.state == "done"
             assert again.cache_hit
             assert again.fingerprint == service.status(first.job_id).fingerprint
-            return service.health()
+            return service.health_report().to_wire()
 
         health = with_service(scenario)
         assert health["counters"]["memory_hits"] == 1
@@ -181,7 +181,7 @@ class TestLifecycleStates:
         cancelled = service.cancel(status.job_id)
         assert cancelled.state == "cancelled"
         assert service.status(status.job_id).state == "cancelled"
-        assert service.health()["counters"]["cancelled"] == 1
+        assert service.health_report().to_wire()["counters"]["cancelled"] == 1
 
     def test_cancel_unknown_job_returns_none(self):
         assert MappingService().cancel("ghost") is None
@@ -219,7 +219,7 @@ class TestLifecycleStates:
                 await wait_done(service, s.job_id) for s in (second, third)
             ]
             assert all(f.result_status == "ok" for f in finals)
-            return service.health()
+            return service.health_report().to_wire()
 
         health = with_service(scenario, max_wait_ms=50.0)
         assert health["counters"]["result_ok"] == 1  # exactly one solve
@@ -230,7 +230,7 @@ class TestLifecycleStates:
         with pytest.raises(ServeError):
             service.submit_many(batch)
         # Nothing from the batch was admitted.
-        assert service.health()["counters"]["submitted"] == 0
+        assert service.health_report().to_wire()["counters"]["submitted"] == 0
         assert service.queue.depth == 0
 
     def test_follower_priority_promotes_the_shared_ticket(self):
@@ -310,7 +310,7 @@ class TestLifecycleStates:
         time.sleep(0.005)
         seen = service.status(status.job_id)
         assert seen.state == "expired"
-        assert service.health()["counters"]["expired"] == 1
+        assert service.health_report().to_wire()["counters"]["expired"] == 1
 
     def test_unknown_job_status_is_none(self):
         assert MappingService().status("ghost") is None
@@ -319,13 +319,13 @@ class TestLifecycleStates:
 class TestHealthAndArtifact:
     def test_health_reports_queue_and_worker_shape(self):
         async def scenario(service):
-            return service.health()
+            return service.health_report().to_wire()
 
         health = with_service(scenario, max_batch=7, max_wait_ms=3.0)
         assert health["status"] == "ok"
         assert health["workers"] == 1
-        assert health["max_batch"] == 7
-        assert health["max_wait_ms"] == 3.0
+        assert health["details"]["max_batch"] == 7
+        assert health["details"]["max_wait_ms"] == 3.0
         assert health["queue_depth"] == 0
         assert health["uptime_seconds"] >= 0
 
