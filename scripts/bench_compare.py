@@ -208,6 +208,23 @@ def _validate_serve_scale(document: Dict[str, Any]) -> List[str]:
         if int(warm.get("imports", 0)) <= 0:
             problems.append("no cross-replica warm import: every reuse was "
                             "replica-local")
+    phases = document.get("phases")
+    if isinstance(phases, dict) and "near" in phases:
+        # The near phase is the similarity-keyed warm-start gate.  Like
+        # every other gate here it reads deterministic counters only:
+        # the schedule is seeded, so the near-duplicate count and the
+        # similarity imports it must produce are reproducible run to run.
+        if int(totals.get("scheduled_near_duplicates", 0)) <= 0:
+            problems.append("near phase present but the traffic schedule "
+                            "contained no near-duplicates")
+        if isinstance(warm, dict):
+            for key in ("similar_imports", "similar_rejects"):
+                if key not in warm:
+                    problems.append(f"warm counters missing key {key!r}: "
+                                    "the similarity index is not reporting")
+            if int(warm.get("similar_imports", 0)) <= 0:
+                problems.append("near-duplicate traffic produced no "
+                                "similarity warm import")
     return problems
 
 

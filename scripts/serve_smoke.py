@@ -16,11 +16,18 @@ makes:
    certified optimality gap within the requested limit, and the exact
    jobs' fingerprints are untouched by the fast lane;
 5. the server shuts down cleanly on request (bounded by a timeout, with
-   SIGKILL as the fallback so CI never hangs);
+   SIGKILL as the fallback so CI never hangs) and stops answering
+   ``/healthz`` afterwards;
 6. a **replicated tier** (``repro serve --replicas 2``) answers the same
    traffic with fingerprints identical to a direct run, spreads distinct
    jobs across both shards, dedupes duplicates through the shared store,
    and survives an open-loop ``repro loadgen`` burst with zero errors.
+
+Boot is retried over a small set of candidate ports (a fixed port can
+race a previous run still tearing down on a shared CI box), server
+stdout is pumped continuously into a bounded tail (so a chatty replica
+never blocks on a full pipe), and every failure report carries the
+captured log tail.
 
 Exit code 0 on success, 1 on any violated expectation.  Run it locally::
 
@@ -35,18 +42,23 @@ import signal
 import subprocess
 import sys
 import tempfile
+import threading
 import time
+from collections import deque
+from typing import Deque, List, Sequence, Tuple
 
 PORT = int(os.environ.get("SERVE_SMOKE_PORT", "18742"))
 ROUTER_PORT = PORT + 1
-URL = f"http://127.0.0.1:{PORT}"
-ROUTER_URL = f"http://127.0.0.1:{ROUTER_PORT}"
 BOARD = "virtex-xcv1000"
 DESIGNS = ["fir-filter", "matrix-multiply", "image-pipeline", "fft"]
 REPEAT = 2  # 4 designs x 2 = 8 concurrent submissions, 4 unique solves
 SOLVER = "bnb-pure"
 STARTUP_TIMEOUT = 60.0
 SHUTDOWN_TIMEOUT = 30.0
+#: Boot attempts (each on a different candidate port) before giving up.
+BOOT_ATTEMPTS = 3
+#: Most recent server log lines kept for failure reports.
+LOG_TAIL = 400
 
 
 def cli(*args: str, check: bool = True) -> subprocess.CompletedProcess:
@@ -60,7 +72,7 @@ def cli(*args: str, check: bool = True) -> subprocess.CompletedProcess:
     return completed
 
 
-def wait_for_health(deadline: float, url: str = URL) -> None:
+def wait_for_health(deadline: float, url: str) -> None:
     while time.monotonic() < deadline:
         probe = cli("submit", "--url", url, "--health", check=False)
         if probe.returncode == 0:
@@ -69,7 +81,57 @@ def wait_for_health(deadline: float, url: str = URL) -> None:
     raise AssertionError(f"server at {url} did not answer /healthz in time")
 
 
-def stop_server(server: subprocess.Popen, log_prefix: str) -> None:
+def _drain(stream, sink: Deque[str]) -> None:
+    """Pump server stdout into a bounded deque until EOF.
+
+    Keeps the pipe from filling (which would block the server on
+    ``print``) while retaining the recent tail for failure reports.
+    """
+    for line in iter(stream.readline, ""):
+        sink.append(line.rstrip())
+
+
+def start_server(
+    extra_args: Sequence[str], base_port: int, log_prefix: str
+) -> Tuple[subprocess.Popen, str, Deque[str]]:
+    """Boot ``repro serve`` with a bounded retry over candidate ports."""
+    last_log: List[str] = []
+    for attempt in range(BOOT_ATTEMPTS):
+        port = base_port + 20 * attempt
+        url = f"http://127.0.0.1:{port}"
+        logs: Deque[str] = deque(maxlen=LOG_TAIL)
+        server = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", str(port), *extra_args,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        threading.Thread(
+            target=_drain, args=(server.stdout, logs), daemon=True
+        ).start()
+        try:
+            wait_for_health(time.monotonic() + STARTUP_TIMEOUT, url=url)
+            return server, url, logs
+        except AssertionError:
+            stop_server(server, log_prefix, logs)
+            last_log = list(logs)
+            print(
+                f"[{log_prefix}] boot attempt {attempt + 1}/{BOOT_ATTEMPTS} "
+                f"on port {port} failed",
+                file=sys.stderr,
+            )
+    raise AssertionError(
+        f"server did not boot after {BOOT_ATTEMPTS} attempts; last log:\n"
+        + "\n".join(last_log)
+    )
+
+
+def stop_server(
+    server: subprocess.Popen, log_prefix: str, logs: Deque[str]
+) -> None:
     if server.poll() is None:
         server.send_signal(signal.SIGTERM)
         try:
@@ -77,9 +139,28 @@ def stop_server(server: subprocess.Popen, log_prefix: str) -> None:
         except subprocess.TimeoutExpired:
             server.kill()
             server.wait()
-    output = server.stdout.read() if server.stdout else ""
-    if output:
-        print(f"[{log_prefix}] server log:\n{output}")
+    if logs:
+        print(f"[{log_prefix}] server log (last {len(logs)} lines):")
+        for line in logs:
+            print(f"  {line}")
+        logs.clear()
+
+
+def assert_clean_shutdown(
+    server: subprocess.Popen, url: str, what: str
+) -> None:
+    """Post-shutdown teardown contract: clean exit, port released."""
+    try:
+        code = server.wait(timeout=SHUTDOWN_TIMEOUT)
+    except subprocess.TimeoutExpired:
+        raise AssertionError(
+            f"{what} did not exit within {SHUTDOWN_TIMEOUT:.0f}s of shutdown"
+        )
+    assert code == 0, f"{what} exited {code} after graceful shutdown"
+    probe = cli("submit", "--url", url, "--health", check=False)
+    assert probe.returncode != 0, (
+        f"{what} still answers /healthz after reporting shutdown"
+    )
 
 
 def direct_reference() -> dict:
@@ -98,23 +179,19 @@ def direct_reference() -> dict:
 def replicated_phase(reference: dict) -> None:
     """Boot a 2-replica tier and hold it to the single-server contract."""
     cache_dir = tempfile.mkdtemp(prefix="serve-smoke-cache-")
-    server = subprocess.Popen(
+    server, url, logs = start_server(
         [
-            sys.executable, "-m", "repro", "serve",
-            "--replicas", "2", "--port", str(ROUTER_PORT),
-            "--cache-dir", cache_dir,
+            "--replicas", "2", "--cache-dir", cache_dir,
             "--max-batch", "4", "--max-wait-ms", "25",
         ],
-        stdout=subprocess.PIPE,
-        stderr=subprocess.STDOUT,
-        text=True,
+        ROUTER_PORT,
+        "smoke/replicas",
     )
     try:
-        wait_for_health(time.monotonic() + STARTUP_TIMEOUT, url=ROUTER_URL)
-        print(f"[smoke/replicas] 2-replica tier is up at {ROUTER_URL}")
+        print(f"[smoke/replicas] 2-replica tier is up at {url}")
 
         submit = cli(
-            "submit", "--url", ROUTER_URL, "--board", BOARD,
+            "submit", "--url", url, "--board", BOARD,
             "--solver", SOLVER,
             *[arg for design in DESIGNS for arg in ("--design", design)],
             "--repeat", str(REPEAT), "--json",
@@ -142,7 +219,7 @@ def replicated_phase(reference: dict) -> None:
               "fingerprints match the direct run")
 
         loadgen = cli(
-            "loadgen", "--url", ROUTER_URL, "--board", BOARD,
+            "loadgen", "--url", url, "--board", BOARD,
             "--solver", SOLVER,
             *[arg for design in DESIGNS[:3] for arg in ("--design", design)],
             "--duration", "4", "--rate", "4", "--arrival", "bursty",
@@ -160,7 +237,7 @@ def replicated_phase(reference: dict) -> None:
               "answered without a duplicate solve, 0 errors")
 
         health = json.loads(
-            cli("submit", "--url", ROUTER_URL, "--health").stdout
+            cli("submit", "--url", url, "--health").stdout
         )
         assert health["role"] == "router", health
         details = health["details"]
@@ -173,35 +250,22 @@ def replicated_phase(reference: dict) -> None:
         print(f"[smoke/replicas] shard counts {details['shard_counts']}, "
               f"warm {details['warm']}")
 
-        cli("submit", "--url", ROUTER_URL, "--shutdown")
-        try:
-            code = server.wait(timeout=SHUTDOWN_TIMEOUT)
-        except subprocess.TimeoutExpired:
-            raise AssertionError(
-                f"replicated tier did not exit within {SHUTDOWN_TIMEOUT:.0f}s"
-            )
-        assert code == 0, f"replicated tier exited {code} after shutdown"
+        cli("submit", "--url", url, "--shutdown")
+        assert_clean_shutdown(server, url, "replicated tier")
         print("[smoke/replicas] clean fleet shutdown")
     finally:
-        stop_server(server, "smoke/replicas")
+        stop_server(server, "smoke/replicas", logs)
 
 
 def main() -> int:
-    server = subprocess.Popen(
-        [
-            sys.executable, "-m", "repro", "serve",
-            "--port", str(PORT), "--max-batch", "4", "--max-wait-ms", "50",
-        ],
-        stdout=subprocess.PIPE,
-        stderr=subprocess.STDOUT,
-        text=True,
+    server, url, logs = start_server(
+        ["--max-batch", "4", "--max-wait-ms", "50"], PORT, "smoke"
     )
     try:
-        wait_for_health(time.monotonic() + STARTUP_TIMEOUT)
-        print(f"[smoke] server is up at {URL}")
+        print(f"[smoke] server is up at {url}")
 
         submit = cli(
-            "submit", "--url", URL, "--board", BOARD, "--solver", SOLVER,
+            "submit", "--url", url, "--board", BOARD, "--solver", SOLVER,
             *[arg for design in DESIGNS for arg in ("--design", design)],
             "--repeat", str(REPEAT), "--json",
         )
@@ -217,7 +281,7 @@ def main() -> int:
         print(f"[smoke] {len(jobs)} submissions ok, {deduped} answered "
               "without a duplicate solve")
 
-        health = json.loads(cli("submit", "--url", URL, "--health").stdout)
+        health = json.loads(cli("submit", "--url", url, "--health").stdout)
         batches = health["counters"]["batches"]
         assert 0 < batches < len(jobs), (
             f"expected coalescing into fewer than {len(jobs)} batches, "
@@ -240,7 +304,7 @@ def main() -> int:
         # fingerprints of the first burst (fast mode is a separate cache
         # lane, never a silent substitute for an exact answer).
         mixed = cli(
-            "submit", "--url", URL, "--board", BOARD, "--solver", SOLVER,
+            "submit", "--url", url, "--board", BOARD, "--solver", SOLVER,
             *[arg for design in DESIGNS for arg in ("--design", design)],
             "--fast", "--gap", "0.05", "--json",
         )
@@ -253,7 +317,7 @@ def main() -> int:
                 "certified value within the 5% contract"
             )
         exact_again = cli(
-            "submit", "--url", URL, "--board", BOARD, "--solver", SOLVER,
+            "submit", "--url", url, "--board", BOARD, "--solver", SOLVER,
             *[arg for design in DESIGNS for arg in ("--design", design)],
             "--json",
         )
@@ -266,20 +330,13 @@ def main() -> int:
                 f"exact fingerprint of {design} changed after the fast "
                 f"burst: {job['fingerprint']} != {reference[design]}"
             )
-        health = json.loads(cli("submit", "--url", URL, "--health").stdout)
+        health = json.loads(cli("submit", "--url", url, "--health").stdout)
         assert health["counters"]["fast_jobs"] == len(DESIGNS), health["counters"]
         print(f"[smoke] mixed burst ok: {len(fast_jobs)} fast jobs within "
               "the gap contract, exact fingerprints unchanged")
 
-        cli("submit", "--url", URL, "--shutdown")
-        try:
-            code = server.wait(timeout=SHUTDOWN_TIMEOUT)
-        except subprocess.TimeoutExpired:
-            raise AssertionError(
-                f"server did not exit within {SHUTDOWN_TIMEOUT:.0f}s of "
-                "POST /v1/shutdown"
-            )
-        assert code == 0, f"server exited {code} after graceful shutdown"
+        cli("submit", "--url", url, "--shutdown")
+        assert_clean_shutdown(server, url, "server")
         print("[smoke] clean shutdown")
 
         replicated_phase(reference)
@@ -289,7 +346,7 @@ def main() -> int:
         print(f"[smoke] FAIL: {failure}", file=sys.stderr)
         return 1
     finally:
-        stop_server(server, "smoke")
+        stop_server(server, "smoke", logs)
 
 
 if __name__ == "__main__":

@@ -238,6 +238,7 @@ def serve_scale_artifact(
     for key in (
         "scheduled",
         "scheduled_duplicates",
+        "scheduled_near_duplicates",
         "completed",
         "ok",
         "shed",

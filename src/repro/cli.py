@@ -739,6 +739,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         rate=args.rate,
         arrival=args.arrival,
         duplicate_ratio=args.duplicate_ratio,
+        near_duplicate_ratio=args.near_duplicate_ratio,
         fast_ratio=args.fast_ratio,
         low_priority_ratio=args.low_priority_ratio,
         seed=args.seed,
@@ -1003,6 +1004,10 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--duplicate-ratio", type=float, default=0.5,
                          help="fraction of arrivals that repeat an earlier "
                               "submission verbatim (exercises dedupe)")
+    loadgen.add_argument("--near-duplicate-ratio", type=float, default=0.0,
+                         help="fraction of arrivals that resend an earlier "
+                              "submission with one structural design edit "
+                              "(exercises similarity warm starts)")
     loadgen.add_argument("--fast-ratio", type=float, default=0.0,
                          help="fraction of arrivals submitted as fast-mode "
                               "jobs")

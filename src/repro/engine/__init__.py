@@ -19,12 +19,16 @@ from .jobs import (
     STATUS_TIMEOUT,
     JobResult,
     MappingJob,
+    payload_cache_key,
+    warm_state_key,
 )
 
 __all__ = [
     "MappingEngine",
     "MappingJob",
     "JobResult",
+    "payload_cache_key",
+    "warm_state_key",
     "execute_payload",
     "ResultCache",
     "canonical_hash",

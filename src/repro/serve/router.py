@@ -543,7 +543,14 @@ class RouterService:
             *(self._poll_replica(r) for r in self.replicas.values())
         )
         fleet: Dict[str, int] = {}
-        warm: Dict[str, int] = {"exports": 0, "reuses": 0, "imports": 0}
+        warm: Dict[str, int] = {
+            "exports": 0,
+            "reuses": 0,
+            "imports": 0,
+            "evictions": 0,
+            "similar_imports": 0,
+            "similar_rejects": 0,
+        }
         summaries: List[Dict[str, Any]] = []
         for replica, report in zip(self.replicas.values(), reports):
             summary: Dict[str, Any] = {

@@ -38,9 +38,8 @@ from typing import Any, Dict, List, Mapping, Optional
 
 from ..core.objective import CostWeights
 from ..engine import MappingEngine, MappingJob
-from ..engine.cache import canonical_hash
-from ..engine.jobs import payload_cache_key
-from ..ilp import resolve_backend
+from ..engine.jobs import payload_cache_key, warm_state_key
+from ..ilp import SolveContext, resolve_backend
 from ..ilp.errors import ModelError
 from ..io.serialize import SerializationError, board_from_dict, design_from_dict
 from ..io.serve import (
@@ -55,13 +54,18 @@ from ..io.serve import (
 )
 from .batcher import MicroBatcher
 from .queue import JobQueue, QueuedTicket
+from .signature import (
+    signatures_compatible,
+    signatures_equal_shape,
+    structural_signature,
+)
 from .store import TIER_MEMORY, ResultStore, WarmStateStore
 
 __all__ = [
     "ServeError",
     "MappingService",
     "ReplicaSupervisor",
-    "warm_state_key",
+    "warm_state_key",  # re-exported from repro.engine.jobs
 ]
 
 #: Finished job records (and their result documents) retained for client
@@ -74,32 +78,6 @@ _METRICS_WINDOW = 4096
 
 class ServeError(Exception):
     """A submission the service refuses (bad board/design/solver/mode)."""
-
-
-#: Payload fields that define a job's *warm identity*: what must match for
-#: one job's exported solve state to be a sound seed for another.  Mode,
-#: gap contract, timeout and chaining are deliberately excluded — they
-#: change how hard the solver works, not which problem it solves.
-_WARM_IDENTITY_KEYS = (
-    "board",
-    "design",
-    "weights",
-    "solver",
-    "solver_options",
-    "capacity_mode",
-    "port_estimation",
-    "warm_start",
-    "warm_retries",
-)
-
-
-def warm_state_key(payload: Mapping[str, Any]) -> str:
-    """Warm-state key of an executable payload (see ``_WARM_IDENTITY_KEYS``)."""
-    identity: Dict[str, Any] = {
-        key: payload.get(key) for key in _WARM_IDENTITY_KEYS
-    }
-    identity["kind"] = "warm_state"
-    return canonical_hash(identity)
 
 
 def _document_gap(document: Optional[Dict[str, Any]]) -> Optional[float]:
@@ -195,6 +173,8 @@ class MappingService:
             "warm_seeded": 0,
             "warm_imports": 0,
             "warm_exports": 0,
+            "similar_imports": 0,
+            "similar_rejects": 0,
         }
         self.batch_sizes: deque = deque(maxlen=_METRICS_WINDOW)
         self.job_records: deque = deque(maxlen=_METRICS_WINDOW)
@@ -351,9 +331,15 @@ class MappingService:
         # (still-certified) mapping, and served fingerprints must stay
         # identical to the direct ``repro batch`` path.
         warm_key = ""
+        signature: Optional[Dict[str, Any]] = None
         if self.warm is not None and job.mode == "pipeline":
             warm_key = warm_state_key(payload)
+            signature = structural_signature(payload)
             warm = self.warm.get(warm_key)
+            if warm is None:
+                # Exact miss: fall back to the structurally nearest
+                # compatible neighbor's state (near-duplicate traffic).
+                warm = self._similar_seed(payload, signature, warm_key)
             if warm is not None:
                 self.counters["warm_seeded"] += 1
                 if warm.get("source") != self.instance:
@@ -372,6 +358,7 @@ class MappingService:
             priority=submission.priority,
             deadline_at=deadline_at,
             warm_key=warm_key,
+            signature=signature,
         )
         self._inflight[key] = ticket
         self._ticket_for[job_id] = ticket
@@ -438,7 +425,13 @@ class MappingService:
         sizes = list(self.batch_sizes)
         store_stats = self.store.stats()
         if self.warm is not None:
-            store_stats["warm"] = self.warm.stats()
+            # The store counts the exchange (exports/reuses/imports/
+            # evictions); the service owns the similarity-path verdicts.
+            store_stats["warm"] = {
+                **self.warm.stats(),
+                "similar_imports": self.counters["similar_imports"],
+                "similar_rejects": self.counters["similar_rejects"],
+            }
         return HealthReport(
             status="ok",
             role="service",
@@ -509,6 +502,57 @@ class MappingService:
             )
         except (TypeError, ValueError) as exc:
             raise ServeError(f"bad submission: {exc}") from exc
+
+    def _similar_seed(
+        self,
+        payload: Mapping[str, Any],
+        signature: Optional[Dict[str, Any]],
+        warm_key: str,
+    ) -> Optional[Dict[str, Any]]:
+        """Seed document transplanted from the nearest compatible neighbor.
+
+        The similarity path of the warm-state store: on an exact-identity
+        miss, rank the stored entries by structural-signature similarity,
+        guard the best candidate (hard-compatibility bucket, SOS-layout
+        agreement, dimension check for the basis), and transplant the
+        transferable slice of its chain context onto this job's model.
+        Every guard failure is a *silent cold fallback* — counted in
+        ``similar_rejects``, never an error — and a successful transplant
+        counts in ``similar_imports``.  Served mappings stay
+        fingerprint-identical either way: imported seeds only steer
+        solver effort, the per-structure admissibility and
+        strict-improvement guards downstream decide adoption.
+        """
+        if self.warm is None or signature is None:
+            return None
+        neighbor = self.warm.find_similar(signature, exclude=(warm_key,))
+        if neighbor is None:
+            return None
+        neighbor_signature = neighbor.get("signature") or {}
+        if not signatures_compatible(signature, neighbor_signature):
+            # A sketch collision whose SOS layouts disagree: same-named
+            # structures with different geometry must never transplant.
+            self.counters["similar_rejects"] += 1
+            return None
+        design = payload.get("design") or {}
+        board = payload.get("board") or {}
+        chain = SolveContext.transplant_chain_dict(
+            neighbor.get("chain_context") or {},
+            structures=[
+                entry.get("name")
+                for entry in design.get("data_structures") or []
+            ],
+            bank_types=[
+                bank.get("name") for bank in board.get("bank_types") or []
+            ],
+            keep_basis=signatures_equal_shape(signature, neighbor_signature),
+        )
+        if chain is None:
+            # Dimension/overlap mismatch left nothing transferable.
+            self.counters["similar_rejects"] += 1
+            return None
+        self.counters["similar_imports"] += 1
+        return {"source": neighbor.get("source"), "chain_context": chain}
 
     async def _dispatch_loop(self) -> None:
         loop = asyncio.get_running_loop()
@@ -628,7 +672,11 @@ class MappingService:
             and isinstance(document.get("chain_context"), dict)
         ):
             try:
-                if self.warm.put(ticket.warm_key, document["chain_context"]):
+                if self.warm.put(
+                    ticket.warm_key,
+                    document["chain_context"],
+                    signature=ticket.signature,
+                ):
                     self.counters["warm_exports"] += 1
             except OSError:
                 pass  # warm sharing is an optimisation, never a failure

@@ -1,0 +1,230 @@
+"""Structural signatures of mapping submissions for similarity keying.
+
+The exact-identity warm-state store (:mod:`repro.serve.store`) only fires
+when the *same* design/board arrives twice.  Near-duplicate submissions —
+same board, one conflict pair or one access-count knob different — are
+the common case under real traffic, and they cold-start today even
+though the neighbor's exported basis/incumbent would warm-start them.
+
+:func:`structural_signature` fingerprints a submission's executable
+payload into a small, JSON-serialisable document that supports *nearest
+compatible neighbor* lookups:
+
+``bucket``
+    Canonical hash of everything that must match **exactly** for any
+    state transfer to be sound: the board document and every solver knob
+    in the warm identity (solver, options, weights, capacity mode, port
+    estimation, warm-start flags).  Entries in different buckets are
+    never candidates — a different board or backend is a different
+    world, not a near-duplicate.
+
+``sos``
+    The SOS-group layout: one entry per data structure, ``name ->
+    [depth, width]``.  Each structure is one SOS-1 row of the global
+    model, so this is the row layout of the assignment block.  Shared
+    structure names whose shapes differ make two signatures
+    *incompatible* (a transplanted incumbent would refer to a different
+    geometry under the same name).
+
+``dims``
+    ``[num_structures, num_conflicts, num_bank_types]`` — the coarse
+    shape of the CSR standard form (one SOS row per structure, one
+    exclusion row per conflict pair, one capacity row per bank type).
+    Equal dims + equal SOS layout mean the neighbor's root basis has the
+    right dimensions for a dual-simplex warm re-solve.
+
+``sketch``
+    A fixed-width minhash sketch over the constraint-row token set — a
+    locality-sensitive summary of the standard form.  The fraction of
+    matching slots estimates the Jaccard similarity of the two row sets,
+    so dropping one conflict pair barely moves the sketch while a
+    different design on the same board lands far away.
+
+Everything here is derived from the *wire documents* (board/design
+dicts), not from a built model: signatures are computed on the admission
+path of every submission and must stay cheap.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..engine.cache import canonical_hash
+
+__all__ = [
+    "SIGNATURE_VERSION",
+    "SKETCH_SLOTS",
+    "structural_signature",
+    "signature_similarity",
+    "signatures_compatible",
+    "signatures_equal_shape",
+]
+
+#: Bump when the signature document shape changes incompatibly.  New
+#: fields must be additive (see CONTRIBUTING, "Adding a similarity
+#: signature field"): comparisons only read fields both sides carry.
+SIGNATURE_VERSION = 1
+
+#: Minhash width.  24 slots put the standard error of the Jaccard
+#: estimate around 0.1 — enough to separate "one row edited" (~0.9+)
+#: from "different design on the same board" (~0.2) decisively.
+SKETCH_SLOTS = 24
+
+#: Default acceptance threshold for :func:`signature_similarity` —
+#: callers may tighten it, but below this a candidate is noise.
+MIN_SIMILARITY = 0.5
+
+#: Payload fields hashed into the hard-compatibility bucket.  The design
+#: is deliberately absent (that is what the sketch measures); everything
+#: else of the warm identity must match exactly.
+_BUCKET_KEYS = (
+    "board",
+    "weights",
+    "solver",
+    "solver_options",
+    "capacity_mode",
+    "port_estimation",
+    "warm_start",
+    "warm_retries",
+)
+
+
+def _hash64(token: str) -> int:
+    return int.from_bytes(
+        hashlib.sha256(token.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+#: Per-slot salts: one deterministic 64-bit pattern per minhash slot,
+#: xor-ed into every token hash so each slot ranks the token set under
+#: an independent permutation.
+_SLOT_SALTS = tuple(
+    _hash64(f"warm-signature-slot-{slot}") for slot in range(SKETCH_SLOTS)
+)
+
+
+def _row_tokens(board: Mapping[str, Any], design: Mapping[str, Any]) -> List[str]:
+    """One token per constraint row of the submission's standard form."""
+    tokens: List[str] = []
+    for entry in design.get("data_structures") or []:
+        tokens.append(
+            "sos:{name}:{depth}x{width}:r{reads}:w{writes}".format(
+                name=entry.get("name"),
+                depth=entry.get("depth"),
+                width=entry.get("width"),
+                reads=entry.get("reads"),
+                writes=entry.get("writes"),
+            )
+        )
+    for pair in design.get("conflicts") or []:
+        tokens.append("conflict:" + "|".join(sorted(str(p) for p in pair)))
+    for bank in board.get("bank_types") or []:
+        tokens.append(
+            "cap:{name}:{instances}:{ports}".format(
+                name=bank.get("name"),
+                instances=bank.get("num_instances"),
+                ports=bank.get("num_ports"),
+            )
+        )
+    return tokens
+
+
+def _sketch(tokens: List[str]) -> List[int]:
+    hashes = [_hash64(token) for token in tokens] or [0]
+    return [min(h ^ salt for h in hashes) for salt in _SLOT_SALTS]
+
+
+def structural_signature(payload: Mapping[str, Any]) -> Dict[str, Any]:
+    """The structural signature of an executable job payload.
+
+    Cheap (a few dozen short hashes), deterministic, and built purely
+    from the payload's wire documents — safe to compute on every
+    admission.
+    """
+    board = payload.get("board") or {}
+    design = payload.get("design") or {}
+    bucket_identity: Dict[str, Any] = {
+        key: payload.get(key) for key in _BUCKET_KEYS
+    }
+    bucket_identity["kind"] = "warm_signature_bucket"
+    structures = design.get("data_structures") or []
+    return {
+        "kind": "warm_signature",
+        "version": SIGNATURE_VERSION,
+        "bucket": canonical_hash(bucket_identity),
+        "sos": {
+            str(entry.get("name")): [
+                int(entry.get("depth") or 0),
+                int(entry.get("width") or 0),
+            ]
+            for entry in structures
+        },
+        "dims": [
+            len(structures),
+            len(design.get("conflicts") or []),
+            len(board.get("bank_types") or []),
+        ],
+        "sketch": _sketch(_row_tokens(board, design)),
+    }
+
+
+def signature_similarity(
+    a: Optional[Mapping[str, Any]], b: Optional[Mapping[str, Any]]
+) -> float:
+    """Estimated Jaccard similarity of two signatures' row sets in [0, 1].
+
+    Signatures from different buckets (different board/solver identity)
+    are 0.0 by definition — no amount of sketch agreement makes them
+    transfer candidates.
+    """
+    if not isinstance(a, Mapping) or not isinstance(b, Mapping):
+        return 0.0
+    if not a.get("bucket") or a.get("bucket") != b.get("bucket"):
+        return 0.0
+    sketch_a, sketch_b = a.get("sketch") or [], b.get("sketch") or []
+    if not sketch_a or len(sketch_a) != len(sketch_b):
+        return 0.0
+    equal = sum(1 for x, y in zip(sketch_a, sketch_b) if x == y)
+    return equal / len(sketch_a)
+
+
+def signatures_compatible(
+    a: Optional[Mapping[str, Any]], b: Optional[Mapping[str, Any]]
+) -> bool:
+    """Whether state exported under ``b`` may seed a solve of ``a``.
+
+    Requires the same hard-compatibility bucket and agreement on the
+    shape of every *shared* structure name: a sketch collision between
+    two designs whose like-named structures have different SOS
+    geometries must be rejected, never transplanted.
+    """
+    if not isinstance(a, Mapping) or not isinstance(b, Mapping):
+        return False
+    if not a.get("bucket") or a.get("bucket") != b.get("bucket"):
+        return False
+    sos_a = a.get("sos") or {}
+    sos_b = b.get("sos") or {}
+    for name, shape in sos_a.items():
+        other = sos_b.get(name)
+        if other is not None and list(other) != list(shape):
+            return False
+    return True
+
+
+def signatures_equal_shape(
+    a: Optional[Mapping[str, Any]], b: Optional[Mapping[str, Any]]
+) -> bool:
+    """Whether two signatures describe models of identical shape.
+
+    Equal dims and an identical SOS layout mean the neighbor's exported
+    root basis has matching dimensions, so it is worth shipping for a
+    dual-simplex warm re-solve.  Anything less and the basis is dropped
+    up front — the revised-simplex kernel would reject it anyway, this
+    just keeps the guard explicit and the transplant lean.
+    """
+    if not signatures_compatible(a, b):
+        return False
+    return list(a.get("dims") or []) == list(b.get("dims") or []) and dict(
+        a.get("sos") or {}
+    ) == dict(b.get("sos") or {})

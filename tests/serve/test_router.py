@@ -335,7 +335,7 @@ class TestRouterEndToEnd:
                 for service in cluster.services:
                     if service.warm is not None:
                         for key, value in service.warm.stats().items():
-                            warm[key] += value
+                            warm[key] = warm.get(key, 0) + value
                     seeded += service.counters["warm_seeded"]
                 return first, final, warm, seeded
 
