@@ -129,7 +129,10 @@ def validate(document: Any) -> List[str]:
         problems.append("'results' is not a list")
     else:
         if len(results) != document.get("num_points", len(results)) and \
-                document.get("name") in ("table3", "explore"):
+                document.get("name") in ("table3", "explore") and \
+                not document.get("streamed"):
+            # Streamed explore artifacts spool their rows to a JSONL
+            # file; the inline results list is empty by design.
             problems.append("num_points does not match len(results)")
         for i, row in enumerate(results):
             if not isinstance(row, dict) or "label" not in row:
@@ -240,8 +243,16 @@ def _validate_explore(document: Dict[str, Any]) -> List[str]:
             problems.append("'grid' is not a scenario_grid with sweeps")
     elif "grid" in document:
         problems.append("'grid' is not an object")
-    labels = {row.get("label") for row in document.get("results", [])
-              if isinstance(row, dict)}
+    streamed = bool(document.get("streamed"))
+    if streamed and not document.get("results_path"):
+        problems.append("streamed explore artifact missing 'results_path'")
+    if streamed:
+        # Rows live in the spool; the chains list is the label universe.
+        labels = {label for chain in document.get("chains", [])
+                  if isinstance(chain, list) for label in chain}
+    else:
+        labels = {row.get("label") for row in document.get("results", [])
+                  if isinstance(row, dict)}
     front = document.get("pareto_front")
     if isinstance(front, list):
         bad = [label for label in front if not isinstance(label, str)]
@@ -259,7 +270,9 @@ def _validate_explore(document: Dict[str, Any]) -> List[str]:
             problems.append("'chains' entries are not lists of labels")
         else:
             chained = sum(len(chain) for chain in chains)
-            if chained != len(document.get("results", [])):
+            covered = (document.get("num_points", chained) if streamed
+                       else len(document.get("results", [])))
+            if chained != covered:
                 problems.append("chains do not cover every result exactly once")
     elif "chains" in document:
         problems.append("'chains' is not a list")
@@ -308,6 +321,7 @@ def compare(baseline: Dict[str, Any], candidate: Dict[str, Any],
     base_rows = {row["label"]: row for row in baseline.get("results", [])}
     cand_rows = {row["label"]: row for row in candidate.get("results", [])}
     shared = [label for label in base_rows if label in cand_rows]
+    objective_mismatches: List[str] = []
     if shared:
         print(f"{'label':<34} {'base s':>9} {'cand s':>9} "
               f"{'base lp':>8} {'cand lp':>8} {'objectives':>11}")
@@ -320,7 +334,11 @@ def compare(baseline: Dict[str, Any], candidate: Dict[str, Any],
             match = "-"
             if isinstance(b_obj, (int, float)) and isinstance(c_obj, (int, float)):
                 scale = max(1e-9, abs(b_obj))
-                match = "same" if abs(b_obj - c_obj) / scale <= 1e-6 else "DIFFER"
+                if abs(b_obj - c_obj) / scale <= 1e-6:
+                    match = "same"
+                else:
+                    match = "DIFFER"
+                    objective_mismatches.append(label)
             b_lp = (b.get("solve_stats") or {}).get(
                 "lp_solves", b.get("pivots", b.get("exact_nodes", "-")))
             c_lp = (c.get("solve_stats") or {}).get(
@@ -369,6 +387,16 @@ def compare(baseline: Dict[str, Any], candidate: Dict[str, Any],
                       f"{fail_over:.0f}%")
                 return 1
             return 0
+        if baseline.get("name") == candidate.get("name") == "explore":
+            # Mapping objectives are deterministic (same grid, seed and
+            # solver give the same mappings on any machine), so a
+            # per-label objective divergence is a correctness regression,
+            # never noise — gate on it before the wall-time check.
+            if objective_mismatches:
+                print(f"\nFAIL: objectives differ on "
+                      f"{len(objective_mismatches)} shared point(s): "
+                      f"{objective_mismatches[:10]}")
+                return 1
         base_wall = float(baseline.get("wall_seconds") or 0.0)
         cand_wall = float(candidate.get("wall_seconds") or 0.0)
         if base_wall > 0 and cand_wall > base_wall * (1.0 + fail_over / 100.0):

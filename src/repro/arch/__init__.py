@@ -13,6 +13,7 @@ from .builder import (
     apex_board,
     board_with_complexity,
     flex10k_board,
+    heterogeneous_cost_board,
     hierarchical_board,
     synthetic_board,
     virtex_board,
@@ -46,6 +47,7 @@ __all__ = [
     "hierarchical_board",
     "synthetic_board",
     "board_with_complexity",
+    "heterogeneous_cost_board",
     # devices
     "virtex_blockram",
     "flex10k_eab",

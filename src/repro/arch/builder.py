@@ -17,7 +17,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .bank import ArchitectureError, BankType, MemoryConfig
+from .bank import ArchitectureError, BankType, MemoryConfig, make_configurations
 from .board import Board
 from .devices import (
     ALTERA_EAB_CONFIGS,
@@ -36,6 +36,7 @@ __all__ = [
     "hierarchical_board",
     "synthetic_board",
     "board_with_complexity",
+    "heterogeneous_cost_board",
 ]
 
 
@@ -153,6 +154,92 @@ def synthetic_board(
                 )
             )
     return Board(name=name, bank_types=tuple(types))
+
+
+def heterogeneous_cost_board(
+    tiers: int = 3,
+    banks_per_tier: int = 4,
+    cost_spread: float = 2.0,
+    base_words: int = 1024,
+    width: int = 16,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> Board:
+    """A board of cost-tiered bank classes, EC2 instance-class style.
+
+    Cloud embedders (distrinet's EC2 mapper) choose among instance
+    classes that trade capacity against cost: each step up roughly
+    doubles capacity but costs more to reach.  This builder expresses the
+    same trade-off in the board vocabulary the mapper prices: tier ``t``
+    quadruples the per-bank capacity of tier ``t-1`` while its access
+    latency and pin distance grow by ``cost_spread`` per tier, so cheap
+    capacity sits far away and fast banks are scarce.  Unlike
+    :func:`hierarchical_board`, the resulting cost ladder is
+    *parameterised* — ``tiers`` × ``cost_spread`` sweeps move the
+    objective's break-even points, which is exactly what the
+    ``hetero-cost`` scenario family explores.
+
+    Tier 0 is dual-ported and multi-configuration (on-chip class); every
+    other tier is a single-ported, single-configuration bank whose depth
+    gets a small seeded jitter so distinct seeds give distinct (but
+    reproducible) boards.
+    """
+    if tiers < 1:
+        raise ArchitectureError("heterogeneous_cost_board needs tiers >= 1")
+    if banks_per_tier < 1:
+        raise ArchitectureError("heterogeneous_cost_board needs banks_per_tier >= 1")
+    if cost_spread < 1.0:
+        raise ArchitectureError(
+            "heterogeneous_cost_board needs cost_spread >= 1.0 (each tier "
+            "must cost at least as much as the previous one)"
+        )
+    if base_words < 16:
+        raise ArchitectureError("heterogeneous_cost_board needs base_words >= 16")
+    rng = np.random.default_rng(seed)
+    types: List[BankType] = []
+    for tier in range(tiers):
+        capacity_words = base_words * (4 ** tier)
+        if tier == 0:
+            types.append(
+                BankType(
+                    name="tier0-onchip",
+                    family="hetero-cost tier 0",
+                    num_instances=banks_per_tier,
+                    num_ports=2,
+                    # Equal-capacity configuration set (Table 1 style):
+                    # the same bits reachable as deep-narrow, square or
+                    # shallow-wide words.
+                    configurations=make_configurations(
+                        (
+                            (capacity_words * 2, max(1, width // 2)),
+                            (capacity_words, width),
+                            (capacity_words // 2, width * 2),
+                        )
+                    ),
+                    read_latency=1,
+                    write_latency=1,
+                    pins_traversed=0,
+                )
+            )
+            continue
+        jitter = int(rng.integers(0, max(1, capacity_words // 8)))
+        latency = max(2, int(round((1 + tier) * cost_spread)))
+        types.append(
+            BankType(
+                name=f"tier{tier}-class",
+                family=f"hetero-cost tier {tier}",
+                num_instances=banks_per_tier,
+                num_ports=1,
+                configurations=(MemoryConfig(capacity_words + jitter, width),),
+                read_latency=latency,
+                write_latency=latency,
+                pins_traversed=2 * tier * max(1, int(round(cost_spread))),
+            )
+        )
+    return Board(
+        name=name or f"hetero-{tiers}x{banks_per_tier}",
+        bank_types=tuple(types),
+    )
 
 
 def board_with_complexity(

@@ -94,23 +94,22 @@ def explore_artifact(result: "ExploreResult") -> Dict[str, Any]:
     """
     from ..io.serialize import scenario_grid_to_dict
 
-    points = result.points
-    serial_seconds = sum(p.wall_time for p in points if not p.cache_hit)
+    serial_seconds = result.serial_seconds()
 
     def total(attribute: str) -> int:
         return int(result.total(attribute))
 
-    return {
+    document = {
         "kind": "bench_artifact",
         "artifact_version": ARTIFACT_VERSION,
         "name": "explore",
         "jobs": result.jobs,
         "solver": result.solver,
         "warm_chain": result.warm_chain,
-        "num_points": len(points),
-        "num_ok": len(result.ok_points),
+        "num_points": result.num_points,
+        "num_ok": result.num_ok,
         "num_failed": result.num_failed,
-        "cache_hits": sum(1 for p in points if p.cache_hit),
+        "cache_hits": result.num_cache_hits,
         "wall_seconds": result.elapsed,
         "serial_seconds": serial_seconds,
         "speedup_vs_serial": (
@@ -130,8 +129,14 @@ def explore_artifact(result: "ExploreResult") -> Dict[str, Any]:
         "fingerprint": result.fingerprint(),
         "pareto_front": [p.label for p in result.pareto_front()],
         "pareto_front_timed": [p.label for p in result.pareto_front_timed()],
-        "results": [p.to_dict() for p in points],
+        "results": [p.to_dict() for p in result.points],
     }
+    if result.streamed:
+        # The per-point records live in the JSONL spool, not the
+        # artifact; record where so tooling can follow the pointer.
+        document["streamed"] = True
+        document["results_path"] = result.results_path
+    return document
 
 
 def latency_percentiles(samples: Sequence[float]) -> Dict[str, Optional[float]]:

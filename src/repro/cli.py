@@ -387,6 +387,7 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
                 {
                     "name": family.name,
                     "description": family.description,
+                    "seed_sensitive": family.seed_sensitive,
                     "params": [
                         {
                             "name": spec.name,
@@ -428,6 +429,10 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     except ExploreError as exc:
         raise CliError(str(exc)) from exc
     solver = _resolve_solver(args.solver) or "auto"
+    results_path = args.results
+    if args.checkpoint and not results_path:
+        # A checkpoint needs a spool to trim/replay; derive a stable one.
+        results_path = f"{args.checkpoint}.results.jsonl"
     explorer = DesignSpaceExplorer(
         grid,
         jobs=_resolve_jobs(args.jobs),
@@ -438,6 +443,8 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         time_limit=args.time_limit,
         cache_dir=args.cache_dir,
         retries=args.retries,
+        results_path=results_path,
+        checkpoint_path=args.checkpoint,
     )
     try:
         # Scenario build errors can surface here too (not just at grid
@@ -926,6 +933,15 @@ def build_parser() -> argparse.ArgumentParser:
                               "an error")
     explore.add_argument("--seed", type=int, default=0,
                          help="base seed for the scenario builders")
+    explore.add_argument("--results", metavar="PATH",
+                         help="stream per-point records to this JSONL file "
+                              "instead of holding them in memory (bounded-"
+                              "memory sweeps)")
+    explore.add_argument("--checkpoint", metavar="PATH",
+                         help="write a resumable checkpoint after every wave; "
+                              "an existing compatible checkpoint is resumed "
+                              "from (implies --results, defaulting to "
+                              "PATH.results.jsonl)")
     explore.add_argument("--cache-dir",
                          help="directory of the on-disk result cache")
     explore.add_argument("--artifact-dir",

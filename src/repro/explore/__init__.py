@@ -10,7 +10,7 @@ reduction (:mod:`repro.explore.pareto`) and plain-text reporting
 """
 
 from .grid import GridSpecError, ScenarioGrid, ScenarioSweep
-from .pareto import dominates, pareto_front, pareto_indices
+from .pareto import ParetoAccumulator, dominates, pareto_front, pareto_indices
 from .scenarios import (
     ExploreError,
     ParamSpec,
@@ -22,7 +22,13 @@ from .scenarios import (
     register_scenario,
     scenario_family,
 )
-from .explorer import DesignSpaceExplorer, ExplorePointResult, ExploreResult
+from .explorer import (
+    CheckpointError,
+    DesignSpaceExplorer,
+    ExplorePointResult,
+    ExploreResult,
+    PointSummary,
+)
 from .report import render_explore_report
 
 __all__ = [
@@ -41,8 +47,11 @@ __all__ = [
     "dominates",
     "pareto_front",
     "pareto_indices",
+    "ParetoAccumulator",
+    "CheckpointError",
     "DesignSpaceExplorer",
     "ExplorePointResult",
+    "PointSummary",
     "ExploreResult",
     "render_explore_report",
 ]

@@ -26,7 +26,7 @@ Bad specs raise :class:`GridSpecError` before anything runs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Mapping, Sequence, Tuple
 
 from .scenarios import (
     ExploreError,
@@ -46,7 +46,15 @@ def _parse_axis_values(family: str, key: str, text: str) -> Tuple[Any, ...]:
     """Parse one axis's value expression into a tuple of typed values."""
     spec = scenario_family(family).param(key)
     if "|" in text:
-        return tuple(spec.coerce(part) for part in text.split("|") if part)
+        parts = [part.strip() for part in text.split("|")]
+        if any(not part for part in parts):
+            # "k=1|" or "k=|" used to silently drop the empty alternative,
+            # turning a typo into a smaller sweep than the user asked for.
+            raise GridSpecError(
+                f"empty alternative in {family}@{key}={text!r}; every value "
+                "between '|' separators must be non-empty"
+            )
+        return tuple(spec.coerce(part) for part in parts)
     if ":" in text and spec.kind in ("int", "float"):
         parts = text.split(":")
         if len(parts) not in (2, 3):
@@ -102,6 +110,13 @@ class ScenarioSweep:
                 raise GridSpecError(f"axis {self.family}@{key} has no values")
             self.axes[key] = tuple(spec.coerce(v) for v in values)
 
+    def __hash__(self) -> int:
+        # frozen=True would generate a __hash__ over the raw fields, and
+        # hashing the axes dict raises TypeError; hash a canonical form
+        # instead.  frozenset keeps the hash consistent with dict
+        # equality, which ignores insertion order.
+        return hash((self.family, frozenset(self.axes.items())))
+
     @property
     def num_points(self) -> int:
         count = 1
@@ -109,25 +124,43 @@ class ScenarioSweep:
             count *= len(values)
         return count
 
-    def points(self, seed: int = 0) -> List[ScenarioPoint]:
-        """Cartesian product of the axes in snake (boustrophedon) order.
+    def iter_points(self, seed: int = 0) -> Iterator[ScenarioPoint]:
+        """Lazily enumerate the Cartesian product in snake order.
 
         The last axis varies fastest and reverses direction on every
         pass, so *consecutive points always differ in exactly one knob* —
         including at axis rollovers — which is the adjacency the warm
-        chain relies on.
+        chain relies on.  Nothing is materialised: a 10^6-point sweep
+        costs one :class:`~repro.explore.scenarios.ScenarioPoint` at a
+        time, which is what lets the streaming explorer run grids far
+        beyond what :meth:`points` could hold in memory.
         """
-        combos: List[Dict[str, Any]] = [{}]
-        for key, values in self.axes.items():
-            expanded: List[Dict[str, Any]] = []
-            for i, combo in enumerate(combos):
-                ordered = values if i % 2 == 0 else tuple(reversed(values))
-                expanded.extend({**combo, key: value} for value in ordered)
-            combos = expanded
-        return [
-            ScenarioPoint(family=self.family, params=combo, seed=seed)
-            for combo in combos
-        ]
+        keys = list(self.axes)
+        if not keys:
+            yield ScenarioPoint(family=self.family, params={}, seed=seed)
+            return
+        values = [self.axes[key] for key in keys]
+        counts = [len(v) for v in values]
+        # Per-axis suffix strides: axis k advances every prod(counts[k+1:])
+        # ranks, and its direction flips with the parity of the enclosing
+        # block index — the closed form of the nested snake expansion.
+        strides = [1] * len(keys)
+        for k in range(len(keys) - 2, -1, -1):
+            strides[k] = strides[k + 1] * counts[k + 1]
+        total = strides[0] * counts[0]
+        for rank in range(total):
+            combo: Dict[str, Any] = {}
+            for k, key in enumerate(keys):
+                block = rank // (strides[k] * counts[k])
+                offset = (rank // strides[k]) % counts[k]
+                if block % 2:
+                    offset = counts[k] - 1 - offset
+                combo[key] = values[k][offset]
+            yield ScenarioPoint(family=self.family, params=combo, seed=seed)
+
+    def points(self, seed: int = 0) -> List[ScenarioPoint]:
+        """Materialised :meth:`iter_points` (small sweeps and tests)."""
+        return list(self.iter_points(seed=seed))
 
     @classmethod
     def parse(cls, spec: str) -> "ScenarioSweep":
@@ -183,6 +216,12 @@ class ScenarioGrid:
             raise GridSpecError("a scenario grid needs at least one sweep")
         object.__setattr__(self, "sweeps", tuple(self.sweeps))
 
+    def __hash__(self) -> int:
+        # The generated hash would recurse into the (unhashable-by-
+        # default) sweeps before their explicit __hash__ existed; keep an
+        # explicit one so the contract is deliberate, not incidental.
+        return hash(self.sweeps)
+
     @classmethod
     def parse(cls, specs: Sequence[str]) -> "ScenarioGrid":
         """Build a grid from spec strings (one sweep per string)."""
@@ -200,6 +239,19 @@ class ScenarioGrid:
         identical across ``--jobs`` settings.
         """
         return [sweep.points(seed=seed) for sweep in self.sweeps]
+
+    def iter_chains(self, seed: int = 0) -> List[Iterator[ScenarioPoint]]:
+        """Lazy :meth:`chains`: one point *iterator* per sweep.
+
+        Same enumeration order as :meth:`chains`, but nothing is
+        materialised — the streaming explorer pulls one point per chain
+        per wave.
+        """
+        return [sweep.iter_points(seed=seed) for sweep in self.sweeps]
+
+    def chain_lengths(self) -> List[int]:
+        """Number of points of each chain (cheap: no enumeration)."""
+        return [sweep.num_points for sweep in self.sweeps]
 
     def to_dict(self) -> Dict[str, Any]:
         return {"sweeps": [sweep.to_dict() for sweep in self.sweeps]}

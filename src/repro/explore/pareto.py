@@ -5,18 +5,27 @@ objectives — mapping cost, solver effort (LP solves), wall time.  A point
 ``a`` dominates ``b`` when it is no worse in every objective and strictly
 better in at least one; the front is the subset no other point dominates.
 
-The implementation is deliberately simple (O(n^2) pairwise pruning):
-grids are hundreds of points, not millions, and a predictable, stable
-result order matters more than asymptotics — the front preserves input
-order, and exact ties (identical objective vectors) are *all* kept, so
-the front of a deterministic sweep is itself deterministic.
+Two implementations:
+
+* the batch helpers (:func:`pareto_indices` / :func:`pareto_front`) are
+  deliberately simple O(n^2) pairwise pruning — fine for a few hundred
+  points, and a predictable, stable result order matters more than
+  asymptotics there (the front preserves input order, and exact ties —
+  identical objective vectors — are *all* kept);
+* :class:`ParetoAccumulator` maintains the same front *incrementally*,
+  one point at a time, in O(front size) per point.  That is what the
+  streaming explorer uses: a 10^5-point sweep never holds more than the
+  current front in memory, and because Pareto dominance is transitive
+  the accumulated front equals the batch front over the same points
+  regardless of insertion order (only the *reported* order is fixed, by
+  each point's explicit order key).
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+from typing import Any, Callable, Generic, List, Optional, Sequence, Tuple, TypeVar
 
-__all__ = ["dominates", "pareto_front", "pareto_indices"]
+__all__ = ["dominates", "pareto_front", "pareto_indices", "ParetoAccumulator"]
 
 T = TypeVar("T")
 
@@ -59,3 +68,56 @@ def pareto_front(
         for item in items
     ]
     return [items[i] for i in pareto_indices(vectors)]
+
+
+class ParetoAccumulator(Generic[T]):
+    """Incremental Pareto front over minimised objective vectors.
+
+    ``add(vector, item, order_key)`` offers one point: the point is
+    rejected when an existing front member dominates it, otherwise it
+    joins the front and evicts every member it dominates.  Dominance is
+    transitive, so a point rejected early can never belong to the final
+    front — the accumulated set always equals the batch front of every
+    point offered so far.
+
+    ``order_key`` fixes the point's position in :meth:`front` (defaults
+    to insertion order), which is how the streaming explorer — which
+    completes points wave by wave, not chain by chain — reproduces the
+    chain-major front order of the batch reduction byte for byte.
+    """
+
+    def __init__(self) -> None:
+        self._entries: List[Tuple[Tuple[float, ...], Any, T]] = []
+        self._offered = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def offered(self) -> int:
+        """How many points have been offered (kept or not)."""
+        return self._offered
+
+    def add(self, vector: Sequence[float], item: T,
+            order_key: Optional[Any] = None) -> bool:
+        """Offer one point; returns True when it (currently) joins the front."""
+        vec = tuple(float(v) for v in vector)
+        if order_key is None:
+            order_key = self._offered
+        self._offered += 1
+        for existing, _, _ in self._entries:
+            if dominates(existing, vec):
+                return False
+        self._entries = [
+            entry for entry in self._entries if not dominates(vec, entry[0])
+        ]
+        self._entries.append((vec, order_key, item))
+        return True
+
+    def front(self) -> List[T]:
+        """Current front members, ordered by their ``order_key``."""
+        return [item for _, _, item in sorted(self._entries, key=lambda e: e[1])]
+
+    def front_vectors(self) -> List[Tuple[float, ...]]:
+        """Objective vectors of the current front, in ``order_key`` order."""
+        return [vec for vec, _, _ in sorted(self._entries, key=lambda e: e[1])]

@@ -17,18 +17,33 @@ from .explorer import ExploreResult
 __all__ = ["render_explore_report"]
 
 
+#: Streamed chains longer than this render head/tail excerpts only.
+_STREAMED_CHAIN_ROWS = 32
+
+
 def render_explore_report(result: ExploreResult) -> str:
     """Render an exploration run as a human-readable report."""
     front = {point.label for point in result.pareto_front()}
     timed_front = {point.label for point in result.pareto_front_timed()}
     sections: List[str] = []
 
+    by_chain: List[List] = [[] for _ in result.chains]
+    for summary in result.point_summaries():
+        by_chain[summary.chain].append(summary)
+
     for index, chain_labels in enumerate(result.chains):
         family = result.grid.sweeps[index].family
+        chain_points = by_chain[index]
+        elided = 0
+        if result.streamed and len(chain_points) > _STREAMED_CHAIN_ROWS:
+            # A 10^4-point streamed chain would bury the summary; show
+            # head and tail, point at the JSONL spool for the rest.
+            head = _STREAMED_CHAIN_ROWS * 3 // 4
+            tail = _STREAMED_CHAIN_ROWS - head
+            elided = len(chain_points) - head - tail
+            chain_points = chain_points[:head] + chain_points[-tail:]
         rows = []
-        for point in result.points:
-            if point.chain != index:
-                continue
+        for position, point in enumerate(chain_points):
             row = [
                 point.label,
                 point.status,
@@ -39,6 +54,8 @@ def render_explore_report(result: ExploreResult) -> str:
                 "*" if point.label in front else "-",
             ]
             rows.append(row)
+            if elided and position == head - 1:
+                rows.append([f"... {elided} more points ...", "", "", "", "", "", ""])
         plural = "s" if len(chain_labels) != 1 else ""
         mode = "warm-chained" if result.warm_chain else "cold"
         table = ascii_table(
@@ -50,8 +67,8 @@ def render_explore_report(result: ExploreResult) -> str:
         sections.append(table)
 
     summary_rows = [
-        ["points", len(result.points)],
-        ["ok / failed", f"{len(result.ok_points)} / {result.num_failed}"],
+        ["points", result.num_points],
+        ["ok / failed", f"{result.num_ok} / {result.num_failed}"],
         ["pareto front (objective, lp)", len(front)],
         ["pareto front (+wall time)", len(timed_front)],
         ["total LP solves", int(result.total("lp_solves"))],
@@ -61,6 +78,8 @@ def render_explore_report(result: ExploreResult) -> str:
         ["solver", result.solver],
         ["fingerprint", result.fingerprint()[:16]],
     ]
+    if result.streamed:
+        summary_rows.append(["results spool", result.results_path or "-"])
     title = "Exploration summary"
     summary = ascii_table(["metric", "value"], summary_rows, title=title)
     sections.append(summary)

@@ -32,9 +32,11 @@ from ..arch.builder import (
     apex_board,
     board_with_complexity,
     flex10k_board,
+    heterogeneous_cost_board,
     hierarchical_board,
     virtex_board,
 )
+from ..design.dagsched import DagScheduleGenerator
 from ..design.design import Design
 from ..design.generator import DesignGenerator
 from ..design.workloads import (
@@ -129,6 +131,12 @@ class ScenarioFamily:
     builder: Callable[[Mapping[str, Any], int], Tuple[Design, Board]] = field(
         repr=False
     )
+    #: Whether the builder actually consumes the seed.  The paper's fixed
+    #: workloads are fully determined by their parameters; marking them
+    #: insensitive lets :class:`ScenarioPoint` normalise the seed to 0 so
+    #: labels and cache keys do not pretend ``~s1`` and ``~s2`` are
+    #: different instances.
+    seed_sensitive: bool = True
 
     def param(self, name: str) -> ParamSpec:
         for spec in self.params:
@@ -198,6 +206,15 @@ class ScenarioPoint:
         object.__setattr__(self, "params", dict(self.params))
         for key, value in self.params.items():
             self.params[key] = family.param(key).coerce(value)
+        if not family.seed_sensitive:
+            # The builder ignores the seed, so distinct seeds would only
+            # fork labels and cache keys of identical instances.
+            object.__setattr__(self, "seed", 0)
+
+    def __hash__(self) -> int:
+        # frozen=True's generated __hash__ would choke on the params
+        # dict; hash a canonical form consistent with dict equality.
+        return hash((self.family, frozenset(self.params.items()), self.seed))
 
     def label(self) -> str:
         inner = ",".join(f"{k}={self.params[k]}" for k in sorted(self.params))
@@ -292,6 +309,41 @@ def _build_board_scale(params: Mapping[str, Any], seed: int) -> Tuple[Design, Bo
     return design, board
 
 
+def _build_dag_schedule(params: Mapping[str, Any], seed: int) -> Tuple[Design, Board]:
+    board = _named_board(params["board"])
+    generator = DagScheduleGenerator(
+        seed=seed,
+        depth=params["depth"],
+        width=params["width"],
+        burstiness=params["burstiness"],
+        branch_factor=params["branch"],
+        slots=params["slots"],
+    )
+    design = generator.generate(
+        board=board, target_occupancy=params["occupancy"]
+    )
+    return design, board
+
+
+def _build_hetero_cost(params: Mapping[str, Any], seed: int) -> Tuple[Design, Board]:
+    board = heterogeneous_cost_board(
+        tiers=params["tiers"],
+        banks_per_tier=params["banks_per_tier"],
+        cost_spread=params["cost_spread"],
+        seed=seed,
+    )
+    generator = DesignGenerator(
+        seed=seed, conflict_density=params["conflict_density"]
+    )
+    design = generator.generate(
+        params["segments"],
+        name=f"hetero-{params['segments']}seg",
+        board=board,
+        target_occupancy=params["occupancy"],
+    )
+    return design, board
+
+
 _BOARD_PARAM = ParamSpec(
     "board", "str", "hierarchical", "named board (see NAMED_BOARDS)"
 )
@@ -307,6 +359,7 @@ _BUILTIN_FAMILIES: Tuple[ScenarioFamily, ...] = (
             _BOARD_PARAM,
         ),
         builder=_build_image_pipeline,
+        seed_sensitive=False,
     ),
     ScenarioFamily(
         name="fir-filter",
@@ -318,6 +371,7 @@ _BUILTIN_FAMILIES: Tuple[ScenarioFamily, ...] = (
             _BOARD_PARAM,
         ),
         builder=_build_fir,
+        seed_sensitive=False,
     ),
     ScenarioFamily(
         name="fft",
@@ -328,6 +382,7 @@ _BUILTIN_FAMILIES: Tuple[ScenarioFamily, ...] = (
             _BOARD_PARAM,
         ),
         builder=_build_fft,
+        seed_sensitive=False,
     ),
     ScenarioFamily(
         name="matrix-multiply",
@@ -338,6 +393,7 @@ _BUILTIN_FAMILIES: Tuple[ScenarioFamily, ...] = (
             _BOARD_PARAM,
         ),
         builder=_build_matmul,
+        seed_sensitive=False,
     ),
     ScenarioFamily(
         name="motion-estimation",
@@ -349,6 +405,7 @@ _BUILTIN_FAMILIES: Tuple[ScenarioFamily, ...] = (
             _BOARD_PARAM,
         ),
         builder=_build_motion,
+        seed_sensitive=False,
     ),
     ScenarioFamily(
         name="random",
@@ -371,6 +428,33 @@ _BUILTIN_FAMILIES: Tuple[ScenarioFamily, ...] = (
             ParamSpec("occupancy", "float", 0.45, "target board occupancy"),
         ),
         builder=_build_board_scale,
+    ),
+    ScenarioFamily(
+        name="dag-schedule",
+        description="time-indexed DAG of tasks list-scheduled under per-slot capacity",
+        params=(
+            ParamSpec("depth", "int", 4, "layers in the task DAG"),
+            ParamSpec("width", "int", 3, "base tasks per layer"),
+            ParamSpec("burstiness", "float", 0.0, "layer-width swing in [0, 1]"),
+            ParamSpec("branch", "float", 0.5, "inter-layer edge density in [0, 1]"),
+            ParamSpec("slots", "int", 2, "schedule slots per control step"),
+            ParamSpec("occupancy", "float", 0.45, "target board occupancy"),
+            _BOARD_PARAM,
+        ),
+        builder=_build_dag_schedule,
+    ),
+    ScenarioFamily(
+        name="hetero-cost",
+        description="synthetic design on cost-tiered banks (instance-class style)",
+        params=(
+            ParamSpec("tiers", "int", 3, "memory cost tiers (0 = on-chip)"),
+            ParamSpec("banks_per_tier", "int", 4, "bank instances per tier"),
+            ParamSpec("cost_spread", "float", 2.0, "latency/pin growth per tier"),
+            ParamSpec("segments", "int", 10, "number of data structures"),
+            ParamSpec("conflict_density", "float", 1.0, "conflicting pair share"),
+            ParamSpec("occupancy", "float", 0.45, "target board occupancy"),
+        ),
+        builder=_build_hetero_cost,
     ),
 )
 

@@ -112,3 +112,75 @@ class TestBoardWithComplexity:
         assert board.total_banks == banks
         assert board.total_ports == ports
         assert board.total_config_settings == configs
+
+
+class TestHeterogeneousCostBoard:
+    def test_tier_structure_and_names(self):
+        from repro.arch import heterogeneous_cost_board
+
+        board = heterogeneous_cost_board(tiers=3, banks_per_tier=4)
+        assert board.name == "hetero-3x4"
+        assert [bt.name for bt in board.bank_types] == [
+            "tier0-onchip", "tier1-class", "tier2-class",
+        ]
+        assert all(bt.num_instances == 4 for bt in board.bank_types)
+        assert board.total_banks == 12
+
+    def test_tier0_is_the_fast_multi_config_class(self):
+        from repro.arch import heterogeneous_cost_board
+
+        tier0 = heterogeneous_cost_board().bank_types[0]
+        assert tier0.num_ports == 2
+        assert len(tier0.configurations) == 3
+        # Equal-capacity configuration set: every shape holds the same bits.
+        bits = {c.depth * c.width for c in tier0.configurations}
+        assert len(bits) == 1
+        assert tier0.read_latency == 1 and tier0.pins_traversed == 0
+
+    def test_cost_ladder_is_monotone(self):
+        from repro.arch import heterogeneous_cost_board
+
+        board = heterogeneous_cost_board(tiers=4, cost_spread=2.0, seed=3)
+        latencies = [bt.read_latency for bt in board.bank_types]
+        pins = [bt.pins_traversed for bt in board.bank_types]
+        capacities = [
+            max(c.depth * c.width for c in bt.configurations)
+            for bt in board.bank_types
+        ]
+        assert latencies == sorted(latencies)
+        assert pins == sorted(pins)
+        assert capacities == sorted(capacities)
+        # Each off-chip step up quadruples capacity (modulo jitter).
+        assert capacities[2] > 3 * capacities[1]
+
+    def test_cost_spread_widens_the_ladder(self):
+        from repro.arch import heterogeneous_cost_board
+
+        narrow = heterogeneous_cost_board(tiers=3, cost_spread=1.0, seed=0)
+        wide = heterogeneous_cost_board(tiers=3, cost_spread=4.0, seed=0)
+        assert wide.bank_types[2].read_latency > narrow.bank_types[2].read_latency
+        assert wide.bank_types[2].pins_traversed > narrow.bank_types[2].pins_traversed
+
+    def test_deterministic_per_seed(self):
+        from repro.arch import heterogeneous_cost_board
+
+        a = heterogeneous_cost_board(tiers=3, seed=7)
+        b = heterogeneous_cost_board(tiers=3, seed=7)
+        c = heterogeneous_cost_board(tiers=3, seed=8)
+        assert a.describe() == b.describe()
+        assert a.describe() != c.describe()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"tiers": 0},
+            {"banks_per_tier": 0},
+            {"cost_spread": 0.5},
+            {"base_words": 8},
+        ],
+    )
+    def test_bad_knobs_are_rejected(self, kwargs):
+        from repro.arch import heterogeneous_cost_board
+
+        with pytest.raises(ArchitectureError):
+            heterogeneous_cost_board(**kwargs)

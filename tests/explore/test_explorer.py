@@ -101,3 +101,42 @@ class TestFailureHandling:
         statuses = [p.status for p in result.points]
         assert statuses == ["failed", "ok"]
         assert result.points[0].error
+
+
+class TestTotals:
+    @staticmethod
+    def _result_with_failure():
+        from repro.explore import ExplorePointResult, ExploreResult
+
+        grid = ScenarioGrid.parse(["fft@points=64|128"])
+        points = [
+            ExplorePointResult(
+                label="fft[points=64]", family="fft", params={},
+                chain=0, step=0, status="failed", objective=None,
+                lp_solves=2, error="infeasible",
+            ),
+            ExplorePointResult(
+                label="fft[points=128]", family="fft", params={},
+                chain=0, step=1, status="ok", objective=2.5, lp_solves=3,
+            ),
+        ]
+        return ExploreResult(
+            grid=grid, points=points,
+            chains=[["fft[points=64]", "fft[points=128]"]],
+            jobs=1, solver="auto", warm_chain=True, elapsed=0.0,
+        )
+
+    def test_total_objective_skips_failed_points(self):
+        # total("objective") used to raise TypeError (None + float) as
+        # soon as any point had failed.
+        result = self._result_with_failure()
+        assert result.total("objective") == 2.5
+
+    def test_counter_totals_still_include_failed_points(self):
+        result = self._result_with_failure()
+        assert result.total("lp_solves") == 5.0
+
+    def test_artifact_builds_with_failed_points(self):
+        artifact = explore_artifact(self._result_with_failure())
+        assert artifact["num_failed"] == 1
+        assert artifact["total_lp_solves"] == 5

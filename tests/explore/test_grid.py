@@ -108,3 +108,91 @@ class TestGrid:
         }
         with pytest.raises(SerializationError, match="no-such"):
             scenario_grid_from_dict(document)
+
+
+class TestEmptyAlternatives:
+    def test_trailing_empty_alternative_is_an_error(self):
+        # "k=1|" used to silently drop the empty part and run a smaller
+        # sweep than asked for.
+        with pytest.raises(GridSpecError, match="empty alternative"):
+            ScenarioSweep.parse("random@structures=4|")
+
+    def test_lone_separator_is_an_error(self):
+        with pytest.raises(GridSpecError, match="empty alternative"):
+            ScenarioSweep.parse("random@structures=|")
+
+    def test_double_separator_is_an_error(self):
+        with pytest.raises(GridSpecError, match="empty alternative"):
+            ScenarioSweep.parse("fft@board=hierarchical||virtex-xcv1000")
+
+    def test_whitespace_only_alternative_is_an_error(self):
+        with pytest.raises(GridSpecError, match="empty alternative"):
+            ScenarioSweep.parse("random@structures=4| |6")
+
+
+class TestHashability:
+    def test_sweeps_are_hashable_and_order_insensitive(self):
+        sweep = ScenarioSweep.parse("random@structures=4|6,occupancy=0.4|0.5")
+        other = ScenarioSweep(
+            family="random",
+            axes={"occupancy": (0.4, 0.5), "structures": (4, 6)},
+        )
+        # dict equality ignores insertion order; the hash must agree.
+        assert sweep == other
+        assert hash(sweep) == hash(other)
+        assert len({sweep, other}) == 1
+
+    def test_grids_are_hashable(self):
+        specs = ["fft", "random@structures=4:8:2"]
+        grid = ScenarioGrid.parse(specs)
+        again = ScenarioGrid.parse(specs)
+        assert hash(grid) == hash(again)
+        assert len({grid, again}) == 1
+
+    def test_sweep_usable_as_dict_key(self):
+        sweep = ScenarioSweep.parse("fft@points=64|128")
+        assert {sweep: "x"}[ScenarioSweep.parse("fft@points=64|128")] == "x"
+
+
+class TestLazyEnumeration:
+    SPECS = [
+        "fft",
+        "fft@points=64|128|256",
+        "random@structures=4:8:2,occupancy=0.4|0.5",
+        "random@structures=4|6|8,occupancy=0.4|0.5,conflict_density=0.5|1.0",
+    ]
+
+    def test_iter_points_matches_points_exactly(self):
+        for spec in self.SPECS:
+            sweep = ScenarioSweep.parse(spec)
+            lazy = [p.params for p in sweep.iter_points(seed=2)]
+            eager = [p.params for p in sweep.points(seed=2)]
+            assert lazy == eager, spec
+
+    def test_iter_chains_matches_chains(self):
+        grid = ScenarioGrid.parse(self.SPECS[1:3])
+        lazy = [[p.label() for p in chain] for chain in grid.iter_chains(seed=1)]
+        eager = [[p.label() for p in chain] for chain in grid.chains(seed=1)]
+        assert lazy == eager
+
+    def test_chain_lengths_need_no_enumeration(self):
+        grid = ScenarioGrid.parse(self.SPECS)
+        assert grid.chain_lengths() == [s.num_points for s in grid.sweeps]
+        assert sum(grid.chain_lengths()) == grid.num_points
+
+    def test_three_axis_snake_covers_the_product_with_one_knob_steps(self):
+        spec = ("random@structures=4|6|8,occupancy=0.4|0.5|0.6,"
+                "conflict_density=0.25|0.5|1.0")
+        points = list(ScenarioSweep.parse(spec).iter_points())
+        assert len(points) == 27
+        combos = {tuple(sorted(p.params.items())) for p in points}
+        assert len(combos) == 27  # the full product, each combo once
+        # One-knob adjacency must hold across *every* consecutive pair,
+        # including the rollovers where an outer axis advances.
+        for before, after in zip(points, points[1:]):
+            changed = [
+                key
+                for key in before.params
+                if before.params[key] != after.params[key]
+            ]
+            assert len(changed) == 1, (before.params, after.params)

@@ -54,3 +54,74 @@ class TestParetoFront:
 
     def test_empty_input(self):
         assert pareto_front([]) == []
+
+
+class TestParetoAccumulator:
+    def test_front_matches_batch_reduction(self):
+        from repro.explore import ParetoAccumulator
+
+        vectors = [
+            (1.0, 4.0), (2.0, 2.0), (4.0, 1.0), (3.0, 3.0), (5.0, 5.0),
+            (2.0, 2.0), (0.5, 6.0), (6.0, 0.5), (1.5, 3.5),
+        ]
+        accumulator = ParetoAccumulator()
+        for index, vector in enumerate(vectors):
+            accumulator.add(vector, index)
+        batch = set(pareto_indices(vectors))
+        assert set(accumulator.front()) == batch
+        assert accumulator.offered == len(vectors)
+
+    def test_insertion_order_does_not_change_the_front(self):
+        from itertools import permutations
+
+        from repro.explore import ParetoAccumulator
+
+        vectors = [(1.0, 4.0), (2.0, 2.0), (4.0, 1.0), (3.0, 3.0), (2.0, 2.0)]
+        expected = {tuple(vectors[i]) for i in pareto_indices(vectors)}
+        for order in permutations(range(len(vectors))):
+            accumulator = ParetoAccumulator()
+            for rank, index in enumerate(order):
+                accumulator.add(vectors[index], vectors[index], order_key=index)
+            assert {tuple(v) for v in accumulator.front_vectors()} == expected
+
+    def test_exact_ties_are_all_kept(self):
+        from repro.explore import ParetoAccumulator
+
+        accumulator = ParetoAccumulator()
+        assert accumulator.add((1.0, 1.0), "a")
+        assert accumulator.add((1.0, 1.0), "b")
+        assert not accumulator.add((2.0, 2.0), "c")
+        assert accumulator.front() == ["a", "b"]
+
+    def test_order_key_restores_chain_major_order(self):
+        from repro.explore import ParetoAccumulator
+
+        accumulator = ParetoAccumulator()
+        # Streamed completion order: (1,0) lands before (0,1).
+        accumulator.add((1.0, 4.0), "late", order_key=(1, 0))
+        accumulator.add((4.0, 1.0), "early", order_key=(0, 1))
+        assert accumulator.front() == ["early", "late"]
+
+    def test_dominated_insert_reports_false_and_prunes(self):
+        from repro.explore import ParetoAccumulator
+
+        accumulator = ParetoAccumulator()
+        assert accumulator.add((2.0, 2.0), "mid")
+        assert accumulator.add((1.0, 1.0), "best")  # prunes "mid"
+        assert not accumulator.add((3.0, 3.0), "worse")
+        assert accumulator.front() == ["best"]
+        assert len(accumulator) == 1
+        assert accumulator.offered == 3
+
+    def test_random_streams_match_batch(self):
+        import numpy as np
+
+        from repro.explore import ParetoAccumulator
+
+        rng = np.random.default_rng(7)
+        for trial in range(10):
+            vectors = [tuple(map(float, row)) for row in rng.integers(0, 6, (40, 3))]
+            accumulator = ParetoAccumulator()
+            for index, vector in enumerate(vectors):
+                accumulator.add(vector, index)
+            assert sorted(accumulator.front()) == sorted(pareto_indices(vectors))

@@ -127,3 +127,85 @@ class TestSerialization:
     def test_wrong_kind_is_a_serialization_error(self):
         with pytest.raises(SerializationError, match="scenario_point"):
             scenario_point_from_dict({"kind": "board"})
+
+
+class TestSeedSensitivity:
+    def test_paper_workload_families_are_seed_insensitive(self):
+        for name in ("image-pipeline", "fir-filter", "fft",
+                     "matrix-multiply", "motion-estimation"):
+            assert not scenario_family(name).seed_sensitive, name
+
+    def test_generator_backed_families_stay_seed_sensitive(self):
+        for name in ("random", "board-scale", "dag-schedule", "hetero-cost"):
+            assert scenario_family(name).seed_sensitive, name
+
+    def test_insensitive_point_normalizes_its_seed(self):
+        # The fft builder ignores the seed entirely, so ~s7 and ~s3 would
+        # be the same instance under two labels (and two cache keys).
+        point = ScenarioPoint(family="fft", params={"points": 64}, seed=7)
+        assert point.seed == 0
+        assert point.label() == "fft[points=64]"
+        assert point == ScenarioPoint(family="fft", params={"points": 64}, seed=3)
+
+    def test_sensitive_point_keeps_its_seed(self):
+        point = ScenarioPoint(family="random", params={}, seed=7)
+        assert point.seed == 7
+        assert point.label() == "random~s7"
+
+    def test_points_are_hashable(self):
+        a = ScenarioPoint(family="random", params={"structures": 6}, seed=1)
+        b = ScenarioPoint(family="random", params={"structures": 6}, seed=1)
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+
+class TestNewFamilies:
+    def test_dag_schedule_builds_a_sparse_conflict_instance(self):
+        point = ScenarioPoint(
+            family="dag-schedule",
+            params={"depth": 6, "width": 2, "branch": 0.3},
+            seed=3,
+        )
+        design, board = point.build()
+        n = design.num_segments
+        assert n >= 6  # one buffer per task, at least one task per layer
+        # Distant layers never coexist under list scheduling, so the
+        # conflict graph must be banded — strictly sparser than the
+        # paper's all-pairs workloads.
+        assert len(design.conflicts) < n * (n - 1) // 2
+        assert board.name == "hierarchical"
+
+    def test_dag_schedule_is_deterministic_per_seed(self):
+        point = ScenarioPoint(
+            family="dag-schedule", params={"depth": 4, "width": 3}, seed=5
+        )
+        design_a, _ = point.build()
+        design_b, _ = point.build()
+        assert [
+            (ds.name, ds.depth, ds.width) for ds in design_a
+        ] == [(ds.name, ds.depth, ds.width) for ds in design_b]
+
+    def test_hetero_cost_builds_tiered_board(self):
+        point = ScenarioPoint(
+            family="hetero-cost",
+            params={"tiers": 3, "banks_per_tier": 2, "segments": 6},
+            seed=1,
+        )
+        design, board = point.build()
+        assert design.num_segments == 6
+        names = [bank.name for bank in board]
+        assert names == ["tier0-onchip", "tier1-class", "tier2-class"]
+        latencies = [bank.read_latency for bank in board]
+        assert latencies == sorted(latencies)
+
+    def test_new_families_are_registered(self):
+        names = {family.name for family in list_scenario_families()}
+        assert {"dag-schedule", "hetero-cost"} <= names
+
+    def test_dag_schedule_rejects_bad_knobs(self):
+        from repro.design import DesignError
+
+        with pytest.raises(DesignError, match="burstiness"):
+            ScenarioPoint(
+                family="dag-schedule", params={"burstiness": 1.5}
+            ).build()

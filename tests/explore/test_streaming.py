@@ -1,0 +1,176 @@
+"""Streaming sweeps: JSONL spooling, incremental Pareto, checkpoint/resume.
+
+The contract under test: a streamed run is *observationally identical*
+to the in-memory run of the same grid — same fingerprint, same fronts,
+same totals — and an interrupted streamed run resumed from its
+checkpoint reproduces that fingerprint byte-for-byte, even when the
+spool's tail was torn by the kill or the worker count changed across
+the restart.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.explore.explorer as explorer_module
+from repro.engine import MappingEngine
+from repro.explore import (
+    CheckpointError,
+    DesignSpaceExplorer,
+    ExploreError,
+    ScenarioGrid,
+)
+
+#: Small but multi-chain, with the new families on both chains.
+SPECS = [
+    "dag-schedule@depth=3|4,width=2",
+    "hetero-cost@segments=6:8,tiers=2",
+]
+
+
+def _explorer(grid, tmp_path, checkpoint=True, **kwargs):
+    return DesignSpaceExplorer(
+        grid,
+        seed=1,
+        results_path=str(tmp_path / "results.jsonl"),
+        checkpoint_path=str(tmp_path / "checkpoint.json") if checkpoint else None,
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return ScenarioGrid.parse(SPECS)
+
+
+@pytest.fixture(scope="module")
+def reference(grid):
+    """The in-memory run every streamed variant must reproduce."""
+    return DesignSpaceExplorer(grid, seed=1).run()
+
+
+class TestStreamedEquivalence:
+    def test_streamed_run_matches_in_memory_fingerprint(self, grid, reference, tmp_path):
+        result = _explorer(grid, tmp_path, checkpoint=False).run()
+        assert result.streamed
+        assert not result.points  # records live in the spool, not memory
+        assert result.fingerprint() == reference.fingerprint()
+
+    def test_fronts_and_totals_match(self, grid, reference, tmp_path):
+        result = _explorer(grid, tmp_path, checkpoint=False).run()
+        assert [p.label for p in result.pareto_front()] == [
+            p.label for p in reference.pareto_front()
+        ]
+        for key in ("lp_solves", "nodes_explored", "simplex_iterations",
+                    "warm_lp_solves", "objective"):
+            assert result.total(key) == pytest.approx(reference.total(key))
+        assert result.num_points == reference.num_points
+        assert result.num_ok == len(reference.ok_points)
+
+    def test_spool_holds_every_record_in_replayable_form(self, grid, reference, tmp_path):
+        from repro.explore import ExplorePointResult
+
+        result = _explorer(grid, tmp_path, checkpoint=False).run()
+        rows = [
+            ExplorePointResult.from_dict(json.loads(line))
+            for line in (tmp_path / "results.jsonl").read_text().splitlines()
+        ]
+        assert len(rows) == grid.num_points
+        by_label = {row.label: row for row in rows}
+        for point in reference.points:
+            assert by_label[point.label].objective == point.objective
+            assert by_label[point.label].lp_solves == point.lp_solves
+
+    def test_streamed_artifact_is_marked_and_rowless(self, grid, reference, tmp_path):
+        from repro.bench import explore_artifact
+
+        artifact = explore_artifact(_explorer(grid, tmp_path, checkpoint=False).run())
+        assert artifact["streamed"] is True
+        assert artifact["results"] == []
+        assert artifact["results_path"].endswith("results.jsonl")
+        assert artifact["fingerprint"] == reference.fingerprint()
+        assert artifact["num_points"] == grid.num_points
+
+    def test_report_renders_from_summaries(self, grid, tmp_path):
+        from repro.explore import render_explore_report
+
+        report = render_explore_report(_explorer(grid, tmp_path, checkpoint=False).run())
+        assert "results spool" in report
+        assert "Exploration summary" in report
+
+
+class _Abort(RuntimeError):
+    """Stands in for a mid-sweep kill."""
+
+
+def _aborting_engine(waves_before_abort):
+    state = {"calls": 0}
+
+    class AbortingEngine(MappingEngine):
+        def run(self, batch):
+            state["calls"] += 1
+            if state["calls"] > waves_before_abort:
+                raise _Abort("killed mid-sweep")
+            return super().run(batch)
+
+    return AbortingEngine, state
+
+
+class TestCheckpointResume:
+    def test_interrupted_run_resumes_to_identical_fingerprint(
+        self, grid, reference, tmp_path
+    ):
+        engine_cls, _ = _aborting_engine(waves_before_abort=1)
+        with pytest.MonkeyPatch.context() as patch:
+            patch.setattr(explorer_module, "MappingEngine", engine_cls)
+            with pytest.raises(_Abort):
+                _explorer(grid, tmp_path).run()
+
+        checkpoint = json.loads((tmp_path / "checkpoint.json").read_text())
+        completed = checkpoint["completed"]
+        assert 0 < sum(completed) < grid.num_points  # genuinely partial
+
+        # Simulate the kill landing mid-write: a torn trailing record.
+        with open(tmp_path / "results.jsonl", "a", encoding="utf-8") as spool:
+            spool.write('{"label": "torn-')
+
+        resumed = _explorer(grid, tmp_path, jobs=3).run()
+        assert resumed.fingerprint() == reference.fingerprint()
+        rows = (tmp_path / "results.jsonl").read_text().splitlines()
+        assert len(rows) == grid.num_points
+
+    def test_resume_after_completion_is_pure_replay(self, grid, reference, tmp_path):
+        _explorer(grid, tmp_path).run()
+        engine_cls, state = _aborting_engine(waves_before_abort=0)
+        with pytest.MonkeyPatch.context() as patch:
+            patch.setattr(explorer_module, "MappingEngine", engine_cls)
+            replayed = _explorer(grid, tmp_path).run()
+        assert state["calls"] == 0  # nothing left to solve
+        assert replayed.fingerprint() == reference.fingerprint()
+        assert [p.label for p in replayed.pareto_front()] == [
+            p.label for p in reference.pareto_front()
+        ]
+
+    def test_resume_under_different_config_is_refused(self, grid, tmp_path):
+        _explorer(grid, tmp_path).run()
+        with pytest.raises(CheckpointError, match="different grid"):
+            DesignSpaceExplorer(
+                grid,
+                seed=2,  # different seed => different per-point outcomes
+                results_path=str(tmp_path / "results.jsonl"),
+                checkpoint_path=str(tmp_path / "checkpoint.json"),
+            ).run()
+
+    def test_missing_spool_rows_are_refused(self, grid, tmp_path):
+        _explorer(grid, tmp_path).run()
+        (tmp_path / "results.jsonl").write_text("")  # spool lost, checkpoint kept
+        with pytest.raises(CheckpointError, match="rows the checkpoint recorded"):
+            _explorer(grid, tmp_path).run()
+
+    def test_checkpoint_without_spool_path_is_an_error(self, grid, tmp_path):
+        with pytest.raises(ExploreError, match="results spool"):
+            DesignSpaceExplorer(
+                grid, checkpoint_path=str(tmp_path / "checkpoint.json")
+            )
